@@ -1,0 +1,186 @@
+package lopacity
+
+// One benchmark per table and figure of the paper's evaluation
+// (Section 6), plus microbenchmarks for the core operations. Each
+// experiment benchmark executes the same runner as
+// `lopexperiments -run <id>` in the quick regime and logs the resulting
+// table once, so `go test -bench=. -benchmem` both times the harness
+// and regenerates every paper artifact. EXPERIMENTS.md records the
+// paper-versus-measured comparison.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/anonymize"
+	"repro/internal/apsp"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/opacity"
+)
+
+// benchCfg is the quick-regime configuration used by every experiment
+// benchmark: one repetition keeps -bench runs tractable while still
+// producing the full row/series structure of the paper artifact.
+func benchCfg() experiments.Config {
+	return experiments.Config{Seed: 1, Repetitions: 1}
+}
+
+// logOnce arranges for each experiment's table to be printed a single
+// time regardless of b.N.
+var logOnce sync.Map
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Run(id, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := logOnce.LoadOrStore(id, true); !done {
+			b.Logf("\n%s", t.String())
+		}
+	}
+}
+
+func BenchmarkTable1DatasetCatalog(b *testing.B)     { benchExperiment(b, "table1") }
+func BenchmarkTable2OriginalProperties(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3SampleProperties(b *testing.B)   { benchExperiment(b, "table3") }
+
+func BenchmarkFig6aGoogleL1(b *testing.B)      { benchExperiment(b, "fig6a") }
+func BenchmarkFig6bWikipediaL1(b *testing.B)   { benchExperiment(b, "fig6b") }
+func BenchmarkFig6cEnronL1(b *testing.B)       { benchExperiment(b, "fig6c") }
+func BenchmarkFig6dBSL1(b *testing.B)          { benchExperiment(b, "fig6d") }
+func BenchmarkFig6eEpinionsL2(b *testing.B)    { benchExperiment(b, "fig6e") }
+func BenchmarkFig6fGnutellaL2(b *testing.B)    { benchExperiment(b, "fig6f") }
+func BenchmarkFig6gEpinionsVaryL(b *testing.B) { benchExperiment(b, "fig6g") }
+func BenchmarkFig6hGnutellaVaryL(b *testing.B) { benchExperiment(b, "fig6h") }
+
+func BenchmarkFig7aDegreeEMD(b *testing.B)   { benchExperiment(b, "fig7a") }
+func BenchmarkFig7bGeodesicEMD(b *testing.B) { benchExperiment(b, "fig7b") }
+
+func BenchmarkFig8aCCWikipedia(b *testing.B)     { benchExperiment(b, "fig8a") }
+func BenchmarkFig8bCCEpinionsL2(b *testing.B)    { benchExperiment(b, "fig8b") }
+func BenchmarkFig8cCCEpinionsVaryL(b *testing.B) { benchExperiment(b, "fig8c") }
+
+func BenchmarkFig9RuntimeVsTheta(b *testing.B) { benchExperiment(b, "fig9") }
+func BenchmarkFig10RuntimeBySize(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11ACMRuntime(b *testing.B)    { benchExperiment(b, "fig11") }
+func BenchmarkFig12ACMDistortion(b *testing.B) { benchExperiment(b, "fig12") }
+
+func BenchmarkTheorem1Reduction(b *testing.B) { benchExperiment(b, "thm1") }
+
+func BenchmarkSpectralUtility(b *testing.B) { benchExperiment(b, "spectral") }
+
+func BenchmarkMotivation(b *testing.B) { benchExperiment(b, "motivation") }
+
+func BenchmarkAblationTiebreak(b *testing.B)  { benchExperiment(b, "ablation-tiebreak") }
+func BenchmarkAblationEngines(b *testing.B)   { benchExperiment(b, "ablation-engines") }
+func BenchmarkAblationLookahead(b *testing.B) { benchExperiment(b, "ablation-lookahead") }
+
+func BenchmarkExtKIsoTradeoff(b *testing.B) { benchExperiment(b, "ext-kiso") }
+func BenchmarkExtAnneal(b *testing.B)       { benchExperiment(b, "ext-anneal") }
+func BenchmarkExtBitBFS(b *testing.B)       { benchExperiment(b, "ext-bitbfs") }
+func BenchmarkExtCentrality(b *testing.B)   { benchExperiment(b, "ext-centrality") }
+func BenchmarkExtRMAT(b *testing.B)         { benchExperiment(b, "ext-rmat") }
+
+// --- Microbenchmarks for the core operations -------------------------
+
+func BenchmarkMaxLO(b *testing.B) {
+	g, err := dataset.GenerateByKey("gnutella500", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deg := g.Degrees()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = opacity.MaxLO(g, deg, 2)
+	}
+}
+
+func BenchmarkBoundedAPSP(b *testing.B) {
+	g, err := dataset.GenerateByKey("gnutella500", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = apsp.BoundedAPSP(g, 2)
+	}
+}
+
+func BenchmarkLPrunedFW(b *testing.B) {
+	g, err := dataset.GenerateByKey("gnutella500", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = apsp.LPrunedFW(g, 2)
+	}
+}
+
+func BenchmarkPointerFW(b *testing.B) {
+	g, err := dataset.GenerateByKey("gnutella500", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = apsp.PointerFW(g, 2)
+	}
+}
+
+func BenchmarkEdgeRemovalStep(b *testing.B) {
+	g, err := dataset.GenerateByKey("gnutella100", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := anonymize.Run(g, anonymize.Options{
+			L: 1, Theta: 0, Heuristic: anonymize.Removal, LookAhead: 1,
+			Seed: 1, MaxSteps: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFacadeAnonymize(b *testing.B) {
+	g, err := Dataset("gnutella100", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Anonymize(g, Options{L: 1, Theta: 0.7, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnonymizeWorkers1(b *testing.B) { benchWorkers(b, 1) }
+func BenchmarkAnonymizeWorkers4(b *testing.B) { benchWorkers(b, 4) }
+func BenchmarkAnonymizeWorkers8(b *testing.B) { benchWorkers(b, 8) }
+
+// benchWorkers measures the parallel candidate-scan speedup on a run
+// whose result is identical at every setting.
+func benchWorkers(b *testing.B, workers int) {
+	b.Helper()
+	g, err := dataset.GenerateByKey("gnutella500", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := anonymize.Run(g, anonymize.Options{
+			L: 2, Theta: 0.5, Heuristic: anonymize.Removal,
+			LookAhead: 1, Seed: 1, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	lopacity "repro"
+)
+
+func TestParseMethod(t *testing.T) {
+	cases := []struct {
+		in   string
+		want lopacity.Method
+		ok   bool
+	}{
+		{"rem", lopacity.EdgeRemoval, true},
+		{"Removal", lopacity.EdgeRemoval, true},
+		{"rem-ins", lopacity.EdgeRemovalInsertion, true},
+		{"REMINS", lopacity.EdgeRemovalInsertion, true},
+		{"gaded-rand", lopacity.GADEDRand, true},
+		{"gaded-max", lopacity.GADEDMax, true},
+		{"gades", lopacity.GADES, true},
+		{"swap", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseMethod(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("parseMethod(%q) err = %v, ok = %v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("parseMethod(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func writeFixture(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "in.txt")
+	// The paper's Figure 1 graph.
+	content := "# Nodes: 7 Edges: 10\n0 1\n0 2\n1 2\n1 3\n1 4\n2 4\n2 5\n3 4\n4 5\n5 6\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFixture(t, dir)
+	out := filepath.Join(dir, "out.txt")
+	var report bytes.Buffer
+	err := run(nil, &report, 1, 0.5, "rem", 1, 1, in, out, false, 2, filepath.Join(dir, "trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "satisfied     true") {
+		t.Fatalf("report = %q", report.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := lopacity.ReadEdgeList(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 7 {
+		t.Fatalf("output n = %d, want 7", g.N())
+	}
+	// The guarantee is measured against the ORIGINAL degrees (the
+	// adversary's background knowledge), per the publication model.
+	orig, err := os.Open(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+	og, err := lopacity.ReadEdgeList(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := g.OpacityAgainst(1, og); rep.MaxOpacity > 0.5 {
+		t.Fatalf("output max opacity vs original degrees = %v > 0.5", rep.MaxOpacity)
+	}
+	trace, err := os.ReadFile(filepath.Join(dir, "trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(trace), `"op":"remove"`) {
+		t.Fatalf("trace missing removal records: %s", trace)
+	}
+}
+
+func TestRunToStdoutQuiet(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFixture(t, dir)
+	var stdout, report bytes.Buffer
+	if err := run(&stdout, &report, 1, 1, "rem", 1, 1, in, "", true, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if report.Len() != 0 {
+		t.Fatalf("quiet mode wrote a report: %q", report.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "# Nodes: 7") {
+		t.Fatalf("stdout = %q", stdout.String())
+	}
+}
+
+func TestRunInfeasibleReturnsError(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFixture(t, dir)
+	var stdout, report bytes.Buffer
+	// Rem-Ins cannot reach theta = 0.5 on Figure 1 while keeping all
+	// ten edges; the run must write best-effort output AND fail.
+	err := run(&stdout, &report, 1, 0.5, "rem-ins", 1, 1, in, "", true, 1, "")
+	if err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+	if stdout.Len() == 0 {
+		t.Fatal("no best-effort output written")
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	var stdout, report bytes.Buffer
+	if err := run(&stdout, &report, 1, 0.5, "nope", 1, 1, "", "", true, 1, ""); err == nil {
+		t.Fatal("bad heuristic accepted")
+	}
+	if err := run(&stdout, &report, 1, 0.5, "rem", 1, 1, "/does/not/exist", "", true, 1, ""); err == nil {
+		t.Fatal("missing input file accepted")
+	}
+	dir := t.TempDir()
+	in := writeFixture(t, dir)
+	if err := run(&stdout, &report, 1, 7.5, "rem", 1, 1, in, "", true, 1, ""); err == nil {
+		t.Fatal("theta out of range accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeGraph(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const figure1 = "# Nodes: 7 Edges: 10\n0 1\n0 2\n1 2\n1 3\n1 4\n2 4\n2 5\n3 4\n4 5\n5 6\n"
+
+func TestAuditRawGraphIsVulnerable(t *testing.T) {
+	in := writeGraph(t, "g.txt", figure1)
+	var out bytes.Buffer
+	vulnerable, err := run(&out, in, "", 1, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vulnerable {
+		t.Fatal("Figure 1 audited as safe at theta=0.5")
+	}
+	s := out.String()
+	if !strings.Contains(s, "NOT 1-opaque") {
+		t.Fatalf("verdict missing: %s", s)
+	}
+	if !strings.Contains(s, "100.0%") {
+		t.Fatalf("expected a certain inference: %s", s)
+	}
+}
+
+func TestAuditSafeAtThetaOne(t *testing.T) {
+	in := writeGraph(t, "g.txt", figure1)
+	var out bytes.Buffer
+	vulnerable, err := run(&out, in, "", 1, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vulnerable {
+		t.Fatalf("theta=1 can never be exceeded: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "safe to publish") {
+		t.Fatalf("verdict missing: %s", out.String())
+	}
+}
+
+func TestAuditWithSeparateOriginal(t *testing.T) {
+	// Published graph: Figure 1 with the {1,2} edge removed; knowledge
+	// still comes from the original.
+	published := strings.Replace(figure1, "1 2\n", "", 1)
+	published = strings.Replace(published, "Edges: 10", "Edges: 9", 1)
+	in := writeGraph(t, "anon.txt", published)
+	orig := writeGraph(t, "orig.txt", figure1)
+	var out bytes.Buffer
+	if _, err := run(&out, in, orig, 1, 0.5, 10); err != nil {
+		t.Fatal(err)
+	}
+	// The degree-4 candidate set comes from the ORIGINAL graph (3
+	// vertices), even though published degrees changed.
+	if !strings.Contains(out.String(), "n=7 m=9") {
+		t.Fatalf("published stats wrong: %s", out.String())
+	}
+}
+
+func TestAuditTopTruncation(t *testing.T) {
+	in := writeGraph(t, "g.txt", figure1)
+	var out bytes.Buffer
+	if _, err := run(&out, in, "", 1, 0.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "... and") {
+		t.Fatalf("expected truncation marker: %s", out.String())
+	}
+}
+
+func TestAuditErrors(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run(&out, "/does/not/exist", "", 1, 0.5, 10); err == nil {
+		t.Fatal("missing published file accepted")
+	}
+	in := writeGraph(t, "g.txt", figure1)
+	if _, err := run(&out, in, "/does/not/exist", 1, 0.5, 10); err == nil {
+		t.Fatal("missing original file accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestExecuteSingleWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	cfg := experiments.Config{Seed: 1, Repetitions: 1}
+	if err := execute("table1", cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "Data Set,") {
+		t.Fatalf("csv header = %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 8 { // header + 7 datasets
+		t.Fatalf("csv has %d lines, want 8", lines)
+	}
+}
+
+func TestExecuteUnknownID(t *testing.T) {
+	cfg := experiments.Config{Seed: 1, Repetitions: 1}
+	if err := execute("nope", cfg, ""); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}

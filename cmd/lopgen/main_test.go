@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	lopacity "repro"
+)
+
+func TestRunDataset(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "enron100", 0, 1, "edgelist"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := lopacity.ReadEdgeList(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 {
+		t.Fatalf("n = %d, want 100", g.N())
+	}
+}
+
+func TestRunACM(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "", 120, 9, "edgelist"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "# Nodes: 120") {
+		t.Fatalf("header = %q", strings.SplitN(out.String(), "\n", 2)[0])
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, "gnutella100", 0, 5, "edgelist"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, "gnutella100", 0, 5, "edgelist"); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same key+seed produced different edge lists")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "x", 100, 1, "edgelist"); err == nil {
+		t.Fatal("mutually exclusive flags accepted")
+	}
+	if err := run(&out, "", 5, 1, "edgelist"); err == nil {
+		t.Fatal("tiny -acm accepted")
+	}
+	if err := run(&out, "", 0, 1, "edgelist"); err == nil {
+		t.Fatal("no source flags accepted")
+	}
+	if err := run(&out, "no-such-key", 0, 1, "edgelist"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	lopacity "repro"
+)
+
+// writeFixture anonymizes the Figure 1 graph with a trace and returns
+// the original, trace, and published file paths.
+func writeFixture(t *testing.T, theta float64) (in, trace, published string) {
+	t.Helper()
+	dir := t.TempDir()
+	in = filepath.Join(dir, "orig.txt")
+	trace = filepath.Join(dir, "trace.jsonl")
+	published = filepath.Join(dir, "anon.txt")
+
+	g := lopacity.FromEdges(7, [][2]int{
+		{0, 1}, {0, 2}, {1, 2}, {1, 3}, {1, 4}, {2, 4}, {2, 5}, {3, 4}, {4, 5}, {5, 6},
+	})
+	var origBuf bytes.Buffer
+	if err := g.WriteEdgeList(&origBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(in, origBuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	traceFile, err := os.Create(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lopacity.Anonymize(g, lopacity.Options{
+		L: 1, Theta: theta, Seed: 1, TraceWriter: traceFile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traceFile.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("fixture run unsatisfied at theta=%v", theta)
+	}
+
+	var pubBuf bytes.Buffer
+	if err := res.Graph.WriteEdgeList(&pubBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(published, pubBuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return in, trace, published
+}
+
+func TestReplayVerifiesHonestTrace(t *testing.T) {
+	in, trace, published := writeFixture(t, 0.5)
+	var out bytes.Buffer
+	if err := run(&out, in, trace, published, 1, 0.5, false); err != nil {
+		t.Fatalf("honest trace rejected: %v", err)
+	}
+	if !strings.Contains(out.String(), "audit trail verified") {
+		t.Fatalf("missing verdict:\n%s", out.String())
+	}
+}
+
+func TestReplayFastMode(t *testing.T) {
+	in, trace, published := writeFixture(t, 0.5)
+	var out bytes.Buffer
+	if err := run(&out, in, trace, published, 1, 0.5, true); err != nil {
+		t.Fatalf("fast mode rejected honest trace: %v", err)
+	}
+}
+
+func TestReplayDetectsTamperedTrace(t *testing.T) {
+	in, trace, published := writeFixture(t, 0.5)
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the recorded opacity of the first step.
+	tampered := strings.Replace(string(data), `"maxOpacity":`, `"maxOpacity":0.123456,"x":`, 1)
+	if tampered == string(data) {
+		t.Fatal("tamper substitution failed")
+	}
+	if err := os.WriteFile(trace, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&bytes.Buffer{}, in, trace, published, 1, 0.5, false); err == nil {
+		t.Fatal("tampered opacity accepted")
+	}
+}
+
+func TestReplayDetectsWrongPublishedGraph(t *testing.T) {
+	in, trace, _ := writeFixture(t, 0.5)
+	// Publish the ORIGINAL instead of the anonymized graph.
+	if err := run(&bytes.Buffer{}, in, trace, in, 1, 0.5, true); err == nil {
+		t.Fatal("mismatched published graph accepted")
+	}
+}
+
+func TestReplayDetectsContradictoryOps(t *testing.T) {
+	in, trace, published := writeFixture(t, 0.5)
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate the first line: the second replay of the same removal
+	// must fail (edge already absent).
+	lines := strings.SplitN(string(data), "\n", 2)
+	dup := lines[0] + "\n" + lines[0] + "\n"
+	if len(lines) > 1 {
+		dup += lines[1]
+	}
+	if err := os.WriteFile(trace, []byte(dup), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&bytes.Buffer{}, in, trace, published, 1, 0.5, true); err == nil {
+		t.Fatal("duplicate removal accepted")
+	}
+}
+
+func TestReplayFailsWhenTargetNotMet(t *testing.T) {
+	// Replay an honest trace but demand a stricter theta than the run
+	// achieved: the final check must fail.
+	in, trace, published := writeFixture(t, 0.8)
+	err := run(&bytes.Buffer{}, in, trace, published, 1, 0.05, true)
+	if err == nil {
+		t.Fatal("final opacity above theta accepted")
+	}
+	if !strings.Contains(err.Error(), "violates L-opacity") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestReplayRequiredFlags(t *testing.T) {
+	if err := run(&bytes.Buffer{}, "", "", "", 1, 0.5, false); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+}
+
+func TestReplayRejectsGarbageTrace(t *testing.T) {
+	in, _, _ := writeFixture(t, 0.5)
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&bytes.Buffer{}, in, bad, "", 1, 0.5, false); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+}

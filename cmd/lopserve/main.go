@@ -1,0 +1,93 @@
+// Command lopserve exposes the L-opacity toolkit as an HTTP service:
+// anonymization, privacy auditing, k-isomorphism, opacity reports, and
+// structural property reports, all with JSON bodies.
+//
+// Usage:
+//
+//	lopserve -addr :8080 -max-body 8388608 -max-budget 30s
+//
+// Endpoints (see internal/server for request/response schemas):
+//
+//	GET  /healthz
+//	POST /v1/properties
+//	POST /v1/opacity
+//	POST /v1/anonymize
+//	POST /v1/kiso
+//	POST /v1/audit
+//
+// The process shuts down cleanly on SIGINT/SIGTERM, draining in-flight
+// requests for up to 10 seconds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		maxBody   = flag.Int64("max-body", 8<<20, "maximum request body bytes")
+		maxVerts  = flag.Int("max-vertices", 20000, "maximum graph size accepted")
+		maxBudget = flag.Duration("max-budget", 30*time.Second, "per-request anonymization wall-clock cap")
+	)
+	flag.Parse()
+
+	srv := buildServer(*addr, *maxBody, *maxVerts, *maxBudget)
+
+	serve(srv)
+}
+
+// buildServer assembles the http.Server with production timeouts.
+func buildServer(addr string, maxBody int64, maxVerts int, maxBudget time.Duration) *http.Server {
+	handler := server.New(server.Config{
+		MaxBodyBytes: maxBody,
+		MaxVertices:  maxVerts,
+		MaxBudget:    maxBudget,
+	})
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		// Anonymization runs can legitimately take the whole budget;
+		// give responses headroom beyond it.
+		WriteTimeout: maxBudget + 15*time.Second,
+		IdleTimeout:  60 * time.Second,
+	}
+}
+
+// serve runs the server until it fails or the process receives
+// SIGINT/SIGTERM, then drains in-flight requests.
+func serve(srv *http.Server) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("lopserve listening on %s", srv.Addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("lopserve: %v", err)
+		}
+	case <-ctx.Done():
+		log.Print("lopserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("lopserve: shutdown: %v", err)
+		}
+	}
+}

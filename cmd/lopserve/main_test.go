@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuildServerTimeouts(t *testing.T) {
+	srv := buildServer(":0", 1<<20, 500, 10*time.Second)
+	if srv.ReadHeaderTimeout != 5*time.Second {
+		t.Fatalf("ReadHeaderTimeout=%v", srv.ReadHeaderTimeout)
+	}
+	if srv.WriteTimeout != 25*time.Second {
+		t.Fatalf("WriteTimeout=%v, want budget+15s", srv.WriteTimeout)
+	}
+	if srv.Handler == nil {
+		t.Fatal("nil handler")
+	}
+}
+
+// End-to-end smoke test: the assembled handler serves an anonymize
+// round-trip over a real listener.
+func TestServerEndToEnd(t *testing.T) {
+	srv := buildServer(":0", 1<<20, 500, 5*time.Second)
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	body := `{"graph":{"n":4,"edges":[[0,1],[1,2],[2,3],[0,3],[0,2]]},"l":1,"theta":0.6,"method":"rem","seed":1}`
+	anon, err := http.Post(ts.URL+"/v1/anonymize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anon.Body.Close()
+	if anon.StatusCode != http.StatusOK {
+		t.Fatalf("anonymize status %d", anon.StatusCode)
+	}
+	var out struct {
+		Satisfied  bool    `json:"satisfied"`
+		MaxOpacity float64 `json:"max_opacity"`
+	}
+	if err := json.NewDecoder(anon.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Satisfied || out.MaxOpacity > 0.6 {
+		t.Fatalf("unexpected result: %+v", out)
+	}
+}

@@ -1,0 +1,66 @@
+// Audit demonstrates the release-gate workflow: a data vendor checks a
+// graph against the paper's degree-knowledge adversary, anonymizes it
+// when the audit fails, and re-audits the result before publishing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lopacity "repro"
+)
+
+func main() {
+	// A Gnutella-style peer-to-peer topology about to be published.
+	g, err := lopacity.Dataset("gnutella100", 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		L     = 2
+		theta = 0.6
+	)
+
+	fmt.Printf("release candidate: %d nodes, %d links; target: %d-opacity at theta=%.0f%%\n\n",
+		g.N(), g.M(), L, 100*theta)
+
+	// First audit: raw graph.
+	adv, err := lopacity.NewAdversary(g, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vuln := adv.VulnerablePairs(L, theta)
+	fmt.Printf("audit #1 (raw): %d vulnerable degree pairs; strongest:\n", len(vuln))
+	for i, inf := range vuln {
+		if i == 3 {
+			fmt.Printf("  ...\n")
+			break
+		}
+		fmt.Printf("  degrees {%d,%d}: %d/%d candidate pairs within %d hops (%.0f%% confidence)\n",
+			inf.DegreeA, inf.DegreeB, inf.Within, inf.Total, L, 100*inf.Confidence)
+	}
+
+	// Anonymize and re-audit. The adversary keeps the ORIGINAL degrees:
+	// the publication model releases them alongside the graph.
+	res, err := lopacity.Anonymize(g, lopacity.Options{
+		L: L, Theta: theta, Method: lopacity.EdgeRemoval, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Satisfied {
+		log.Fatalf("anonymization failed: max opacity %.2f", res.MaxOpacity)
+	}
+
+	after, err := lopacity.NewAdversary(res.Graph, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	remaining := after.VulnerablePairs(L, theta)
+	util := lopacity.Compare(g, res.Graph)
+	fmt.Printf("\naudit #2 (after %d edge removals, %.1f%% distortion): %d vulnerable pairs\n",
+		len(res.Removed), 100*util.Distortion, len(remaining))
+	if len(remaining) == 0 {
+		fmt.Println("verdict: safe to publish under the degree-knowledge adversary model")
+	}
+}

@@ -1,0 +1,34 @@
+// Quickstart: anonymize the paper's Figure 1 graph to 1-opacity at
+// theta = 50% and print the privacy and utility report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lopacity "repro"
+)
+
+func main() {
+	// The paper's Figure 1 social network: 7 people, 10 friendships
+	// (vertices renumbered 0-6).
+	g := lopacity.FromEdges(7, [][2]int{
+		{0, 1}, {0, 2}, {1, 2}, {1, 3}, {1, 4},
+		{2, 4}, {2, 5}, {3, 4}, {4, 5}, {5, 6},
+	})
+
+	before := g.Opacity(1)
+	fmt.Printf("before: max 1-opacity = %.2f (some linkage is certain)\n", before.MaxOpacity)
+
+	res, err := lopacity.Anonymize(g, lopacity.Options{L: 1, Theta: 0.5, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("after:  max 1-opacity = %.2f (satisfied: %v)\n", res.MaxOpacity, res.Satisfied)
+	fmt.Printf("edits:  removed %v\n", res.Removed)
+
+	util := lopacity.Compare(g, res.Graph)
+	fmt.Printf("cost:   distortion %.0f%%, degree EMD %.3f, mean |dCC| %.3f\n",
+		100*util.Distortion, util.DegreeEMD, util.MeanClusteringDelta)
+}

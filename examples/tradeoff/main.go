@@ -1,0 +1,91 @@
+// Tradeoff quantifies the positioning argument of the paper's
+// introduction: total linkage protection (k-isomorphism, Cheng et al.
+// SIGMOD 2010) versus short-linkage protection (L-opacity). Both defeat
+// the degree-knowledge adversary, but at very different utility cost —
+// k-isomorphism shatters the network into k identical disconnected
+// pieces, while L-opacity keeps one connected graph and only suppresses
+// confident short-path inferences.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lopacity "repro"
+)
+
+func main() {
+	g, err := lopacity.Dataset("gnutella100", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := g.Properties()
+	fmt.Printf("Gnutella-style sample: %d nodes, %d links\n\n", p.Nodes, p.Links)
+
+	fmt.Printf("%-24s %8s %12s %12s %12s\n",
+		"method", "target", "distortion", "components", "maxConf@L=1")
+	for _, k := range []int{2, 4} {
+		theta := 1 / float64(k)
+
+		// k-isomorphism: adversary confidence for ANY linkage is at
+		// most 1/k because every vertex has k indistinguishable
+		// counterparts in disjoint blocks.
+		kres, err := lopacity.AnonymizeKIso(g, k, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %7.0f%% %11.2f%% %12d %12s\n",
+			fmt.Sprintf("k-isomorphism (k=%d)", k), 100*theta,
+			100*kres.Distortion, components(kres.Graph), "<= 1/k")
+
+		// L-opacity at the matched confidence threshold.
+		lres, err := lopacity.Anonymize(g, lopacity.Options{
+			L: 1, Theta: theta, Method: lopacity.EdgeRemoval, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		adv, err := lopacity.NewAdversary(lres.Graph, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		util := lopacity.Compare(g, lres.Graph)
+		fmt.Printf("%-24s %7.0f%% %11.2f%% %12d %12.2f\n",
+			fmt.Sprintf("L-opacity (theta=1/%d)", k), 100*theta,
+			100*util.Distortion, components(lres.Graph),
+			adv.MaxConfidence(1).Confidence)
+	}
+
+	fmt.Println()
+	fmt.Println("expected shape: k-isomorphism needs an order of magnitude more edge")
+	fmt.Println("edits and leaves >= k disconnected components; L-opacity reaches the")
+	fmt.Println("matched linkage-confidence bound with a few percent distortion while")
+	fmt.Println("preserving the network's overall connectivity.")
+}
+
+// components counts connected components via repeated BFS over the
+// public API.
+func components(g *lopacity.Graph) int {
+	n := g.N()
+	visited := make([]bool, n)
+	count := 0
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		count++
+		queue := []int{s}
+		visited[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(v) {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return count
+}

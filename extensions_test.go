@@ -1,0 +1,140 @@
+package lopacity
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// denseTestGraph returns a small graph that is far from opaque at L=1.
+func denseTestGraph() *Graph {
+	g := NewGraph(8)
+	for _, e := range [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+		{3, 4}, {4, 5}, {5, 6}, {6, 7}, {4, 6}, {5, 7},
+	} {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func TestAnonymizeSimulatedAnnealing(t *testing.T) {
+	g := denseTestGraph()
+	res, err := Anonymize(g, Options{L: 1, Theta: 0.5, Method: SimulatedAnnealing, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("annealing unsatisfied, maxOpacity=%v", res.MaxOpacity)
+	}
+	// The satisfied graph must pass an independent opacity check
+	// against the ORIGINAL degrees.
+	if !res.Graph.Satisfies(1, 0.5) == false && false {
+		t.Fatal("unreachable")
+	}
+	rep := res.Graph.OpacityAgainst(1, g)
+	if rep.MaxOpacity > 0.5 {
+		t.Fatalf("published graph maxLO=%v > 0.5", rep.MaxOpacity)
+	}
+}
+
+func TestAnnealingMethodString(t *testing.T) {
+	if SimulatedAnnealing.String() != "Anneal" {
+		t.Fatalf("String=%q", SimulatedAnnealing.String())
+	}
+}
+
+func TestAnnealingTraceJSONL(t *testing.T) {
+	g := denseTestGraph()
+	var buf bytes.Buffer
+	res, err := Anonymize(g, Options{L: 1, Theta: 0.5, Method: SimulatedAnnealing, Seed: 1, TraceWriter: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if res.Steps > 0 && len(lines) != res.Steps {
+		t.Fatalf("trace has %d lines, result reports %d steps", len(lines), res.Steps)
+	}
+	var step TraceStep
+	if err := json.Unmarshal([]byte(lines[0]), &step); err != nil {
+		t.Fatalf("trace line is not valid JSON: %v", err)
+	}
+}
+
+func TestAnonymizeBudgetTimedOut(t *testing.T) {
+	// A large dataset and near-zero theta cannot be solved in 10ms.
+	g, err := Dataset("google1000", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Anonymize(g, Options{L: 2, Theta: 0.01, Seed: 1, Budget: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Fatal("expected TimedOut within a 10ms budget")
+	}
+}
+
+func TestAnonymizeKIso(t *testing.T) {
+	g := denseTestGraph()
+	res, err := AnonymizeKIso(g, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) != 2 {
+		t.Fatalf("blocks=%d, want 2", len(res.Blocks))
+	}
+	if res.OriginalN != 8 || res.Graph.N() != 8 {
+		t.Fatalf("N=%d/%d, want 8/8", res.OriginalN, res.Graph.N())
+	}
+	if res.Distortion <= 0 {
+		t.Fatal("k-isomorphizing a connected graph must cost edits")
+	}
+	// Strongest guarantee: no edge may connect the two blocks.
+	inBlock0 := make(map[int]bool)
+	for _, v := range res.Blocks[0] {
+		inBlock0[v] = true
+	}
+	for _, e := range res.Graph.Edges() {
+		if inBlock0[e[0]] != inBlock0[e[1]] {
+			t.Fatalf("cross-block edge %v", e)
+		}
+	}
+}
+
+func TestAnonymizeKIsoErrors(t *testing.T) {
+	if _, err := AnonymizeKIso(nil, 2, 0); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := AnonymizeKIso(NewGraph(5), 1, 0); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+// The paper's central trade-off claim, demonstrated end to end:
+// k-isomorphism (total linkage protection) costs far more distortion
+// than L-opacity (short-linkage protection) on the same graph.
+func TestKIsoCostsMoreThanLOpacity(t *testing.T) {
+	g, err := Dataset("gnutella100", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lop, err := Anonymize(g, Options{L: 1, Theta: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lop.Satisfied {
+		t.Skip("greedy did not satisfy on this sample; tradeoff comparison void")
+	}
+	kiso, err := AnonymizeKIso(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lopDist := Compare(g, lop.Graph).Distortion
+	if kiso.Distortion <= lopDist {
+		t.Fatalf("expected k-iso distortion (%v) > L-opacity distortion (%v)", kiso.Distortion, lopDist)
+	}
+}

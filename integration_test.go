@@ -1,0 +1,211 @@
+package lopacity
+
+// Integration and property tests exercising the public API end to end
+// against independently computed ground truth.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomPublicGraph draws a small random graph through the public API.
+func randomPublicGraph(rng *rand.Rand) *Graph {
+	n := 6 + rng.Intn(15)
+	g := NewGraph(n)
+	target := 1 + rng.Intn(2*n)
+	for i := 0; i < target; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}
+
+// bruteMaxOpacity recomputes the graph-level maximum opacity from
+// first principles (Definitions 1-3) using only public methods: BFS
+// distances via Distance, degree types from the original graph.
+func bruteMaxOpacity(published, original *Graph, L int) float64 {
+	type key [2]int
+	within := map[key]int{}
+	total := map[key]int{}
+	n := original.N()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d1, d2 := original.Degree(u), original.Degree(v)
+			if d1 > d2 {
+				d1, d2 = d2, d1
+			}
+			k := key{d1, d2}
+			total[k]++
+			if d := published.Distance(u, v); d >= 0 && d <= L {
+				within[k]++
+			}
+		}
+	}
+	max := 0.0
+	for k, t := range total {
+		if t == 0 {
+			continue
+		}
+		if lo := float64(within[k]) / float64(t); lo > max {
+			max = lo
+		}
+	}
+	return max
+}
+
+func TestPropertyOpacityMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	property := func(seed int64, lRaw uint8) bool {
+		_ = seed
+		g := randomPublicGraph(rng)
+		L := 1 + int(lRaw%4)
+		rep := g.Opacity(L)
+		want := bruteMaxOpacity(g, g, L)
+		return abs(rep.MaxOpacity-want) < 1e-12
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAnonymizeGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	property := func(thetaRaw uint8, lRaw uint8) bool {
+		g := randomPublicGraph(rng)
+		L := 1 + int(lRaw%3)
+		theta := 0.3 + float64(thetaRaw%60)/100 // [0.3, 0.9)
+		res, err := Anonymize(g, Options{L: L, Theta: theta, Method: EdgeRemoval, Seed: 5})
+		if err != nil {
+			return false
+		}
+		// Edge Removal can always reach any theta >= 0 by emptying the
+		// graph, so the run must be satisfied.
+		if !res.Satisfied {
+			return false
+		}
+		// The guarantee must hold under independent recomputation
+		// against the original degrees.
+		if bruteMaxOpacity(res.Graph, g, L) > theta+1e-12 {
+			return false
+		}
+		// Every removed edge must have existed, and none may remain.
+		for _, e := range res.Removed {
+			if !g.HasEdge(e[0], e[1]) || res.Graph.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		return len(res.Inserted) == 0
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRemInsEdgeBookkeeping(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	property := func(thetaRaw uint8) bool {
+		g := randomPublicGraph(rng)
+		theta := 0.5 + float64(thetaRaw%40)/100 // [0.5, 0.9)
+		res, err := Anonymize(g, Options{L: 1, Theta: theta, Method: EdgeRemovalInsertion, Seed: 9})
+		if err != nil {
+			return false
+		}
+		// Rem-Ins alternates one removal with one insertion, so the
+		// edge count never drifts by more than the trailing removal.
+		if res.Graph.M() < g.M()-1 || res.Graph.M() > g.M() {
+			return false
+		}
+		// No edge may be both removed and inserted (the paper's loop
+		// guard) and the edit log must be consistent with the output.
+		seen := map[[2]int]bool{}
+		for _, e := range res.Removed {
+			seen[e] = true
+			if res.Graph.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		for _, e := range res.Inserted {
+			if seen[e] {
+				return false
+			}
+			if !res.Graph.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDistortionMatchesEditLog(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	property := func(thetaRaw uint8) bool {
+		g := randomPublicGraph(rng)
+		if g.M() == 0 {
+			return true
+		}
+		theta := 0.4 + float64(thetaRaw%50)/100
+		res, err := Anonymize(g, Options{L: 1, Theta: theta, Method: EdgeRemoval, Seed: 3})
+		if err != nil {
+			return false
+		}
+		util := Compare(g, res.Graph)
+		want := float64(len(res.Removed)) / float64(g.M())
+		return abs(util.Distortion-want) < 1e-12
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	g, err := Dataset("gnutella100", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Anonymize(g, Options{L: 1, Theta: 0.5, Method: EdgeRemoval, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anonymize(g, Options{L: 1, Theta: 0.5, Method: EdgeRemoval, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Removed) != len(b.Removed) {
+		t.Fatalf("runs differ: %d vs %d removals", len(a.Removed), len(b.Removed))
+	}
+	for i := range a.Removed {
+		if a.Removed[i] != b.Removed[i] {
+			t.Fatalf("removal %d differs: %v vs %v", i, a.Removed[i], b.Removed[i])
+		}
+	}
+}
+
+func TestLookAheadAtLeastAsGood(t *testing.T) {
+	// On the Figure 1 graph, every look-ahead depth must reach the
+	// target; deeper search may only widen the space it considers.
+	g := figure1()
+	for _, theta := range []float64{0.7, 0.5} {
+		for la := 1; la <= 3; la++ {
+			res, err := Anonymize(g, Options{L: 1, Theta: theta, Method: EdgeRemoval, LookAhead: la, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Satisfied {
+				t.Fatalf("la=%d theta=%v: not satisfied", la, theta)
+			}
+			if res.MaxOpacity > theta {
+				t.Fatalf("la=%d: LO %v > theta %v", la, res.MaxOpacity, theta)
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,206 @@
+package anonymize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/opacity"
+)
+
+func TestAnnealRejectsBadOptions(t *testing.T) {
+	g := gen.GNM(10, 15, rand.New(rand.NewSource(1)))
+	if _, err := Anneal(g, AnnealOptions{L: 0, Theta: 0.5}); err == nil {
+		t.Fatal("L=0 accepted")
+	}
+	if _, err := Anneal(g, AnnealOptions{L: 1, Theta: 1.5}); err == nil {
+		t.Fatal("theta=1.5 accepted")
+	}
+	if _, err := Anneal(g, AnnealOptions{L: 1, Theta: -0.1}); err == nil {
+		t.Fatal("theta=-0.1 accepted")
+	}
+}
+
+func TestAnnealAlreadyOpaqueReturnsZeroEdits(t *testing.T) {
+	// A path of 3 vertices at theta=1 is trivially opaque.
+	g := graph.FromEdges(3, []graph.Edge{graph.E(0, 1), graph.E(1, 2)})
+	res, err := Anneal(g, AnnealOptions{L: 1, Theta: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied || len(res.Removed)+len(res.Inserted) != 0 {
+		t.Fatalf("want satisfied with zero edits, got satisfied=%v edits=%d",
+			res.Satisfied, len(res.Removed)+len(res.Inserted))
+	}
+}
+
+func TestAnnealReachesTarget(t *testing.T) {
+	g := gen.GNM(30, 60, rand.New(rand.NewSource(3)))
+	degrees := g.Degrees()
+	res, err := Anneal(g, AnnealOptions{L: 1, Theta: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("annealing did not reach theta=0.5 (finalLO=%v)", res.FinalLO)
+	}
+	// Independent verification: the returned graph really is opaque
+	// with respect to the ORIGINAL degrees.
+	if got := opacity.MaxLO(res.Graph, degrees, 1); got > 0.5 {
+		t.Fatalf("returned graph has maxLO=%v > 0.5", got)
+	}
+	if got := res.FinalLO; got > 0.5 {
+		t.Fatalf("FinalLO=%v > 0.5", got)
+	}
+}
+
+// The reported edit ledger must reconcile the original with the
+// returned graph exactly.
+func TestAnnealLedgerReconciles(t *testing.T) {
+	g := gen.WattsStrogatz(24, 4, 0.3, rand.New(rand.NewSource(5)))
+	res, err := Anneal(g, AnnealOptions{L: 2, Theta: 0.6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := g.Clone()
+	for _, e := range res.Removed {
+		if !rebuilt.RemoveEdge(e.U, e.V) {
+			t.Fatalf("removed edge %v absent from original", e)
+		}
+	}
+	for _, e := range res.Inserted {
+		if !rebuilt.AddEdge(e.U, e.V) {
+			t.Fatalf("inserted edge %v already present", e)
+		}
+	}
+	if !rebuilt.Equal(res.Graph) {
+		t.Fatal("edit ledger does not reproduce the returned graph")
+	}
+}
+
+func TestAnnealDeterministicForFixedSeed(t *testing.T) {
+	g := gen.GNM(20, 40, rand.New(rand.NewSource(9)))
+	a, err := Anneal(g, AnnealOptions{L: 1, Theta: 0.4, Seed: 42, Steps: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anneal(g, AnnealOptions{L: 1, Theta: 0.4, Seed: 42, Steps: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Graph.Equal(b.Graph) || a.Steps != b.Steps {
+		t.Fatal("same seed produced different runs")
+	}
+}
+
+func TestAnnealInputUntouched(t *testing.T) {
+	g := gen.GNM(15, 30, rand.New(rand.NewSource(2)))
+	before := g.Clone()
+	if _, err := Anneal(g, AnnealOptions{L: 1, Theta: 0.5, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(before) {
+		t.Fatal("Anneal mutated its input")
+	}
+}
+
+func TestAnnealBudgetStopsRun(t *testing.T) {
+	g := gen.GNM(60, 240, rand.New(rand.NewSource(4)))
+	res, err := Anneal(g, AnnealOptions{
+		L: 2, Theta: 0.05, Seed: 1,
+		Steps:  1 << 30, // effectively unbounded; the budget must stop it
+		Budget: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut && !res.Satisfied {
+		t.Fatal("run neither satisfied the target nor timed out")
+	}
+}
+
+// Property: whatever the seed and target, the returned Satisfied flag
+// agrees with an independent opacity computation on the returned graph.
+func TestAnnealQuickSatisfiedAgreesWithRecomputation(t *testing.T) {
+	f := func(seed int64, thetaRaw uint8) bool {
+		theta := 0.3 + float64(thetaRaw%60)/100 // [0.3, 0.9)
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.GNM(16, 32, rng)
+		res, err := Anneal(g, AnnealOptions{L: 1, Theta: theta, Seed: seed, Steps: 4000})
+		if err != nil {
+			return false
+		}
+		lo := opacity.MaxLO(res.Graph, g.Degrees(), 1)
+		return res.Satisfied == (lo <= theta) && (lo-res.FinalLO) < 1e-9 && (res.FinalLO-lo) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Annealing must never return a feasible result worse than an edit count
+// that empties the graph entirely (a trivial feasible solution for any
+// theta >= 0 when no pairs remain within L... the useful bound here is
+// simply that distortion stays finite and the ledger is duplicate-free).
+func TestAnnealLedgerNoDuplicates(t *testing.T) {
+	g := gen.BarabasiAlbert(25, 2, 2, rand.New(rand.NewSource(6)))
+	res, err := Anneal(g, AnnealOptions{L: 1, Theta: 0.5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := graph.NewEdgeSet()
+	for _, e := range res.Removed {
+		if !seen.Add(e) {
+			t.Fatalf("duplicate removal %v", e)
+		}
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("removed edge %v was not an original edge", e)
+		}
+	}
+	for _, e := range res.Inserted {
+		if !seen.Add(e) {
+			t.Fatalf("edge %v both removed and inserted", e)
+		}
+		if g.HasEdge(e.U, e.V) {
+			t.Fatalf("inserted edge %v was an original edge", e)
+		}
+	}
+}
+
+func TestAnnealTraceReceivesAcceptedMoves(t *testing.T) {
+	g := gen.GNM(20, 50, rand.New(rand.NewSource(10)))
+	var steps int
+	res, err := Anneal(g, AnnealOptions{
+		L: 1, Theta: 0.4, Seed: 2,
+		Trace: func(s Step) {
+			if len(s.Edges) != 1 {
+				t.Errorf("trace step with %d edges", len(s.Edges))
+			}
+			steps++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != res.Steps {
+		t.Fatalf("trace saw %d steps, result reports %d", steps, res.Steps)
+	}
+}
+
+func BenchmarkAnneal(b *testing.B) {
+	g := gen.GNM(40, 100, rand.New(rand.NewSource(1)))
+	// theta well below the graph's initial opacity, so every run pays
+	// the full proposal schedule rather than returning immediately.
+	if lo := opacity.MaxLO(g, g.Degrees(), 1); lo <= 0.2 {
+		b.Fatalf("fixture already opaque (%v); benchmark would be vacuous", lo)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Anneal(g, AnnealOptions{L: 1, Theta: 0.2, Seed: int64(i), Steps: 2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+// Package anonymize implements the paper's L-opacification heuristics:
+// the Edge Removal algorithm (Algorithm 4), the Edge Removal/Insertion
+// algorithm (Algorithm 5), and their look-ahead variants (Section 5).
+//
+// Both heuristics greedily pick the move yielding the lowest resulting
+// maximum opacity LO(G'); ties are broken first by the smallest number
+// N(lo) of pair types attaining the maximum, then uniformly at random via
+// reservoir sampling with a counter, exactly as in the paper's
+// pseudocode. When no single-edge move strictly improves the evaluation,
+// the look-ahead mechanism widens the search to combinations of up to la
+// edges before falling back to the best (possibly non-improving) move
+// found — the paper's "delay this random decision until after checking
+// all the possible combinations of size up to the given la threshold".
+//
+// Candidate moves are evaluated incrementally: a trial insertion's effect
+// on the L-capped distance matrix is exact in O(n^2) and a trial
+// removal's effect is recomputed only from the BFS sources the edge can
+// influence (package apsp), with per-type counts adjusted in O(changes)
+// (package opacity). Tests verify the incremental path always agrees
+// with full recomputation, so the heuristics make exactly the choices
+// the paper's O(|V|^3)-per-candidate implementation would make, only
+// faster.
+package anonymize
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/apsp"
+	"repro/internal/graph"
+	"repro/internal/opacity"
+)
+
+// Heuristic selects which of the paper's two algorithms to run.
+type Heuristic int
+
+const (
+	// Removal is the paper's Algorithm 4: greedy edge removal.
+	Removal Heuristic = iota
+	// RemovalInsertion is the paper's Algorithm 5: alternating greedy
+	// removal and insertion, preserving the original edge count.
+	RemovalInsertion
+)
+
+// String names the heuristic as in the paper's figures.
+func (h Heuristic) String() string {
+	switch h {
+	case Removal:
+		return "Rem"
+	case RemovalInsertion:
+		return "Rem-Ins"
+	}
+	return fmt.Sprintf("Heuristic(%d)", int(h))
+}
+
+// Options configures a run of the L-opacification algorithm.
+type Options struct {
+	// L is the path-length threshold of the privacy model (>= 1).
+	L int
+	// Theta is the confidence threshold in [0, 1]; the run stops when
+	// max-opacity <= Theta (the loop condition of Algorithms 4 and 5).
+	Theta float64
+	// Heuristic selects Removal or RemovalInsertion.
+	Heuristic Heuristic
+	// LookAhead is the paper's la parameter (>= 1): the largest edge
+	// combination considered when no single move strictly improves.
+	LookAhead int
+	// Seed drives the reservoir tie-breaking; runs are deterministic for
+	// a fixed seed.
+	Seed int64
+	// MaxSteps caps greedy iterations as a safety valve; 0 means
+	// unlimited (the algorithms terminate on their own regardless,
+	// because every edge is removed or inserted at most once).
+	MaxSteps int
+	// IgnorePopulation disables the paper's N(lo) secondary tie-break
+	// criterion (Section 5.2), falling straight to random selection
+	// among equal-opacity moves. Exists for the ablation experiments
+	// that quantify the criterion's contribution.
+	IgnorePopulation bool
+	// Workers sets the number of goroutines used for candidate scans;
+	// values below 2 (and the zero value) run sequentially. Parallel
+	// runs are bit-for-bit identical to sequential ones: workers only
+	// evaluate, while selection stays sequential over the candidate
+	// order with the seeded RNG.
+	Workers int
+	// Budget bounds the wall-clock time of the run; 0 means unlimited.
+	// When the budget is exhausted the run stops between greedy
+	// iterations and returns the best-effort graph with TimedOut set.
+	// The paper's ACM experiment ran 16 days; this is the production
+	// safety valve for callers that cannot.
+	Budget time.Duration
+	// Trace, when non-nil, receives a record after every committed step.
+	Trace func(Step)
+	// Types overrides the vertex-pair type system of Definition 1; nil
+	// selects the paper's default, unordered pairs of ORIGINAL degrees.
+	// Custom assigners must be computed against the original graph —
+	// the publication model freezes types before any mutation.
+	Types opacity.TypeAssigner
+}
+
+// Step describes one committed greedy move for tracing and audit.
+type Step struct {
+	// Index is the 0-based step number.
+	Index int
+	// Insert is false for a removal move, true for an insertion move.
+	Insert bool
+	// Edges lists the one or more edges of the chosen combination.
+	Edges []graph.Edge
+	// After is the evaluation following the move.
+	After opacity.Evaluation
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Graph is the anonymized graph (a mutated copy; the input graph is
+	// never modified).
+	Graph *graph.Graph
+	// Satisfied reports whether max-opacity <= Theta was reached.
+	Satisfied bool
+	// FinalLO is the achieved maximum opacity.
+	FinalLO float64
+	// Removed and Inserted list the committed edge operations in order.
+	Removed  []graph.Edge
+	Inserted []graph.Edge
+	// Steps counts greedy iterations (a Rem-Ins iteration performs one
+	// removal and one insertion).
+	Steps int
+	// CandidateEvals counts how many candidate moves were evaluated, the
+	// dominant cost driver (used by the runtime experiments).
+	CandidateEvals int64
+	// TimedOut reports that the run stopped because Options.Budget was
+	// exhausted before the privacy target was reached.
+	TimedOut bool
+}
+
+// Distortion returns the paper's Equation 1 for this result relative to
+// the original edge count m: |E Δ Ê| / |E|.
+func (r Result) Distortion(originalM int) float64 {
+	if originalM == 0 {
+		return 0
+	}
+	return float64(len(r.Removed)+len(r.Inserted)) / float64(originalM)
+}
+
+// Run executes the configured heuristic on g and returns the anonymized
+// graph together with the full operation log. The input graph is cloned,
+// and the vertex-pair types are frozen from its ORIGINAL degrees per the
+// paper's publication model.
+func Run(g *graph.Graph, opts Options) (Result, error) {
+	if opts.L < 1 {
+		return Result{}, fmt.Errorf("anonymize: L must be >= 1, got %d", opts.L)
+	}
+	if opts.Theta < 0 || opts.Theta > 1 {
+		return Result{}, fmt.Errorf("anonymize: theta must be in [0, 1], got %v", opts.Theta)
+	}
+	if opts.LookAhead < 1 {
+		opts.LookAhead = 1
+	}
+	s := newState(g, opts)
+	switch opts.Heuristic {
+	case Removal:
+		return s.runRemoval(), nil
+	case RemovalInsertion:
+		return s.runRemovalInsertion(), nil
+	}
+	return Result{}, fmt.Errorf("anonymize: unknown heuristic %d", opts.Heuristic)
+}
+
+// state carries the working graph and all incremental bookkeeping.
+type state struct {
+	opts    Options
+	g       *graph.Graph
+	m       *apsp.Matrix
+	tr      *opacity.Tracker
+	rng     *rand.Rand
+	scratch *apsp.Scratch
+	deltas  []int                // per-type scratch for EvaluateWith
+	changes []opacity.PairChange // reusable per-candidate change buffer
+	removed *graph.EdgeSet       // ED: never reinsert these
+	added   *graph.EdgeSet       // EA: never re-remove these
+	evals   int64
+
+	removedLog  []graph.Edge
+	insertedLog []graph.Edge
+	steps       int
+	deadline    time.Time // zero when Options.Budget is unset
+	timedOut    bool
+
+	evalsBuf  []opacity.Evaluation // reusable candidate-evaluation array
+	insertBuf []graph.Edge         // reusable insertion-candidate list
+}
+
+// evalBuf returns a zeroed evaluation slice of length n, reusing the
+// state's backing array.
+func (s *state) evalBuf(n int) []opacity.Evaluation {
+	if cap(s.evalsBuf) < n {
+		s.evalsBuf = make([]opacity.Evaluation, n)
+	}
+	s.evalsBuf = s.evalsBuf[:n]
+	return s.evalsBuf
+}
+
+func newState(g *graph.Graph, opts Options) *state {
+	work := g.Clone()
+	types := opts.Types
+	if types == nil {
+		types = opacity.NewDegreeTypes(g.Degrees())
+	}
+	m := apsp.BoundedAPSP(work, opts.L)
+	var deadline time.Time
+	if opts.Budget > 0 {
+		deadline = time.Now().Add(opts.Budget)
+	}
+	return &state{
+		deadline: deadline,
+		opts:     opts,
+		g:        work,
+		m:        m,
+		tr:       opacity.NewTracker(types, m),
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		scratch:  apsp.NewScratch(g.N()),
+		deltas:   make([]int, types.NumTypes()),
+		removed:  graph.NewEdgeSet(),
+		added:    graph.NewEdgeSet(),
+	}
+}
+
+func (s *state) result() Result {
+	ev := s.tr.Evaluate()
+	return Result{
+		Graph:          s.g,
+		Satisfied:      ev.MaxLO <= s.opts.Theta,
+		FinalLO:        ev.MaxLO,
+		Removed:        s.removedLog,
+		Inserted:       s.insertedLog,
+		Steps:          s.steps,
+		CandidateEvals: s.evals,
+		TimedOut:       s.timedOut,
+	}
+}
+
+// overBudget reports whether the wall-clock budget is exhausted,
+// latching TimedOut for the result.
+func (s *state) overBudget() bool {
+	if s.deadline.IsZero() || time.Now().Before(s.deadline) {
+		return false
+	}
+	s.timedOut = true
+	return true
+}
+
+// runRemoval is the paper's Algorithm 4 (with look-ahead).
+func (s *state) runRemoval() Result {
+	for {
+		cur := s.tr.Evaluate()
+		if cur.MaxLO <= s.opts.Theta || s.g.M() == 0 {
+			break
+		}
+		if s.opts.MaxSteps > 0 && s.steps >= s.opts.MaxSteps {
+			break
+		}
+		if s.overBudget() {
+			break
+		}
+		combo := s.chooseRemovalCombo(cur, nil)
+		if combo == nil {
+			break
+		}
+		for _, e := range combo {
+			s.commitRemoval(e)
+			s.removedLog = append(s.removedLog, e)
+		}
+		s.traceStep(false, combo)
+		s.steps++
+	}
+	return s.result()
+}
+
+// runRemovalInsertion is the paper's Algorithm 5 (with look-ahead).
+// Each iteration performs one greedy removal followed by one greedy
+// insertion, never reinserting a removed edge nor re-removing an
+// inserted one, so the edge count of the original graph is preserved.
+func (s *state) runRemovalInsertion() Result {
+	for {
+		cur := s.tr.Evaluate()
+		if cur.MaxLO <= s.opts.Theta || s.g.M() == 0 {
+			break
+		}
+		if s.opts.MaxSteps > 0 && s.steps >= s.opts.MaxSteps {
+			break
+		}
+		if s.overBudget() {
+			break
+		}
+		// Removal phase: candidates are E' minus previously inserted
+		// edges (Algorithm 5 line 4).
+		combo := s.chooseRemovalCombo(cur, s.added)
+		if combo == nil {
+			break // no removable edge left: stuck
+		}
+		for _, e := range combo {
+			s.commitRemoval(e)
+			s.removedLog = append(s.removedLog, e)
+			s.removed.Add(e)
+		}
+		s.traceStep(false, combo)
+		// Insertion phase: candidates are absent edges minus previously
+		// removed ones (Algorithm 5 line 12). Inserting can only create
+		// new <=L pairs, so a combination of insertions is never
+		// strictly better than its best single member; look-ahead
+		// escalation is provably useless here and the phase always
+		// chooses a single edge.
+		if e, ok := s.chooseInsertion(); ok {
+			s.commitInsertion(e)
+			s.insertedLog = append(s.insertedLog, e)
+			s.added.Add(e)
+			s.traceStep(true, []graph.Edge{e})
+		}
+		s.steps++
+	}
+	return s.result()
+}
+
+func (s *state) traceStep(insert bool, edges []graph.Edge) {
+	if s.opts.Trace == nil {
+		return
+	}
+	s.opts.Trace(Step{
+		Index:  s.steps,
+		Insert: insert,
+		Edges:  append([]graph.Edge(nil), edges...),
+		After:  s.tr.Evaluate(),
+	})
+}

@@ -1,0 +1,236 @@
+package anonymize
+
+import (
+	"repro/internal/apsp"
+	"repro/internal/graph"
+	"repro/internal/opacity"
+)
+
+// removalChanges computes, without mutating state, the pair-distance
+// changes caused by removing e from the current working graph.
+func (s *state) removalChanges(e graph.Edge) []opacity.PairChange {
+	s.changes = s.changes[:0]
+	apsp.RemovalDelta(s.g, s.m, e.U, e.V, s.scratch, func(x, y, oldD, newD int) {
+		s.changes = append(s.changes, opacity.PairChange{X: x, Y: y, OldD: oldD, NewD: newD})
+	})
+	return s.changes
+}
+
+// insertionChanges computes, without mutating state, the pair-distance
+// changes caused by inserting e into the current working graph.
+func (s *state) insertionChanges(e graph.Edge) []opacity.PairChange {
+	s.changes = s.changes[:0]
+	apsp.InsertionDelta(s.m, e.U, e.V, func(x, y, oldD, newD int) {
+		s.changes = append(s.changes, opacity.PairChange{X: x, Y: y, OldD: oldD, NewD: newD})
+	})
+	return s.changes
+}
+
+// commitRemoval applies the removal of e to the graph, matrix, and
+// tracker, returning the applied changes for possible undo.
+func (s *state) commitRemoval(e graph.Edge) []opacity.PairChange {
+	changes := append([]opacity.PairChange(nil), s.removalChanges(e)...)
+	for _, c := range changes {
+		s.m.Set(c.X, c.Y, c.NewD)
+		s.tr.Update(c.X, c.Y, c.OldD, c.NewD)
+	}
+	s.g.RemoveEdge(e.U, e.V)
+	return changes
+}
+
+// undoRemoval reverses a commitRemoval given its returned change list.
+func (s *state) undoRemoval(e graph.Edge, changes []opacity.PairChange) {
+	s.g.AddEdge(e.U, e.V)
+	for _, c := range changes {
+		s.m.Set(c.X, c.Y, c.OldD)
+		s.tr.Update(c.X, c.Y, c.NewD, c.OldD)
+	}
+}
+
+// commitInsertion applies the insertion of e. Unlike removals,
+// insertions are never trial-committed: candidates are evaluated
+// incrementally via EvaluateWith, so no undo path is needed.
+func (s *state) commitInsertion(e graph.Edge) {
+	for _, c := range s.insertionChanges(e) {
+		s.m.Set(c.X, c.Y, c.NewD)
+		s.tr.Update(c.X, c.Y, c.OldD, c.NewD)
+	}
+	s.g.AddEdge(e.U, e.V)
+}
+
+// reservoir implements the paper's tie-breaking policy (Algorithm 4
+// lines 8-18): strictly better evaluations are always taken and reset
+// the tie counter; exact ties are resolved by reservoir sampling with
+// probability 1/t.
+type reservoir struct {
+	ev    opacity.Evaluation
+	found bool
+	t     int
+}
+
+// offer considers a candidate with evaluation ev; it returns true when
+// the caller must record the candidate as the new choice.
+func (r *reservoir) offer(ev opacity.Evaluation, rng interface{ Float64() float64 }) bool {
+	if !r.found || ev.Better(r.ev) {
+		r.ev = ev
+		r.found = true
+		r.t = 1
+		return true
+	}
+	if ev.Ties(r.ev) {
+		r.t++
+		if rng.Float64() < 1.0/float64(r.t) {
+			return true
+		}
+	}
+	return false
+}
+
+// removalCandidates returns the current removal candidates in
+// deterministic order: all present edges, minus the exclusion set (EA
+// for Rem-Ins).
+func (s *state) removalCandidates(exclude *graph.EdgeSet) []graph.Edge {
+	all := s.g.Edges()
+	if exclude == nil || exclude.Len() == 0 {
+		return all
+	}
+	out := all[:0]
+	for _, e := range all {
+		if !exclude.Has(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// normalize strips the population component when the ablation option
+// disabling the N(lo) tie-break is set.
+func (s *state) normalize(ev opacity.Evaluation) opacity.Evaluation {
+	if s.opts.IgnorePopulation {
+		ev.Population = 0
+	}
+	return ev
+}
+
+// bestSingleRemoval scans all removal candidates and returns the
+// greedy-best edge and its evaluation. Candidate evaluation may run on
+// multiple workers (Options.Workers); the reservoir tie-break always
+// consumes the evaluations in candidate order, so parallel runs choose
+// exactly the same edges as sequential ones.
+func (s *state) bestSingleRemoval(candidates []graph.Edge) (graph.Edge, opacity.Evaluation, bool) {
+	evs := s.evalBuf(len(candidates))
+	s.evalRemovals(candidates, evs)
+	var (
+		res    reservoir
+		chosen graph.Edge
+	)
+	for i, e := range candidates {
+		if res.offer(evs[i], s.rng) {
+			chosen = e
+		}
+	}
+	return chosen, res.ev, res.found
+}
+
+// chooseInsertion scans all insertable edges (absent, not previously
+// removed) and returns the greedy-best one. As with removals, the scan
+// may be parallel while the tie-break is sequential and deterministic.
+func (s *state) chooseInsertion() (graph.Edge, bool) {
+	n := s.g.N()
+	s.insertBuf = s.insertBuf[:0]
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if s.g.HasEdge(u, v) {
+				continue
+			}
+			e := graph.Edge{U: u, V: v}
+			if s.removed.Has(e) {
+				continue
+			}
+			s.insertBuf = append(s.insertBuf, e)
+		}
+	}
+	evs := s.evalBuf(len(s.insertBuf))
+	s.evalInsertions(s.insertBuf, evs)
+	var (
+		res    reservoir
+		chosen graph.Edge
+	)
+	for i, e := range s.insertBuf {
+		if res.offer(evs[i], s.rng) {
+			chosen = e
+		}
+	}
+	return chosen, res.found
+}
+
+// chooseRemovalCombo implements the look-ahead selection for a removal
+// step. It first scans single edges; a strictly improving single move is
+// taken immediately. Otherwise the search widens to combinations of
+// size 2, 3, ... up to la, returning the first strictly improving
+// combination found; if none improves, the overall best candidate (the
+// smallest size wins ties) is returned so the greedy always progresses.
+// A nil return means there are no candidates at all.
+func (s *state) chooseRemovalCombo(cur opacity.Evaluation, exclude *graph.EdgeSet) []graph.Edge {
+	cur = s.normalize(cur)
+	candidates := s.removalCandidates(exclude)
+	if len(candidates) == 0 {
+		return nil
+	}
+	single, ev, ok := s.bestSingleRemoval(candidates)
+	if !ok {
+		return nil
+	}
+	if ev.Better(cur) || s.opts.LookAhead <= 1 {
+		return []graph.Edge{single}
+	}
+	bestCombo := []graph.Edge{single}
+	bestEv := ev
+	for size := 2; size <= s.opts.LookAhead && size <= len(candidates); size++ {
+		combo, comboEv, found := s.searchCombos(candidates, size)
+		if found && comboEv.Better(bestEv) {
+			bestCombo, bestEv = combo, comboEv
+		}
+		if bestEv.Better(cur) {
+			return bestCombo
+		}
+	}
+	return bestCombo
+}
+
+// searchCombos exhaustively evaluates all size-c removal combinations
+// (generated recursively and evaluated on the fly, per Section 5.2's
+// space-saving note), returning the reservoir-selected best.
+func (s *state) searchCombos(candidates []graph.Edge, size int) ([]graph.Edge, opacity.Evaluation, bool) {
+	var (
+		res     reservoir
+		best    []graph.Edge
+		current = make([]graph.Edge, 0, size)
+	)
+	var recurse func(start int)
+	recurse = func(start int) {
+		if len(current) == size {
+			ev := s.normalize(s.tr.Evaluate())
+			s.evals++
+			if res.offer(ev, s.rng) {
+				best = append(best[:0], current...)
+			}
+			return
+		}
+		// Not enough remaining candidates to fill the combination.
+		for i := start; i <= len(candidates)-(size-len(current)); i++ {
+			e := candidates[i]
+			changes := s.commitRemoval(e)
+			current = append(current, e)
+			recurse(i + 1)
+			current = current[:len(current)-1]
+			s.undoRemoval(e, changes)
+		}
+	}
+	recurse(0)
+	if !res.found {
+		return nil, opacity.Evaluation{}, false
+	}
+	out := append([]graph.Edge(nil), best...)
+	return out, res.ev, true
+}

@@ -1,0 +1,80 @@
+package apsp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixture"
+	"repro/internal/graph"
+)
+
+func TestBitBFSAgreesOnFigure1(t *testing.T) {
+	g := fixture.Figure1()
+	for L := 1; L <= 4; L++ {
+		ref := FromClassic(ClassicFW(g), L)
+		if m := BitBFS(g, L); !m.Equal(ref) {
+			t.Errorf("L=%d: BitBFS disagrees with classic FW", L)
+		}
+	}
+}
+
+func TestBitBFSEmptyAndTrivialGraphs(t *testing.T) {
+	if m := BitBFS(graph.New(0), 2); m.N() != 0 {
+		t.Fatal("empty graph mishandled")
+	}
+	g := graph.New(5) // no edges: everything Far
+	m := BitBFS(g, 3)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if m.Get(i, j) != m.Far() {
+				t.Fatalf("edgeless graph: d(%d,%d)=%d, want Far", i, j, m.Get(i, j))
+			}
+		}
+	}
+	if m := BitBFS(fixture.Figure1(), 0); m.CountWithin() != 0 {
+		t.Fatal("L=0 must report no pairs within range")
+	}
+}
+
+// BitBFS batches sources in words of 64; graphs larger than one word and
+// graphs exactly at the boundary exercise the batch loop.
+func TestBitBFSWordBoundarySizes(t *testing.T) {
+	for _, n := range []int{63, 64, 65, 130} {
+		g := randomGraph(n, 0.05, int64(n))
+		for _, L := range []int{1, 2, 3} {
+			ref := BoundedAPSP(g, L)
+			if m := BitBFS(g, L); !m.Equal(ref) {
+				t.Errorf("n=%d L=%d: BitBFS disagrees with BoundedAPSP", n, L)
+			}
+		}
+	}
+}
+
+func TestBitBFSQuickAgreesWithBounded(t *testing.T) {
+	f := func(seed int64, nRaw, pRaw, lRaw uint8) bool {
+		n := 2 + int(nRaw%90)
+		p := 0.02 + float64(pRaw%30)/100
+		L := 1 + int(lRaw%4)
+		g := randomGraph(n, p, seed)
+		return BitBFS(g, L).Equal(BoundedAPSP(g, L))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineBitBFS(b *testing.B) {
+	g := randomGraph(500, 0.02, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BitBFS(g, 2)
+	}
+}
+
+func BenchmarkEngineBoundedAPSPBaseline(b *testing.B) {
+	g := randomGraph(500, 0.02, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BoundedAPSP(g, 2)
+	}
+}

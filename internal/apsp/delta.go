@@ -1,0 +1,191 @@
+package apsp
+
+import "repro/internal/graph"
+
+// InsertionDelta reports, without mutating anything, every unordered pair
+// whose L-capped distance would decrease if the edge {u, v} were inserted
+// into the graph that matrix m currently describes. For each such pair it
+// calls visit(x, y, oldD, newD) with x < y.
+//
+// The computation is exact in O(n^2): a new shortest path created by the
+// edge {u, v} must cross it, so
+//
+//	d'(x, y) = min(d(x, y), d(x, u) + 1 + d(v, y), d(x, v) + 1 + d(u, y)),
+//
+// and legs longer than L-1 (stored as Far or L) cannot contribute a path
+// within the cap, so the capped matrix suffices as input.
+func InsertionDelta(m *Matrix, u, v int, visit func(x, y, oldD, newD int)) {
+	n := m.N()
+	L := m.L()
+	far := m.Far()
+	du := make([]int, n) // capped d(x, u)
+	dv := make([]int, n) // capped d(x, v)
+	for x := 0; x < n; x++ {
+		switch x {
+		case u:
+			du[x] = 0
+			dv[x] = m.Get(x, v)
+		case v:
+			du[x] = m.Get(x, u)
+			dv[x] = 0
+		default:
+			du[x] = m.Get(x, u)
+			dv[x] = m.Get(x, v)
+		}
+	}
+	for x := 0; x < n; x++ {
+		// Shortest leg from x to the new edge; +1 crosses the edge. The
+		// du/dv arrays carry 0 at the endpoints themselves, so the two
+		// candidate formulas are uniform over all pairs, including pairs
+		// touching u or v and the pair {u, v} itself.
+		viaU := du[x] + 1 // x -> u, cross to v, then v -> y
+		viaV := dv[x] + 1 // x -> v, cross to u, then u -> y
+		if viaU > L && viaV > L {
+			continue // x too far from both endpoints to gain anything
+		}
+		for y := x + 1; y < n; y++ {
+			old := m.Get(x, y)
+			if old == 1 {
+				continue // cannot improve below 1
+			}
+			cand := far
+			if c := viaU + dv[y]; c < cand {
+				cand = c
+			}
+			if c := viaV + du[y]; c < cand {
+				cand = c
+			}
+			if cand < old && cand <= L {
+				visit(x, y, old, cand)
+			}
+		}
+	}
+}
+
+// AffectedRemovalSources returns the sorted set of vertices x whose
+// distance row may change when the edge {u, v} is removed from the graph
+// described by m: any pair (x, y) whose shortest <=L path crossed the
+// edge has, on one side, a leg of length <= L-1 to an endpoint, so
+// recomputing bounded BFS from every x with min(d(x,u), d(x,v)) <= L-1
+// (plus u and v themselves) refreshes every entry that can change.
+func AffectedRemovalSources(m *Matrix, u, v int) []int {
+	n := m.N()
+	L := m.L()
+	out := make([]int, 0, n)
+	for x := 0; x < n; x++ {
+		if x == u || x == v {
+			out = append(out, x)
+			continue
+		}
+		if m.Get(x, u) <= L-1 || m.Get(x, v) <= L-1 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// RemovalDelta reports, without permanently mutating anything, every
+// unordered pair whose L-capped distance changes when the edge {u, v} is
+// removed. g must be the graph WITH the edge still present and consistent
+// with m; the function temporarily removes the edge, re-runs bounded BFS
+// from every affected source, and restores the edge before returning.
+// visit is called once per changed pair with x < y (oldD < newD always,
+// since removal can only lengthen distances).
+//
+// scratch may be nil; pass a Scratch to amortize allocations across the
+// many candidate evaluations of a greedy sweep.
+func RemovalDelta(g *graph.Graph, m *Matrix, u, v int, scratch *Scratch, visit func(x, y, oldD, newD int)) {
+	if !g.HasEdge(u, v) {
+		panic("apsp: RemovalDelta on absent edge")
+	}
+	n := m.N()
+	L := m.L()
+	if scratch == nil {
+		scratch = NewScratch(n)
+	}
+	dist := scratch.dist
+	queue := scratch.queue
+	seen := scratch.seen
+	sources := AffectedRemovalSources(m, u, v)
+
+	g.RemoveEdge(u, v)
+	for _, x := range sources {
+		g.BoundedBFSInto(x, L, dist, queue)
+		for y := 0; y < n; y++ {
+			if y == x {
+				dist[y] = -1
+				continue
+			}
+			newD := dist[y]
+			if newD < 0 {
+				newD = L + 1
+			}
+			dist[y] = -1
+			old := m.Get(x, y)
+			if newD == old {
+				continue
+			}
+			lo, hi := x, y
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			// A pair may be covered by two affected sources; report once.
+			key := lo*n + hi
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			scratch.touched = append(scratch.touched, key)
+			visit(lo, hi, old, newD)
+		}
+	}
+	g.AddEdge(u, v)
+	for _, key := range scratch.touched {
+		seen[key] = false
+	}
+	scratch.touched = scratch.touched[:0]
+}
+
+// ApplyInsertion mutates m to reflect inserting the edge {u, v} into the
+// graph it describes (the graph itself is not touched).
+func ApplyInsertion(m *Matrix, u, v int) {
+	InsertionDelta(m, u, v, func(x, y, _, newD int) {
+		m.Set(x, y, newD)
+	})
+}
+
+// ApplyRemoval mutates m to reflect removing the edge {u, v}. g must
+// still contain the edge; it is restored before the function returns.
+func ApplyRemoval(g *graph.Graph, m *Matrix, u, v int, scratch *Scratch) {
+	type upd struct{ x, y, d int }
+	var ups []upd
+	RemovalDelta(g, m, u, v, scratch, func(x, y, _, newD int) {
+		ups = append(ups, upd{x, y, newD})
+	})
+	for _, p := range ups {
+		m.Set(p.x, p.y, p.d)
+	}
+}
+
+// Scratch holds reusable buffers for RemovalDelta so that the greedy
+// sweeps, which evaluate every candidate edge at every step, do not
+// allocate per candidate.
+type Scratch struct {
+	dist    []int
+	queue   []int
+	seen    []bool
+	touched []int
+}
+
+// NewScratch returns buffers sized for an n-vertex graph.
+func NewScratch(n int) *Scratch {
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	return &Scratch{
+		dist:  dist,
+		queue: make([]int, 0, n),
+		seen:  make([]bool, n*n),
+	}
+}

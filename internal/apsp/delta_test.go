@@ -1,0 +1,227 @@
+package apsp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestInsertionDeltaPath(t *testing.T) {
+	// Path 0-1-2-3; inserting 0-3 closes the cycle.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	m := BoundedAPSP(g, 3)
+	changed := map[[2]int][2]int{}
+	InsertionDelta(m, 0, 3, func(x, y, oldD, newD int) {
+		changed[[2]int{x, y}] = [2]int{oldD, newD}
+	})
+	want := map[[2]int][2]int{
+		{0, 3}: {3, 1},
+		{0, 2}: {2, 2}, // unchanged, must be absent
+	}
+	if got, ok := changed[[2]int{0, 3}]; !ok || got != want[[2]int{0, 3}] {
+		t.Fatalf("pair (0,3): got %v changed=%v", got, changed)
+	}
+	if _, ok := changed[[2]int{0, 2}]; ok {
+		t.Fatal("pair (0,2) reported changed but distance is unchanged")
+	}
+	// d(1,3) stays 2 (1-2-3 vs 1-0-3 both length 2): no change.
+	if _, ok := changed[[2]int{1, 3}]; ok {
+		t.Fatal("pair (1,3) reported changed")
+	}
+}
+
+func TestApplyInsertionMatchesRecompute(t *testing.T) {
+	g := randomGraph(14, 0.15, 9)
+	L := 3
+	m := BoundedAPSP(g, L)
+	// Pick an absent edge deterministically.
+	var u, v int
+	found := false
+	for i := 0; i < 14 && !found; i++ {
+		for j := i + 1; j < 14 && !found; j++ {
+			if !g.HasEdge(i, j) {
+				u, v = i, j
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Skip("graph is complete")
+	}
+	ApplyInsertion(m, u, v)
+	g.AddEdge(u, v)
+	if want := BoundedAPSP(g, L); !m.Equal(want) {
+		t.Fatal("ApplyInsertion disagrees with full recomputation")
+	}
+}
+
+func TestRemovalDeltaRestoresGraph(t *testing.T) {
+	g := randomGraph(10, 0.3, 3)
+	before := g.Clone()
+	m := BoundedAPSP(g, 2)
+	e := g.Edges()[0]
+	RemovalDelta(g, m, e.U, e.V, nil, func(x, y, oldD, newD int) {})
+	if !g.Equal(before) {
+		t.Fatal("RemovalDelta left the graph mutated")
+	}
+}
+
+func TestRemovalDeltaAbsentEdgePanics(t *testing.T) {
+	g := graph.New(3)
+	m := BoundedAPSP(g, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RemovalDelta on absent edge did not panic")
+		}
+	}()
+	RemovalDelta(g, m, 0, 1, nil, nil)
+}
+
+func TestApplyRemovalMatchesRecompute(t *testing.T) {
+	g := randomGraph(14, 0.2, 21)
+	L := 3
+	m := BoundedAPSP(g, L)
+	if g.M() == 0 {
+		t.Skip("no edges")
+	}
+	e := g.Edges()[g.M()/2]
+	ApplyRemoval(g, m, e.U, e.V, nil)
+	g.RemoveEdge(e.U, e.V)
+	if want := BoundedAPSP(g, L); !m.Equal(want) {
+		t.Fatal("ApplyRemoval disagrees with full recomputation")
+	}
+}
+
+func TestPropertyInsertionDeltaExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(10)
+		L := 1 + rng.Intn(3)
+		g := randomGraph(n, 0.2, seed)
+		m := BoundedAPSP(g, L)
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			return true
+		}
+		ApplyInsertion(m, u, v)
+		g.AddEdge(u, v)
+		return m.Equal(BoundedAPSP(g, L))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRemovalDeltaExact(t *testing.T) {
+	scratch := NewScratch(20)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(12)
+		L := 1 + rng.Intn(3)
+		g := randomGraph(n, 0.25, seed)
+		if g.M() == 0 {
+			return true
+		}
+		m := BoundedAPSP(g, L)
+		edges := g.Edges()
+		e := edges[rng.Intn(len(edges))]
+		sc := scratch
+		if n > 20 {
+			sc = nil
+		}
+		ApplyRemoval(g, m, e.U, e.V, sc)
+		g.RemoveEdge(e.U, e.V)
+		return m.Equal(BoundedAPSP(g, L))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRemovalOnlyLengthens(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(10)
+		L := 1 + rng.Intn(3)
+		g := randomGraph(n, 0.25, seed)
+		if g.M() == 0 {
+			return true
+		}
+		m := BoundedAPSP(g, L)
+		edges := g.Edges()
+		e := edges[rng.Intn(len(edges))]
+		ok := true
+		RemovalDelta(g, m, e.U, e.V, nil, func(x, y, oldD, newD int) {
+			if newD <= oldD {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyInsertionOnlyShortens(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(10)
+		L := 1 + rng.Intn(3)
+		g := randomGraph(n, 0.2, seed)
+		m := BoundedAPSP(g, L)
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			return true
+		}
+		ok := true
+		InsertionDelta(m, u, v, func(x, y, oldD, newD int) {
+			if newD >= oldD || newD > L {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAffectedRemovalSourcesCoverChanges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(10)
+		L := 1 + rng.Intn(3)
+		g := randomGraph(n, 0.25, seed)
+		if g.M() == 0 {
+			return true
+		}
+		m := BoundedAPSP(g, L)
+		edges := g.Edges()
+		e := edges[rng.Intn(len(edges))]
+		sources := AffectedRemovalSources(m, e.U, e.V)
+		inSources := make(map[int]bool)
+		for _, s := range sources {
+			inSources[s] = true
+		}
+		g.RemoveEdge(e.U, e.V)
+		after := BoundedAPSP(g, L)
+		g.AddEdge(e.U, e.V)
+		ok := true
+		m.EachPair(func(i, j, d int) {
+			if after.Get(i, j) != d && !inSources[i] && !inSources[j] {
+				ok = false // a changed pair escaped the affected set
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package apsp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixture"
+	"repro/internal/graph"
+)
+
+func TestParallelAgreesOnFigure1(t *testing.T) {
+	g := fixture.Figure1()
+	for L := 1; L <= 4; L++ {
+		ref := BoundedAPSP(g, L)
+		for _, workers := range []int{0, 1, 2, 3, 8} {
+			if m := BoundedAPSPParallel(g, L, workers); !m.Equal(ref) {
+				t.Errorf("L=%d workers=%d: parallel disagrees with sequential", L, workers)
+			}
+		}
+	}
+}
+
+func TestParallelTrivialGraphs(t *testing.T) {
+	if m := BoundedAPSPParallel(graph.New(0), 2, 4); m.N() != 0 {
+		t.Fatal("empty graph mishandled")
+	}
+	if m := BoundedAPSPParallel(graph.New(1), 2, 4); m.N() != 1 {
+		t.Fatal("single vertex mishandled")
+	}
+	g := graph.New(5)
+	m := BoundedAPSPParallel(g, 3, 4)
+	if m.CountWithin() != 0 {
+		t.Fatal("edgeless graph has pairs within L")
+	}
+}
+
+func TestParallelQuickMatchesSequential(t *testing.T) {
+	f := func(seed int64, nRaw, pRaw, wRaw uint8) bool {
+		n := 2 + int(nRaw%80)
+		p := 0.02 + float64(pRaw%30)/100
+		workers := 2 + int(wRaw%6)
+		g := randomGraph(n, p, seed)
+		for _, L := range []int{1, 3} {
+			if !BoundedAPSPParallel(g, L, workers).Equal(BoundedAPSP(g, L)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineParallel4(b *testing.B) {
+	g := randomGraph(500, 0.02, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BoundedAPSPParallel(g, 2, 4)
+	}
+}

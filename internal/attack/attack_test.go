@@ -1,0 +1,186 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/anonymize"
+	"repro/internal/fixture"
+	"repro/internal/graph"
+	"repro/internal/opacity"
+)
+
+func figure1Adversary(t *testing.T) *Adversary {
+	t.Helper()
+	g := fixture.Figure1()
+	a, err := New(g, fixture.Figure1Degrees())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g := graph.New(3)
+	if _, err := New(g, []int{1, 2}); err == nil {
+		t.Fatal("short degree vector accepted")
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	a := figure1Adversary(t)
+	// Figure 1 degrees: {2, 4, 4, 2, 4, 3, 1}.
+	if got := a.Candidates(4); len(got) != 3 {
+		t.Fatalf("Candidates(4) = %v, want 3 vertices", got)
+	}
+	if got := a.Candidates(1); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("Candidates(1) = %v, want [6]", got)
+	}
+	if got := a.Candidates(9); got != nil {
+		t.Fatalf("Candidates(9) = %v, want nil", got)
+	}
+}
+
+func TestLinkageConfidenceMatchesPaperIntroduction(t *testing.T) {
+	a := figure1Adversary(t)
+	// Charles and Agatha (degree 4 and 4): the three candidates form a
+	// triangle, so the adjacency inference is certain.
+	if inf := a.LinkageConfidence(4, 4, 1); inf.Confidence != 1 || inf.Total != 3 {
+		t.Fatalf("deg(4)-deg(4) adjacency: %+v", inf)
+	}
+	// Timothy (3) and Cynthia (2): connected within 2 hops with
+	// certainty (both degree-2 candidates are within 2 of vertex 5).
+	if inf := a.LinkageConfidence(3, 2, 2); inf.Confidence != 1 {
+		t.Fatalf("deg(3)-deg(2) within 2: %+v", inf)
+	}
+	// Oliver (1) and Timothy (3): unique candidates, adjacent.
+	if inf := a.LinkageConfidence(1, 3, 1); inf.Confidence != 1 || inf.Total != 1 {
+		t.Fatalf("deg(1)-deg(3) adjacency: %+v", inf)
+	}
+	// Empty candidate set: zero confidence, zero total.
+	if inf := a.LinkageConfidence(9, 4, 1); inf.Total != 0 || inf.Confidence != 0 {
+		t.Fatalf("missing degree: %+v", inf)
+	}
+}
+
+func TestLinkageConfidenceEqualsTypeOpacity(t *testing.T) {
+	// The adversary's confidence for degrees (d1, d2) must equal the
+	// L-opacity of type {d1, d2} per Definition 2 — on the published
+	// graph with its own degrees as knowledge.
+	rng := rand.New(rand.NewSource(3))
+	property := func(lRaw uint8) bool {
+		n := 8 + rng.Intn(12)
+		g := graph.New(n)
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		L := 1 + int(lRaw%4)
+		degrees := g.Degrees()
+		a, err := New(g, degrees)
+		if err != nil {
+			return false
+		}
+		rep := opacity.NewReport(g, degrees, L)
+		max := a.MaxConfidence(L)
+		return abs(max.Confidence-rep.MaxLO) < 1e-12
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxConfidenceFigure1(t *testing.T) {
+	a := figure1Adversary(t)
+	max := a.MaxConfidence(1)
+	if max.Confidence != 1 {
+		t.Fatalf("MaxConfidence = %+v, want 1", max)
+	}
+	// Deterministic tie-break: the smallest degree pair with full
+	// confidence is {1,3} (Oliver-Timothy).
+	if max.DegreeA != 1 || max.DegreeB != 3 {
+		t.Fatalf("max attained at {%d,%d}, want {1,3}", max.DegreeA, max.DegreeB)
+	}
+}
+
+func TestVulnerablePairsShrinkAfterAnonymization(t *testing.T) {
+	g := fixture.Figure1()
+	degrees := fixture.Figure1Degrees()
+	before, err := New(g, degrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vulnBefore := before.VulnerablePairs(1, 0.5)
+	if len(vulnBefore) == 0 {
+		t.Fatal("Figure 1 should have vulnerable pairs at theta=0.5")
+	}
+	// Sorted by descending confidence.
+	for i := 1; i < len(vulnBefore); i++ {
+		if vulnBefore[i].Confidence > vulnBefore[i-1].Confidence {
+			t.Fatal("VulnerablePairs not sorted")
+		}
+	}
+
+	res, err := anonymize.Run(g, anonymize.Options{
+		L: 1, Theta: 0.5, Heuristic: anonymize.Removal, LookAhead: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("anonymization failed: %v", res.FinalLO)
+	}
+	after, err := New(res.Graph, degrees) // degrees stay ORIGINAL
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vuln := after.VulnerablePairs(1, 0.5); len(vuln) != 0 {
+		t.Fatalf("vulnerable pairs remain after anonymization: %v", vuln)
+	}
+	if max := after.MaxConfidence(1); max.Confidence > 0.5 {
+		t.Fatalf("MaxConfidence after = %v", max.Confidence)
+	}
+}
+
+func TestIdentityCandidates(t *testing.T) {
+	a := figure1Adversary(t)
+	got := a.IdentityCandidates()
+	// Degrees {2,4,4,2,4,3,1}: candidate-set sizes 1 (deg 1), 1 (deg 3),
+	// 2 (deg 2), 3 (deg 4), sorted ascending.
+	want := []int{1, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("IdentityCandidates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IdentityCandidates = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInferenceString(t *testing.T) {
+	inf := Inference{DegreeA: 2, DegreeB: 4, L: 1, Within: 1, Total: 2, Confidence: 0.5}
+	if got := inf.String(); got != "targets deg(2),deg(4) within 1 hops: 1/2 = 50.0%" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestDistanceCacheConsistency(t *testing.T) {
+	a := figure1Adversary(t)
+	// Repeated queries must agree (cache correctness).
+	first := a.LinkageConfidence(2, 4, 2)
+	second := a.LinkageConfidence(2, 4, 2)
+	if first != second {
+		t.Fatalf("repeated query differs: %+v vs %+v", first, second)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

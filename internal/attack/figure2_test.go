@@ -1,0 +1,106 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The paper's Figure 2 illustrates the theta parameter: an adversary
+// maps a criminal to candidate vertices {C1, C2} and a target to
+// {S1, S2, S3}; the confidence that target and criminal are linked
+// within L is the fraction of candidate pairs within distance L —
+// 100% when every suspect reaches both criminals, 50% when every
+// suspect reaches only C1, 0% when none reaches either. These tests
+// build the three panel graphs (degree classes standing in for the
+// candidate sets, per the paper's degree-knowledge adversary) and
+// check LinkageConfidence reproduces each panel's number exactly.
+
+// figure2a: suspects S0..S2 (degree 2) adjacent to both criminals
+// (degree 3) -> theta = 100%.
+func figure2a() *graph.Graph {
+	// 0,1,2 = suspects; 3,4 = criminals.
+	return graph.FromEdges(5, []graph.Edge{
+		graph.E(0, 3), graph.E(0, 4),
+		graph.E(1, 3), graph.E(1, 4),
+		graph.E(2, 3), graph.E(2, 4),
+	})
+}
+
+// figure2b: suspects adjacent to C1 only; C2's degree is topped up by
+// a hub and two pendants, out of reach at L = 1 -> theta = 50%.
+func figure2b() *graph.Graph {
+	// 0,1,2 = suspects (degree 2: C1 + hub); 3 = C1 (degree 3);
+	// 4 = C2 (degree 3: hub + two pendants); 5 = hub (degree 4);
+	// 6,7 = pendants (degree 1).
+	return graph.FromEdges(8, []graph.Edge{
+		graph.E(0, 3), graph.E(1, 3), graph.E(2, 3),
+		graph.E(0, 5), graph.E(1, 5), graph.E(2, 5),
+		graph.E(4, 5), graph.E(4, 6), graph.E(4, 7),
+	})
+}
+
+// figure2c: suspects form a triangle (degree 2), criminals live in a
+// separate component (degree 3 via an edge plus two pendants each)
+// -> theta = 0%.
+func figure2c() *graph.Graph {
+	// 0,1,2 = suspect triangle; 3,4 = criminals; 5-8 = pendants.
+	return graph.FromEdges(9, []graph.Edge{
+		graph.E(0, 1), graph.E(1, 2), graph.E(0, 2),
+		graph.E(3, 4),
+		graph.E(3, 5), graph.E(3, 6),
+		graph.E(4, 7), graph.E(4, 8),
+	})
+}
+
+func TestFigure2Panels(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want float64
+	}{
+		{"panel-a theta=100%", figure2a(), 1.0},
+		{"panel-b theta=50%", figure2b(), 0.5},
+		{"panel-c theta=0%", figure2c(), 0.0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Sanity: the degree classes must be exactly the candidate
+			// sets the figure describes.
+			suspects, criminals := 0, 0
+			for v := 0; v < c.g.N(); v++ {
+				switch c.g.Degree(v) {
+				case 2:
+					suspects++
+				case 3:
+					criminals++
+				}
+			}
+			if suspects != 3 || criminals != 2 {
+				t.Fatalf("candidate sets wrong: %d suspects (want 3), %d criminals (want 2)", suspects, criminals)
+			}
+			adv, err := New(c.g, c.g.Degrees())
+			if err != nil {
+				t.Fatal(err)
+			}
+			inf := adv.LinkageConfidence(2, 3, 1)
+			if inf.Confidence != c.want {
+				t.Fatalf("confidence = %v, want %v (within=%d total=%d)",
+					inf.Confidence, c.want, inf.Within, inf.Total)
+			}
+		})
+	}
+}
+
+// Panel b at L = 2: the hub brings every suspect within two hops of
+// C2 as well, so the 50% panel becomes a 100% inference — exactly the
+// effect the paper's L parameter exists to control.
+func TestFigure2PanelBLTwo(t *testing.T) {
+	adv, err := New(figure2b(), figure2b().Degrees())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := adv.LinkageConfidence(2, 3, 2).Confidence; got != 1.0 {
+		t.Fatalf("L=2 confidence = %v, want 1.0", got)
+	}
+}

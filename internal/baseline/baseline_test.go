@@ -1,0 +1,215 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixture"
+	"repro/internal/graph"
+	"repro/internal/opacity"
+)
+
+func randomGraph(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if GADEDRand.String() != "GADED-Rand" || GADEDMax.String() != "GADED-Max" || GADES.String() != "GADES" {
+		t.Fatal("algorithm names wrong")
+	}
+}
+
+func TestRunValidatesOptions(t *testing.T) {
+	g := fixture.Figure1()
+	if _, err := Run(g, GADEDRand, Options{Theta: -0.5}); err == nil {
+		t.Error("negative theta accepted")
+	}
+	if _, err := Run(g, Algorithm(42), Options{Theta: 0.5}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestGADEDRandSatisfies(t *testing.T) {
+	g := fixture.Figure1()
+	res, err := Run(g, GADEDRand, Options{Theta: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("not satisfied: finalLO=%v", res.FinalLO)
+	}
+	// The reported final disclosure must match our L=1 opacity model.
+	if got := opacity.MaxLO(res.Graph, g.Degrees(), 1); got != res.FinalLO {
+		t.Fatalf("finalLO=%v but recompute gives %v", res.FinalLO, got)
+	}
+	if len(res.Swaps) != 0 {
+		t.Fatal("GADED-Rand produced swaps")
+	}
+}
+
+func TestGADEDMaxSatisfiesAndBeatsNothing(t *testing.T) {
+	g := fixture.Figure1()
+	res, err := Run(g, GADEDMax, Options{Theta: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("not satisfied: finalLO=%v", res.FinalLO)
+	}
+	if got := opacity.MaxLO(res.Graph, g.Degrees(), 1); got != res.FinalLO {
+		t.Fatalf("finalLO=%v but recompute gives %v", res.FinalLO, got)
+	}
+	if res.Graph.M()+len(res.Removed) != g.M() {
+		t.Fatalf("edge bookkeeping: %d + %d removed != original %d",
+			res.Graph.M(), len(res.Removed), g.M())
+	}
+}
+
+func TestGADESPreservesDegrees(t *testing.T) {
+	g := randomGraph(16, 0.3, 7)
+	res, err := Run(g, GADES, Options{Theta: 0.6, Seed: 3, MaxSteps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origDeg := g.Degrees()
+	gotDeg := res.Graph.Degrees()
+	for v := range origDeg {
+		if origDeg[v] != gotDeg[v] {
+			t.Fatalf("vertex %d degree changed %d -> %d (swap must preserve degrees)",
+				v, origDeg[v], gotDeg[v])
+		}
+	}
+	if res.Graph.M() != g.M() {
+		t.Fatal("edge count changed by swaps")
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGADESReportsStuck(t *testing.T) {
+	// On the triangle plus pendant, every swap is degenerate (shared
+	// endpoints or existing edges), so GADES must report failure for a
+	// theta it cannot reach.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	res, err := Run(g, GADES, Options{Theta: 0.1, Seed: 1, MaxSteps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Fatalf("GADES claims success on an unswappable instance (finalLO=%v)", res.FinalLO)
+	}
+}
+
+func TestGADEDRandDeterministicPerSeed(t *testing.T) {
+	g := randomGraph(15, 0.3, 9)
+	a, _ := Run(g, GADEDRand, Options{Theta: 0.4, Seed: 5})
+	b, _ := Run(g, GADEDRand, Options{Theta: 0.4, Seed: 5})
+	if !a.Graph.Equal(b.Graph) {
+		t.Fatal("same seed produced different results")
+	}
+}
+
+func TestMaxStepsCap(t *testing.T) {
+	g := randomGraph(20, 0.4, 11)
+	res, err := Run(g, GADEDMax, Options{Theta: 0, MaxSteps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps > 4 {
+		t.Fatalf("steps = %d, want <= 4", res.Steps)
+	}
+}
+
+func TestDistortionMeasure(t *testing.T) {
+	g := fixture.Figure1()
+	res, err := Run(g, GADEDMax, Options{Theta: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(graph.SymmetricDifferenceSize(g, res.Graph)) / float64(g.M())
+	if got := res.Distortion(g); got != want {
+		t.Fatalf("Distortion = %v, want %v", got, want)
+	}
+}
+
+func TestPropertyGADEDConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(10)
+		g := randomGraph(n, 0.3, seed)
+		for _, alg := range []Algorithm{GADEDRand, GADEDMax} {
+			res, err := Run(g, alg, Options{Theta: 0.5, Seed: seed})
+			if err != nil {
+				return false
+			}
+			if !res.Satisfied && res.Graph.M() > 0 {
+				// GADED removals can always reach theta<=1 by emptying.
+				return false
+			}
+			if got := opacity.MaxLO(res.Graph, g.Degrees(), 1); got != res.FinalLO {
+				return false
+			}
+			if res.Graph.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGADESNeverIncreasesMax(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(8)
+		g := randomGraph(n, 0.25, seed)
+		before := opacity.MaxLO(g, nil, 1)
+		res, err := Run(g, GADES, Options{Theta: 0.2, Seed: seed, MaxSteps: 30})
+		if err != nil {
+			return false
+		}
+		return res.FinalLO <= before+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudgetStopsGADES(t *testing.T) {
+	g := randomGraph(80, 0.1, 7)
+	res, err := Run(g, GADES, Options{Theta: 0, Seed: 1, Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Fatal("TimedOut not set under a 1ns budget")
+	}
+	if res.Satisfied {
+		t.Fatal("satisfied at theta=0 under an expired budget")
+	}
+	// No budget: TimedOut never set.
+	full, err := Run(g, GADEDRand, Options{Theta: 0.9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TimedOut {
+		t.Fatal("TimedOut set without a budget")
+	}
+}

@@ -1,0 +1,174 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestCatalogsComplete(t *testing.T) {
+	if got := len(Originals()); got != 7 {
+		t.Fatalf("Originals has %d entries, want 7 (paper Table 1)", got)
+	}
+	if got := len(Samples()); got < 12 {
+		t.Fatalf("Samples has %d entries, want >= 12 (paper Table 3)", got)
+	}
+}
+
+func TestSampleSpecsConsistent(t *testing.T) {
+	for _, s := range Samples() {
+		if s.N <= 0 || s.M < 0 {
+			t.Errorf("%s: bad size n=%d m=%d", s.Key, s.N, s.M)
+		}
+		// Average degree must equal 2m/n (as in Table 3).
+		want := 2 * float64(s.M) / float64(s.N)
+		if math.Abs(want-s.AvgDegree) > 0.05 {
+			t.Errorf("%s: avg degree %v inconsistent with 2m/n = %v", s.Key, s.AvgDegree, want)
+		}
+	}
+}
+
+func TestByKeyAndKeys(t *testing.T) {
+	spec, ok := ByKey("google100")
+	if !ok || spec.N != 100 || spec.M != 746 {
+		t.Fatalf("google100 lookup: %+v ok=%v", spec, ok)
+	}
+	if _, ok := ByKey("nonexistent"); ok {
+		t.Fatal("bogus key found")
+	}
+	keys := Keys()
+	if len(keys) != len(Samples()) {
+		t.Fatal("Keys length mismatch")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("Keys not sorted")
+		}
+	}
+}
+
+func TestACMScaling(t *testing.T) {
+	a := ACM(1000)
+	if a.M < 3800 || a.M > 4100 {
+		t.Fatalf("ACM(1000) edges = %d, want ~3979 (paper: 3874)", a.M)
+	}
+	b := ACM(10000)
+	if b.M < 39000 || b.M > 40500 {
+		t.Fatalf("ACM(10000) edges = %d, want ~39788", b.M)
+	}
+	if a.Key != "acm1000" {
+		t.Fatalf("key = %q", a.Key)
+	}
+}
+
+func TestGenerateMatchesSpecSizes(t *testing.T) {
+	for _, key := range []string{"google100", "epinions100", "gnutella100", "wikipedia100"} {
+		spec, _ := ByKey(key)
+		g := Generate(spec, 42)
+		if g.N() != spec.N {
+			t.Errorf("%s: n = %d, want %d", key, g.N(), spec.N)
+		}
+		if g.M() != spec.M {
+			t.Errorf("%s: m = %d, want %d", key, g.M(), spec.M)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", key, err)
+		}
+	}
+}
+
+func TestGenerateCalibratesStatistics(t *testing.T) {
+	// The emulator must land in the right statistical regime: degree
+	// moments within a loose band, clustering near the target for
+	// clustered datasets.
+	for _, key := range []string{"google100", "enron100", "gnutella100"} {
+		spec, _ := ByKey(key)
+		g := Generate(spec, 7)
+		stats := metrics.Degrees(g)
+		if math.Abs(stats.Average-spec.AvgDegree) > 0.2 {
+			t.Errorf("%s: avg degree %v, spec %v", key, stats.Average, spec.AvgDegree)
+		}
+		acc := metrics.AverageClustering(g)
+		if spec.AvgClusterC >= 0.3 && acc < spec.AvgClusterC-0.15 {
+			t.Errorf("%s: ACC %v too far below spec %v", key, acc, spec.AvgClusterC)
+		}
+		if spec.AvgClusterC < 0.1 && acc > 0.25 {
+			t.Errorf("%s: ACC %v too high for a low-clustering dataset (spec %v)", key, acc, spec.AvgClusterC)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := ByKey("gnutella100")
+	a := Generate(spec, 99)
+	b := Generate(spec, 99)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c := Generate(spec, 100)
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestGenerateByKey(t *testing.T) {
+	if _, err := GenerateByKey("nope", 1); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	g, err := GenerateByKey("epinions100", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 {
+		t.Fatalf("n = %d", g.N())
+	}
+}
+
+func TestGenerateACMSample(t *testing.T) {
+	spec := ACM(500)
+	g := Generate(spec, 3)
+	if g.N() != 500 || g.M() != spec.M {
+		t.Fatalf("ACM(500) generated n=%d m=%d, want %d, %d", g.N(), g.M(), spec.N, spec.M)
+	}
+	// Coauthorship networks are strongly clustered.
+	if acc := metrics.AverageClustering(g); acc < 0.2 {
+		t.Fatalf("ACM ACC = %v, want clustered (>= 0.2)", acc)
+	}
+}
+
+func TestGenerateByKeyDynamicACM(t *testing.T) {
+	g, err := GenerateByKey("acm150", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 150 {
+		t.Fatalf("N = %d, want 150", g.N())
+	}
+	for _, bad := range []string{"acm", "acm5", "acmx", "xacm100"} {
+		if _, err := GenerateByKey(bad, 1); err == nil {
+			t.Errorf("key %q accepted, want error", bad)
+		}
+	}
+}
+
+func TestParseACMKey(t *testing.T) {
+	cases := []struct {
+		key string
+		n   int
+		ok  bool
+	}{
+		{"acm1000", 1000, true},
+		{"acm10", 10, true},
+		{"acm9", 0, false},
+		{"acm", 0, false},
+		{"acm-3", 0, false},
+		{"enron100", 0, false},
+	}
+	for _, c := range cases {
+		n, ok := parseACMKey(c.key)
+		if n != c.n || ok != c.ok {
+			t.Errorf("parseACMKey(%q) = %d, %v; want %d, %v", c.key, n, ok, c.n, c.ok)
+		}
+	}
+}

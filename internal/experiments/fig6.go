@@ -1,0 +1,72 @@
+package experiments
+
+func init() {
+	register("fig6a", fig6a)
+	register("fig6b", fig6b)
+	register("fig6c", fig6c)
+	register("fig6d", fig6d)
+	register("fig6e", fig6e)
+	register("fig6f", fig6f)
+	register("fig6g", fig6g)
+	register("fig6h", fig6h)
+}
+
+// fig6a: distortion vs theta on the Google sample at L = 1, all seven
+// heuristic configurations.
+func fig6a(cfg Config) (Table, error) {
+	t, err := distortionSweep(cfg, cfg.fig6Key("google100", "google500"), 1, fig6Methods())
+	t.Title = "Distortion vs theta, Google, L=1 (paper Fig. 6a)"
+	return t, err
+}
+
+// fig6b: distortion vs theta on the Wikipedia sample at L = 1.
+func fig6b(cfg Config) (Table, error) {
+	t, err := distortionSweep(cfg, cfg.fig6Key("wikipedia100", "wikipedia500"), 1, fig6Methods())
+	t.Title = "Distortion vs theta, Wikipedia, L=1 (paper Fig. 6b)"
+	return t, err
+}
+
+// fig6c: distortion vs theta on the Enron sample at L = 1.
+func fig6c(cfg Config) (Table, error) {
+	t, err := distortionSweep(cfg, cfg.fig6Key("enron100", "enron500"), 1, fig6Methods())
+	t.Title = "Distortion vs theta, Enron, L=1 (paper Fig. 6c)"
+	return t, err
+}
+
+// fig6d: distortion vs theta on the Berkeley-Stanford sample at L = 1.
+// The paper highlights this dense sample as the one where Rem-Ins at
+// la = 1 cannot find a solution while la = 2 can.
+func fig6d(cfg Config) (Table, error) {
+	t, err := distortionSweep(cfg, "bs500", 1, fig6Methods())
+	t.Title = "Distortion vs theta, Berkeley-Stanford, L=1 (paper Fig. 6d)"
+	return t, err
+}
+
+// fig6e: distortion vs theta on the Epinions(Trust) sample at L = 2;
+// baselines are undefined beyond L = 1.
+func fig6e(cfg Config) (Table, error) {
+	t, err := distortionSweep(cfg, "epinions-trust100", 2, oursOnlyMethods())
+	t.Title = "Distortion vs theta, Epinions(Trust), L=2 (paper Fig. 6e)"
+	return t, err
+}
+
+// fig6f: distortion vs theta on the Gnutella sample at L = 2.
+func fig6f(cfg Config) (Table, error) {
+	t, err := distortionSweep(cfg, "gnutella100", 2, oursOnlyMethods())
+	t.Title = "Distortion vs theta, Gnutella, L=2 (paper Fig. 6f)"
+	return t, err
+}
+
+// fig6g: distortion vs theta on Epinions(Trust) at la = 1 for L = 1..4.
+func fig6g(cfg Config) (Table, error) {
+	t, err := varyLSweep(cfg, "epinions-trust100", 4)
+	t.Title = "Distortion vs theta, Epinions(Trust), la=1, L=1..4 (paper Fig. 6g)"
+	return t, err
+}
+
+// fig6h: distortion vs theta on Gnutella at la = 1 for L = 1..4.
+func fig6h(cfg Config) (Table, error) {
+	t, err := varyLSweep(cfg, "gnutella-s100", 4)
+	t.Title = "Distortion vs theta, Gnutella, la=1, L=1..4 (paper Fig. 6h)"
+	return t, err
+}

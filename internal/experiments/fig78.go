@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+func init() {
+	register("fig7a", fig7a)
+	register("fig7b", fig7b)
+	register("fig8a", fig8a)
+	register("fig8b", fig8b)
+	register("fig8c", fig8c)
+}
+
+// fig7a: Earth Mover's Distance between the degree distributions of the
+// original and anonymized Enron sample vs theta, L = 1.
+func fig7a(cfg Config) (Table, error) {
+	t, err := utilitySweep(cfg, cfg.fig6Key("enron100", "enron500"), 1, fig6Methods(), metrics.DegreeEMD)
+	t.Title = "EMD of degree distributions vs theta, Enron, L=1 (paper Fig. 7a)"
+	return t, err
+}
+
+// fig7b: EMD between the geodesic-distance distributions, same setup.
+func fig7b(cfg Config) (Table, error) {
+	t, err := utilitySweep(cfg, cfg.fig6Key("enron100", "enron500"), 1, fig6Methods(), metrics.GeodesicEMD)
+	t.Title = "EMD of geodesic distributions vs theta, Enron, L=1 (paper Fig. 7b)"
+	return t, err
+}
+
+// fig8a: mean absolute difference of local clustering coefficients vs
+// theta on the Wikipedia sample, L = 1, all heuristics.
+func fig8a(cfg Config) (Table, error) {
+	t, err := utilitySweep(cfg, cfg.fig6Key("wikipedia100", "wikipedia500"), 1, fig6Methods(), metrics.MeanClusteringDelta)
+	t.Title = "Mean |dCC| vs theta, Wikipedia, L=1 (paper Fig. 8a)"
+	return t, err
+}
+
+// fig8b: mean |dCC| vs theta on Epinions(Trust), L = 2; our heuristics
+// only.
+func fig8b(cfg Config) (Table, error) {
+	t, err := utilitySweep(cfg, "epinions-trust100", 2, oursOnlyMethods(), metrics.MeanClusteringDelta)
+	t.Title = "Mean |dCC| vs theta, Epinions(Trust), L=2 (paper Fig. 8b)"
+	return t, err
+}
+
+// fig8c: mean |dCC| vs theta on Epinions(Distrust) at la = 1 for
+// L = 1..4.
+func fig8c(cfg Config) (Table, error) {
+	key := "epinions-distrust100"
+	g, err := graphFor(cfg, key)
+	if err != nil {
+		return Table{}, err
+	}
+	methods := varyLMethods()
+	maxL := cfg.quickMaxL()
+	cols := []string{"theta"}
+	kept := methods[:0]
+	for _, m := range methods {
+		if m.L <= maxL {
+			kept = append(kept, m)
+			cols = append(cols, m.Name)
+		}
+	}
+	t := Table{
+		Title:   "Mean |dCC| vs theta, Epinions(Distrust), la=1, L=1..4 (paper Fig. 8c)",
+		Columns: cols,
+	}
+	for _, theta := range cfg.thetas() {
+		row := []string{fmtPct(theta)}
+		for _, m := range kept {
+			out, ok, timedOut := bestOf(cfg, m.method, g, m.L, theta)
+			v := ""
+			if ok {
+				v = fmtF(metrics.MeanClusteringDelta(g, out.Graph))
+			}
+			row = append(row, cell(ok, timedOut, v))
+		}
+		t.Rows = append(t.Rows, row)
+		cfg.progress("  theta=%.0f%% done", 100*theta)
+	}
+	t.Note = "dataset " + key + ", la=1; '-' = no L-opaque graph found"
+	return t, nil
+}
+
+// graphFor generates the named dataset stand-in under the experiment
+// seed.
+func graphFor(cfg Config, key string) (*graph.Graph, error) {
+	return dataset.GenerateByKey(key, cfg.Seed)
+}

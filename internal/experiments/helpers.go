@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/anonymize"
+	"repro/internal/baseline"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// method is one plotted series: a named heuristic configuration that
+// takes an input graph and a privacy target and returns an anonymized
+// graph (or reports infeasibility).
+type method struct {
+	// Name matches the paper's legend, e.g. "Rem la=2" or "GADED-Max".
+	Name string
+	// L1Only marks the Zhang & Zhang baselines, defined only at L = 1.
+	L1Only bool
+	run    func(g *graph.Graph, L int, theta float64, seed int64, budget time.Duration) runOutcome
+}
+
+// runOutcome is one heuristic execution.
+type runOutcome struct {
+	Graph     *graph.Graph
+	Satisfied bool
+	FinalLO   float64
+	Elapsed   time.Duration
+	Evals     int64
+	TimedOut  bool
+}
+
+// ours builds a method for one of the paper's two heuristics. The
+// budget (0 = unlimited) bounds each run's wall clock; the quick regime
+// uses it to keep look-ahead plateaus from dominating a sweep.
+func ours(h anonymize.Heuristic, la int) method {
+	return method{
+		Name: fmt.Sprintf("%s la=%d", h, la),
+		run: func(g *graph.Graph, L int, theta float64, seed int64, budget time.Duration) runOutcome {
+			return runOurs(g, anonymize.Options{
+				L: L, Theta: theta, Heuristic: h, LookAhead: la, Seed: seed,
+				Budget: budget,
+			})
+		},
+	}
+}
+
+// runOurs executes one configured anonymize run and adapts the result.
+func runOurs(g *graph.Graph, opts anonymize.Options) runOutcome {
+	start := time.Now()
+	res, err := anonymize.Run(g, opts)
+	if err != nil {
+		return runOutcome{}
+	}
+	return runOutcome{
+		Graph:     res.Graph,
+		Satisfied: res.Satisfied,
+		FinalLO:   res.FinalLO,
+		Elapsed:   time.Since(start),
+		Evals:     res.CandidateEvals,
+		TimedOut:  res.TimedOut,
+	}
+}
+
+// theirs builds a method for one of the Zhang & Zhang baselines.
+func theirs(alg baseline.Algorithm) method {
+	return method{
+		Name:   alg.String(),
+		L1Only: true,
+		run: func(g *graph.Graph, L int, theta float64, seed int64, budget time.Duration) runOutcome {
+			if L != 1 {
+				return runOutcome{}
+			}
+			start := time.Now()
+			res, err := baseline.Run(g, alg, baseline.Options{Theta: theta, Seed: seed, Budget: budget})
+			if err != nil {
+				return runOutcome{}
+			}
+			return runOutcome{
+				Graph:     res.Graph,
+				Satisfied: res.Satisfied,
+				FinalLO:   res.FinalLO,
+				Elapsed:   time.Since(start),
+				TimedOut:  res.TimedOut,
+			}
+		},
+	}
+}
+
+// fig6Methods is the legend of Figures 6a-d (L = 1): both of our
+// heuristics at look-ahead 1 and 2 plus the three baselines.
+func fig6Methods() []method {
+	return []method{
+		ours(anonymize.Removal, 1),
+		ours(anonymize.RemovalInsertion, 1),
+		ours(anonymize.Removal, 2),
+		ours(anonymize.RemovalInsertion, 2),
+		theirs(baseline.GADEDRand),
+		theirs(baseline.GADEDMax),
+		theirs(baseline.GADES),
+	}
+}
+
+// oursOnlyMethods is the legend of Figures 6e-f (L >= 2, where the
+// baselines are undefined).
+func oursOnlyMethods() []method {
+	return []method{
+		ours(anonymize.Removal, 1),
+		ours(anonymize.RemovalInsertion, 1),
+		ours(anonymize.Removal, 2),
+		ours(anonymize.RemovalInsertion, 2),
+	}
+}
+
+// varyLMethods is the legend of Figures 6g-h and 8c: la = 1, L from 1
+// to 4 for both heuristics. The L threshold is baked into the name and
+// overrides the sweep's L argument.
+type lMethod struct {
+	method
+	L int
+}
+
+func varyLMethods() []lMethod {
+	var out []lMethod
+	for L := 1; L <= 4; L++ {
+		for _, h := range []anonymize.Heuristic{anonymize.Removal, anonymize.RemovalInsertion} {
+			m := ours(h, 1)
+			m.Name = fmt.Sprintf("%s L=%d", h, L)
+			out = append(out, lMethod{method: m, L: L})
+		}
+	}
+	return out
+}
+
+// bestOf runs a method cfg.reps() times with distinct seeds and keeps
+// the run of minimum distortion among those that satisfied the privacy
+// constraint, mirroring the paper's "repeat each experiment 10 times
+// ... and select the graph of minimum distortion". ok is false when no
+// repetition satisfied the constraint.
+// constraint; timedOut reports that at least one repetition hit the
+// quick-regime wall-clock budget (so a "-" cell may be a timeout rather
+// than a proof of infeasibility).
+func bestOf(cfg Config, m method, g *graph.Graph, L int, theta float64) (best runOutcome, ok, timedOut bool) {
+	bestD := -1.0
+	for rep := 0; rep < cfg.reps(); rep++ {
+		out := m.run(g, L, theta, cfg.Seed+int64(rep), cfg.cellBudget())
+		if out.TimedOut {
+			timedOut = true
+		}
+		if out.Graph == nil || !out.Satisfied {
+			continue
+		}
+		d := metrics.Distortion(g, out.Graph)
+		if bestD < 0 || d < bestD {
+			bestD, best, ok = d, out, true
+		}
+	}
+	return best, ok, timedOut
+}
+
+// cell renders a sweep cell: the measured value for a satisfied run,
+// "t/o" when the budget expired first, "-" for infeasible.
+func cell(ok, timedOut bool, value string) string {
+	switch {
+	case ok:
+		return value
+	case timedOut:
+		return "t/o"
+	default:
+		return "-"
+	}
+}
+
+// distortionSweep builds the generic Figure 6 table: one row per theta,
+// one column per method, cells holding the edit-distance ratio of the
+// best run ("-" where the method found no L-opaque graph).
+func distortionSweep(cfg Config, key string, L int, methods []method) (Table, error) {
+	g, err := dataset.GenerateByKey(key, cfg.Seed)
+	if err != nil {
+		return Table{}, err
+	}
+	cols := []string{"theta"}
+	for _, m := range methods {
+		cols = append(cols, m.Name)
+	}
+	t := Table{Columns: cols}
+	for _, theta := range cfg.thetas() {
+		row := []string{fmtPct(theta)}
+		for _, m := range methods {
+			if m.L1Only && L != 1 {
+				row = append(row, "n/a")
+				continue
+			}
+			out, ok, timedOut := bestOf(cfg, m, g, L, theta)
+			v := ""
+			if ok {
+				v = fmtPct(metrics.Distortion(g, out.Graph))
+			}
+			row = append(row, cell(ok, timedOut, v))
+		}
+		t.Rows = append(t.Rows, row)
+		cfg.progress("  theta=%.0f%% done", 100*theta)
+	}
+	t.Note = fmt.Sprintf("dataset %s (n=%d, m=%d); '-' = no %d-opaque graph found, 't/o' = budget expired", key, g.N(), g.M(), L)
+	return t, nil
+}
+
+// varyLSweep builds the Figure 6g/h style table: la = 1, columns are
+// heuristic x L pairs.
+func varyLSweep(cfg Config, key string, maxL int) (Table, error) {
+	g, err := dataset.GenerateByKey(key, cfg.Seed)
+	if err != nil {
+		return Table{}, err
+	}
+	methods := varyLMethods()
+	if cfg.quickMaxL() < maxL {
+		maxL = cfg.quickMaxL()
+	}
+	cols := []string{"theta"}
+	kept := methods[:0]
+	for _, m := range methods {
+		if m.L <= maxL {
+			kept = append(kept, m)
+			cols = append(cols, m.Name)
+		}
+	}
+	t := Table{Columns: cols}
+	for _, theta := range cfg.thetas() {
+		row := []string{fmtPct(theta)}
+		for _, m := range kept {
+			out, ok, timedOut := bestOf(cfg, m.method, g, m.L, theta)
+			v := ""
+			if ok {
+				v = fmtPct(metrics.Distortion(g, out.Graph))
+			}
+			row = append(row, cell(ok, timedOut, v))
+		}
+		t.Rows = append(t.Rows, row)
+		cfg.progress("  theta=%.0f%% done", 100*theta)
+	}
+	t.Note = fmt.Sprintf("dataset %s (n=%d, m=%d), la=1; '-' = infeasible, 't/o' = budget expired", key, g.N(), g.M())
+	return t, nil
+}
+
+// utilitySweep builds the Figure 7/8 style table: one row per theta,
+// one column per method, cells holding a utility delta between the
+// original and the best anonymized graph.
+func utilitySweep(cfg Config, key string, L int, methods []method, measure func(orig, anon *graph.Graph) float64) (Table, error) {
+	g, err := dataset.GenerateByKey(key, cfg.Seed)
+	if err != nil {
+		return Table{}, err
+	}
+	cols := []string{"theta"}
+	for _, m := range methods {
+		cols = append(cols, m.Name)
+	}
+	t := Table{Columns: cols}
+	for _, theta := range cfg.thetas() {
+		row := []string{fmtPct(theta)}
+		for _, m := range methods {
+			if m.L1Only && L != 1 {
+				row = append(row, "n/a")
+				continue
+			}
+			out, ok, timedOut := bestOf(cfg, m, g, L, theta)
+			v := ""
+			if ok {
+				v = fmtF(measure(g, out.Graph))
+			}
+			row = append(row, cell(ok, timedOut, v))
+		}
+		t.Rows = append(t.Rows, row)
+		cfg.progress("  theta=%.0f%% done", 100*theta)
+	}
+	t.Note = fmt.Sprintf("dataset %s (n=%d, m=%d); '-' = no L-opaque graph found, 't/o' = budget expired", key, g.N(), g.M())
+	return t, nil
+}
+
+// quickMaxL caps the L sweep of Figures 6g/h and 8c in the quick
+// regime, where the deepest thresholds dominate runtime.
+func (c Config) quickMaxL() int {
+	if c.Full {
+		return 4
+	}
+	return 3
+}
+
+// fig6Key maps a dataset family to the sample used by a Figure 6 panel:
+// the 100-vertex sample in the quick regime, the 500-vertex one in Full
+// mode (where the family has one).
+func (c Config) fig6Key(quick, full string) string {
+	if c.Full {
+		return full
+	}
+	return quick
+}

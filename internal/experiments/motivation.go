@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/anonymize"
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/kdegree"
+	"repro/internal/metrics"
+)
+
+func init() {
+	register("motivation", motivation)
+}
+
+// motivation reproduces the paper's Section 1 argument quantitatively:
+// protecting identity (k-degree anonymity, Liu & Terzi) does not
+// protect against linkage disclosure, while L-opacification does. For
+// each dataset it reports the adversary's maximum linkage confidence on
+// (a) the raw graph, (b) a k-degree anonymized graph, and (c) an
+// L-opacified graph, together with the identity protection level
+// (minimum degree-candidate-set size) of each.
+func motivation(cfg Config) (Table, error) {
+	const (
+		k     = 5
+		theta = 0.5
+	)
+	t := Table{
+		Title: "Extension: identity protection vs linkage protection (paper Section 1)",
+		Columns: []string{
+			"dataset", "graph",
+			"min candidates", "max linkage conf (L=1)", "max linkage conf (L=2)",
+			"distortion",
+		},
+	}
+	for _, key := range []string{"enron100", "gnutella100"} {
+		g, err := dataset.GenerateByKey(key, cfg.Seed)
+		if err != nil {
+			return Table{}, err
+		}
+		degrees := g.Degrees()
+
+		emit := func(label string, adv *attack.Adversary, dist float64) {
+			ids := adv.IdentityCandidates()
+			minC := 0
+			if len(ids) > 0 {
+				minC = ids[0]
+			}
+			t.Rows = append(t.Rows, []string{
+				key, label,
+				fmt.Sprintf("%d", minC),
+				fmtPct(adv.MaxConfidence(1).Confidence),
+				fmtPct(adv.MaxConfidence(2).Confidence),
+				fmtPct(dist),
+			})
+		}
+
+		// (a) Raw graph.
+		raw, err := attack.New(g, degrees)
+		if err != nil {
+			return Table{}, err
+		}
+		emit("raw", raw, 0)
+
+		// (b) k-degree anonymous graph: the adversary's knowledge is the
+		// PUBLISHED degrees (identity protection changes them), so
+		// candidates are computed from the anonymized graph's degrees.
+		kres, err := kdegree.Anonymize(g, k)
+		if err != nil {
+			return Table{}, err
+		}
+		kadv, err := attack.New(kres.Graph, kres.Graph.Degrees())
+		if err != nil {
+			return Table{}, err
+		}
+		emit(fmt.Sprintf("%d-degree anon", k), kadv, metrics.Distortion(g, kres.Graph))
+
+		// (c) L-opacified graph at L = 2 (covers L = 1 pairs as well,
+		// since d <= 1 implies d <= 2 bounds both queries by theta only
+		// for L <= 2 pairs; the L=1 confidence can only be lower).
+		ores, err := anonymize.Run(g, anonymize.Options{
+			L: 2, Theta: theta, Heuristic: anonymize.Removal, LookAhead: 1,
+			Seed: cfg.Seed, Budget: cfg.cellBudget(),
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		oadv, err := attack.New(ores.Graph, degrees) // original degrees
+		if err != nil {
+			return Table{}, err
+		}
+		emit(fmt.Sprintf("2-opaque theta=%.0f%%", 100*theta), oadv, metrics.Distortion(g, ores.Graph))
+		cfg.progress("  %s done", key)
+	}
+	t.Note = "k-degree anonymity raises the candidate floor but leaves linkage confidence high; L-opacification bounds it by theta"
+	return t, nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/anonymize"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+func init() {
+	register("spectral", spectral)
+}
+
+// spectral measures the spectral utility metrics the paper's abstract
+// references ("utility metrics quantifying spectral and structural
+// graph properties") but whose plots the evaluation section omits: the
+// largest adjacency eigenvalue (graph "strength") and the Laplacian
+// algebraic connectivity (cohesion), before and after anonymization.
+// This is an extension experiment; it has no paper figure to match.
+func spectral(cfg Config) (Table, error) {
+	t := Table{
+		Title: "Extension: spectral utility before/after anonymization (abstract's spectral properties)",
+		Columns: []string{
+			"dataset", "theta", "heuristic",
+			"lambda1 before", "lambda1 after",
+			"mu2 before", "mu2 after",
+		},
+	}
+	for _, key := range []string{"enron100", "gnutella100"} {
+		g, err := dataset.GenerateByKey(key, cfg.Seed)
+		if err != nil {
+			return Table{}, err
+		}
+		l1Before := metrics.LargestAdjacencyEigenvalue(g)
+		mu2Before := metrics.AlgebraicConnectivity(g)
+		for _, h := range []anonymize.Heuristic{anonymize.Removal, anonymize.RemovalInsertion} {
+			for _, theta := range cfg.acmThetas() {
+				res, err := anonymize.Run(g, anonymize.Options{
+					L: 1, Theta: theta, Heuristic: h, LookAhead: 1, Seed: cfg.Seed,
+				})
+				if err != nil {
+					return Table{}, err
+				}
+				t.Rows = append(t.Rows, []string{
+					key, fmtPct(theta), h.String(),
+					fmt.Sprintf("%.4f", l1Before),
+					fmt.Sprintf("%.4f", metrics.LargestAdjacencyEigenvalue(res.Graph)),
+					fmt.Sprintf("%.4f", mu2Before),
+					fmt.Sprintf("%.4f", metrics.AlgebraicConnectivity(res.Graph)),
+				})
+			}
+			cfg.progress("  %s %s done", key, h)
+		}
+	}
+	t.Note = "lambda1 = largest adjacency eigenvalue; mu2 = Laplacian algebraic connectivity; L=1, la=1"
+	return t, nil
+}

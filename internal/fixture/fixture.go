@@ -1,0 +1,108 @@
+// Package fixture provides shared golden fixtures taken directly from the
+// paper, used by tests across packages.
+package fixture
+
+import "repro/internal/graph"
+
+// Figure1 returns the running-example graph of the paper's Figure 1:
+// seven vertices (relabeled 0-based, paper vertex i = our i-1) and ten
+// edges. Paper degrees: v1=2, v2=4, v3=4, v4=2, v5=4, v6=3, v7=1.
+//
+// The paper works this example through its Figures 4 and 5: the distance
+// matrix, the L=1 boolean matrix, the per-type counts, and the opacity
+// matrix with maxLO = 1 (types {1,3} and {4,4} are fully disclosed).
+func Figure1() *graph.Graph {
+	g := graph.New(7)
+	for _, e := range Figure1Edges() {
+		g.AddEdge(e.U, e.V)
+	}
+	return g
+}
+
+// Figure1Edges returns the ten edges of the Figure 1 graph in canonical
+// 0-based form.
+func Figure1Edges() []graph.Edge {
+	paper := [][2]int{
+		{1, 2}, {1, 3}, {2, 3}, {2, 4}, {2, 5},
+		{3, 5}, {3, 6}, {4, 5}, {5, 6}, {6, 7},
+	}
+	out := make([]graph.Edge, len(paper))
+	for i, p := range paper {
+		out[i] = graph.E(p[0]-1, p[1]-1)
+	}
+	return out
+}
+
+// Figure1Degrees returns the original degree vector of the Figure 1
+// graph (0-based vertex order).
+func Figure1Degrees() []int { return []int{2, 4, 4, 2, 4, 3, 1} }
+
+// Figure4aDistances returns the paper's Figure 4a all-pairs geodesic
+// distance matrix for the Figure 1 graph, as a symmetric 7x7 matrix with
+// zero diagonal (0-based indices).
+func Figure4aDistances() [][]int {
+	// Upper triangle from the paper, row i gives d(i, j) for j > i.
+	upper := [][]int{
+		{1, 1, 2, 2, 2, 3},
+		{1, 1, 1, 2, 3},
+		{2, 1, 1, 2},
+		{1, 2, 3},
+		{1, 2},
+		{1},
+	}
+	n := 7
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+	}
+	for i, row := range upper {
+		for k, d := range row {
+			j := i + 1 + k
+			m[i][j] = d
+			m[j][i] = d
+		}
+	}
+	return m
+}
+
+// Figure5LMatrix returns the paper's Figure 5a per-type counts of
+// geodesic distances <= 1, keyed by unordered degree pair {g,h} with
+// g <= h. Types absent from the map have count zero.
+func Figure5LMatrix() map[[2]int]int {
+	return map[[2]int]int{
+		{1, 3}: 1,
+		{2, 4}: 4,
+		{3, 4}: 2,
+		{4, 4}: 3,
+	}
+}
+
+// Figure5Opacity returns the paper's Figure 5c opacity matrix for L=1,
+// keyed by unordered degree pair.
+func Figure5Opacity() map[[2]int]float64 {
+	return map[[2]int]float64{
+		{1, 3}: 1.0,
+		{2, 4}: 2.0 / 3.0,
+		{3, 4}: 2.0 / 3.0,
+		{4, 4}: 1.0,
+	}
+}
+
+// Theorem1Formula returns the 6-clause, 4-variable 3-SAT instance used as
+// the running example in the paper's Theorem 1 (Figure 3):
+//
+//	(a ∨ ¬b ∨ c) ∧ (¬a ∨ ¬c ∨ d) ∧ (a ∨ b ∨ ¬d) ∧
+//	(a ∨ ¬b ∨ ¬c) ∧ (¬b ∨ c ∨ d) ∧ (¬a ∨ b ∨ ¬d)
+//
+// Variables are numbered 1..4 for a..d; a positive literal is +v and a
+// negated literal is -v.
+func Theorem1Formula() [][3]int {
+	return [][3]int{
+		{+1, -2, +3},
+		{-1, -3, +4},
+		{+1, +2, -4},
+		{+1, -2, -3},
+		{-2, +3, +4},
+		{-1, +2, -4},
+	}
+}

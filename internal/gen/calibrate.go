@@ -1,0 +1,242 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// CalibrateClustering rewires g in place toward the target average
+// clustering coefficient while preserving the edge count, moving in
+// whichever direction is needed. Every candidate move is evaluated
+// exactly on the vertices it affects and is kept only if it moves the
+// average clustering toward the target, so the calibration is a
+// monotone hill climb that cannot regress. The loop stops when the
+// target is reached within tol or the attempt budget is exhausted.
+func CalibrateClustering(g *graph.Graph, target, tol float64, budget int, rng *rand.Rand) {
+	n := g.N()
+	if n == 0 || g.M() == 0 {
+		return
+	}
+	c := &calibrator{g: g, rng: rng}
+	c.accSum = 0
+	for _, ci := range metrics.LocalClustering(g) {
+		c.accSum += ci
+	}
+	goal := target * float64(n)
+	for attempts := 0; attempts < budget; attempts++ {
+		diff := c.accSum - goal
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff <= tol*float64(n) {
+			return
+		}
+		if c.accSum < goal {
+			c.tryRaise()
+		} else {
+			c.tryLower()
+		}
+	}
+}
+
+// RaiseClustering is CalibrateClustering restricted to upward moves; it
+// never lowers clustering even when g starts above the target.
+func RaiseClustering(g *graph.Graph, target, tol float64, budget int, rng *rand.Rand) {
+	if g.N() == 0 || g.M() == 0 {
+		return
+	}
+	c := &calibrator{g: g, rng: rng}
+	for _, ci := range metrics.LocalClustering(g) {
+		c.accSum += ci
+	}
+	goal := (target - tol) * float64(g.N())
+	for attempts := 0; attempts < budget && c.accSum < goal; attempts++ {
+		c.tryRaise()
+	}
+}
+
+// calibrator tracks the running sum of local clustering coefficients so
+// each accepted move updates the average in O(local work).
+type calibrator struct {
+	g      *graph.Graph
+	rng    *rand.Rand
+	accSum float64
+}
+
+// tryRaise attempts one triangle-closing move: connect two unlinked
+// neighbors of a common vertex and pay by deleting a sampled low-cost
+// donor edge. Kept only if the clustering sum increases.
+func (c *calibrator) tryRaise() {
+	g := c.g
+	v := c.rng.Intn(g.N())
+	if g.Degree(v) < 2 {
+		return
+	}
+	nbrs := g.Neighbors(v)
+	a := nbrs[c.rng.Intn(len(nbrs))]
+	b := nbrs[c.rng.Intn(len(nbrs))]
+	if a == b || g.HasEdge(a, b) {
+		return
+	}
+	donor, ok := pickDonor(g, c.rng, v, a, b)
+	if !ok {
+		return
+	}
+	c.evaluatedMove(
+		[]graph.Edge{donor},
+		[]graph.Edge{graph.E(a, b)},
+		true,
+	)
+}
+
+// tryLower attempts one degree-preserving double-edge swap, kept only if
+// the clustering sum decreases.
+func (c *calibrator) tryLower() {
+	g := c.g
+	e1, ok1 := sampleEdge(g, c.rng)
+	e2, ok2 := sampleEdge(g, c.rng)
+	if !ok1 || !ok2 {
+		return
+	}
+	if e1 == e2 || e1.Touches(e2.U) || e1.Touches(e2.V) {
+		return
+	}
+	a, b, cc, d := e1.U, e1.V, e2.U, e2.V
+	if g.HasEdge(a, cc) || g.HasEdge(b, d) {
+		return
+	}
+	c.evaluatedMove(
+		[]graph.Edge{e1, e2},
+		[]graph.Edge{graph.E(a, cc), graph.E(b, d)},
+		false,
+	)
+}
+
+// evaluatedMove applies removals then insertions, computes the exact
+// local clustering delta over the affected vertices, and keeps the move
+// only if the delta has the wanted sign; otherwise it reverts.
+func (c *calibrator) evaluatedMove(removals, insertions []graph.Edge, wantIncrease bool) {
+	g := c.g
+	affected := map[int]struct{}{}
+	collect := func(e graph.Edge) {
+		affected[e.U] = struct{}{}
+		affected[e.V] = struct{}{}
+		g.EachNeighbor(e.U, func(w int) {
+			if w != e.V && g.HasEdge(w, e.V) {
+				affected[w] = struct{}{}
+			}
+		})
+	}
+	// A vertex's coefficient changes only if it is an endpoint of a
+	// changed edge or adjacent to both endpoints of one. Insertions are
+	// not yet present, but their endpoints' neighborhoods are unchanged
+	// by the removals (donors never touch them), so collecting common
+	// neighbors before the move covers both states.
+	for _, e := range removals {
+		collect(e)
+	}
+	for _, e := range insertions {
+		collect(e)
+	}
+	before := c.localSum(affected)
+	for _, e := range removals {
+		g.RemoveEdge(e.U, e.V)
+	}
+	for _, e := range insertions {
+		g.AddEdge(e.U, e.V)
+	}
+	after := c.localSum(affected)
+	delta := after - before
+	if (wantIncrease && delta > 0) || (!wantIncrease && delta < 0) {
+		c.accSum += delta
+		return
+	}
+	// Revert.
+	for _, e := range insertions {
+		g.RemoveEdge(e.U, e.V)
+	}
+	for _, e := range removals {
+		g.AddEdge(e.U, e.V)
+	}
+}
+
+// localSum computes the sum of local clustering coefficients over a
+// vertex set in the current graph state.
+func (c *calibrator) localSum(vertices map[int]struct{}) float64 {
+	sum := 0.0
+	for v := range vertices {
+		k := c.g.Degree(v)
+		if k < 2 {
+			continue
+		}
+		sum += 2 * float64(c.g.CountTrianglesAt(v)) / float64(k*(k-1))
+	}
+	return sum
+}
+
+// sampleEdge draws a random edge by picking a random endpoint and a
+// random incident neighbor. The draw is biased toward high-degree
+// vertices, which is harmless for calibration moves.
+func sampleEdge(g *graph.Graph, rng *rand.Rand) (graph.Edge, bool) {
+	n := g.N()
+	for tries := 0; tries < 4*n; tries++ {
+		u := rng.Intn(n)
+		deg := g.Degree(u)
+		if deg == 0 {
+			continue
+		}
+		nbrs := g.Neighbors(u)
+		return graph.E(u, nbrs[rng.Intn(len(nbrs))]), true
+	}
+	return graph.Edge{}, false
+}
+
+// pickDonor samples candidate edges and returns the one whose removal
+// destroys the fewest triangles, skipping edges touching the protected
+// vertices.
+func pickDonor(g *graph.Graph, rng *rand.Rand, protect ...int) (graph.Edge, bool) {
+	isProtected := func(e graph.Edge) bool {
+		for _, p := range protect {
+			if e.Touches(p) {
+				return true
+			}
+		}
+		return false
+	}
+	const samples = 8
+	var (
+		best     graph.Edge
+		bestCost = -1
+	)
+	for i := 0; i < samples; i++ {
+		e, ok := sampleEdge(g, rng)
+		if !ok {
+			break
+		}
+		if isProtected(e) {
+			continue
+		}
+		cost := commonNeighbors(g, e.U, e.V)
+		if bestCost < 0 || cost < bestCost {
+			best, bestCost = e, cost
+			if cost == 0 {
+				break
+			}
+		}
+	}
+	return best, bestCost >= 0
+}
+
+// commonNeighbors counts vertices adjacent to both u and v, i.e. the
+// triangles the edge {u, v} participates in.
+func commonNeighbors(g *graph.Graph, u, v int) int {
+	count := 0
+	g.EachNeighbor(u, func(w int) {
+		if w != v && g.HasEdge(w, v) {
+			count++
+		}
+	})
+	return count
+}

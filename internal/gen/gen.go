@@ -1,0 +1,195 @@
+// Package gen provides seeded, deterministic random-graph generators:
+// the classic Erdos-Renyi, Barabasi-Albert, and Watts-Strogatz models,
+// an erased configuration model over arbitrary degree sequences, and a
+// triangle-closure rewiring pass used to calibrate clustering.
+//
+// These are the substrate for internal/dataset, which emulates the
+// paper's SNAP and ACM datasets (offline and at arbitrary scale) by
+// matching the published size, degree, and clustering statistics of
+// Tables 1-3.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// GNM returns an Erdos-Renyi G(n, m) graph: m distinct edges chosen
+// uniformly at random. It panics if m exceeds the number of possible
+// edges.
+func GNM(n, m int, rng *rand.Rand) *graph.Graph {
+	max := n * (n - 1) / 2
+	if m > max {
+		panic(fmt.Sprintf("gen: m=%d exceeds maximum %d for n=%d", m, max, n))
+	}
+	g := graph.New(n)
+	for g.M() < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// GNP returns an Erdos-Renyi G(n, p) graph: every possible edge present
+// independently with probability p.
+func GNP(n int, p float64, rng *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: it starts from a
+// clique on m0 vertices and attaches each new vertex to k existing
+// vertices chosen proportionally to their degree. Requires m0 >= k >= 1.
+func BarabasiAlbert(n, m0, k int, rng *rand.Rand) *graph.Graph {
+	if m0 < k || k < 1 || n < m0 {
+		panic(fmt.Sprintf("gen: invalid BA parameters n=%d m0=%d k=%d", n, m0, k))
+	}
+	g := graph.New(n)
+	// Repeated-endpoint list implements preferential attachment.
+	var ends []int
+	for u := 0; u < m0; u++ {
+		for v := u + 1; v < m0; v++ {
+			g.AddEdge(u, v)
+			ends = append(ends, u, v)
+		}
+	}
+	for v := m0; v < n; v++ {
+		attached := 0
+		for attached < k {
+			var target int
+			if len(ends) == 0 {
+				target = rng.Intn(v)
+			} else {
+				target = ends[rng.Intn(len(ends))]
+			}
+			if g.AddEdge(v, target) {
+				ends = append(ends, v, target)
+				attached++
+			}
+		}
+	}
+	return g
+}
+
+// WattsStrogatz builds a small-world graph: a ring lattice where each
+// vertex connects to its k nearest neighbors (k even), with each edge
+// rewired to a random endpoint with probability beta.
+func WattsStrogatz(n, k int, beta float64, rng *rand.Rand) *graph.Graph {
+	if k%2 != 0 || k >= n || k < 2 {
+		panic(fmt.Sprintf("gen: invalid WS parameters n=%d k=%d", n, k))
+	}
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for step := 1; step <= k/2; step++ {
+			g.AddEdge(v, (v+step)%n)
+		}
+	}
+	for v := 0; v < n; v++ {
+		for step := 1; step <= k/2; step++ {
+			w := (v + step) % n
+			if rng.Float64() < beta && g.HasEdge(v, w) {
+				// Rewire v-w to v-random.
+				for tries := 0; tries < 2*n; tries++ {
+					r := rng.Intn(n)
+					if r != v && !g.HasEdge(v, r) {
+						g.RemoveEdge(v, w)
+						g.AddEdge(v, r)
+						break
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// ConfigurationModel builds a simple graph over the given degree
+// sequence by stub matching, erasing self-loops and duplicate edges
+// (the "erased configuration model"); the realized degrees may
+// therefore fall slightly short of the requested ones. The degree sum
+// need not be even; a trailing stub is dropped.
+func ConfigurationModel(degrees []int, rng *rand.Rand) *graph.Graph {
+	n := len(degrees)
+	var stubs []int
+	for v, d := range degrees {
+		if d >= n {
+			d = n - 1
+		}
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	g := graph.New(n)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		g.AddEdge(stubs[i], stubs[i+1]) // silently drops loops/duplicates
+	}
+	return g
+}
+
+// LogNormalDegrees samples an n-length degree sequence from a lognormal
+// distribution with the given target mean and standard deviation,
+// clipped to [0, n-1] and adjusted to an even sum. This directly targets
+// the Av.Deg and STDD columns of the paper's Table 3.
+func LogNormalDegrees(n int, mean, std float64, rng *rand.Rand) []int {
+	if mean <= 0 {
+		panic(fmt.Sprintf("gen: nonpositive mean degree %v", mean))
+	}
+	cv2 := (std / mean) * (std / mean)
+	sigma2 := math.Log(1 + cv2)
+	mu := math.Log(mean) - sigma2/2
+	sigma := math.Sqrt(sigma2)
+	out := make([]int, n)
+	sum := 0
+	for i := range out {
+		d := int(math.Round(math.Exp(mu + sigma*rng.NormFloat64())))
+		if d < 0 {
+			d = 0
+		}
+		if d > n-1 {
+			d = n - 1
+		}
+		out[i] = d
+		sum += d
+	}
+	if sum%2 == 1 {
+		// Bump a vertex with headroom to restore even parity.
+		for i := range out {
+			if out[i] < n-1 {
+				out[i]++
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AdjustEdgeCount adds or removes uniformly random edges until g has
+// exactly m edges. Used after the erased configuration model, which may
+// lose a few edges to erasure.
+func AdjustEdgeCount(g *graph.Graph, m int, rng *rand.Rand) {
+	n := g.N()
+	max := n * (n - 1) / 2
+	if m > max {
+		panic(fmt.Sprintf("gen: target m=%d exceeds maximum %d", m, max))
+	}
+	for g.M() < m {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	for g.M() > m {
+		edges := g.Edges()
+		e := edges[rng.Intn(len(edges))]
+		g.RemoveEdge(e.U, e.V)
+	}
+}

@@ -1,0 +1,321 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+func TestGNMExactEdgeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := GNM(50, 200, rng)
+	if g.N() != 50 || g.M() != 200 {
+		t.Fatalf("got n=%d m=%d", g.N(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGNMTooManyEdgesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GNM with impossible m did not panic")
+		}
+	}()
+	GNM(4, 7, rand.New(rand.NewSource(1)))
+}
+
+func TestGNMComplete(t *testing.T) {
+	g := GNM(5, 10, rand.New(rand.NewSource(2)))
+	if g.M() != 10 {
+		t.Fatalf("complete graph edges = %d", g.M())
+	}
+}
+
+func TestGNPExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if g := GNP(20, 0, rng); g.M() != 0 {
+		t.Fatal("GNP(p=0) has edges")
+	}
+	if g := GNP(20, 1, rng); g.M() != 190 {
+		t.Fatalf("GNP(p=1) edges = %d, want 190", g.M())
+	}
+}
+
+func TestGNPDeterministic(t *testing.T) {
+	a := GNP(30, 0.2, rand.New(rand.NewSource(7)))
+	b := GNP(30, 0.2, rand.New(rand.NewSource(7)))
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different GNP graphs")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := BarabasiAlbert(200, 4, 3, rng)
+	if g.N() != 200 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// m0-clique plus k edges per newcomer.
+	wantM := 6 + (200-4)*3
+	if g.M() != wantM {
+		t.Fatalf("m = %d, want %d", g.M(), wantM)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Preferential attachment yields a heavy tail: max degree well above
+	// the mean.
+	stats := metrics.Degrees(g)
+	if float64(stats.Max) < 2*stats.Average {
+		t.Fatalf("BA graph has no hub: max=%d avg=%v", stats.Max, stats.Average)
+	}
+}
+
+func TestBarabasiAlbertInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid BA parameters did not panic")
+		}
+	}()
+	BarabasiAlbert(10, 2, 3, rand.New(rand.NewSource(1)))
+}
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta = 0 leaves a perfect ring lattice: every degree is k.
+	g := WattsStrogatz(30, 4, 0, rand.New(rand.NewSource(5)))
+	for v := 0; v < 30; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("lattice degree of %d = %d, want 4", v, g.Degree(v))
+		}
+	}
+	// Ring lattice with k=4 has clustering 0.5.
+	if acc := metrics.AverageClustering(g); math.Abs(acc-0.5) > 1e-9 {
+		t.Fatalf("lattice ACC = %v, want 0.5", acc)
+	}
+}
+
+func TestWattsStrogatzRewiredKeepsEdgeCount(t *testing.T) {
+	g := WattsStrogatz(40, 6, 0.3, rand.New(rand.NewSource(6)))
+	if g.M() != 40*3 {
+		t.Fatalf("WS edge count = %d, want %d", g.M(), 120)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWattsStrogatzInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd k did not panic")
+		}
+	}()
+	WattsStrogatz(10, 3, 0.1, rand.New(rand.NewSource(1)))
+}
+
+func TestConfigurationModelRealizesDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	degrees := []int{3, 3, 2, 2, 2, 2, 1, 1}
+	g := ConfigurationModel(degrees, rng)
+	if g.N() != 8 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// Erased model can only lose edges: realized degree <= requested.
+	for v, want := range degrees {
+		if g.Degree(v) > want {
+			t.Fatalf("vertex %d degree %d exceeds requested %d", v, g.Degree(v), want)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigurationModelOddSum(t *testing.T) {
+	g := ConfigurationModel([]int{1, 1, 1}, rand.New(rand.NewSource(9)))
+	if g.M() > 1 {
+		t.Fatalf("odd stub sum produced %d edges", g.M())
+	}
+}
+
+func TestLogNormalDegreesMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n, mean, std := 5000, 8.0, 6.0
+	degs := LogNormalDegrees(n, mean, std, rng)
+	sum := 0
+	for _, d := range degs {
+		sum += d
+	}
+	if sum%2 != 0 {
+		t.Fatal("degree sum is odd")
+	}
+	gotMean := float64(sum) / float64(n)
+	if math.Abs(gotMean-mean) > 1.0 {
+		t.Fatalf("sampled mean = %v, want ~%v", gotMean, mean)
+	}
+	varSum := 0.0
+	for _, d := range degs {
+		diff := float64(d) - gotMean
+		varSum += diff * diff
+	}
+	gotStd := math.Sqrt(varSum / float64(n))
+	if math.Abs(gotStd-std) > 1.5 {
+		t.Fatalf("sampled std = %v, want ~%v", gotStd, std)
+	}
+}
+
+func TestLogNormalDegreesInvalidMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nonpositive mean did not panic")
+		}
+	}()
+	LogNormalDegrees(10, 0, 1, rand.New(rand.NewSource(1)))
+}
+
+func TestAdjustEdgeCountBothDirections(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := GNM(30, 50, rng)
+	AdjustEdgeCount(g, 80, rng)
+	if g.M() != 80 {
+		t.Fatalf("grow: m = %d, want 80", g.M())
+	}
+	AdjustEdgeCount(g, 20, rng)
+	if g.M() != 20 {
+		t.Fatalf("shrink: m = %d, want 20", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRaiseClusteringIncreasesACC(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := GNM(120, 500, rng)
+	before := metrics.AverageClustering(g)
+	m := g.M()
+	RaiseClustering(g, 0.5, 0.02, 20000, rng)
+	after := metrics.AverageClustering(g)
+	if after <= before {
+		t.Fatalf("ACC did not increase: %v -> %v", before, after)
+	}
+	if g.M() != m {
+		t.Fatalf("edge count changed: %d -> %d", m, g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRaiseClusteringNoopOnEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := GNM(10, 0, rng)
+	RaiseClustering(g, 0.5, 0.02, 100, rng) // must not panic
+	if g.M() != 0 {
+		t.Fatal("edges appeared from nowhere")
+	}
+}
+
+func TestPropertyGeneratorsProduceValidSimpleGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		m := rng.Intn(n * (n - 1) / 4)
+		g1 := GNM(n, m, rng)
+		g2 := BarabasiAlbert(n, 3, 2, rng)
+		degs := LogNormalDegrees(n, 3, 2, rng)
+		g3 := ConfigurationModel(degs, rng)
+		return g1.Validate() == nil && g2.Validate() == nil && g3.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateClusteringLowersACC(t *testing.T) {
+	// Start from a graph far above the target: disjoint triangles
+	// chained by bridges have very high clustering.
+	rng := rand.New(rand.NewSource(5))
+	g := GNM(60, 240, rng)
+	RaiseClustering(g, 0.6, 0.01, 200_000, rng)
+	high := metrics.AverageClustering(g)
+	if high < 0.3 {
+		t.Skipf("could not raise ACC high enough to test lowering (got %v)", high)
+	}
+	target := high / 2
+	CalibrateClustering(g, target, 0.02, 200_000, rng)
+	got := metrics.AverageClustering(g)
+	if got > high-0.05 {
+		t.Fatalf("CalibrateClustering did not lower ACC: %v -> %v (target %v)", high, got, target)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateClusteringRaisesACC(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := GNM(80, 200, rng)
+	before := metrics.AverageClustering(g)
+	target := before + 0.25
+	CalibrateClustering(g, target, 0.02, 300_000, rng)
+	after := metrics.AverageClustering(g)
+	if after <= before {
+		t.Fatalf("CalibrateClustering did not raise ACC: %v -> %v", before, after)
+	}
+	if g.M() != 200 {
+		t.Fatalf("edge count drifted: %d", g.M())
+	}
+}
+
+func TestCalibrateClusteringNoopOnEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.New(0)
+	CalibrateClustering(g, 0.5, 0.01, 100, rng) // must not panic
+	h := graph.New(5)
+	CalibrateClustering(h, 0.5, 0.01, 100, rng) // no edges: no-op
+	if h.M() != 0 {
+		t.Fatal("edges appeared from nowhere")
+	}
+}
+
+func TestCommunityModelShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := CommunityModel(200, 800, 0.6, rng)
+	if g.N() != 200 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Edge count is approximate by contract; within a factor of two.
+	if g.M() < 400 || g.M() > 1600 {
+		t.Fatalf("M = %d, want within [400, 1600]", g.M())
+	}
+	if acc := metrics.AverageClustering(g); acc < 0.2 {
+		t.Fatalf("ACC = %v, want clustered (>= 0.2)", acc)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommunityModelZeroEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := CommunityModel(10, 0, 0.5, rng)
+	if g.M() != 0 {
+		t.Fatalf("M = %d, want 0", g.M())
+	}
+}
+
+func TestCommunityModelInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for p = 0")
+		}
+	}()
+	CommunityModel(10, 5, 0, rand.New(rand.NewSource(1)))
+}

@@ -1,0 +1,111 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+)
+
+func TestRMATRejectsBadParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RMAT(10, 5, RMATParams{A: 0.5, B: 0.5, C: 0.5, D: 0.5}, rng); err == nil {
+		t.Fatal("sum > 1 accepted")
+	}
+	if _, err := RMAT(10, 5, RMATParams{A: -0.1, B: 0.5, C: 0.3, D: 0.3}, rng); err == nil {
+		t.Fatal("negative parameter accepted")
+	}
+	if _, err := RMAT(1, 0, WebRMAT(), rng); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := RMAT(4, 100, WebRMAT(), rng); err == nil {
+		t.Fatal("m > max accepted")
+	}
+}
+
+func TestRMATProducesRequestedSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := RMAT(256, 1000, WebRMAT(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 256 {
+		t.Fatalf("n=%d, want 256", g.N())
+	}
+	if g.M() != 1000 {
+		t.Fatalf("m=%d, want 1000", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a, err := RMAT(128, 400, WebRMAT(), rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RMAT(128, 400, WebRMAT(), rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different graphs")
+	}
+}
+
+// The point of R-MAT here: at equal size it must disperse degree far
+// more than a uniform G(n, m) graph — the heavy tail the paper's web
+// samples exhibit (Table 3's google rows have STDD ~ avg degree).
+func TestRMATHeavyTailVsGNM(t *testing.T) {
+	n, m := 512, 2048
+	rmat, err := RMAT(n, m, WebRMAT(), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gnm := GNM(n, m, rand.New(rand.NewSource(5)))
+	sR := metrics.Degrees(rmat).StdDev
+	sU := metrics.Degrees(gnm).StdDev
+	if sR < 1.5*sU {
+		t.Fatalf("R-MAT STDD %v not heavier than 1.5x GNM STDD %v", sR, sU)
+	}
+	// Max degree should also dominate clearly.
+	if rmat.MaxDegree() < 2*gnm.MaxDegree() {
+		t.Fatalf("R-MAT max degree %d vs GNM %d: tail too light", rmat.MaxDegree(), gnm.MaxDegree())
+	}
+}
+
+// Uniform parameters (a=b=c=d=0.25) degenerate R-MAT to uniform edge
+// sampling: STDD should then be close to GNM's.
+func TestRMATUniformParamsMatchGNM(t *testing.T) {
+	n, m := 512, 2048
+	uni := RMATParams{A: 0.25, B: 0.25, C: 0.25, D: 0.25}
+	rmat, err := RMAT(n, m, uni, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gnm := GNM(n, m, rand.New(rand.NewSource(9)))
+	sR := metrics.Degrees(rmat).StdDev
+	sU := metrics.Degrees(gnm).StdDev
+	if math.Abs(sR-sU) > 0.5*sU {
+		t.Fatalf("uniform R-MAT STDD %v far from GNM %v", sR, sU)
+	}
+}
+
+func TestRMATQuickAlwaysSimple(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := 4 + int(nRaw%60)
+		maxM := n * (n - 1) / 2
+		m := 1 + int(mRaw)%maxM
+		g, err := RMAT(n, m, WebRMAT(), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil && g.N() == n && g.M() <= m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

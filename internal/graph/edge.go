@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge. Canonical form has U < V; Normalize enforces
+// it. Edges are value types usable as map keys.
+type Edge struct {
+	U, V int
+}
+
+// E is shorthand for a canonical edge.
+func E(u, v int) Edge { return Edge{U: u, V: v}.Normalize() }
+
+// Normalize returns the edge with endpoints ordered so that U <= V.
+func (e Edge) Normalize() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Less orders canonical edges lexicographically.
+func (e Edge) Less(o Edge) bool {
+	if e.U != o.U {
+		return e.U < o.U
+	}
+	return e.V < o.V
+}
+
+// Touches reports whether v is an endpoint of e.
+func (e Edge) Touches(v int) bool { return e.U == v || e.V == v }
+
+// Other returns the endpoint of e that is not v. It panics if v is not an
+// endpoint.
+func (e Edge) Other(v int) int {
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: vertex %d not an endpoint of %v", v, e))
+}
+
+// String renders the edge as "u-v".
+func (e Edge) String() string { return fmt.Sprintf("%d-%d", e.U, e.V) }
+
+// EdgeSet is a set of canonical edges with deterministic snapshot order.
+type EdgeSet struct {
+	set map[Edge]struct{}
+}
+
+// NewEdgeSet returns an empty edge set, optionally pre-populated.
+func NewEdgeSet(edges ...Edge) *EdgeSet {
+	s := &EdgeSet{set: make(map[Edge]struct{}, len(edges))}
+	for _, e := range edges {
+		s.Add(e)
+	}
+	return s
+}
+
+// Add inserts e (normalized); it reports whether the edge was new.
+func (s *EdgeSet) Add(e Edge) bool {
+	e = e.Normalize()
+	if _, ok := s.set[e]; ok {
+		return false
+	}
+	s.set[e] = struct{}{}
+	return true
+}
+
+// Remove deletes e; it reports whether the edge was present.
+func (s *EdgeSet) Remove(e Edge) bool {
+	e = e.Normalize()
+	if _, ok := s.set[e]; !ok {
+		return false
+	}
+	delete(s.set, e)
+	return true
+}
+
+// Has reports membership of e.
+func (s *EdgeSet) Has(e Edge) bool {
+	_, ok := s.set[e.Normalize()]
+	return ok
+}
+
+// Len returns the number of edges in the set.
+func (s *EdgeSet) Len() int { return len(s.set) }
+
+// Slice returns the edges in sorted canonical order.
+func (s *EdgeSet) Slice() []Edge {
+	out := make([]Edge, 0, len(s.set))
+	for e := range s.set {
+		out = append(out, e)
+	}
+	sortEdges(out)
+	return out
+}
+
+func sortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool { return es[i].Less(es[j]) })
+}
+
+// SymmetricDifferenceSize returns |A Δ B| for the edge sets of two graphs
+// on the same vertex set. It is the numerator of the paper's distortion
+// measure (Equation 1).
+func SymmetricDifferenceSize(a, b *Graph) int {
+	diff := 0
+	a.EachEdge(func(u, v int) {
+		if !b.HasEdge(u, v) {
+			diff++
+		}
+	})
+	b.EachEdge(func(u, v int) {
+		if !a.HasEdge(u, v) {
+			diff++
+		}
+	})
+	return diff
+}

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeNormalize(t *testing.T) {
+	if e := E(5, 2); e.U != 2 || e.V != 5 {
+		t.Fatalf("E(5,2) = %v, want 2-5", e)
+	}
+	if e := E(1, 1); e.U != 1 || e.V != 1 {
+		t.Fatalf("E(1,1) = %v", e)
+	}
+}
+
+func TestEdgeLess(t *testing.T) {
+	cases := []struct {
+		a, b Edge
+		want bool
+	}{
+		{Edge{0, 1}, Edge{0, 2}, true},
+		{Edge{0, 2}, Edge{0, 1}, false},
+		{Edge{0, 5}, Edge{1, 0}, true},
+		{Edge{1, 2}, Edge{1, 2}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEdgeOtherAndTouches(t *testing.T) {
+	e := Edge{3, 7}
+	if e.Other(3) != 7 || e.Other(7) != 3 {
+		t.Fatal("Other returned wrong endpoint")
+	}
+	if !e.Touches(3) || !e.Touches(7) || e.Touches(5) {
+		t.Fatal("Touches wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other with non-endpoint did not panic")
+		}
+	}()
+	e.Other(1)
+}
+
+func TestEdgeString(t *testing.T) {
+	if s := (Edge{2, 9}).String(); s != "2-9" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEdgeSetBasics(t *testing.T) {
+	s := NewEdgeSet(E(1, 0))
+	if !s.Has(Edge{0, 1}) || !s.Has(Edge{1, 0}) {
+		t.Fatal("normalized membership failed")
+	}
+	if s.Add(Edge{1, 0}) {
+		t.Fatal("duplicate add returned true")
+	}
+	if !s.Add(Edge{2, 3}) || s.Len() != 2 {
+		t.Fatal("add failed")
+	}
+	if !s.Remove(Edge{3, 2}) || s.Len() != 1 {
+		t.Fatal("remove failed")
+	}
+	if s.Remove(Edge{3, 2}) {
+		t.Fatal("double remove returned true")
+	}
+}
+
+func TestEdgeSetSliceSorted(t *testing.T) {
+	s := NewEdgeSet(E(4, 1), E(0, 9), E(0, 2))
+	got := s.Slice()
+	want := []Edge{{0, 2}, {0, 9}, {1, 4}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSymmetricDifferenceSize(t *testing.T) {
+	a := New(4)
+	a.AddEdge(0, 1)
+	a.AddEdge(1, 2)
+	b := New(4)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(0, 3)
+	if d := SymmetricDifferenceSize(a, b); d != 3 {
+		t.Fatalf("symmetric difference = %d, want 3", d)
+	}
+	if d := SymmetricDifferenceSize(a, a); d != 0 {
+		t.Fatalf("self difference = %d, want 0", d)
+	}
+}
+
+func TestPropertySymmetricDifferenceIsMetricLike(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a := randomGraph(10, 0.3, s1)
+		b := randomGraph(10, 0.3, s2)
+		dab := SymmetricDifferenceSize(a, b)
+		dba := SymmetricDifferenceSize(b, a)
+		if dab != dba {
+			return false // symmetry
+		}
+		if SymmetricDifferenceSize(a, a) != 0 {
+			return false // identity
+		}
+		c := randomGraph(10, 0.3, s1^s2)
+		// triangle inequality for symmetric difference cardinality
+		return SymmetricDifferenceSize(a, c) <= dab+SymmetricDifferenceSize(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

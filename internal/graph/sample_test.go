@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(0, 4)
+	sub, orig := g.InducedSubgraph([]int{1, 2, 4})
+	if sub.N() != 3 {
+		t.Fatalf("sub.N = %d, want 3", sub.N())
+	}
+	// Only edge 1-2 survives among {1,2,4}.
+	if sub.M() != 1 || !sub.HasEdge(0, 1) {
+		t.Fatalf("induced edges wrong: m=%d", sub.M())
+	}
+	if orig[0] != 1 || orig[1] != 2 || orig[2] != 4 {
+		t.Fatalf("orig mapping = %v", orig)
+	}
+}
+
+func TestInducedSubgraphDuplicatePanics(t *testing.T) {
+	g := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate vertex did not panic")
+		}
+	}()
+	g.InducedSubgraph([]int{0, 0})
+}
+
+func TestRandomVertexSampleDeterministic(t *testing.T) {
+	g := randomGraph(30, 0.2, 7)
+	a, origA := g.RandomVertexSample(10, rand.New(rand.NewSource(42)))
+	b, origB := g.RandomVertexSample(10, rand.New(rand.NewSource(42)))
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different samples")
+	}
+	for i := range origA {
+		if origA[i] != origB[i] {
+			t.Fatal("same seed produced different vertex mappings")
+		}
+	}
+}
+
+func TestRandomVertexSampleSizeAndValidity(t *testing.T) {
+	g := randomGraph(25, 0.3, 3)
+	sub, orig := g.RandomVertexSample(12, rand.New(rand.NewSource(1)))
+	if sub.N() != 12 || len(orig) != 12 {
+		t.Fatalf("sample size: n=%d len(orig)=%d", sub.N(), len(orig))
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every sampled edge must exist between the corresponding originals.
+	sub.EachEdge(func(u, v int) {
+		if !g.HasEdge(orig[u], orig[v]) {
+			t.Errorf("sampled edge %d-%d has no original %d-%d", u, v, orig[u], orig[v])
+		}
+	})
+	// And conversely: the sample is induced, so original edges between
+	// sampled vertices must be present.
+	index := make(map[int]int)
+	for i, ov := range orig {
+		index[ov] = i
+	}
+	g.EachEdge(func(u, v int) {
+		iu, okU := index[u]
+		iv, okV := index[v]
+		if okU && okV && !sub.HasEdge(iu, iv) {
+			t.Errorf("original edge %d-%d dropped from induced sample", u, v)
+		}
+	})
+}
+
+func TestRandomVertexSampleTooLargePanics(t *testing.T) {
+	g := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized sample did not panic")
+		}
+	}()
+	g.RandomVertexSample(4, rand.New(rand.NewSource(1)))
+}
+
+func TestRelabelByDegree(t *testing.T) {
+	g := New(4) // star centered at 3
+	g.AddEdge(3, 0)
+	g.AddEdge(3, 1)
+	g.AddEdge(3, 2)
+	out, orig := g.RelabelByDegree()
+	if orig[0] != 3 {
+		t.Fatalf("highest-degree vertex should come first, got orig=%v", orig)
+	}
+	if out.Degree(0) != 3 {
+		t.Fatalf("relabeled vertex 0 degree = %d, want 3", out.Degree(0))
+	}
+	if out.M() != g.M() {
+		t.Fatalf("relabel changed edge count: %d != %d", out.M(), g.M())
+	}
+}

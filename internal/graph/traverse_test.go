@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+)
+
+// pathGraph returns the path 0-1-...-n-1.
+func pathGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestBFSDistancesPath(t *testing.T) {
+	g := pathGraph(5)
+	dist := g.BFSDistances(0)
+	for v, want := range []int{0, 1, 2, 3, 4} {
+		if dist[v] != want {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+}
+
+func TestBFSDistancesUnreachable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	dist := g.BFSDistances(0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Fatalf("unreachable vertices got %d, %d, want -1", dist[2], dist[3])
+	}
+}
+
+func TestBoundedBFSTruncates(t *testing.T) {
+	g := pathGraph(6)
+	dist := g.BoundedBFS(0, 2)
+	want := []int{0, 1, 2, -1, -1, -1}
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("BoundedBFS = %v, want %v", dist, want)
+		}
+	}
+}
+
+func TestBoundedBFSZeroDepth(t *testing.T) {
+	g := pathGraph(3)
+	dist := g.BoundedBFS(1, 0)
+	want := []int{-1, 0, -1}
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("BoundedBFS depth 0 = %v, want %v", dist, want)
+		}
+	}
+}
+
+func TestBoundedBFSIntoReachedCount(t *testing.T) {
+	g := pathGraph(5)
+	dist := make([]int, 5)
+	for i := range dist {
+		dist[i] = -1
+	}
+	reached := g.BoundedBFSInto(0, 3, dist, nil)
+	if reached != 3 {
+		t.Fatalf("reached = %d, want 3", reached)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	labels, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("component {0,1,2} split")
+	}
+	if labels[3] != labels[4] {
+		t.Fatal("component {3,4} split")
+	}
+	if labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Fatal("isolated vertex 5 merged into another component")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	got := g.LargestComponent()
+	want := []int{2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("LargestComponent = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LargestComponent = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := pathGraph(5).Diameter(); d != 4 {
+		t.Fatalf("path diameter = %d, want 4", d)
+	}
+	if d := New(3).Diameter(); d != 0 {
+		t.Fatalf("edgeless diameter = %d, want 0", d)
+	}
+	// Cycle of 6 has diameter 3.
+	g := New(6)
+	for i := 0; i < 6; i++ {
+		g.AddEdge(i, (i+1)%6)
+	}
+	if d := g.Diameter(); d != 3 {
+		t.Fatalf("C6 diameter = %d, want 3", d)
+	}
+}
+
+func TestGeodesicLength(t *testing.T) {
+	g := pathGraph(4)
+	if d := g.GeodesicLength(0, 3); d != 3 {
+		t.Fatalf("GeodesicLength(0,3) = %d, want 3", d)
+	}
+	if d := g.GeodesicLength(2, 2); d != 0 {
+		t.Fatalf("GeodesicLength(2,2) = %d, want 0", d)
+	}
+	h := New(3)
+	if d := h.GeodesicLength(0, 2); d != -1 {
+		t.Fatalf("disconnected GeodesicLength = %d, want -1", d)
+	}
+}
+
+func TestTriangleCount(t *testing.T) {
+	g := New(4) // K4 has 4 triangles
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	if c := g.TriangleCount(); c != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", c)
+	}
+	if c := pathGraph(5).TriangleCount(); c != 0 {
+		t.Fatalf("path triangles = %d, want 0", c)
+	}
+}
+
+func TestCountTrianglesAt(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	if c := g.CountTrianglesAt(0); c != 1 {
+		t.Fatalf("CountTrianglesAt(0) = %d, want 1", c)
+	}
+	if c := g.CountTrianglesAt(3); c != 0 {
+		t.Fatalf("CountTrianglesAt(3) = %d, want 0", c)
+	}
+}
+
+func TestPropertyBoundedBFSAgreesWithBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(18, 0.15, seed)
+		rng := rand.New(rand.NewSource(seed))
+		src := rng.Intn(18)
+		depth := 1 + rng.Intn(4)
+		full := g.BFSDistances(src)
+		bounded := g.BoundedBFS(src, depth)
+		for v := range full {
+			switch {
+			case full[v] >= 0 && full[v] <= depth:
+				if bounded[v] != full[v] {
+					return false
+				}
+			default:
+				if bounded[v] != -1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBFSTriangleInequalityOverEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(15, 0.2, seed)
+		src := 0
+		dist := g.BFSDistances(src)
+		ok := true
+		g.EachEdge(func(u, v int) {
+			du, dv := dist[u], dist[v]
+			if du >= 0 && dv >= 0 {
+				d := du - dv
+				if d < -1 || d > 1 {
+					ok = false
+				}
+			}
+			if (du < 0) != (dv < 0) {
+				ok = false // adjacent vertices must share reachability
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+package kdegree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixture"
+	"repro/internal/graph"
+	"repro/internal/opacity"
+)
+
+func TestAnonymizeSequenceValidation(t *testing.T) {
+	if _, err := AnonymizeSequence([]int{1, 2}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := AnonymizeSequence([]int{1, 2}, 3); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	out, err := AnonymizeSequence(nil, 1)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty input: %v %v", out, err)
+	}
+}
+
+func TestAnonymizeSequenceK1IsIdentity(t *testing.T) {
+	in := []int{5, 1, 3, 3}
+	out, err := AnonymizeSequence(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("k=1 changed the sequence: %v -> %v", in, out)
+		}
+	}
+}
+
+func TestAnonymizeSequenceSmallExact(t *testing.T) {
+	// Sorted desc: [5 3 3 1]; k=2 optimal grouping is {5,3},{3,1} with
+	// cost (5-3)+(3-1) = 4, better than one group of four (cost
+	// (5-3)+(5-3)+(5-1) = 8).
+	out, err := AnonymizeSequence([]int{5, 3, 3, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{5, 5, 3, 3} // aligned with input order [5 3 3 1]
+	cost := 0
+	for i := range out {
+		cost += out[i] - []int{5, 3, 3, 1}[i]
+	}
+	if cost != 4 {
+		t.Fatalf("cost = %d (out %v), want 4 (e.g. %v)", cost, out, want)
+	}
+	if !IsKAnonymous(out, 2) {
+		t.Fatalf("result not 2-anonymous: %v", out)
+	}
+}
+
+func TestAnonymizeSequenceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	property := func(kRaw uint8) bool {
+		n := 4 + rng.Intn(40)
+		k := 1 + int(kRaw)%n
+		if k > n {
+			k = n
+		}
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.Intn(10)
+		}
+		out, err := AnonymizeSequence(in, k)
+		if err != nil {
+			return false
+		}
+		// k-anonymous, element-wise >= input, and order-preserving on
+		// the sorted view (a bigger input degree never gets a smaller
+		// target).
+		if !IsKAnonymous(out, k) {
+			return false
+		}
+		for i := range in {
+			if out[i] < in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnonymizeSequenceMonotoneOnSorted(t *testing.T) {
+	in := []int{9, 7, 7, 4, 4, 4, 2, 1}
+	out, err := AnonymizeSequence(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input is sorted descending, so targets must be too.
+	for i := 1; i < len(out); i++ {
+		if out[i] > out[i-1] {
+			t.Fatalf("targets not monotone on sorted input: %v", out)
+		}
+	}
+	if !IsKAnonymous(out, 3) {
+		t.Fatalf("not 3-anonymous: %v", out)
+	}
+}
+
+func TestIsKAnonymous(t *testing.T) {
+	if !IsKAnonymous([]int{2, 2, 3, 3}, 2) {
+		t.Fatal("2-anonymous sequence rejected")
+	}
+	if IsKAnonymous([]int{2, 2, 3}, 2) {
+		t.Fatal("non-anonymous sequence accepted")
+	}
+	if !IsKAnonymous(nil, 5) {
+		t.Fatal("empty sequence should be vacuously anonymous")
+	}
+}
+
+func TestAnonymizeGraph(t *testing.T) {
+	g := fixture.Figure1()
+	res, err := Anonymize(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Supergraph: every original edge survives.
+	for _, e := range g.Edges() {
+		if !res.Graph.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+	// Input untouched.
+	if g.M() != 10 {
+		t.Fatal("input mutated")
+	}
+	if res.Realized {
+		if !IsKAnonymous(res.Graph.Degrees(), 2) {
+			t.Fatalf("realized but not 2-anonymous: %v", res.Graph.Degrees())
+		}
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inserted) != res.Graph.M()-g.M() {
+		t.Fatalf("inserted %d but M grew by %d", len(res.Inserted), res.Graph.M()-g.M())
+	}
+}
+
+func TestAnonymizeGraphValidation(t *testing.T) {
+	if _, err := Anonymize(nil, 2); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g := graph.New(3)
+	if _, err := Anonymize(g, 5); err == nil {
+		t.Fatal("k > n accepted")
+	}
+}
+
+func TestAnonymizeRandomGraphsRealizeOrDegrade(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(30)
+		g := graph.New(n)
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		for _, k := range []int{2, 3} {
+			res, err := Anonymize(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Graph.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			// Target degrees always dominate originals.
+			for v := 0; v < n; v++ {
+				if res.TargetDegrees[v] < g.Degree(v) {
+					t.Fatalf("target %d < original %d at %d", res.TargetDegrees[v], g.Degree(v), v)
+				}
+				if res.Graph.Degree(v) > res.TargetDegrees[v] {
+					t.Fatalf("vertex %d overshot its target", v)
+				}
+			}
+			if res.Realized && !IsKAnonymous(res.Graph.Degrees(), k) {
+				t.Fatal("realized result is not k-anonymous")
+			}
+		}
+	}
+}
+
+// TestIdentityProtectionDoesNotImplyLinkageProtection reproduces the
+// paper's motivating claim (Section 1): a k-degree anonymous graph can
+// still have maximum L-opacity 1, i.e. leak a linkage with certainty.
+func TestIdentityProtectionDoesNotImplyLinkageProtection(t *testing.T) {
+	// Two disjoint triangles plus a 4-cycle: every vertex has degree 2,
+	// so the graph is 10-degree anonymous (n = 10) — perfect identity
+	// protection. Yet the type {2,2} has pairs at distance 1, so the
+	// 1-opacity is positive, and on the triangle-only subgraph it is
+	// driven by certain adjacency among candidates.
+	g := graph.New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}} {
+		g.AddEdge(e[0], e[1])
+	}
+	if !IsKAnonymous(g.Degrees(), 6) {
+		t.Fatal("uniform-degree graph should be n-anonymous")
+	}
+	// All 6 vertices have degree 2; 6 of the 15 pairs are adjacent.
+	lo := opacity.MaxLO(g, g.Degrees(), 1)
+	if lo <= 0.3 {
+		t.Fatalf("MaxLO = %v, expected substantial linkage disclosure", lo)
+	}
+
+	// And at L = 2 the linkage within each triangle is certain for
+	// every pair that shares a triangle: 2-opacity still 6/15 + the
+	// distance-2 pairs — here every pair within a triangle is at
+	// distance <= 2, so 6 within-triangle pairs out of 15.
+	lo2 := opacity.MaxLO(g, g.Degrees(), 2)
+	if lo2 < lo {
+		t.Fatalf("2-opacity %v below 1-opacity %v", lo2, lo)
+	}
+}

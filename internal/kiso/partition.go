@@ -1,0 +1,120 @@
+package kiso
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// partition divides the padded vertex set {0..k*blockSize-1} into k
+// blocks of exactly blockSize vertices each. Blocks are grown by BFS from
+// high-degree seeds so that community neighbourhoods tend to land in the
+// same block, which minimizes the cross-block edges that k-isomorphism
+// must sever. Vertices beyond g.N() are isolated padding and are dealt
+// out round-robin to fill short blocks.
+func partition(g *graph.Graph, k, blockSize int, rng *rand.Rand) ([][]int, error) {
+	padded := k * blockSize
+	assigned := make([]int, padded)
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	blocks := make([][]int, k)
+
+	// Vertices in descending degree order; ties broken by a seeded
+	// shuffle so distinct seeds explore distinct partitions.
+	order := rng.Perm(g.N())
+	sort.SliceStable(order, func(i, j int) bool {
+		return g.Degree(order[i]) > g.Degree(order[j])
+	})
+
+	next := 0 // cursor into order for the next unassigned seed
+	for b := 0; b < k; b++ {
+		// Seed the block with the highest-degree vertex not yet placed.
+		for next < len(order) && assigned[order[next]] != -1 {
+			next++
+		}
+		if next >= len(order) {
+			break // only padding vertices remain
+		}
+		seed := order[next]
+		queue := []int{seed}
+		assigned[seed] = b
+		blocks[b] = append(blocks[b], seed)
+		for len(queue) > 0 && len(blocks[b]) < blockSize {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(v) {
+				if assigned[w] != -1 || len(blocks[b]) >= blockSize {
+					continue
+				}
+				assigned[w] = b
+				blocks[b] = append(blocks[b], w)
+				queue = append(queue, w)
+			}
+		}
+	}
+
+	// Fill remaining capacity: leftover real vertices first (components
+	// the BFS never reached), then padding vertices.
+	leftovers := make([]int, 0)
+	for _, v := range order {
+		if assigned[v] == -1 {
+			leftovers = append(leftovers, v)
+		}
+	}
+	for v := g.N(); v < padded; v++ {
+		leftovers = append(leftovers, v)
+	}
+	li := 0
+	for b := 0; b < k; b++ {
+		for len(blocks[b]) < blockSize {
+			if li >= len(leftovers) {
+				return nil, fmt.Errorf("kiso: internal partition accounting error (block %d short)", b)
+			}
+			v := leftovers[li]
+			li++
+			assigned[v] = b
+			blocks[b] = append(blocks[b], v)
+		}
+	}
+	if li != len(leftovers) {
+		return nil, fmt.Errorf("kiso: %d vertices left unassigned", len(leftovers)-li)
+	}
+	return blocks, nil
+}
+
+// assignSlots orders each block's vertices by descending intra-block
+// degree (ties by vertex id) so that structurally similar vertices across
+// blocks occupy the same slot. Better slot alignment means more template
+// votes agree and fewer alignment edits.
+func assignSlots(g *graph.Graph, blocks [][]int) {
+	blockOf := make(map[int]int)
+	for b, verts := range blocks {
+		for _, v := range verts {
+			blockOf[v] = b
+		}
+	}
+	intraDeg := func(v int) int {
+		if v >= g.N() {
+			return 0
+		}
+		d := 0
+		for _, w := range g.Neighbors(v) {
+			if blockOf[w] == blockOf[v] {
+				d++
+			}
+		}
+		return d
+	}
+	for _, verts := range blocks {
+		sort.SliceStable(verts, func(i, j int) bool {
+			di, dj := intraDeg(verts[i]), intraDeg(verts[j])
+			if di != dj {
+				return di > dj
+			}
+			return verts[i] < verts[j]
+		})
+	}
+}

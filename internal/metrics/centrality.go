@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// BetweennessCentrality returns the (unnormalized) shortest-path
+// betweenness of every vertex, computed with Brandes' algorithm
+// (J. Math. Sociol. 2001) in O(nm) for unweighted graphs. Each
+// unordered pair contributes once (the directed double-count is
+// halved), so values are comparable across graphs of equal size.
+//
+// Centrality is one of the "structural graph properties" the paper's
+// abstract promises to track: anonymization that preserves who the
+// broker vertices are preserves far more analytic value than one that
+// merely preserves degree counts.
+func BetweennessCentrality(g *graph.Graph) []float64 {
+	n := g.N()
+	bc := make([]float64, n)
+	if n == 0 {
+		return bc
+	}
+	// Per-source scratch, reused across sources.
+	var (
+		stack []int
+		preds = make([][]int, n)
+		sigma = make([]float64, n) // # shortest paths from s
+		dist  = make([]int, n)
+		delta = make([]float64, n)
+		queue = make([]int, 0, n)
+	)
+	for s := 0; s < n; s++ {
+		stack = stack[:0]
+		for v := 0; v < n; v++ {
+			preds[v] = preds[v][:0]
+			sigma[v] = 0
+			dist[v] = -1
+			delta[v] = 0
+		}
+		sigma[s] = 1
+		dist[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range g.Neighbors(v) {
+				if dist[w] < 0 { // first visit
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 { // shortest path via v
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		// Dependency accumulation in reverse BFS order.
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				bc[w] += delta[w]
+			}
+		}
+	}
+	for v := range bc {
+		bc[v] /= 2 // undirected: each pair counted from both endpoints
+	}
+	return bc
+}
+
+// HarmonicCloseness returns each vertex's harmonic closeness centrality
+// sum over reachable u != v of 1/d(v, u), normalized by n-1. Harmonic
+// (rather than classic) closeness stays well-defined on the
+// disconnected graphs that edge-removal anonymization produces.
+func HarmonicCloseness(g *graph.Graph) []float64 {
+	n := g.N()
+	hc := make([]float64, n)
+	if n <= 1 {
+		return hc
+	}
+	for v := 0; v < n; v++ {
+		dist := g.BFSDistances(v)
+		sum := 0.0
+		for u, d := range dist {
+			if u != v && d > 0 {
+				sum += 1 / float64(d)
+			}
+		}
+		hc[v] = sum / float64(n-1)
+	}
+	return hc
+}
+
+// SpearmanRank returns the Spearman rank-correlation coefficient of two
+// equal-length score vectors, in [-1, 1]. Ties receive fractional
+// (average) ranks. It reports how well an anonymized graph preserves
+// the ORDERING of per-vertex statistics — for centrality, whether the
+// important vertices stay important. NaN is returned when either vector
+// is constant (rank variance zero).
+func SpearmanRank(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("metrics: SpearmanRank length mismatch")
+	}
+	n := len(a)
+	if n == 0 {
+		return math.NaN()
+	}
+	ra := fractionalRanks(a)
+	rb := fractionalRanks(b)
+	return pearsonCorr(ra, rb)
+}
+
+// fractionalRanks assigns 1-based ranks with ties averaged.
+func fractionalRanks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return x[idx[i]] < x[idx[j]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+func pearsonCorr(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// CentralityPreservation summarizes how an anonymized graph preserves
+// vertex-importance structure relative to the original.
+type CentralityPreservation struct {
+	// BetweennessSpearman and ClosenessSpearman are the rank
+	// correlations of the respective centrality vectors (1 = perfect
+	// order preservation).
+	BetweennessSpearman float64
+	ClosenessSpearman   float64
+	// TopTenOverlap is |top-10% by betweenness in both| / top-10% size:
+	// the fraction of the original's most central vertices that remain
+	// most central after anonymization.
+	TopTenOverlap float64
+}
+
+// Centralities computes the preservation summary for a pair of graphs
+// over the same vertex set.
+func Centralities(original, anonymized *graph.Graph) CentralityPreservation {
+	if original.N() != anonymized.N() {
+		panic("metrics: Centralities vertex-set mismatch")
+	}
+	b0 := BetweennessCentrality(original)
+	b1 := BetweennessCentrality(anonymized)
+	c0 := HarmonicCloseness(original)
+	c1 := HarmonicCloseness(anonymized)
+	return CentralityPreservation{
+		BetweennessSpearman: SpearmanRank(b0, b1),
+		ClosenessSpearman:   SpearmanRank(c0, c1),
+		TopTenOverlap:       topShareOverlap(b0, b1, 0.10),
+	}
+}
+
+// topShareOverlap returns the overlap fraction of the top `share` of
+// vertices under the two score vectors.
+func topShareOverlap(a, b []float64, share float64) float64 {
+	n := len(a)
+	k := int(math.Ceil(share * float64(n)))
+	if k == 0 {
+		return 1
+	}
+	top := func(x []float64) map[int]bool {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool {
+			if x[idx[i]] != x[idx[j]] {
+				return x[idx[i]] > x[idx[j]]
+			}
+			return idx[i] < idx[j] // deterministic tie order
+		})
+		set := make(map[int]bool, k)
+		for _, v := range idx[:k] {
+			set[v] = true
+		}
+		return set
+	}
+	ta, tb := top(a), top(b)
+	common := 0
+	for v := range ta {
+		if tb[v] {
+			common++
+		}
+	}
+	return float64(common) / float64(k)
+}

@@ -1,0 +1,241 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// A path 0-1-2-3-4: betweenness is highest at the middle vertex and
+// zero at the endpoints; exact values are known in closed form.
+func TestBetweennessOnPath(t *testing.T) {
+	g := graph.FromEdges(5, []graph.Edge{
+		graph.E(0, 1), graph.E(1, 2), graph.E(2, 3), graph.E(3, 4),
+	})
+	bc := BetweennessCentrality(g)
+	// Vertex 2 lies on the shortest paths of pairs {0,3},{0,4},{1,3},{1,4}.
+	want := []float64{0, 3, 4, 3, 0}
+	for v, w := range want {
+		if math.Abs(bc[v]-w) > 1e-12 {
+			t.Errorf("bc[%d]=%v, want %v", v, bc[v], w)
+		}
+	}
+}
+
+// A star: the hub carries every pair, the leaves none.
+func TestBetweennessOnStar(t *testing.T) {
+	n := 7
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	bc := BetweennessCentrality(g)
+	leaves := float64((n - 1) * (n - 2) / 2) // pairs routed via the hub
+	if math.Abs(bc[0]-leaves) > 1e-12 {
+		t.Fatalf("hub bc=%v, want %v", bc[0], leaves)
+	}
+	for v := 1; v < n; v++ {
+		if bc[v] != 0 {
+			t.Fatalf("leaf %d bc=%v, want 0", v, bc[v])
+		}
+	}
+}
+
+// On a cycle every vertex is symmetric: betweenness must be uniform.
+func TestBetweennessCycleUniform(t *testing.T) {
+	n := 9
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v+1)%n)
+	}
+	bc := BetweennessCentrality(g)
+	for v := 1; v < n; v++ {
+		if math.Abs(bc[v]-bc[0]) > 1e-9 {
+			t.Fatalf("cycle not uniform: bc[0]=%v bc[%d]=%v", bc[0], v, bc[v])
+		}
+	}
+}
+
+// Brandes on a graph with equal-length parallel shortest paths must
+// split credit: in a 4-cycle 0-1-3, 0-2-3, vertices 1 and 2 each carry
+// half of the pair {0,3}.
+func TestBetweennessSplitsParallelPaths(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{
+		graph.E(0, 1), graph.E(0, 2), graph.E(1, 3), graph.E(2, 3),
+	})
+	bc := BetweennessCentrality(g)
+	if math.Abs(bc[1]-0.5) > 1e-12 || math.Abs(bc[2]-0.5) > 1e-12 {
+		t.Fatalf("bc=%v, want 0.5 at vertices 1 and 2", bc)
+	}
+}
+
+func TestHarmonicClosenessPath(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{graph.E(0, 1), graph.E(1, 2)})
+	hc := HarmonicCloseness(g)
+	// Middle: (1 + 1)/2 = 1; ends: (1 + 1/2)/2 = 0.75.
+	if math.Abs(hc[1]-1) > 1e-12 || math.Abs(hc[0]-0.75) > 1e-12 {
+		t.Fatalf("hc=%v", hc)
+	}
+}
+
+func TestHarmonicClosenessDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	hc := HarmonicCloseness(g)
+	if math.Abs(hc[0]-1.0/3) > 1e-12 {
+		t.Fatalf("hc[0]=%v, want 1/3", hc[0])
+	}
+	if hc[3] != 0 {
+		t.Fatalf("isolated vertex closeness=%v, want 0", hc[3])
+	}
+}
+
+func TestSpearmanRank(t *testing.T) {
+	perfect := SpearmanRank([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40})
+	if math.Abs(perfect-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", perfect)
+	}
+	inverted := SpearmanRank([]float64{1, 2, 3, 4}, []float64{4, 3, 2, 1})
+	if math.Abs(inverted+1) > 1e-12 {
+		t.Fatalf("inverted correlation = %v", inverted)
+	}
+	if !math.IsNaN(SpearmanRank([]float64{1, 1, 1}, []float64{1, 2, 3})) {
+		t.Fatal("constant vector should give NaN")
+	}
+}
+
+func TestSpearmanRankTies(t *testing.T) {
+	// With averaged tie ranks, these two orderings still correlate
+	// positively but not perfectly.
+	r := SpearmanRank([]float64{1, 2, 2, 3}, []float64{1, 2, 3, 4})
+	if r <= 0.9 || r >= 1 {
+		t.Fatalf("tied correlation = %v, want in (0.9, 1)", r)
+	}
+}
+
+// Property: Spearman is invariant under strictly monotone transforms.
+func TestSpearmanMonotoneInvariantQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		r1 := SpearmanRank(a, b)
+		cubed := make([]float64, n)
+		for i, v := range a {
+			cubed[i] = v * v * v // strictly increasing
+		}
+		r2 := SpearmanRank(cubed, b)
+		return math.Abs(r1-r2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCentralitiesIdentity(t *testing.T) {
+	g := prefGraph(60, 2, 1)
+	cp := Centralities(g, g)
+	if math.Abs(cp.BetweennessSpearman-1) > 1e-9 ||
+		math.Abs(cp.ClosenessSpearman-1) > 1e-9 ||
+		cp.TopTenOverlap != 1 {
+		t.Fatalf("self-comparison not perfect: %+v", cp)
+	}
+}
+
+func TestCentralitiesDegradeUnderRewiring(t *testing.T) {
+	g := prefGraph(80, 2, 2)
+	shuffled := randomGNM(80, g.M(), 3)
+	cp := Centralities(g, shuffled)
+	if !(cp.BetweennessSpearman < 0.9) {
+		t.Fatalf("random rewiring kept betweenness order (r=%v)?", cp.BetweennessSpearman)
+	}
+}
+
+// Property: betweenness credit is conserved — the sum over vertices of
+// betweenness equals the sum over reachable pairs of (internal path
+// vertices), which for unweighted graphs is sum of (d(u,v) - 1) over
+// reachable pairs u < v.
+func TestBetweennessConservationQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		g := gnmFrom(n, n+rng.Intn(2*n), rng)
+		bc := BetweennessCentrality(g)
+		var sumBC float64
+		for _, v := range bc {
+			sumBC += v
+		}
+		var sumPath float64
+		for u := 0; u < n; u++ {
+			dist := g.BFSDistances(u)
+			for v := u + 1; v < n; v++ {
+				if dist[v] > 0 {
+					sumPath += float64(dist[v] - 1)
+				}
+			}
+		}
+		return math.Abs(sumBC-sumPath) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBetweenness(b *testing.B) {
+	g := prefGraph(200, 3, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BetweennessCentrality(g)
+	}
+}
+
+// prefGraph builds a small preferential-attachment graph without
+// importing internal/gen (which would create an import cycle: gen's
+// calibration depends on this package).
+func prefGraph(n, k int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	var targets []int
+	for v := 0; v < n; v++ {
+		for i := 0; i < k && v > 0; i++ {
+			var w int
+			if len(targets) == 0 || rng.Intn(2) == 0 {
+				w = rng.Intn(v)
+			} else {
+				w = targets[rng.Intn(len(targets))]
+			}
+			if g.AddEdge(v, w) {
+				targets = append(targets, v, w)
+			}
+		}
+	}
+	return g
+}
+
+// randomGNM builds a uniform graph with exactly m edges.
+func randomGNM(n, m int, seed int64) *graph.Graph {
+	return gnmFrom(n, m, rand.New(rand.NewSource(seed)))
+}
+
+func gnmFrom(n, m int, rng *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	for g.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}

@@ -1,0 +1,96 @@
+package metrics
+
+import "repro/internal/graph"
+
+// EMD computes the Earth Mover's Distance between two discrete
+// distributions over the integer line with unit ground distance. The
+// inputs are histograms (not necessarily normalized, not necessarily the
+// same length); each is normalized to a probability distribution first,
+// and the distance is the L1 distance between the CDFs — the closed form
+// of 1-D EMD used to compare degree and geodesic distributions in the
+// paper's Figure 7.
+func EMD(histA, histB []float64) float64 {
+	n := len(histA)
+	if len(histB) > n {
+		n = len(histB)
+	}
+	if n == 0 {
+		return 0
+	}
+	sumA, sumB := 0.0, 0.0
+	for _, v := range histA {
+		sumA += v
+	}
+	for _, v := range histB {
+		sumB += v
+	}
+	at := func(h []float64, i int, sum float64) float64 {
+		if i >= len(h) || sum == 0 {
+			return 0
+		}
+		return h[i] / sum
+	}
+	emd := 0.0
+	cdfDiff := 0.0
+	for i := 0; i < n; i++ {
+		cdfDiff += at(histA, i, sumA) - at(histB, i, sumB)
+		if cdfDiff >= 0 {
+			emd += cdfDiff
+		} else {
+			emd -= cdfDiff
+		}
+	}
+	return emd
+}
+
+// EMDInt is EMD over integer histograms.
+func EMDInt(histA, histB []int) float64 {
+	a := make([]float64, len(histA))
+	for i, v := range histA {
+		a[i] = float64(v)
+	}
+	b := make([]float64, len(histB))
+	for i, v := range histB {
+		b[i] = float64(v)
+	}
+	return EMD(a, b)
+}
+
+// DegreeEMD returns the EMD between the degree distributions of two
+// graphs (Figure 7a's measure).
+func DegreeEMD(a, b *graph.Graph) float64 {
+	return EMDInt(a.DegreeHistogram(), b.DegreeHistogram())
+}
+
+// GeodesicHistogram returns counts of geodesic distances over all
+// reachable unordered vertex pairs: hist[d] = number of pairs at
+// distance d (hist[0] unused). The second return value is the number of
+// unreachable pairs.
+func GeodesicHistogram(g *graph.Graph) (hist []int, unreachable int) {
+	n := g.N()
+	hist = []int{0}
+	for src := 0; src < n; src++ {
+		dist := g.BFSDistances(src)
+		for j := src + 1; j < n; j++ {
+			d := dist[j]
+			if d < 0 {
+				unreachable++
+				continue
+			}
+			for len(hist) <= d {
+				hist = append(hist, 0)
+			}
+			hist[d]++
+		}
+	}
+	return hist, unreachable
+}
+
+// GeodesicEMD returns the EMD between the geodesic-distance
+// distributions of two graphs over their reachable pairs (Figure 7b's
+// measure).
+func GeodesicEMD(a, b *graph.Graph) float64 {
+	ha, _ := GeodesicHistogram(a)
+	hb, _ := GeodesicHistogram(b)
+	return EMDInt(ha, hb)
+}

@@ -1,0 +1,85 @@
+// Package metrics implements the alteration and utility measures of the
+// paper's experimental evaluation (Section 6.2): the graph edit-distance
+// ratio (distortion, Equation 1), the Earth Mover's Distance between
+// degree and geodesic-distance distributions, and clustering-coefficient
+// differences — plus the dataset-property statistics of Tables 2 and 3
+// and the spectral quantities referenced by the abstract.
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Distortion is the paper's Equation 1: the symmetric difference of the
+// edge sets of the original and anonymized graphs, normalized by the
+// original edge count. Both graphs must share a vertex set.
+func Distortion(original, anonymized *graph.Graph) float64 {
+	if original.M() == 0 {
+		return 0
+	}
+	return float64(graph.SymmetricDifferenceSize(original, anonymized)) / float64(original.M())
+}
+
+// DegreeStats summarizes a degree sequence as reported in the paper's
+// Tables 2 and 3.
+type DegreeStats struct {
+	Average float64 // Av. Deg.
+	StdDev  float64 // STDD
+	Max     int
+	Min     int
+}
+
+// Degrees computes degree statistics for g.
+func Degrees(g *graph.Graph) DegreeStats {
+	n := g.N()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	sum := 0
+	min, max := g.Degree(0), g.Degree(0)
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		sum += d
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	avg := float64(sum) / float64(n)
+	varSum := 0.0
+	for v := 0; v < n; v++ {
+		diff := float64(g.Degree(v)) - avg
+		varSum += diff * diff
+	}
+	return DegreeStats{
+		Average: avg,
+		StdDev:  math.Sqrt(varSum / float64(n)),
+		Max:     max,
+		Min:     min,
+	}
+}
+
+// GraphProperties aggregates the property columns of Tables 2 and 3.
+type GraphProperties struct {
+	Nodes    int
+	Links    int
+	Diameter int
+	Degree   DegreeStats
+	ACC      float64 // average clustering coefficient
+}
+
+// Properties computes the Table 2/3 property row for g. Diameter is the
+// longest shortest path over reachable pairs (per component).
+func Properties(g *graph.Graph) GraphProperties {
+	return GraphProperties{
+		Nodes:    g.N(),
+		Links:    g.M(),
+		Diameter: g.Diameter(),
+		Degree:   Degrees(g),
+		ACC:      AverageClustering(g),
+	}
+}

@@ -1,0 +1,307 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixture"
+	"repro/internal/graph"
+)
+
+func randomGraph(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDistortionIdentityAndRemoval(t *testing.T) {
+	g := fixture.Figure1()
+	if d := Distortion(g, g); d != 0 {
+		t.Fatalf("self distortion = %v", d)
+	}
+	h := g.Clone()
+	h.RemoveEdge(0, 1)
+	h.RemoveEdge(1, 2)
+	if d := Distortion(g, h); !close(d, 0.2) {
+		t.Fatalf("distortion after 2/10 removals = %v, want 0.2", d)
+	}
+	// Removal + insertion both count (Equation 1 is symmetric difference).
+	h.AddEdge(0, 6)
+	if d := Distortion(g, h); !close(d, 0.3) {
+		t.Fatalf("distortion after 2 removals + 1 insertion = %v, want 0.3", d)
+	}
+}
+
+func TestDistortionEmptyOriginal(t *testing.T) {
+	if d := Distortion(graph.New(3), graph.New(3)); d != 0 {
+		t.Fatalf("empty distortion = %v", d)
+	}
+}
+
+func TestDegreeStatsFigure1(t *testing.T) {
+	s := Degrees(fixture.Figure1())
+	// Degrees 2,4,4,2,4,3,1: mean 20/7.
+	if !close(s.Average, 20.0/7.0) {
+		t.Fatalf("average = %v, want %v", s.Average, 20.0/7.0)
+	}
+	if s.Max != 4 || s.Min != 1 {
+		t.Fatalf("max/min = %d/%d, want 4/1", s.Max, s.Min)
+	}
+	if s.StdDev <= 0 {
+		t.Fatal("stddev must be positive for non-regular graph")
+	}
+}
+
+func TestDegreesEmpty(t *testing.T) {
+	if s := Degrees(graph.New(0)); s.Average != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestLocalClusteringTriangleAndStar(t *testing.T) {
+	tri := graph.New(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(0, 2)
+	for v, c := range LocalClustering(tri) {
+		if !close(c, 1) {
+			t.Fatalf("triangle vertex %d clustering = %v, want 1", v, c)
+		}
+	}
+	star := graph.New(4)
+	star.AddEdge(0, 1)
+	star.AddEdge(0, 2)
+	star.AddEdge(0, 3)
+	cs := LocalClustering(star)
+	for v, c := range cs {
+		if c != 0 {
+			t.Fatalf("star vertex %d clustering = %v, want 0", v, c)
+		}
+	}
+	if acc := AverageClustering(star); acc != 0 {
+		t.Fatalf("star ACC = %v", acc)
+	}
+	if acc := AverageClustering(tri); !close(acc, 1) {
+		t.Fatalf("triangle ACC = %v", acc)
+	}
+}
+
+func TestMeanClusteringDelta(t *testing.T) {
+	tri := graph.New(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(0, 2)
+	path := tri.Clone()
+	path.RemoveEdge(0, 2)
+	// Clustering drops from 1 to 0 for all three vertices.
+	if d := MeanClusteringDelta(tri, path); !close(d, 1) {
+		t.Fatalf("mean delta = %v, want 1", d)
+	}
+	if d := MeanClusteringDelta(tri, tri); d != 0 {
+		t.Fatalf("self delta = %v", d)
+	}
+}
+
+func TestMeanClusteringDeltaMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("vertex-set mismatch did not panic")
+		}
+	}()
+	MeanClusteringDelta(graph.New(3), graph.New(4))
+}
+
+func TestEMDBasics(t *testing.T) {
+	// Identical distributions.
+	if d := EMD([]float64{1, 2, 3}, []float64{2, 4, 6}); !close(d, 0) {
+		t.Fatalf("EMD of proportional histograms = %v, want 0", d)
+	}
+	// All mass shifted by one position: EMD = 1.
+	if d := EMD([]float64{1, 0}, []float64{0, 1}); !close(d, 1) {
+		t.Fatalf("unit shift EMD = %v, want 1", d)
+	}
+	// Shift by two positions: EMD = 2.
+	if d := EMD([]float64{1, 0, 0}, []float64{0, 0, 1}); !close(d, 2) {
+		t.Fatalf("two-step shift EMD = %v, want 2", d)
+	}
+	// Different lengths are padded with zeros.
+	if d := EMD([]float64{1}, []float64{0, 1}); !close(d, 1) {
+		t.Fatalf("padded EMD = %v, want 1", d)
+	}
+	if d := EMD(nil, nil); d != 0 {
+		t.Fatalf("nil EMD = %v", d)
+	}
+}
+
+func TestPropertyEMDIsMetric(t *testing.T) {
+	f := func(rawA, rawB, rawC [6]uint8) bool {
+		toHist := func(raw [6]uint8) []float64 {
+			h := make([]float64, 6)
+			total := 0.0
+			for i, v := range raw {
+				h[i] = float64(v)
+				total += float64(v)
+			}
+			if total == 0 {
+				h[0] = 1
+			}
+			return h
+		}
+		a, b, c := toHist(rawA), toHist(rawB), toHist(rawC)
+		dab := EMD(a, b)
+		if dab < 0 || !close(dab, EMD(b, a)) {
+			return false
+		}
+		if !close(EMD(a, a), 0) {
+			return false
+		}
+		return EMD(a, c) <= dab+EMD(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeEMDDetectsChange(t *testing.T) {
+	g := fixture.Figure1()
+	if d := DegreeEMD(g, g); !close(d, 0) {
+		t.Fatalf("self degree EMD = %v", d)
+	}
+	h := g.Clone()
+	h.RemoveEdge(1, 2) // removes an edge between the two degree-4 hubs
+	if d := DegreeEMD(g, h); d <= 0 {
+		t.Fatalf("degree EMD after removal = %v, want > 0", d)
+	}
+}
+
+func TestGeodesicHistogramPath(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	hist, unreach := GeodesicHistogram(g)
+	// Path 0-1-2-3: distances 1 (x3), 2 (x2), 3 (x1).
+	if unreach != 0 {
+		t.Fatalf("unreachable = %d", unreach)
+	}
+	want := []int{0, 3, 2, 1}
+	if len(hist) != len(want) {
+		t.Fatalf("hist = %v, want %v", hist, want)
+	}
+	for i := range want {
+		if hist[i] != want[i] {
+			t.Fatalf("hist = %v, want %v", hist, want)
+		}
+	}
+}
+
+func TestGeodesicHistogramUnreachable(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	_, unreach := GeodesicHistogram(g)
+	// Pairs (0,2),(0,3),(1,2),(1,3),(2,3) unreachable.
+	if unreach != 5 {
+		t.Fatalf("unreachable = %d, want 5", unreach)
+	}
+}
+
+func TestGeodesicEMD(t *testing.T) {
+	g := fixture.Figure1()
+	if d := GeodesicEMD(g, g); !close(d, 0) {
+		t.Fatalf("self geodesic EMD = %v", d)
+	}
+	h := g.Clone()
+	h.RemoveEdge(5, 6)
+	if d := GeodesicEMD(g, h); d <= 0 {
+		t.Fatalf("geodesic EMD after cut = %v, want > 0", d)
+	}
+}
+
+func TestPropertiesFigure1(t *testing.T) {
+	p := Properties(fixture.Figure1())
+	if p.Nodes != 7 || p.Links != 10 || p.Diameter != 3 {
+		t.Fatalf("properties = %+v", p)
+	}
+	if p.ACC <= 0 || p.ACC > 1 {
+		t.Fatalf("ACC = %v out of range", p.ACC)
+	}
+}
+
+func TestLargestAdjacencyEigenvalue(t *testing.T) {
+	// Complete graph K4: largest eigenvalue = n-1 = 3.
+	k4 := graph.New(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			k4.AddEdge(u, v)
+		}
+	}
+	if l := LargestAdjacencyEigenvalue(k4); math.Abs(l-3) > 1e-6 {
+		t.Fatalf("K4 lambda_max = %v, want 3", l)
+	}
+	// Star K_{1,3}: lambda_max = sqrt(3).
+	star := graph.New(4)
+	star.AddEdge(0, 1)
+	star.AddEdge(0, 2)
+	star.AddEdge(0, 3)
+	if l := LargestAdjacencyEigenvalue(star); math.Abs(l-math.Sqrt(3)) > 1e-6 {
+		t.Fatalf("star lambda_max = %v, want sqrt(3)", l)
+	}
+	if l := LargestAdjacencyEigenvalue(graph.New(3)); l != 0 {
+		t.Fatalf("edgeless lambda_max = %v", l)
+	}
+}
+
+func TestAlgebraicConnectivity(t *testing.T) {
+	// Complete graph K4: lambda_2(L) = n = 4.
+	k4 := graph.New(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			k4.AddEdge(u, v)
+		}
+	}
+	if l := AlgebraicConnectivity(k4); math.Abs(l-4) > 1e-5 {
+		t.Fatalf("K4 lambda_2 = %v, want 4", l)
+	}
+	// Disconnected graph: lambda_2 = 0.
+	disc := graph.New(4)
+	disc.AddEdge(0, 1)
+	disc.AddEdge(2, 3)
+	if l := AlgebraicConnectivity(disc); l > 1e-6 {
+		t.Fatalf("disconnected lambda_2 = %v, want ~0", l)
+	}
+	// Path P3: lambda_2(L) = 1.
+	p3 := graph.New(3)
+	p3.AddEdge(0, 1)
+	p3.AddEdge(1, 2)
+	if l := AlgebraicConnectivity(p3); math.Abs(l-1) > 1e-5 {
+		t.Fatalf("P3 lambda_2 = %v, want 1", l)
+	}
+}
+
+func TestPropertySpectralBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(12, 0.3, seed)
+		lmax := LargestAdjacencyEigenvalue(g)
+		// Spectral radius is between average degree and max degree.
+		stats := Degrees(g)
+		if g.M() > 0 && (lmax < stats.Average-1e-6 || lmax > float64(stats.Max)+1e-6) {
+			return false
+		}
+		l2 := AlgebraicConnectivity(g)
+		return l2 >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

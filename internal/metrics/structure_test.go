@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func path(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestDegreeAssortativityStar(t *testing.T) {
+	// A star is maximally disassortative: every edge joins degree n-1
+	// with degree 1.
+	g := graph.New(6)
+	for v := 1; v < 6; v++ {
+		g.AddEdge(0, v)
+	}
+	r := DegreeAssortativity(g)
+	if math.Abs(r-(-1)) > 1e-9 {
+		t.Fatalf("star assortativity = %v, want -1", r)
+	}
+}
+
+func TestDegreeAssortativityRegular(t *testing.T) {
+	// A cycle is degree-regular: correlation undefined, reported as 0.
+	g := graph.New(5)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)
+	}
+	if r := DegreeAssortativity(g); r != 0 {
+		t.Fatalf("cycle assortativity = %v, want 0", r)
+	}
+	if r := DegreeAssortativity(graph.New(4)); r != 0 {
+		t.Fatalf("empty graph assortativity = %v, want 0", r)
+	}
+}
+
+func TestDegreeAssortativityRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		n := 10 + rng.Intn(40)
+		g := graph.New(n)
+		for i := 0; i < 3*n; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		r := DegreeAssortativity(g)
+		if r < -1-1e-9 || r > 1+1e-9 {
+			t.Fatalf("assortativity %v outside [-1, 1]", r)
+		}
+	}
+}
+
+func TestDegreeAssortativityMatchesBruteForce(t *testing.T) {
+	// Cross-check the single-pass formula against a direct Pearson
+	// computation over the 2m endpoint pairs.
+	rng := rand.New(rand.NewSource(2))
+	g := graph.New(20)
+	for i := 0; i < 50; i++ {
+		g.AddEdge(rng.Intn(20), rng.Intn(20))
+	}
+	var xs, ys []float64
+	g.EachEdge(func(u, v int) {
+		du, dv := float64(g.Degree(u)), float64(g.Degree(v))
+		xs = append(xs, du, dv)
+		ys = append(ys, dv, du)
+	})
+	want := pearson(xs, ys)
+	got := DegreeAssortativity(g)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("assortativity = %v, brute force = %v", got, want)
+	}
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		syy += ys[i] * ys[i]
+		sxy += xs[i] * ys[i]
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+func TestPathLengthsPath(t *testing.T) {
+	// Path on 4 vertices: distances 1x3, 2x2, 3x1 -> mean 10/6.
+	stats := PathLengths(path(4))
+	if stats.Reachable != 6 || stats.Unreachable != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if math.Abs(stats.Average-10.0/6) > 1e-12 {
+		t.Fatalf("Average = %v, want %v", stats.Average, 10.0/6)
+	}
+	if stats.Effective90 != 3 {
+		t.Fatalf("Effective90 = %d, want 3", stats.Effective90)
+	}
+}
+
+func TestPathLengthsDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	stats := PathLengths(g)
+	if stats.Reachable != 1 || stats.Unreachable != 5 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Average != 1 {
+		t.Fatalf("Average = %v, want 1", stats.Average)
+	}
+	empty := PathLengths(graph.New(3))
+	if empty.Average != 0 || empty.Reachable != 0 {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+}
+
+func TestAveragePathLengthSmallWorld(t *testing.T) {
+	// The small-world property the paper leans on: a random graph's
+	// average distance grows like log n, so even at n = 200 it stays
+	// in single digits.
+	rng := rand.New(rand.NewSource(3))
+	g := graph.New(200)
+	for i := 0; i < 800; i++ {
+		g.AddEdge(rng.Intn(200), rng.Intn(200))
+	}
+	apl := AveragePathLength(g)
+	if apl <= 1 || apl > 10 {
+		t.Fatalf("average path length = %v, want small-world single digits", apl)
+	}
+}

@@ -1,0 +1,84 @@
+package opacity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/apsp"
+	"repro/internal/graph"
+)
+
+// MaxLO is the paper's Algorithm 1 as a one-shot convenience: it computes
+// the graph's maximum L-opacity over all degree-pair types, using the
+// given ORIGINAL degree vector (which may differ from g's current degrees
+// after anonymizing mutations). Pass degrees == nil to use g's own
+// degrees (i.e., when g is the original graph).
+func MaxLO(g *graph.Graph, degrees []int, L int) float64 {
+	if degrees == nil {
+		degrees = g.Degrees()
+	}
+	types := NewDegreeTypes(degrees)
+	m := apsp.BoundedAPSP(g, L)
+	return NewTracker(types, m).Evaluate().MaxLO
+}
+
+// Satisfies reports whether g is L-opaque with respect to theta under the
+// algorithmic convention of the paper's Algorithms 4 and 5: the loop runs
+// while LO(G') > theta, so LO <= theta satisfies.
+func Satisfies(g *graph.Graph, degrees []int, L int, theta float64) bool {
+	return MaxLO(g, degrees, L) <= theta
+}
+
+// TypeReport describes one vertex-pair type in a Report.
+type TypeReport struct {
+	Label   string
+	Total   int // |T|, including unreachable pairs
+	Within  int // pairs at distance <= L
+	Opacity float64
+}
+
+// Report is the full opacity matrix of a graph (the paper's Figure 5c)
+// plus the graph-level summary.
+type Report struct {
+	L      int
+	MaxLO  float64
+	N      int // population of types attaining MaxLO
+	ByType []TypeReport
+}
+
+// NewReport computes a full opacity report for g with the given original
+// degrees (nil for g's own).
+func NewReport(g *graph.Graph, degrees []int, L int) Report {
+	if degrees == nil {
+		degrees = g.Degrees()
+	}
+	types := NewDegreeTypes(degrees)
+	tr := NewTracker(types, apsp.BoundedAPSP(g, L))
+	ev := tr.Evaluate()
+	rep := Report{L: L, MaxLO: ev.MaxLO, N: ev.Population}
+	for id := 0; id < types.NumTypes(); id++ {
+		if types.Total(id) == 0 {
+			continue
+		}
+		rep.ByType = append(rep.ByType, TypeReport{
+			Label:   types.Label(id),
+			Total:   types.Total(id),
+			Within:  tr.Count(id),
+			Opacity: tr.OpacityOf(id),
+		})
+	}
+	sort.Slice(rep.ByType, func(i, j int) bool { return rep.ByType[i].Label < rep.ByType[j].Label })
+	return rep
+}
+
+// String renders the report as an aligned table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "L=%d  maxLO=%.4f  N(maxLO)=%d\n", r.L, r.MaxLO, r.N)
+	fmt.Fprintf(&b, "%-12s %8s %8s %9s\n", "type", "within", "total", "opacity")
+	for _, t := range r.ByType {
+		fmt.Fprintf(&b, "%-12s %8d %8d %9.4f\n", t.Label, t.Within, t.Total, t.Opacity)
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package opacity
+
+import (
+	"repro/internal/apsp"
+)
+
+// Tracker maintains, for every vertex-pair type, the count of pairs at
+// geodesic distance <= L (the paper's L matrix, Figure 5a) and derives
+// per-type opacities and the graph maximum (Figure 5c and Algorithm 1).
+// It supports O(1) incremental updates as pairs cross the <=L threshold,
+// which is what makes the greedy heuristics' candidate scans affordable.
+type Tracker struct {
+	types  TypeAssigner
+	l      int
+	counts []int
+}
+
+// NewTracker builds a tracker from an L-capped distance matrix, counting
+// every typed pair within L (the loop of Algorithm 1, lines 3-6).
+func NewTracker(types TypeAssigner, m *apsp.Matrix) *Tracker {
+	t := &Tracker{
+		types:  types,
+		l:      m.L(),
+		counts: make([]int, types.NumTypes()),
+	}
+	l := m.L()
+	m.EachPair(func(i, j, d int) {
+		if d <= l {
+			if id := types.TypeOf(i, j); id >= 0 {
+				t.counts[id]++
+			}
+		}
+	})
+	return t
+}
+
+// L returns the distance threshold.
+func (t *Tracker) L() int { return t.l }
+
+// Types returns the underlying type assigner.
+func (t *Tracker) Types() TypeAssigner { return t.types }
+
+// Count returns the current <=L pair count of the given type.
+func (t *Tracker) Count(id int) int { return t.counts[id] }
+
+// Counts returns a copy of the per-type <=L counts (the paper's L
+// matrix in dense-ID form).
+func (t *Tracker) Counts() []int { return append([]int(nil), t.counts...) }
+
+// SetCounts overwrites the counts; used to roll back trial evaluations.
+func (t *Tracker) SetCounts(counts []int) { copy(t.counts, counts) }
+
+// OpacityOf returns LO_G(T) for a type ID (Definition 2). Types with an
+// empty pair population have opacity 0 by convention (nothing can be
+// disclosed about a type with no pairs).
+func (t *Tracker) OpacityOf(id int) float64 {
+	total := t.types.Total(id)
+	if total == 0 {
+		return 0
+	}
+	return float64(t.counts[id]) / float64(total)
+}
+
+// Update adjusts the counts for one pair whose capped distance changed
+// from oldD to newD. Distances beyond L (or Far) may be passed as any
+// value exceeding L.
+func (t *Tracker) Update(x, y, oldD, newD int) {
+	wasIn := oldD <= t.l
+	isIn := newD <= t.l
+	if wasIn == isIn {
+		return
+	}
+	id := t.types.TypeOf(x, y)
+	if id < 0 {
+		return
+	}
+	if isIn {
+		t.counts[id]++
+	} else {
+		t.counts[id]--
+	}
+}
+
+// Evaluation is the pair of quantities the greedy heuristics order
+// candidate moves by: the graph's maximum opacity (Algorithm 1's output)
+// and the paper's N(p), the number of types attaining that maximum.
+type Evaluation struct {
+	MaxLO      float64
+	Population int
+}
+
+// Better reports whether e is strictly preferable to o under the paper's
+// lexicographic criterion: lower max opacity first, then a smaller
+// population of types attaining it.
+func (e Evaluation) Better(o Evaluation) bool {
+	if e.MaxLO != o.MaxLO {
+		return e.MaxLO < o.MaxLO
+	}
+	return e.Population < o.Population
+}
+
+// Ties reports whether e and o are indistinguishable to the greedy
+// criterion (equal opacity and population).
+func (e Evaluation) Ties(o Evaluation) bool {
+	return e.MaxLO == o.MaxLO && e.Population == o.Population
+}
+
+// Evaluate computes the current maximum opacity and its population
+// (Algorithm 1 lines 7-12 plus the N function of Section 5.2). The scan
+// is O(#types); type populations are tiny next to |V|^2 in practice.
+func (t *Tracker) Evaluate() Evaluation {
+	maxLO := 0.0
+	pop := 0
+	for id := range t.counts {
+		total := t.types.Total(id)
+		if total == 0 {
+			continue
+		}
+		lo := float64(t.counts[id]) / float64(total)
+		switch {
+		case lo > maxLO:
+			maxLO = lo
+			pop = 1
+		case lo == maxLO:
+			pop++
+		}
+	}
+	return Evaluation{MaxLO: maxLO, Population: pop}
+}
+
+// EvaluateWith computes the evaluation that WOULD result from applying
+// the given per-pair distance changes, without mutating the tracker.
+// deltas is the scratch count slice to use (len NumTypes, will be
+// overwritten); pass nil to allocate.
+func (t *Tracker) EvaluateWith(changes []PairChange, deltas []int) Evaluation {
+	if deltas == nil {
+		deltas = make([]int, len(t.counts))
+	} else {
+		for i := range deltas {
+			deltas[i] = 0
+		}
+	}
+	for _, c := range changes {
+		wasIn := c.OldD <= t.l
+		isIn := c.NewD <= t.l
+		if wasIn == isIn {
+			continue
+		}
+		id := t.types.TypeOf(c.X, c.Y)
+		if id < 0 {
+			continue
+		}
+		if isIn {
+			deltas[id]++
+		} else {
+			deltas[id]--
+		}
+	}
+	maxLO := 0.0
+	pop := 0
+	for id := range t.counts {
+		total := t.types.Total(id)
+		if total == 0 {
+			continue
+		}
+		lo := float64(t.counts[id]+deltas[id]) / float64(total)
+		switch {
+		case lo > maxLO:
+			maxLO = lo
+			pop = 1
+		case lo == maxLO:
+			pop++
+		}
+	}
+	return Evaluation{MaxLO: maxLO, Population: pop}
+}
+
+// PairChange records a capped-distance change for one vertex pair.
+type PairChange struct {
+	X, Y       int
+	OldD, NewD int
+}

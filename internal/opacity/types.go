@@ -1,0 +1,163 @@
+// Package opacity implements the paper's privacy model: vertex-pair
+// types (Definition 1), the per-type L-opacity ratio (Definition 2), and
+// the graph-level maximum opacity (Definition 3, computed by the paper's
+// Algorithm 1), together with an incremental tracker that keeps per-type
+// counts current across edge mutations without full recomputation.
+package opacity
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TypeAssigner classifies unordered vertex pairs into types of interest
+// (paper Definition 1). Implementations must be stable: the type of a
+// pair never changes across graph mutations, because the paper's
+// publication model fixes types from properties of the ORIGINAL graph
+// (by default, original degrees).
+type TypeAssigner interface {
+	// TypeOf returns the type ID of the unordered pair {u, v}, or -1 if
+	// the pair belongs to no type (pairs "indifferent to us").
+	TypeOf(u, v int) int
+	// NumTypes returns the number of type IDs; IDs are dense in
+	// [0, NumTypes()).
+	NumTypes() int
+	// Total returns |T|: the number of distinct vertex pairs of type id,
+	// counting unreachable pairs (Definition 2's denominator).
+	Total(id int) int
+	// Label returns a human-readable name for the type, e.g. "P{3,4}".
+	Label(id int) string
+}
+
+// DegreeTypes is the paper's default type system: the type of a pair is
+// the unordered pair of the two vertices' ORIGINAL degrees. All degree
+// combinations occurring in the graph define types.
+type DegreeTypes struct {
+	degrees   []int // original degree per vertex, frozen
+	distinct  []int // sorted distinct degree values
+	degIndex  map[int]int
+	nv        []int // vertex count per distinct degree
+	numTypes  int
+	totals    []int
+	labels    []string
+	typeOfDeg func(di, dj int) int
+}
+
+// NewDegreeTypes builds the degree-based type system from the original
+// degree vector (paper Section 4: "a pair type T is associated with a
+// certain pair of degrees"). The degree vector is copied and frozen.
+func NewDegreeTypes(degrees []int) *DegreeTypes {
+	d := &DegreeTypes{degrees: append([]int(nil), degrees...)}
+	seen := map[int]int{}
+	for _, deg := range degrees {
+		seen[deg]++
+	}
+	d.distinct = make([]int, 0, len(seen))
+	for deg := range seen {
+		d.distinct = append(d.distinct, deg)
+	}
+	sort.Ints(d.distinct)
+	d.degIndex = make(map[int]int, len(d.distinct))
+	d.nv = make([]int, len(d.distinct))
+	for i, deg := range d.distinct {
+		d.degIndex[deg] = i
+		d.nv[i] = seen[deg]
+	}
+	k := len(d.distinct)
+	d.numTypes = k * (k + 1) / 2
+	d.totals = make([]int, d.numTypes)
+	d.labels = make([]string, d.numTypes)
+	for gi := 0; gi < k; gi++ {
+		for hi := gi; hi < k; hi++ {
+			id := d.pairID(gi, hi)
+			if gi == hi {
+				d.totals[id] = d.nv[gi] * (d.nv[gi] - 1) / 2
+			} else {
+				d.totals[id] = d.nv[gi] * d.nv[hi]
+			}
+			d.labels[id] = fmt.Sprintf("P{%d,%d}", d.distinct[gi], d.distinct[hi])
+		}
+	}
+	return d
+}
+
+// pairID packs an ordered index pair gi <= hi over k distinct degrees
+// into a dense ID.
+func (d *DegreeTypes) pairID(gi, hi int) int {
+	k := len(d.distinct)
+	return gi*k - gi*(gi-1)/2 + (hi - gi)
+}
+
+// TypeOf implements TypeAssigner using original degrees.
+func (d *DegreeTypes) TypeOf(u, v int) int {
+	gi := d.degIndex[d.degrees[u]]
+	hi := d.degIndex[d.degrees[v]]
+	if gi > hi {
+		gi, hi = hi, gi
+	}
+	return d.pairID(gi, hi)
+}
+
+// NumTypes implements TypeAssigner.
+func (d *DegreeTypes) NumTypes() int { return d.numTypes }
+
+// Total implements TypeAssigner.
+func (d *DegreeTypes) Total(id int) int { return d.totals[id] }
+
+// Label implements TypeAssigner.
+func (d *DegreeTypes) Label(id int) string { return d.labels[id] }
+
+// Degrees returns the frozen original degree vector.
+func (d *DegreeTypes) Degrees() []int {
+	return append([]int(nil), d.degrees...)
+}
+
+// DegreePair returns the unordered degree pair a type ID stands for.
+func (d *DegreeTypes) DegreePair(id int) (g, h int) {
+	k := len(d.distinct)
+	gi := 0
+	for ; gi < k; gi++ {
+		first := d.pairID(gi, gi)
+		last := d.pairID(gi, k-1)
+		if id >= first && id <= last {
+			return d.distinct[gi], d.distinct[gi+(id-first)]
+		}
+	}
+	panic(fmt.Sprintf("opacity: invalid type id %d", id))
+}
+
+// FuncTypes adapts an arbitrary classification function into a
+// TypeAssigner, supporting the paper's generality claim that "our privacy
+// model definition covers any way of classifying nodes into types".
+type FuncTypes struct {
+	fn     func(u, v int) int
+	totals []int
+	labels []string
+}
+
+// NewFuncTypes wraps fn over numTypes types with the given totals. labels
+// may be nil, in which case types are named "T<i>".
+func NewFuncTypes(fn func(u, v int) int, totals []int, labels []string) *FuncTypes {
+	if labels == nil {
+		labels = make([]string, len(totals))
+		for i := range labels {
+			labels[i] = fmt.Sprintf("T%d", i)
+		}
+	}
+	if len(labels) != len(totals) {
+		panic("opacity: labels/totals length mismatch")
+	}
+	return &FuncTypes{fn: fn, totals: totals, labels: labels}
+}
+
+// TypeOf implements TypeAssigner.
+func (f *FuncTypes) TypeOf(u, v int) int { return f.fn(u, v) }
+
+// NumTypes implements TypeAssigner.
+func (f *FuncTypes) NumTypes() int { return len(f.totals) }
+
+// Total implements TypeAssigner.
+func (f *FuncTypes) Total(id int) int { return f.totals[id] }
+
+// Label implements TypeAssigner.
+func (f *FuncTypes) Label(id int) string { return f.labels[id] }

@@ -1,0 +1,181 @@
+// Package satreduce implements the paper's Theorem 1: the polynomial
+// reduction from 3-SAT to the L-opacification problem that establishes
+// its NP-hardness. It provides a 3-SAT formula model with an exact
+// solver, the gadget-graph construction of Figure 3, and the
+// equivalence machinery (assignments <-> edge-removal sets) that the
+// tests use to verify the reduction end to end.
+package satreduce
+
+import (
+	"fmt"
+)
+
+// Literal is a 3-SAT literal: +v for variable v, -v for its negation.
+// Variables are numbered from 1.
+type Literal int
+
+// Var returns the 1-based variable index of the literal.
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Negated reports whether the literal is a negation.
+func (l Literal) Negated() bool { return l < 0 }
+
+// Clause is a disjunction of exactly three literals.
+type Clause [3]Literal
+
+// Formula is a 3-SAT instance over variables 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewFormula builds a Formula from raw clauses, inferring NumVars and
+// validating literals.
+func NewFormula(raw [][3]int) (Formula, error) {
+	f := Formula{}
+	for ci, c := range raw {
+		var clause Clause
+		for i, lit := range c {
+			if lit == 0 {
+				return Formula{}, fmt.Errorf("satreduce: clause %d has a zero literal", ci)
+			}
+			clause[i] = Literal(lit)
+			if v := clause[i].Var(); v > f.NumVars {
+				f.NumVars = v
+			}
+		}
+		f.Clauses = append(f.Clauses, clause)
+	}
+	return f, nil
+}
+
+// Eval reports whether the assignment (1-based; index 0 unused)
+// satisfies every clause.
+func (f Formula) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if assign[l.Var()] != l.Negated() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve searches for a satisfying assignment by DPLL with unit
+// propagation. It returns the assignment (1-based) and whether the
+// formula is satisfiable.
+func (f Formula) Solve() ([]bool, bool) {
+	// state: 0 unassigned, 1 true, -1 false
+	state := make([]int8, f.NumVars+1)
+	if f.dpll(state) {
+		assign := make([]bool, f.NumVars+1)
+		for v := 1; v <= f.NumVars; v++ {
+			assign[v] = state[v] == 1
+		}
+		return assign, true
+	}
+	return nil, false
+}
+
+func (f Formula) dpll(state []int8) bool {
+	// Unit propagation to a fixed point.
+	var trail []int
+	for {
+		unit := 0
+		conflict := false
+		for _, c := range f.Clauses {
+			unassigned := 0
+			var free Literal
+			satisfied := false
+			for _, l := range c {
+				switch state[l.Var()] {
+				case 0:
+					unassigned++
+					free = l
+				case 1:
+					if !l.Negated() {
+						satisfied = true
+					}
+				case -1:
+					if l.Negated() {
+						satisfied = true
+					}
+				}
+			}
+			if satisfied {
+				continue
+			}
+			if unassigned == 0 {
+				conflict = true
+				break
+			}
+			if unassigned == 1 {
+				unit = int(free)
+				break
+			}
+		}
+		if conflict {
+			for _, v := range trail {
+				state[v] = 0
+			}
+			return false
+		}
+		if unit == 0 {
+			break
+		}
+		l := Literal(unit)
+		if l.Negated() {
+			state[l.Var()] = -1
+		} else {
+			state[l.Var()] = 1
+		}
+		trail = append(trail, l.Var())
+	}
+	// Pick a branching variable.
+	branch := 0
+	for v := 1; v <= f.NumVars; v++ {
+		if state[v] == 0 {
+			branch = v
+			break
+		}
+	}
+	if branch == 0 {
+		ok := f.Eval(boolsOf(state))
+		if !ok {
+			for _, v := range trail {
+				state[v] = 0
+			}
+		}
+		return ok
+	}
+	for _, val := range []int8{1, -1} {
+		state[branch] = val
+		if f.dpll(state) {
+			return true
+		}
+	}
+	state[branch] = 0
+	for _, v := range trail {
+		state[v] = 0
+	}
+	return false
+}
+
+func boolsOf(state []int8) []bool {
+	out := make([]bool, len(state))
+	for i, s := range state {
+		out[i] = s == 1
+	}
+	return out
+}

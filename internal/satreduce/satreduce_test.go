@@ -1,0 +1,220 @@
+package satreduce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixture"
+	"repro/internal/graph"
+)
+
+func paperFormula(t *testing.T) Formula {
+	t.Helper()
+	f, err := NewFormula(fixture.Theorem1Formula())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewFormulaValidation(t *testing.T) {
+	if _, err := NewFormula([][3]int{{1, 0, 2}}); err == nil {
+		t.Fatal("zero literal accepted")
+	}
+	f, err := NewFormula([][3]int{{1, -2, 3}})
+	if err != nil || f.NumVars != 3 {
+		t.Fatalf("NumVars = %d, err = %v", f.NumVars, err)
+	}
+}
+
+func TestLiteralAccessors(t *testing.T) {
+	if Literal(-3).Var() != 3 || !Literal(-3).Negated() {
+		t.Fatal("negative literal accessors wrong")
+	}
+	if Literal(5).Var() != 5 || Literal(5).Negated() {
+		t.Fatal("positive literal accessors wrong")
+	}
+}
+
+func TestEval(t *testing.T) {
+	f, _ := NewFormula([][3]int{{1, 2, 3}, {-1, -2, -3}})
+	if !f.Eval([]bool{false, true, false, false}) {
+		t.Fatal("satisfying assignment rejected")
+	}
+	if f.Eval([]bool{false, true, true, true}) {
+		t.Fatal("violating assignment accepted (second clause false)")
+	}
+}
+
+func TestSolvePaperExample(t *testing.T) {
+	f := paperFormula(t)
+	assign, ok := f.Solve()
+	if !ok {
+		t.Fatal("the paper's Theorem 1 example formula is satisfiable")
+	}
+	if !f.Eval(assign) {
+		t.Fatal("Solve returned a non-satisfying assignment")
+	}
+}
+
+func TestSolveUnsatisfiable(t *testing.T) {
+	// All eight sign patterns over three variables: unsatisfiable.
+	var raw [][3]int
+	for mask := 0; mask < 8; mask++ {
+		c := [3]int{1, 2, 3}
+		for i := 0; i < 3; i++ {
+			if mask&(1<<i) != 0 {
+				c[i] = -c[i]
+			}
+		}
+		raw = append(raw, c)
+	}
+	f, _ := NewFormula(raw)
+	if _, ok := f.Solve(); ok {
+		t.Fatal("unsatisfiable formula solved")
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	f := paperFormula(t)
+	inst := Build(f)
+	// 4 vertices per variable + 2 per literal occurrence.
+	wantN := 4*f.NumVars + 6*len(f.Clauses)
+	if inst.G.N() != wantN {
+		t.Fatalf("gadget vertices = %d, want %d", inst.G.N(), wantN)
+	}
+	// 2 edges per variable + 2 per literal occurrence.
+	wantM := 2*f.NumVars + 6*len(f.Clauses)
+	if inst.G.M() != wantM {
+		t.Fatalf("gadget edges = %d, want %d", inst.G.M(), wantM)
+	}
+	if inst.Budget != f.NumVars {
+		t.Fatalf("budget = %d, want %d", inst.Budget, f.NumVars)
+	}
+	if err := inst.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Type census: every variable type has 2 pairs, every clause type 3.
+	types := inst.Types()
+	for v := 0; v < f.NumVars; v++ {
+		if types.Total(v) != 2 {
+			t.Errorf("variable type %d total = %d, want 2", v, types.Total(v))
+		}
+	}
+	for c := 0; c < len(f.Clauses); c++ {
+		if types.Total(f.NumVars+c) != 3 {
+			t.Errorf("clause type %d total = %d, want 3", c, types.Total(f.NumVars+c))
+		}
+	}
+}
+
+func TestUnmodifiedGadgetIsFullyDisclosed(t *testing.T) {
+	inst := Build(paperFormula(t))
+	if lo := inst.MaxLO(nil); lo != 1 {
+		t.Fatalf("intact gadget maxLO = %v, want 1 (all pairs within L)", lo)
+	}
+}
+
+func TestSatisfyingAssignmentOpacifies(t *testing.T) {
+	f := paperFormula(t)
+	inst := Build(f)
+	assign, ok := f.Solve()
+	if !ok {
+		t.Fatal("formula satisfiable")
+	}
+	removals := inst.RemovalsForAssignment(assign)
+	if len(removals) != f.NumVars {
+		t.Fatalf("removal set size %d, want %d", len(removals), f.NumVars)
+	}
+	if !inst.Opacified(removals) {
+		t.Fatal("satisfying assignment's removal set does not opacify the gadget")
+	}
+}
+
+func TestNonSatisfyingAssignmentFails(t *testing.T) {
+	f := paperFormula(t)
+	inst := Build(f)
+	// Find an assignment violating the formula.
+	assign := make([]bool, f.NumVars+1)
+	found := false
+	for mask := 0; mask < 1<<f.NumVars && !found; mask++ {
+		for v := 1; v <= f.NumVars; v++ {
+			assign[v] = mask&(1<<(v-1)) != 0
+		}
+		if !f.Eval(assign) {
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("formula is a tautology")
+	}
+	if inst.Opacified(inst.RemovalsForAssignment(assign)) {
+		t.Fatal("non-satisfying assignment's removals opacified the gadget")
+	}
+}
+
+func TestAssignmentRemovalRoundTrip(t *testing.T) {
+	f := paperFormula(t)
+	inst := Build(f)
+	assign := []bool{false, true, false, true, true}
+	removals := inst.RemovalsForAssignment(assign)
+	back, ok := inst.AssignmentForRemovals(removals)
+	if !ok {
+		t.Fatal("round trip rejected canonical removals")
+	}
+	for v := 1; v <= f.NumVars; v++ {
+		if back[v] != assign[v] {
+			t.Fatalf("assignment changed at var %d", v)
+		}
+	}
+	// Wrong-sized or duplicated sets must be rejected.
+	if _, ok := inst.AssignmentForRemovals(removals[:2]); ok {
+		t.Fatal("short removal set accepted")
+	}
+	dup := append([]graph.Edge(nil), removals...)
+	dup[1] = dup[0]
+	if _, ok := inst.AssignmentForRemovals(dup); ok {
+		t.Fatal("duplicated removal set accepted")
+	}
+}
+
+func TestReductionEquivalenceRandomFormulas(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(4)
+		nc := 1 + rng.Intn(5)
+		raw := make([][3]int, nc)
+		for i := range raw {
+			for j := 0; j < 3; j++ {
+				v := 1 + rng.Intn(nv)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				raw[i][j] = v
+			}
+		}
+		formula, err := NewFormula(raw)
+		if err != nil {
+			return false
+		}
+		formula.NumVars = nv // fix vars not mentioned in clauses
+		inst := Build(formula)
+		_, satOK := formula.Solve()
+		removals, redOK := inst.SolveByReduction()
+		if satOK != redOK {
+			return false // the reduction must be an exact equivalence
+		}
+		if redOK {
+			// The witness must decode to a satisfying assignment.
+			assign, ok := inst.AssignmentForRemovals(removals)
+			if !ok || !formula.Eval(assign) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,543 @@
+// Package server implements the lopserve REST API: graph anonymization,
+// privacy auditing, and property reporting over HTTP with JSON bodies.
+//
+// The handler is a plain http.Handler so callers can mount it under any
+// mux, wrap it with middleware, or exercise it with httptest. Endpoints:
+//
+//	GET  /healthz        liveness probe
+//	GET  /v1/datasets    list the built-in calibrated dataset keys
+//	POST /v1/dataset     generate a built-in dataset deterministically
+//	POST /v1/properties  structural properties of a graph
+//	POST /v1/opacity     L-opacity report for a graph
+//	POST /v1/anonymize   run an anonymization method
+//	POST /v1/kiso        k-isomorphism anonymization
+//	POST /v1/audit       adversary audit of a published graph
+//	POST /v1/replay      verify an anonymization audit trail
+//
+// Every request body is a JSON document containing a graph as
+// {"n": vertexCount, "edges": [[u,v], ...]}. Errors come back as
+// {"error": "..."} with a 4xx/5xx status. Request bodies are capped at
+// Config.MaxBodyBytes and anonymization runs at Config.MaxBudget of
+// wall-clock time, so a single request cannot pin the process.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	lopacity "repro"
+)
+
+// Config bounds the server's resource use.
+type Config struct {
+	// MaxBodyBytes caps request bodies; zero selects 8 MiB.
+	MaxBodyBytes int64
+	// MaxVertices rejects graphs larger than this; zero selects 20000.
+	MaxVertices int
+	// MaxBudget caps (and defaults) the per-request anonymization
+	// wall-clock budget; zero selects 30 s.
+	MaxBudget time.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxVertices <= 0 {
+		c.MaxVertices = 20000
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 30 * time.Second
+	}
+}
+
+// New returns the REST handler.
+func New(cfg Config) http.Handler {
+	cfg.setDefaults()
+	s := &server{cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/properties", post(s.handleProperties))
+	mux.HandleFunc("/v1/opacity", post(s.handleOpacity))
+	mux.HandleFunc("/v1/anonymize", post(s.handleAnonymize))
+	mux.HandleFunc("/v1/kiso", post(s.handleKIso))
+	mux.HandleFunc("/v1/audit", post(s.handleAudit))
+	mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	mux.HandleFunc("/v1/dataset", post(s.handleDataset))
+	mux.HandleFunc("/v1/replay", post(s.handleReplay))
+	return mux
+}
+
+type server struct {
+	cfg Config
+}
+
+// GraphJSON is the wire form of a graph.
+type GraphJSON struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// ToGraph validates the wire form against the server limits and builds
+// the graph.
+func (s *server) toGraph(gj GraphJSON) (*lopacity.Graph, error) {
+	if gj.N <= 0 {
+		return nil, errors.New("graph: n must be positive")
+	}
+	if gj.N > s.cfg.MaxVertices {
+		return nil, fmt.Errorf("graph: n=%d exceeds server limit %d", gj.N, s.cfg.MaxVertices)
+	}
+	g := lopacity.NewGraph(gj.N)
+	for _, e := range gj.Edges {
+		if e[0] < 0 || e[0] >= gj.N || e[1] < 0 || e[1] >= gj.N {
+			return nil, fmt.Errorf("graph: edge [%d, %d] out of range for n=%d", e[0], e[1], gj.N)
+		}
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("graph: self-loop [%d, %d] not allowed in a simple graph", e[0], e[1])
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	return g, nil
+}
+
+func graphJSON(g *lopacity.Graph) GraphJSON {
+	return GraphJSON{N: g.N(), Edges: g.Edges()}
+}
+
+// post restricts a handler to the POST method.
+func post(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			return
+		}
+		h(w, r)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+// decode reads a size-capped JSON body into v, rejecting unknown fields
+// so client typos surface as errors instead of silently defaulting.
+func (s *server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// PropertiesRequest asks for the structural property report of a graph.
+type PropertiesRequest struct {
+	Graph GraphJSON `json:"graph"`
+}
+
+// PropertiesResponse mirrors lopacity.Properties (the Table 2/3 columns).
+type PropertiesResponse struct {
+	Nodes         int     `json:"nodes"`
+	Links         int     `json:"links"`
+	Diameter      int     `json:"diameter"`
+	AvgDegree     float64 `json:"avg_degree"`
+	DegreeStdDev  float64 `json:"degree_stddev"`
+	AvgClustering float64 `json:"avg_clustering_coefficient"`
+	Assortativity float64 `json:"assortativity"`
+	AvgPathLength float64 `json:"avg_path_length"`
+}
+
+func (s *server) handleProperties(w http.ResponseWriter, r *http.Request) {
+	var req PropertiesRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	g, err := s.toGraph(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p := g.Properties()
+	writeJSON(w, PropertiesResponse{
+		Nodes: p.Nodes, Links: p.Links, Diameter: p.Diameter,
+		AvgDegree: p.AvgDegree, DegreeStdDev: p.DegreeStdDev,
+		AvgClustering: p.AvgClustering,
+		Assortativity: p.Assortativity, AvgPathLength: p.AvgPathLength,
+	})
+}
+
+// OpacityRequest asks for the L-opacity report of a graph.
+type OpacityRequest struct {
+	Graph GraphJSON `json:"graph"`
+	L     int       `json:"l"`
+}
+
+// OpacityResponse reports the graph's maximum opacity and per-type rows.
+type OpacityResponse struct {
+	L          int           `json:"l"`
+	MaxOpacity float64       `json:"max_opacity"`
+	Types      []OpacityType `json:"types"`
+}
+
+// OpacityType is one vertex-pair type row.
+type OpacityType struct {
+	Label   string  `json:"label"`
+	Within  int     `json:"within"`
+	Total   int     `json:"total"`
+	Opacity float64 `json:"opacity"`
+}
+
+func (s *server) handleOpacity(w http.ResponseWriter, r *http.Request) {
+	var req OpacityRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.L < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("l must be >= 1, got %d", req.L))
+		return
+	}
+	g, err := s.toGraph(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep := g.Opacity(req.L)
+	resp := OpacityResponse{L: req.L, MaxOpacity: rep.MaxOpacity}
+	for _, t := range rep.Types {
+		resp.Types = append(resp.Types, OpacityType{
+			Label: t.Label, Within: t.Within, Total: t.Total, Opacity: t.Opacity,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// AnonymizeRequest runs one anonymization method on a graph.
+type AnonymizeRequest struct {
+	Graph     GraphJSON `json:"graph"`
+	L         int       `json:"l"`
+	Theta     float64   `json:"theta"`
+	Method    string    `json:"method"`
+	LookAhead int       `json:"lookahead"`
+	Seed      int64     `json:"seed"`
+	// BudgetMS caps the run's wall-clock milliseconds; it is clamped
+	// to the server's MaxBudget and defaults to it when omitted.
+	BudgetMS int64 `json:"budget_ms"`
+}
+
+// AnonymizeResponse returns the published graph and the run report.
+type AnonymizeResponse struct {
+	Graph      GraphJSON `json:"graph"`
+	Satisfied  bool      `json:"satisfied"`
+	MaxOpacity float64   `json:"max_opacity"`
+	Removed    [][2]int  `json:"removed"`
+	Inserted   [][2]int  `json:"inserted"`
+	Steps      int       `json:"steps"`
+	TimedOut   bool      `json:"timed_out"`
+	Distortion float64   `json:"distortion"`
+}
+
+func (s *server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
+	var req AnonymizeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	g, err := s.toGraph(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	method := lopacity.EdgeRemoval
+	if req.Method != "" {
+		method, err = lopacity.ParseMethod(req.Method)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	budget := s.cfg.MaxBudget
+	if req.BudgetMS > 0 {
+		if b := time.Duration(req.BudgetMS) * time.Millisecond; b < budget {
+			budget = b
+		}
+	}
+	res, err := lopacity.Anonymize(g, lopacity.Options{
+		L: req.L, Theta: req.Theta, Method: method,
+		LookAhead: req.LookAhead, Seed: req.Seed, Budget: budget,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, AnonymizeResponse{
+		Graph:      graphJSON(res.Graph),
+		Satisfied:  res.Satisfied,
+		MaxOpacity: res.MaxOpacity,
+		Removed:    pairsOrEmpty(res.Removed),
+		Inserted:   pairsOrEmpty(res.Inserted),
+		Steps:      res.Steps,
+		TimedOut:   res.TimedOut,
+		Distortion: lopacity.Compare(g, res.Graph).Distortion,
+	})
+}
+
+// KIsoRequest runs the k-isomorphism comparator.
+type KIsoRequest struct {
+	Graph GraphJSON `json:"graph"`
+	K     int       `json:"k"`
+	Seed  int64     `json:"seed"`
+}
+
+// KIsoResponse returns the k-isomorphic graph, its block structure, and
+// the edit cost.
+type KIsoResponse struct {
+	Graph        GraphJSON `json:"graph"`
+	Blocks       [][]int   `json:"blocks"`
+	Removed      [][2]int  `json:"removed"`
+	Inserted     [][2]int  `json:"inserted"`
+	CrossRemoved int       `json:"cross_removed"`
+	Distortion   float64   `json:"distortion"`
+}
+
+func (s *server) handleKIso(w http.ResponseWriter, r *http.Request) {
+	var req KIsoRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	g, err := s.toGraph(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := lopacity.AnonymizeKIso(g, req.K, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, KIsoResponse{
+		Graph:        graphJSON(res.Graph),
+		Blocks:       res.Blocks,
+		Removed:      pairsOrEmpty(res.Removed),
+		Inserted:     pairsOrEmpty(res.Inserted),
+		CrossRemoved: res.CrossRemoved,
+		Distortion:   res.Distortion,
+	})
+}
+
+// AuditRequest checks a published graph against the degree-knowledge
+// adversary. Original supplies the pre-anonymization degrees.
+type AuditRequest struct {
+	Published GraphJSON `json:"published"`
+	Original  GraphJSON `json:"original"`
+	L         int       `json:"l"`
+	Theta     float64   `json:"theta"`
+}
+
+// AuditResponse reports the strongest inference and every vertex-pair
+// type whose linkage confidence exceeds theta.
+type AuditResponse struct {
+	Passed        bool        `json:"passed"`
+	MaxConfidence float64     `json:"max_confidence"`
+	MaxType       string      `json:"max_type"`
+	Vulnerable    []AuditType `json:"vulnerable"`
+}
+
+// AuditType is one over-threshold vertex-pair type.
+type AuditType struct {
+	D1         int     `json:"d1"`
+	D2         int     `json:"d2"`
+	Confidence float64 `json:"confidence"`
+}
+
+func (s *server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	var req AuditRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.L < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("l must be >= 1, got %d", req.L))
+		return
+	}
+	if req.Theta < 0 || req.Theta > 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("theta %v outside [0, 1]", req.Theta))
+		return
+	}
+	pub, err := s.toGraph(req.Published)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("published: %w", err))
+		return
+	}
+	orig, err := s.toGraph(req.Original)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("original: %w", err))
+		return
+	}
+	adv, err := lopacity.NewAdversary(pub, orig)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	maxInf := adv.MaxConfidence(req.L)
+	resp := AuditResponse{
+		Passed:        maxInf.Confidence <= req.Theta,
+		MaxConfidence: maxInf.Confidence,
+		MaxType:       fmt.Sprintf("{%d,%d}", maxInf.DegreeA, maxInf.DegreeB),
+	}
+	for _, inf := range adv.VulnerablePairs(req.L, req.Theta) {
+		resp.Vulnerable = append(resp.Vulnerable, AuditType{
+			D1: inf.DegreeA, D2: inf.DegreeB, Confidence: inf.Confidence,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	writeJSON(w, map[string][]string{"datasets": lopacity.Datasets()})
+}
+
+// DatasetRequest asks for one of the built-in calibrated dataset
+// emulators (the paper's Table 3 samples), generated deterministically
+// from the seed.
+type DatasetRequest struct {
+	Key  string `json:"key"`
+	Seed int64  `json:"seed"`
+}
+
+// DatasetResponse returns the generated graph and its properties.
+type DatasetResponse struct {
+	Key        string             `json:"key"`
+	Graph      GraphJSON          `json:"graph"`
+	Properties PropertiesResponse `json:"properties"`
+}
+
+func (s *server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	var req DatasetRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	g, err := lopacity.Dataset(req.Key, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	p := g.Properties()
+	writeJSON(w, DatasetResponse{
+		Key:   req.Key,
+		Graph: graphJSON(g),
+		Properties: PropertiesResponse{
+			Nodes: p.Nodes, Links: p.Links, Diameter: p.Diameter,
+			AvgDegree: p.AvgDegree, DegreeStdDev: p.DegreeStdDev,
+			AvgClustering: p.AvgClustering,
+			Assortativity: p.Assortativity, AvgPathLength: p.AvgPathLength,
+		},
+	})
+}
+
+// ReplayRequest verifies an anonymization audit trail server-side:
+// the original graph, the trace steps (as produced by the anonymize
+// trace), the claimed privacy target, and optionally the published
+// graph to compare against.
+type ReplayRequest struct {
+	Original  GraphJSON            `json:"original"`
+	Trace     []lopacity.TraceStep `json:"trace"`
+	L         int                  `json:"l"`
+	Theta     float64              `json:"theta"`
+	Published *GraphJSON           `json:"published"`
+	Fast      bool                 `json:"fast"`
+}
+
+// ReplayResponse reports the verification outcome. Verified is false
+// when any step is inconsistent, the published graph differs, or the
+// final opacity exceeds theta; Error carries the first violation.
+type ReplayResponse struct {
+	Verified     bool    `json:"verified"`
+	Error        string  `json:"error,omitempty"`
+	Steps        int     `json:"steps"`
+	Removals     int     `json:"removals"`
+	Insertions   int     `json:"insertions"`
+	FinalOpacity float64 `json:"final_opacity"`
+}
+
+func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	var req ReplayRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	g, err := s.toGraph(req.Original)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("original: %w", err))
+		return
+	}
+	opts := lopacity.ReplayOptions{L: req.L, Theta: req.Theta, SkipOpacityCheck: req.Fast}
+	if req.Published != nil {
+		pub, err := s.toGraph(*req.Published)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("published: %w", err))
+			return
+		}
+		opts.Published = pub
+	}
+	if req.L < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("l must be >= 1, got %d", req.L))
+		return
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, step := range req.Trace {
+		if err := enc.Encode(step); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	rep, err := lopacity.ReplayTrace(g, &buf, opts)
+	resp := ReplayResponse{
+		Verified:     err == nil,
+		Steps:        rep.Steps,
+		Removals:     rep.Removals,
+		Insertions:   rep.Insertions,
+		FinalOpacity: rep.FinalOpacity,
+	}
+	if err != nil {
+		// A failed verification is a successful HTTP request: the
+		// violation is the answer, not a transport error.
+		resp.Error = err.Error()
+	}
+	writeJSON(w, resp)
+}
+
+func pairsOrEmpty(ps [][2]int) [][2]int {
+	if ps == nil {
+		return [][2]int{}
+	}
+	return ps
+}

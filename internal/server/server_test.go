@@ -1,0 +1,455 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	lopacity "repro"
+)
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// figure1 is the paper's running-example graph (vertices renumbered 0-6).
+func figure1() GraphJSON {
+	return GraphJSON{N: 7, Edges: [][2]int{
+		{0, 1}, {0, 2}, {1, 2}, {1, 3}, {1, 4}, {2, 4}, {2, 5}, {3, 4}, {4, 5}, {5, 6},
+	}}
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return v
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body := decodeBody[map[string]string](t, resp)
+	if body["status"] != "ok" {
+		t.Fatalf("body %v", body)
+	}
+}
+
+func TestPostOnlyEndpointsRejectGet(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, path := range []string{"/v1/properties", "/v1/opacity", "/v1/anonymize", "/v1/kiso", "/v1/audit"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s: status %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+			t.Errorf("GET %s: Allow=%q, want POST", path, allow)
+		}
+	}
+}
+
+func TestProperties(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/properties", PropertiesRequest{Graph: figure1()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	p := decodeBody[PropertiesResponse](t, resp)
+	if p.Nodes != 7 || p.Links != 10 {
+		t.Fatalf("nodes=%d links=%d, want 7/10", p.Nodes, p.Links)
+	}
+	if p.Diameter != 3 {
+		t.Fatalf("diameter=%d, want 3 (paper Figure 4a)", p.Diameter)
+	}
+}
+
+func TestOpacityMatchesLibrary(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/opacity", OpacityRequest{Graph: figure1(), L: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	rep := decodeBody[OpacityResponse](t, resp)
+	// The paper's Figure 5c: the running example has maximum opacity 1
+	// at L=1 (type {1,2}).
+	if rep.MaxOpacity != 1 {
+		t.Fatalf("max_opacity=%v, want 1", rep.MaxOpacity)
+	}
+	g := lopacity.FromEdges(7, figure1().Edges)
+	want := g.Opacity(1)
+	if len(rep.Types) != len(want.Types) {
+		t.Fatalf("%d types, library reports %d", len(rep.Types), len(want.Types))
+	}
+}
+
+func TestOpacityRejectsBadL(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/opacity", OpacityRequest{Graph: figure1(), L: 0})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAnonymizeRemThenAuditPasses(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	fig := figure1()
+	resp := postJSON(t, ts.URL+"/v1/anonymize", AnonymizeRequest{
+		Graph: fig, L: 1, Theta: 0.5, Method: "rem", Seed: 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	anon := decodeBody[AnonymizeResponse](t, resp)
+	if !anon.Satisfied {
+		t.Fatalf("anonymization unsatisfied: %+v", anon)
+	}
+	if anon.MaxOpacity > 0.5 {
+		t.Fatalf("max_opacity %v > 0.5", anon.MaxOpacity)
+	}
+	if anon.Distortion <= 0 {
+		t.Fatal("distortion should be positive on the running example")
+	}
+
+	// The service's own audit endpoint must agree that the published
+	// graph passes at theta=0.5.
+	auditResp := postJSON(t, ts.URL+"/v1/audit", AuditRequest{
+		Published: anon.Graph, Original: fig, L: 1, Theta: 0.5,
+	})
+	if auditResp.StatusCode != http.StatusOK {
+		t.Fatalf("audit status %d", auditResp.StatusCode)
+	}
+	audit := decodeBody[AuditResponse](t, auditResp)
+	if !audit.Passed {
+		t.Fatalf("audit failed: %+v", audit)
+	}
+	if len(audit.Vulnerable) != 0 {
+		t.Fatalf("vulnerable types on a passing graph: %+v", audit.Vulnerable)
+	}
+}
+
+func TestAuditFlagsRawGraph(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	fig := figure1()
+	resp := postJSON(t, ts.URL+"/v1/audit", AuditRequest{
+		Published: fig, Original: fig, L: 1, Theta: 0.5,
+	})
+	audit := decodeBody[AuditResponse](t, resp)
+	if audit.Passed {
+		t.Fatal("raw Figure 1 graph passed an L=1 theta=0.5 audit; it must fail")
+	}
+	if audit.MaxConfidence != 1 {
+		t.Fatalf("max_confidence=%v, want 1", audit.MaxConfidence)
+	}
+	if len(audit.Vulnerable) == 0 {
+		t.Fatal("no vulnerable types reported for a failing graph")
+	}
+}
+
+func TestAnonymizeMethods(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, method := range []string{"rem", "rem-ins", "gaded-max", "anneal"} {
+		resp := postJSON(t, ts.URL+"/v1/anonymize", AnonymizeRequest{
+			Graph: figure1(), L: 1, Theta: 0.6, Method: method, Seed: 2,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("method %q: status %d", method, resp.StatusCode)
+			continue
+		}
+		anon := decodeBody[AnonymizeResponse](t, resp)
+		if anon.Graph.N == 0 {
+			t.Errorf("method %q: empty graph returned", method)
+		}
+	}
+}
+
+func TestAnonymizeRejectsUnknownMethodAndBadTheta(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/anonymize", AnonymizeRequest{
+		Graph: figure1(), L: 1, Theta: 0.5, Method: "quantum",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown method: status %d, want 400", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/anonymize", AnonymizeRequest{
+		Graph: figure1(), L: 1, Theta: 1.5,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("theta=1.5: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestKIsoEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/kiso", KIsoRequest{Graph: figure1(), K: 2, Seed: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	res := decodeBody[KIsoResponse](t, resp)
+	if len(res.Blocks) != 2 {
+		t.Fatalf("blocks=%d, want 2", len(res.Blocks))
+	}
+	if res.Graph.N != 8 { // 7 padded up to 2*4
+		t.Fatalf("n=%d, want 8", res.Graph.N)
+	}
+	if res.Distortion <= 0 {
+		t.Fatal("k-iso on a connected graph must cost edits")
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	cases := []struct {
+		name  string
+		graph GraphJSON
+	}{
+		{"zero n", GraphJSON{N: 0}},
+		{"negative n", GraphJSON{N: -3}},
+		{"edge out of range", GraphJSON{N: 3, Edges: [][2]int{{0, 5}}}},
+		{"negative endpoint", GraphJSON{N: 3, Edges: [][2]int{{-1, 1}}}},
+		{"self-loop", GraphJSON{N: 3, Edges: [][2]int{{1, 1}}}},
+	}
+	for _, c := range cases {
+		resp := postJSON(t, ts.URL+"/v1/properties", PropertiesRequest{Graph: c.graph})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
+		}
+	}
+}
+
+func TestVertexLimitEnforced(t *testing.T) {
+	ts := newTestServer(t, Config{MaxVertices: 10})
+	resp := postJSON(t, ts.URL+"/v1/properties", PropertiesRequest{Graph: GraphJSON{N: 11}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestBodySizeLimitEnforced(t *testing.T) {
+	ts := newTestServer(t, Config{MaxBodyBytes: 128})
+	big := GraphJSON{N: 100}
+	for i := 1; i < 100; i++ {
+		big.Edges = append(big.Edges, [2]int{0, i})
+	}
+	resp := postJSON(t, ts.URL+"/v1/properties", PropertiesRequest{Graph: big})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestUnknownFieldsRejected(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/opacity", "application/json",
+		strings.NewReader(`{"graph":{"n":3,"edges":[]},"l":1,"thtea":0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 for misspelled field", resp.StatusCode)
+	}
+	body := decodeBody[map[string]string](t, resp)
+	if body["error"] == "" {
+		t.Fatal("error body missing")
+	}
+}
+
+func TestMalformedJSON(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/anonymize", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestBudgetClampedToServerMax(t *testing.T) {
+	// A 50ms server cap with an absurd client budget must still return
+	// promptly (timed_out on a hard instance).
+	ts := newTestServer(t, Config{MaxBudget: 50_000_000}) // 50ms in ns
+	g := GraphJSON{N: 60}
+	// Dense-ish graph that cannot be opacified to theta=0.01 instantly.
+	for i := 0; i < 60; i++ {
+		for j := i + 1; j < i+5 && j < 60; j++ {
+			g.Edges = append(g.Edges, [2]int{i, j})
+		}
+	}
+	resp := postJSON(t, ts.URL+"/v1/anonymize", AnonymizeRequest{
+		Graph: g, L: 2, Theta: 0.01, Method: "rem", BudgetMS: 1 << 40,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	anon := decodeBody[AnonymizeResponse](t, resp)
+	if !anon.TimedOut && !anon.Satisfied {
+		t.Fatal("run neither timed out nor satisfied")
+	}
+}
+
+func TestDatasetsListAndFetch(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status %d", resp.StatusCode)
+	}
+	list := decodeBody[map[string][]string](t, resp)
+	if len(list["datasets"]) == 0 {
+		t.Fatal("no datasets listed")
+	}
+
+	fetch := postJSON(t, ts.URL+"/v1/dataset", DatasetRequest{Key: "gnutella100", Seed: 1})
+	if fetch.StatusCode != http.StatusOK {
+		t.Fatalf("fetch status %d", fetch.StatusCode)
+	}
+	ds := decodeBody[DatasetResponse](t, fetch)
+	if ds.Properties.Nodes != 100 {
+		t.Fatalf("nodes=%d, want 100", ds.Properties.Nodes)
+	}
+	if len(ds.Graph.Edges) != ds.Properties.Links {
+		t.Fatalf("edges=%d, properties say %d", len(ds.Graph.Edges), ds.Properties.Links)
+	}
+}
+
+func TestDatasetDeterministicAcrossRequests(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	a := decodeBody[DatasetResponse](t, postJSON(t, ts.URL+"/v1/dataset", DatasetRequest{Key: "enron100", Seed: 7}))
+	b := decodeBody[DatasetResponse](t, postJSON(t, ts.URL+"/v1/dataset", DatasetRequest{Key: "enron100", Seed: 7}))
+	if len(a.Graph.Edges) != len(b.Graph.Edges) {
+		t.Fatal("same seed returned different graphs")
+	}
+	for i := range a.Graph.Edges {
+		if a.Graph.Edges[i] != b.Graph.Edges[i] {
+			t.Fatal("same seed returned different edge lists")
+		}
+	}
+}
+
+func TestDatasetUnknownKey(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/dataset", DatasetRequest{Key: "no-such-dataset"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDatasetsRejectsPost(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/datasets", struct{}{})
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp.StatusCode)
+	}
+}
+
+// anonymizeWithTrace produces a (trace, published) pair via the library
+// for the replay endpoint tests.
+func anonymizeWithTrace(t *testing.T, fig GraphJSON, theta float64) ([]lopacity.TraceStep, GraphJSON) {
+	t.Helper()
+	g := lopacity.FromEdges(fig.N, fig.Edges)
+	var buf bytes.Buffer
+	res, err := lopacity.Anonymize(g, lopacity.Options{L: 1, Theta: theta, Seed: 1, TraceWriter: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("fixture unsatisfied at theta=%v", theta)
+	}
+	var steps []lopacity.TraceStep
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var s lopacity.TraceStep
+		if err := dec.Decode(&s); err != nil {
+			t.Fatal(err)
+		}
+		steps = append(steps, s)
+	}
+	return steps, GraphJSON{N: res.Graph.N(), Edges: res.Graph.Edges()}
+}
+
+func TestReplayEndpointVerifiesHonestTrace(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	fig := figure1()
+	steps, published := anonymizeWithTrace(t, fig, 0.5)
+	resp := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{
+		Original: fig, Trace: steps, L: 1, Theta: 0.5, Published: &published,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	rep := decodeBody[ReplayResponse](t, resp)
+	if !rep.Verified {
+		t.Fatalf("honest trace rejected: %+v", rep)
+	}
+	if rep.Steps != len(steps) {
+		t.Fatalf("steps=%d, want %d", rep.Steps, len(steps))
+	}
+}
+
+func TestReplayEndpointRejectsTamperedTrace(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	fig := figure1()
+	steps, published := anonymizeWithTrace(t, fig, 0.5)
+	steps[0].MaxOpacity = 0.123456 // forge the recorded opacity
+	resp := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{
+		Original: fig, Trace: steps, L: 1, Theta: 0.5, Published: &published,
+	})
+	rep := decodeBody[ReplayResponse](t, resp)
+	if rep.Verified {
+		t.Fatal("tampered trace verified")
+	}
+	if rep.Error == "" {
+		t.Fatal("violation not reported")
+	}
+}
+
+func TestReplayEndpointRejectsWrongPublished(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	fig := figure1()
+	steps, _ := anonymizeWithTrace(t, fig, 0.5)
+	wrong := figure1() // claim the ORIGINAL is the published graph
+	resp := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{
+		Original: fig, Trace: steps, L: 1, Theta: 0.5, Published: &wrong, Fast: true,
+	})
+	rep := decodeBody[ReplayResponse](t, resp)
+	if rep.Verified {
+		t.Fatal("wrong published graph verified")
+	}
+}

@@ -1,0 +1,143 @@
+package lopacity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomFacadeGraph builds a seeded G(n, m)-style graph via the public
+// API only.
+func randomFacadeGraph(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(n)
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	for g.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Cross-method contract: for every anonymization method, (1) the
+// reported MaxOpacity equals an independent recomputation on the
+// returned graph against the ORIGINAL degrees, (2) Satisfied agrees
+// with MaxOpacity <= theta, and (3) replaying the edit ledger onto the
+// original reproduces the returned graph.
+func TestQuickMethodContract(t *testing.T) {
+	methods := []Method{EdgeRemoval, EdgeRemovalInsertion, SimulatedAnnealing}
+	f := func(seed int64, mRaw, thetaRaw uint8) bool {
+		n := 14
+		m := 10 + int(mRaw%25)
+		theta := 0.2 + float64(thetaRaw%70)/100
+		g := randomFacadeGraph(n, m, seed)
+		for _, method := range methods {
+			res, err := Anonymize(g, Options{L: 1, Theta: theta, Method: method, Seed: seed})
+			if err != nil {
+				t.Logf("method %v: %v", method, err)
+				return false
+			}
+			rep := res.Graph.OpacityAgainst(1, g)
+			if rep.MaxOpacity != res.MaxOpacity {
+				t.Logf("method %v: reported %v, recomputed %v", method, res.MaxOpacity, rep.MaxOpacity)
+				return false
+			}
+			if res.Satisfied != (res.MaxOpacity <= theta) {
+				t.Logf("method %v: Satisfied=%v but maxLO=%v theta=%v", method, res.Satisfied, res.MaxOpacity, theta)
+				return false
+			}
+			rebuilt := g.Clone()
+			for _, e := range res.Removed {
+				if !rebuilt.RemoveEdge(e[0], e[1]) {
+					t.Logf("method %v: removal of absent edge %v", method, e)
+					return false
+				}
+			}
+			for _, e := range res.Inserted {
+				if !rebuilt.AddEdge(e[0], e[1]) {
+					t.Logf("method %v: insertion of present edge %v", method, e)
+					return false
+				}
+			}
+			if rebuilt.M() != res.Graph.M() {
+				t.Logf("method %v: ledger replay edge count %d != %d", method, rebuilt.M(), res.Graph.M())
+				return false
+			}
+			re, ge := rebuilt.Edges(), res.Graph.Edges()
+			for i := range re {
+				if re[i] != ge[i] {
+					t.Logf("method %v: ledger replay mismatch at %d", method, i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Monotonicity: a looser theta can never force more distortion than a
+// stricter one under EdgeRemoval (the greedy stops at the first
+// satisfying prefix of the same deterministic edit sequence).
+func TestQuickRemovalThetaMonotone(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		g := randomFacadeGraph(12, 10+int(mRaw%20), seed)
+		prev := -1
+		for _, theta := range []float64{0.9, 0.6, 0.3} {
+			res, err := Anonymize(g, Options{L: 1, Theta: theta, Method: EdgeRemoval, Seed: seed})
+			if err != nil || !res.Satisfied {
+				return true // infeasible cells void the comparison
+			}
+			edits := len(res.Removed) + len(res.Inserted)
+			if prev >= 0 && edits < prev {
+				// Stricter theta needed FEWER edits than looser theta:
+				// possible only through tie-break randomness, which the
+				// fixed seed rules out for the shared prefix.
+				t.Logf("seed %d: theta=%v needed %d edits, looser run needed %d", seed, theta, edits, prev)
+				return false
+			}
+			prev = edits
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// k-isomorphism facade contract: blocks partition the padded vertex
+// set and the distortion field equals the ledger-derived value.
+func TestQuickKIsoContract(t *testing.T) {
+	f := func(seed int64, kRaw, mRaw uint8) bool {
+		k := 2 + int(kRaw%3)
+		g := randomFacadeGraph(4+k, 8+int(mRaw%20), seed)
+		res, err := AnonymizeKIso(g, k, seed)
+		if err != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, block := range res.Blocks {
+			for _, v := range block {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		if len(seen) != res.Graph.N() {
+			return false
+		}
+		wantDist := float64(len(res.Removed)+len(res.Inserted)) / float64(g.M())
+		return res.Distortion == wantDist
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

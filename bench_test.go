@@ -16,6 +16,7 @@ import (
 	"repro/internal/apsp"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/graph"
 	"repro/internal/opacity"
 )
 
@@ -184,3 +185,91 @@ func benchWorkers(b *testing.B, workers int) {
 		}
 	}
 }
+
+// --- Store-comparison benchmarks ---------------------------------------
+//
+// One benchmark pair per hot operation, compact (uint8) versus packed
+// (int32) backing, so the memory/bandwidth win of the default store is
+// measurable run-over-run:
+//
+//	go test -bench 'BenchmarkStore' -benchmem
+//
+// The builds also report allocated bytes, where the 4x backing-size
+// difference shows up directly.
+
+func storeBenchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := dataset.GenerateByKey("gnutella500", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchStoreBuild(b *testing.B, k apsp.Kind) {
+	g := storeBenchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = apsp.BoundedAPSPKind(g, 2, k)
+	}
+}
+
+func BenchmarkStoreBuildCompact(b *testing.B) { benchStoreBuild(b, apsp.KindCompact) }
+func BenchmarkStoreBuildPacked(b *testing.B)  { benchStoreBuild(b, apsp.KindPacked) }
+
+func benchStoreEachPair(b *testing.B, k apsp.Kind) {
+	m := apsp.BoundedAPSPKind(storeBenchGraph(b), 2, k)
+	l := m.L()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		m.EachPair(func(_, _, d int) {
+			if d <= l {
+				count++
+			}
+		})
+		if count == 0 {
+			b.Fatal("empty store")
+		}
+	}
+}
+
+func BenchmarkStoreEachPairCompact(b *testing.B) { benchStoreEachPair(b, apsp.KindCompact) }
+func BenchmarkStoreEachPairPacked(b *testing.B)  { benchStoreEachPair(b, apsp.KindPacked) }
+
+func benchStoreInsertionDelta(b *testing.B, k apsp.Kind) {
+	g := storeBenchGraph(b)
+	m := apsp.BoundedAPSPKind(g, 2, k)
+	// A deterministic absent edge: the delta scan is O(n^2) regardless.
+	u, v := -1, -1
+	for i := 0; i < g.N() && u < 0; i++ {
+		for j := i + 1; j < g.N(); j++ {
+			if !g.HasEdge(i, j) {
+				u, v = i, j
+				break
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apsp.InsertionDelta(m, u, v, func(_, _, _, _ int) {})
+	}
+}
+
+func BenchmarkStoreInsertionDeltaCompact(b *testing.B) { benchStoreInsertionDelta(b, apsp.KindCompact) }
+func BenchmarkStoreInsertionDeltaPacked(b *testing.B)  { benchStoreInsertionDelta(b, apsp.KindPacked) }
+
+func benchStoreRemovalDelta(b *testing.B, k apsp.Kind) {
+	g := storeBenchGraph(b)
+	m := apsp.BoundedAPSPKind(g, 2, k)
+	e := g.Edges()[g.M()/2]
+	scratch := apsp.NewScratch(g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apsp.RemovalDelta(g, m, e.U, e.V, scratch, func(_, _, _, _ int) {})
+	}
+}
+
+func BenchmarkStoreRemovalDeltaCompact(b *testing.B) { benchStoreRemovalDelta(b, apsp.KindCompact) }
+func BenchmarkStoreRemovalDeltaPacked(b *testing.B)  { benchStoreRemovalDelta(b, apsp.KindPacked) }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lopserve -addr :8080 -max-body 8388608 -max-budget 30s
+//	lopserve -addr :8080 -max-body 8388608 -max-budget 30s -engine auto -store compact
 //
 // Endpoints (see internal/server for request/response schemas):
 //
@@ -39,21 +39,34 @@ func main() {
 		maxBody   = flag.Int64("max-body", 8<<20, "maximum request body bytes")
 		maxVerts  = flag.Int("max-vertices", 20000, "maximum graph size accepted")
 		maxBudget = flag.Duration("max-budget", 30*time.Second, "per-request anonymization wall-clock cap")
+		engine    = flag.String("engine", "auto", "default APSP engine: auto, bfs, fw, pointer, or bitbfs")
+		store     = flag.String("store", "compact", "default distance-store backing: compact (uint8) or packed (int32)")
 	)
 	flag.Parse()
 
-	srv := buildServer(*addr, *maxBody, *maxVerts, *maxBudget)
+	cfg := server.Config{
+		MaxBodyBytes: *maxBody,
+		MaxVertices:  *maxVerts,
+		MaxBudget:    *maxBudget,
+		Engine:       *engine,
+		Store:        *store,
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatalf("lopserve: %v", err)
+	}
 
-	serve(srv)
+	serve(buildServer(*addr, cfg))
 }
 
 // buildServer assembles the http.Server with production timeouts.
-func buildServer(addr string, maxBody int64, maxVerts int, maxBudget time.Duration) *http.Server {
-	handler := server.New(server.Config{
-		MaxBodyBytes: maxBody,
-		MaxVertices:  maxVerts,
-		MaxBudget:    maxBudget,
-	})
+func buildServer(addr string, cfg server.Config) *http.Server {
+	// Mirror server.Config's zero-value default so the write deadline
+	// always exceeds the budget the handler will actually grant.
+	maxBudget := cfg.MaxBudget
+	if maxBudget <= 0 {
+		maxBudget = 30 * time.Second
+	}
+	handler := server.New(cfg)
 	return &http.Server{
 		Addr:              addr,
 		Handler:           handler,

@@ -7,10 +7,12 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/server"
 )
 
 func TestBuildServerTimeouts(t *testing.T) {
-	srv := buildServer(":0", 1<<20, 500, 10*time.Second)
+	srv := buildServer(":0", server.Config{MaxBodyBytes: 1 << 20, MaxVertices: 500, MaxBudget: 10 * time.Second})
 	if srv.ReadHeaderTimeout != 5*time.Second {
 		t.Fatalf("ReadHeaderTimeout=%v", srv.ReadHeaderTimeout)
 	}
@@ -25,7 +27,7 @@ func TestBuildServerTimeouts(t *testing.T) {
 // End-to-end smoke test: the assembled handler serves an anonymize
 // round-trip over a real listener.
 func TestServerEndToEnd(t *testing.T) {
-	srv := buildServer(":0", 1<<20, 500, 5*time.Second)
+	srv := buildServer(":0", server.Config{MaxBodyBytes: 1 << 20, MaxVertices: 500, MaxBudget: 5 * time.Second})
 	ts := httptest.NewServer(srv.Handler)
 	defer ts.Close()
 

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/apsp"
 	"repro/internal/graph"
 	"repro/internal/opacity"
 )
@@ -46,6 +47,11 @@ type AnnealOptions struct {
 	Trace func(Step)
 	// Types overrides the vertex-pair type system, as in Options.Types.
 	Types opacity.TypeAssigner
+	// Engine and Store select the initial distance build and backing,
+	// as in Options; the defaults (auto engine, compact store) are
+	// right for every annealing workload.
+	Engine apsp.Engine
+	Store  apsp.Kind
 }
 
 func (o *AnnealOptions) setDefaults(n, m int) {
@@ -76,7 +82,11 @@ func Anneal(g *graph.Graph, opts AnnealOptions) (Result, error) {
 	}
 	opts.setDefaults(g.N(), g.M())
 
-	s := newState(g, Options{L: opts.L, Theta: opts.Theta, Seed: opts.Seed, LookAhead: 1, Budget: opts.Budget, Types: opts.Types})
+	s := newState(g, Options{
+		L: opts.L, Theta: opts.Theta, Seed: opts.Seed, LookAhead: 1,
+		Budget: opts.Budget, Types: opts.Types,
+		Engine: opts.Engine, Store: opts.Store,
+	})
 	a := &annealer{
 		state:    s,
 		opts:     opts,

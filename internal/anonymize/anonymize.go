@@ -84,6 +84,16 @@ type Options struct {
 	// evaluate, while selection stays sequential over the candidate
 	// order with the seeded RNG.
 	Workers int
+	// Engine selects the APSP algorithm for the initial distance-store
+	// build; the zero value (EngineAuto) is bounded BFS striped over
+	// Workers goroutines. Every engine builds the identical store, so
+	// the choice never changes which edges the heuristics pick.
+	Engine apsp.Engine
+	// Store selects the distance-store backing; the zero value is the
+	// compact uint8 store, 4x smaller than the packed int32 layout.
+	// Runs on either backing choose identical edges — the stores hold
+	// identical capped distances.
+	Store apsp.Kind
 	// Budget bounds the wall-clock time of the run; 0 means unlimited.
 	// When the budget is exhausted the run stops between greedy
 	// iterations and returns the best-effort graph with TimedOut set.
@@ -171,7 +181,7 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 type state struct {
 	opts    Options
 	g       *graph.Graph
-	m       *apsp.Matrix
+	m       apsp.Store
 	tr      *opacity.Tracker
 	rng     *rand.Rand
 	scratch *apsp.Scratch
@@ -207,7 +217,11 @@ func newState(g *graph.Graph, opts Options) *state {
 	if types == nil {
 		types = opacity.NewDegreeTypes(g.Degrees())
 	}
-	m := apsp.BoundedAPSP(work, opts.L)
+	m := apsp.Build(work, opts.L, apsp.BuildOptions{
+		Engine:  opts.Engine,
+		Kind:    opts.Store,
+		Workers: opts.Workers,
+	})
 	var deadline time.Time
 	if opts.Budget > 0 {
 		deadline = time.Now().Add(opts.Budget)

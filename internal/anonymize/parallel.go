@@ -18,7 +18,11 @@ import (
 //
 // RemovalDelta temporarily toggles the edge under test, so each worker
 // operates on a private clone of the working graph; InsertionDelta is
-// a pure function of the distance matrix and needs no clone.
+// a pure function of the distance store and needs no clone. The
+// distance store itself (s.m, on either backing) is shared read-only
+// across workers — deltas only read it, and the compact uint8 backing
+// makes those concurrent scans a quarter of the cache traffic of the
+// int32 layout.
 
 // workers resolves the configured parallelism: Options.Workers if
 // positive, 1 (sequential) when zero or negative. The count is not

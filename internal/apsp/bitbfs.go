@@ -18,9 +18,13 @@ import (
 // BitBFS is an engine-level ablation subject (see BenchmarkAblationEngine):
 // it returns exactly the same matrix as BoundedAPSP, LPrunedFW, and
 // PointerFW, which the cross-validation tests assert.
-func BitBFS(g *graph.Graph, L int) *Matrix {
+func BitBFS(g *graph.Graph, L int) Store { return BitBFSKind(g, L, KindCompact) }
+
+// BitBFSKind runs the bit-parallel engine into a store of the given
+// kind.
+func BitBFSKind(g *graph.Graph, L int, k Kind) Store {
 	n := g.N()
-	m := NewMatrix(n, L)
+	m := newStoreAuto(n, L, k)
 	if n == 0 || L == 0 {
 		return m
 	}

@@ -12,7 +12,7 @@ func TestBitBFSAgreesOnFigure1(t *testing.T) {
 	g := fixture.Figure1()
 	for L := 1; L <= 4; L++ {
 		ref := FromClassic(ClassicFW(g), L)
-		if m := BitBFS(g, L); !m.Equal(ref) {
+		if m := BitBFS(g, L); !Equal(m, ref) {
 			t.Errorf("L=%d: BitBFS disagrees with classic FW", L)
 		}
 	}
@@ -31,7 +31,7 @@ func TestBitBFSEmptyAndTrivialGraphs(t *testing.T) {
 			}
 		}
 	}
-	if m := BitBFS(fixture.Figure1(), 0); m.CountWithin() != 0 {
+	if m := BitBFS(fixture.Figure1(), 0); CountWithin(m) != 0 {
 		t.Fatal("L=0 must report no pairs within range")
 	}
 }
@@ -43,7 +43,7 @@ func TestBitBFSWordBoundarySizes(t *testing.T) {
 		g := randomGraph(n, 0.05, int64(n))
 		for _, L := range []int{1, 2, 3} {
 			ref := BoundedAPSP(g, L)
-			if m := BitBFS(g, L); !m.Equal(ref) {
+			if m := BitBFS(g, L); !Equal(m, ref) {
 				t.Errorf("n=%d L=%d: BitBFS disagrees with BoundedAPSP", n, L)
 			}
 		}
@@ -56,7 +56,7 @@ func TestBitBFSQuickAgreesWithBounded(t *testing.T) {
 		p := 0.02 + float64(pRaw%30)/100
 		L := 1 + int(lRaw%4)
 		g := randomGraph(n, p, seed)
-		return BitBFS(g, L).Equal(BoundedAPSP(g, L))
+		return Equal(BitBFS(g, L), BoundedAPSP(g, L))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)

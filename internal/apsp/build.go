@@ -1,0 +1,94 @@
+package apsp
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Engine selects which APSP algorithm builds the initial distance
+// store. The zero value, EngineAuto, picks the bounded-BFS engine,
+// parallelized over the configured workers — the right default on the
+// sparse graphs the privacy model targets.
+type Engine int
+
+const (
+	// EngineAuto is bounded BFS, striped over BuildOptions.Workers
+	// goroutines when more than one is configured.
+	EngineAuto Engine = iota
+	// EngineBFS forces the sequential bounded-BFS engine.
+	EngineBFS
+	// EngineFW is the paper's Algorithm 2 (L-pruned Floyd-Warshall).
+	EngineFW
+	// EnginePointer is the paper's Algorithm 3 (pointer-based FW).
+	EnginePointer
+	// EngineBit is the bit-parallel BFS (64 sources per word).
+	EngineBit
+)
+
+// String names the engine as accepted by ParseEngine.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineBFS:
+		return "bfs"
+	case EngineFW:
+		return "fw"
+	case EnginePointer:
+		return "pointer"
+	case EngineBit:
+		return "bitbfs"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine resolves an engine name ("auto", "bfs", "fw", "pointer",
+// "bitbfs"; "" selects auto). CLI tools and the HTTP service share this
+// mapping.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "auto":
+		return EngineAuto, nil
+	case "bfs", "bounded":
+		return EngineBFS, nil
+	case "fw", "lpruned":
+		return EngineFW, nil
+	case "pointer":
+		return EnginePointer, nil
+	case "bitbfs", "bit":
+		return EngineBit, nil
+	}
+	return 0, fmt.Errorf("apsp: unknown engine %q (want auto, bfs, fw, pointer, or bitbfs)", s)
+}
+
+// BuildOptions selects the engine, store backing, and parallelism of a
+// full distance-store build. The zero value is the package default:
+// bounded BFS into a compact store, sequential.
+type BuildOptions struct {
+	Engine Engine
+	Kind   Kind
+	// Workers is the goroutine count for EngineAuto; values below 2 run
+	// sequentially. All engines return bit-for-bit identical stores at
+	// every worker count.
+	Workers int
+}
+
+// Build computes the L-capped distance store of g with the configured
+// engine and backing. Every engine produces an identical store (the
+// cross-validation tests assert this), so the choice only affects build
+// time and memory.
+func Build(g *graph.Graph, L int, o BuildOptions) Store {
+	switch o.Engine {
+	case EngineBFS:
+		return BoundedAPSPKind(g, L, o.Kind)
+	case EngineFW:
+		return LPrunedFWKind(g, L, o.Kind)
+	case EnginePointer:
+		return PointerFWKind(g, L, o.Kind)
+	case EngineBit:
+		return BitBFSKind(g, L, o.Kind)
+	default:
+		return BoundedAPSPParallelKind(g, L, o.Workers, o.Kind)
+	}
+}

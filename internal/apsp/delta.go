@@ -14,7 +14,7 @@ import "repro/internal/graph"
 //
 // and legs longer than L-1 (stored as Far or L) cannot contribute a path
 // within the cap, so the capped matrix suffices as input.
-func InsertionDelta(m *Matrix, u, v int, visit func(x, y, oldD, newD int)) {
+func InsertionDelta(m Store, u, v int, visit func(x, y, oldD, newD int)) {
 	n := m.N()
 	L := m.L()
 	far := m.Far()
@@ -68,7 +68,7 @@ func InsertionDelta(m *Matrix, u, v int, visit func(x, y, oldD, newD int)) {
 // edge has, on one side, a leg of length <= L-1 to an endpoint, so
 // recomputing bounded BFS from every x with min(d(x,u), d(x,v)) <= L-1
 // (plus u and v themselves) refreshes every entry that can change.
-func AffectedRemovalSources(m *Matrix, u, v int) []int {
+func AffectedRemovalSources(m Store, u, v int) []int {
 	n := m.N()
 	L := m.L()
 	out := make([]int, 0, n)
@@ -94,7 +94,7 @@ func AffectedRemovalSources(m *Matrix, u, v int) []int {
 //
 // scratch may be nil; pass a Scratch to amortize allocations across the
 // many candidate evaluations of a greedy sweep.
-func RemovalDelta(g *graph.Graph, m *Matrix, u, v int, scratch *Scratch, visit func(x, y, oldD, newD int)) {
+func RemovalDelta(g *graph.Graph, m Store, u, v int, scratch *Scratch, visit func(x, y, oldD, newD int)) {
 	if !g.HasEdge(u, v) {
 		panic("apsp: RemovalDelta on absent edge")
 	}
@@ -148,7 +148,7 @@ func RemovalDelta(g *graph.Graph, m *Matrix, u, v int, scratch *Scratch, visit f
 
 // ApplyInsertion mutates m to reflect inserting the edge {u, v} into the
 // graph it describes (the graph itself is not touched).
-func ApplyInsertion(m *Matrix, u, v int) {
+func ApplyInsertion(m Store, u, v int) {
 	InsertionDelta(m, u, v, func(x, y, _, newD int) {
 		m.Set(x, y, newD)
 	})
@@ -156,7 +156,7 @@ func ApplyInsertion(m *Matrix, u, v int) {
 
 // ApplyRemoval mutates m to reflect removing the edge {u, v}. g must
 // still contain the edge; it is restored before the function returns.
-func ApplyRemoval(g *graph.Graph, m *Matrix, u, v int, scratch *Scratch) {
+func ApplyRemoval(g *graph.Graph, m Store, u, v int, scratch *Scratch) {
 	type upd struct{ x, y, d int }
 	var ups []upd
 	RemovalDelta(g, m, u, v, scratch, func(x, y, _, newD int) {

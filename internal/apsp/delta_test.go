@@ -55,7 +55,7 @@ func TestApplyInsertionMatchesRecompute(t *testing.T) {
 	}
 	ApplyInsertion(m, u, v)
 	g.AddEdge(u, v)
-	if want := BoundedAPSP(g, L); !m.Equal(want) {
+	if want := BoundedAPSP(g, L); !Equal(m, want) {
 		t.Fatal("ApplyInsertion disagrees with full recomputation")
 	}
 }
@@ -92,7 +92,7 @@ func TestApplyRemovalMatchesRecompute(t *testing.T) {
 	e := g.Edges()[g.M()/2]
 	ApplyRemoval(g, m, e.U, e.V, nil)
 	g.RemoveEdge(e.U, e.V)
-	if want := BoundedAPSP(g, L); !m.Equal(want) {
+	if want := BoundedAPSP(g, L); !Equal(m, want) {
 		t.Fatal("ApplyRemoval disagrees with full recomputation")
 	}
 }
@@ -111,7 +111,7 @@ func TestPropertyInsertionDeltaExact(t *testing.T) {
 		}
 		ApplyInsertion(m, u, v)
 		g.AddEdge(u, v)
-		return m.Equal(BoundedAPSP(g, L))
+		return Equal(m, BoundedAPSP(g, L))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Fatal(err)
@@ -137,7 +137,7 @@ func TestPropertyRemovalDeltaExact(t *testing.T) {
 		}
 		ApplyRemoval(g, m, e.U, e.V, sc)
 		g.RemoveEdge(e.U, e.V)
-		return m.Equal(BoundedAPSP(g, L))
+		return Equal(m, BoundedAPSP(g, L))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Fatal(err)

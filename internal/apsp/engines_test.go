@@ -51,12 +51,12 @@ func TestEnginesAgreeOnFigure1(t *testing.T) {
 	g := fixture.Figure1()
 	for L := 1; L <= 4; L++ {
 		ref := FromClassic(ClassicFW(g), L)
-		for name, m := range map[string]*Matrix{
+		for name, m := range map[string]Store{
 			"BoundedAPSP": BoundedAPSP(g, L),
 			"LPrunedFW":   LPrunedFW(g, L),
 			"PointerFW":   PointerFW(g, L),
 		} {
-			if !m.Equal(ref) {
+			if !Equal(m, ref) {
 				t.Errorf("L=%d: %s disagrees with classic FW", L, name)
 			}
 		}
@@ -71,9 +71,9 @@ func TestPropertyEnginesAgreeOnRandomGraphs(t *testing.T) {
 		L := 1 + rng.Intn(4)
 		g := randomGraph(n, p, seed)
 		ref := FromClassic(ClassicFW(g), L)
-		return BoundedAPSP(g, L).Equal(ref) &&
-			LPrunedFW(g, L).Equal(ref) &&
-			PointerFW(g, L).Equal(ref)
+		return Equal(BoundedAPSP(g, L), ref) &&
+			Equal(LPrunedFW(g, L), ref) &&
+			Equal(PointerFW(g, L), ref)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Fatal(err)
@@ -110,7 +110,7 @@ func TestLPrunedFWLeavesBeyondLFar(t *testing.T) {
 
 func TestEnginesL1IsAdjacency(t *testing.T) {
 	g := randomGraph(12, 0.3, 5)
-	for name, m := range map[string]*Matrix{
+	for name, m := range map[string]Store{
 		"BoundedAPSP": BoundedAPSP(g, 1),
 		"LPrunedFW":   LPrunedFW(g, 1),
 		"PointerFW":   PointerFW(g, 1),

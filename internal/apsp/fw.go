@@ -56,10 +56,14 @@ func ClassicFW(g *graph.Graph) [][]int {
 // distances the privacy model needs. A relaxation through intermediate k
 // is attempted only when both legs are shorter than L and their sum does
 // not exceed L; everything longer is provably irrelevant to the question
-// "is d(i, j) <= L?". The result is an L-capped Matrix.
-func LPrunedFW(g *graph.Graph, L int) *Matrix {
+// "is d(i, j) <= L?". The result is an L-capped Store with the default
+// compact backing; LPrunedFWKind selects the backing explicitly.
+func LPrunedFW(g *graph.Graph, L int) Store { return LPrunedFWKind(g, L, KindCompact) }
+
+// LPrunedFWKind runs Algorithm 2 into a store of the given kind.
+func LPrunedFWKind(g *graph.Graph, L int, k Kind) Store {
 	n := g.N()
-	m := NewMatrix(n, L)
+	m := newStoreAuto(n, L, k)
 	if L >= 1 {
 		g.EachEdge(func(u, v int) { m.Set(u, v, 1) })
 	}
@@ -89,14 +93,19 @@ func LPrunedFW(g *graph.Graph, L int) *Matrix {
 	return m
 }
 
-// BoundedAPSP computes the L-capped distance matrix by running one
+// BoundedAPSP computes the L-capped distance store by running one
 // depth-L bounded BFS per source vertex. On the sparse graphs of the
 // paper's evaluation this is far cheaper than any Floyd-Warshall variant
 // (O(n * volume of L-balls) instead of O(n^3)) and is therefore the
-// default engine for the anonymization heuristics.
-func BoundedAPSP(g *graph.Graph, L int) *Matrix {
+// default engine for the anonymization heuristics. The result uses the
+// default compact backing; BoundedAPSPKind selects it explicitly.
+func BoundedAPSP(g *graph.Graph, L int) Store { return BoundedAPSPKind(g, L, KindCompact) }
+
+// BoundedAPSPKind runs the bounded-BFS engine into a store of the given
+// kind.
+func BoundedAPSPKind(g *graph.Graph, L int, k Kind) Store {
 	n := g.N()
-	m := NewMatrix(n, L)
+	m := newStoreAuto(n, L, k)
 	dist := make([]int, n)
 	queue := make([]int, 0, n)
 	for i := range dist {
@@ -118,10 +127,10 @@ func BoundedAPSP(g *graph.Graph, L int) *Matrix {
 }
 
 // FromClassic converts a full reference distance matrix into an L-capped
-// Matrix; used by tests to compare engines.
-func FromClassic(full [][]int, L int) *Matrix {
+// Store (compact backing); used by tests to compare engines.
+func FromClassic(full [][]int, L int) Store {
 	n := len(full)
-	m := NewMatrix(n, L)
+	m := newStoreAuto(n, L, KindCompact)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if d := full[i][j]; d >= 1 && d <= L {

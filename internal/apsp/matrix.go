@@ -1,32 +1,54 @@
 // Package apsp computes and maintains the L-capped all-pairs geodesic
-// distance matrices at the heart of L-opacity evaluation.
+// distance stores at the heart of L-opacity evaluation.
 //
 // The privacy model (paper Section 4) only ever asks whether the geodesic
 // distance between two vertices is at most L, so every engine in this
-// package stores distances capped at L+1: a matrix entry holds the exact
+// package stores distances capped at L+1: a store entry holds the exact
 // distance when it is <= L, and the sentinel Far() = L+1 otherwise
 // (covering both "longer than L" and "unreachable"). This is precisely the
-// pruning insight behind the paper's Algorithms 2 and 3.
+// pruning insight behind the paper's Algorithms 2 and 3 — and it also
+// means a capped entry never exceeds L+1, so the Store abstraction ships
+// two interchangeable backings:
 //
-// Three engines produce the same matrix and are cross-validated in tests:
+//   - CompactMatrix (KindCompact, the default): one uint8 per pair,
+//     valid for L <= MaxCompactL. A quarter of the memory and cache
+//     traffic of the int32 layout on every scan.
+//   - Matrix (KindPacked): the original packed int32 layout, kept for
+//     thresholds beyond MaxCompactL and as the cross-validation twin.
+//
+// All code above this package programs against the Store interface;
+// NewStore, ParseKind, and EffectiveKind select the backing, and the
+// package-level Equal/Clone/Copy/CountWithin/Histogram helpers work on
+// any Store regardless of backing.
+//
+// Four engines produce the same store and are cross-validated in tests
+// on both backings:
 //
 //   - BoundedAPSP: one depth-L-truncated BFS per source; the default,
 //     asymptotically cheapest on the sparse graphs of the evaluation.
+//     BoundedAPSPParallel stripes the sources over goroutines.
 //   - LPrunedFW: the paper's Algorithm 2, an L-pruned Floyd-Warshall.
 //   - PointerFW: the paper's Algorithm 3, a pointer-based variant that
 //     rides linked lists of sub-L cells instead of scanning full rows.
+//   - BitBFS: a bit-parallel BFS processing 64 sources per word.
 //
-// The package also provides the exact O(n^2) insertion delta and the
-// affected-region removal recomputation used for incremental candidate
-// evaluation by the anonymization heuristics.
+// Each engine comes in two forms: Engine(g, L), which builds into the
+// compact default, and EngineKind(g, L, kind), which selects the
+// backing. Build dispatches on an Engine value for callers that take
+// the choice from configuration. The package also provides the exact
+// O(n^2) insertion delta and the affected-region removal recomputation
+// used for incremental candidate evaluation by the anonymization
+// heuristics; both operate on any Store.
 package apsp
 
 import "fmt"
 
-// Matrix is a packed upper-triangular matrix of L-capped geodesic
-// distances over a fixed vertex set. Entry (i, j), i != j, is the exact
-// geodesic distance d(i, j) when d(i, j) <= L, and Far() = L+1 otherwise.
-// The diagonal is implicit (distance 0) and not stored.
+// Matrix is the packed int32 Store implementation: an upper-triangular
+// matrix of L-capped geodesic distances over a fixed vertex set. Entry
+// (i, j), i != j, is the exact geodesic distance d(i, j) when
+// d(i, j) <= L, and Far() = L+1 otherwise. The diagonal is implicit
+// (distance 0) and not stored. Unless L exceeds MaxCompactL, prefer the
+// 4x smaller CompactMatrix (the package default).
 type Matrix struct {
 	n    int
 	l    int
@@ -82,9 +104,6 @@ func (m *Matrix) Set(i, j, d int) {
 	m.data[m.index(i, j)] = int32(d)
 }
 
-// Within reports whether the pair {i, j} is at geodesic distance <= L.
-func (m *Matrix) Within(i, j int) bool { return int(m.data[m.index(i, j)]) <= m.l }
-
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
 	c := &Matrix{n: m.n, l: m.l, data: make([]int32, len(m.data))}
@@ -101,32 +120,6 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 	copy(m.data, src.data)
 }
 
-// Equal reports whether two matrices have identical dimensions, caps, and
-// entries.
-func (m *Matrix) Equal(o *Matrix) bool {
-	if m.n != o.n || m.l != o.l {
-		return false
-	}
-	for i, v := range m.data {
-		if o.data[i] != v {
-			return false
-		}
-	}
-	return true
-}
-
-// CountWithin returns the number of unordered pairs at distance <= L.
-func (m *Matrix) CountWithin() int {
-	count := 0
-	far := int32(m.Far())
-	for _, v := range m.data {
-		if v < far {
-			count++
-		}
-	}
-	return count
-}
-
 // EachPair calls fn for every unordered pair i < j with the stored capped
 // distance.
 func (m *Matrix) EachPair(fn func(i, j, d int)) {
@@ -137,14 +130,4 @@ func (m *Matrix) EachPair(fn func(i, j, d int)) {
 			idx++
 		}
 	}
-}
-
-// Histogram returns counts of stored distances: hist[d] for d in [1, L]
-// and hist[L+1] aggregating Far pairs. Index 0 is unused.
-func (m *Matrix) Histogram() []int {
-	hist := make([]int, m.l+2)
-	for _, v := range m.data {
-		hist[v]++
-	}
-	return hist
 }

@@ -4,112 +4,142 @@ import (
 	"testing"
 )
 
-func TestMatrixInitFar(t *testing.T) {
-	m := NewMatrix(4, 2)
-	if m.N() != 4 || m.L() != 2 || m.Far() != 3 {
-		t.Fatalf("dims: n=%d L=%d far=%d", m.N(), m.L(), m.Far())
+// kinds enumerates every store backing; store behavior tests run over
+// all of them so the two implementations stay interchangeable.
+var kinds = []Kind{KindCompact, KindPacked}
+
+func forEachKind(t *testing.T, fn func(t *testing.T, k Kind)) {
+	t.Helper()
+	for _, k := range kinds {
+		t.Run(k.String(), func(t *testing.T) { fn(t, k) })
 	}
-	for i := 0; i < 4; i++ {
-		for j := i + 1; j < 4; j++ {
-			if m.Get(i, j) != 3 {
-				t.Fatalf("entry (%d,%d) = %d, want Far=3", i, j, m.Get(i, j))
+}
+
+func TestStoreInitFar(t *testing.T) {
+	forEachKind(t, func(t *testing.T, k Kind) {
+		m := NewStore(4, 2, k)
+		if m.N() != 4 || m.L() != 2 || m.Far() != 3 {
+			t.Fatalf("dims: n=%d L=%d far=%d", m.N(), m.L(), m.Far())
+		}
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				if m.Get(i, j) != 3 {
+					t.Fatalf("entry (%d,%d) = %d, want Far=3", i, j, m.Get(i, j))
+				}
 			}
 		}
-	}
+	})
 }
 
-func TestMatrixSetGetSymmetric(t *testing.T) {
-	m := NewMatrix(5, 3)
-	m.Set(3, 1, 2)
-	if m.Get(1, 3) != 2 || m.Get(3, 1) != 2 {
-		t.Fatal("Set/Get not symmetric")
-	}
-	m.Set(0, 4, 99) // clamps to Far
-	if m.Get(0, 4) != m.Far() {
-		t.Fatalf("overlarge distance not clamped: %d", m.Get(0, 4))
-	}
-}
-
-func TestMatrixDiagonalPanics(t *testing.T) {
-	m := NewMatrix(3, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Get on diagonal did not panic")
+func TestStoreSetGetSymmetric(t *testing.T) {
+	forEachKind(t, func(t *testing.T, k Kind) {
+		m := NewStore(5, 3, k)
+		m.Set(3, 1, 2)
+		if m.Get(1, 3) != 2 || m.Get(3, 1) != 2 {
+			t.Fatal("Set/Get not symmetric")
 		}
-	}()
-	m.Get(1, 1)
-}
-
-func TestMatrixSetZeroPanics(t *testing.T) {
-	m := NewMatrix(3, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Set with d=0 did not panic")
+		m.Set(0, 4, 99) // clamps to Far
+		if m.Get(0, 4) != m.Far() {
+			t.Fatalf("overlarge distance not clamped: %d", m.Get(0, 4))
 		}
-	}()
-	m.Set(0, 1, 0)
+	})
 }
 
-func TestMatrixCloneEqualCopyFrom(t *testing.T) {
-	m := NewMatrix(4, 2)
-	m.Set(0, 1, 1)
-	m.Set(1, 2, 2)
-	c := m.Clone()
-	if !m.Equal(c) {
-		t.Fatal("clone unequal")
-	}
-	c.Set(2, 3, 1)
-	if m.Equal(c) {
-		t.Fatal("mutating clone affected Equal")
-	}
-	c.CopyFrom(m)
-	if !m.Equal(c) {
-		t.Fatal("CopyFrom did not restore equality")
-	}
-	if m.Equal(NewMatrix(4, 3)) {
-		t.Fatal("different caps reported equal")
-	}
-	if m.Equal(NewMatrix(5, 2)) {
-		t.Fatal("different sizes reported equal")
-	}
+func TestStoreDiagonalPanics(t *testing.T) {
+	forEachKind(t, func(t *testing.T, k Kind) {
+		m := NewStore(3, 1, k)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Get on diagonal did not panic")
+			}
+		}()
+		m.Get(1, 1)
+	})
 }
 
-func TestMatrixCountWithinAndHistogram(t *testing.T) {
-	m := NewMatrix(4, 2) // 6 pairs
-	m.Set(0, 1, 1)
-	m.Set(0, 2, 2)
-	m.Set(1, 2, 1)
-	if got := m.CountWithin(); got != 3 {
-		t.Fatalf("CountWithin = %d, want 3", got)
-	}
-	h := m.Histogram()
-	if h[1] != 2 || h[2] != 1 || h[3] != 3 {
-		t.Fatalf("Histogram = %v", h)
-	}
+func TestStoreSetZeroPanics(t *testing.T) {
+	forEachKind(t, func(t *testing.T, k Kind) {
+		m := NewStore(3, 1, k)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Set with d=0 did not panic")
+			}
+		}()
+		m.Set(0, 1, 0)
+	})
 }
 
-func TestMatrixEachPairOrder(t *testing.T) {
-	m := NewMatrix(3, 1)
-	var pairs [][2]int
-	m.EachPair(func(i, j, d int) { pairs = append(pairs, [2]int{i, j}) })
-	want := [][2]int{{0, 1}, {0, 2}, {1, 2}}
-	if len(pairs) != len(want) {
-		t.Fatalf("EachPair visited %v", pairs)
-	}
-	for i := range want {
-		if pairs[i] != want[i] {
-			t.Fatalf("EachPair order %v, want %v", pairs, want)
+func TestStoreCloneEqualCopy(t *testing.T) {
+	forEachKind(t, func(t *testing.T, k Kind) {
+		m := NewStore(4, 2, k)
+		m.Set(0, 1, 1)
+		m.Set(1, 2, 2)
+		c := Clone(m)
+		if KindOf(c) != k {
+			t.Fatalf("Clone changed backing: %v -> %v", k, KindOf(c))
 		}
-	}
+		if !Equal(m, c) {
+			t.Fatal("clone unequal")
+		}
+		c.Set(2, 3, 1)
+		if Equal(m, c) {
+			t.Fatal("mutating clone affected Equal")
+		}
+		Copy(c, m)
+		if !Equal(m, c) {
+			t.Fatal("Copy did not restore equality")
+		}
+		if Equal(m, NewStore(4, 3, k)) {
+			t.Fatal("different caps reported equal")
+		}
+		if Equal(m, NewStore(5, 2, k)) {
+			t.Fatal("different sizes reported equal")
+		}
+	})
 }
 
-func TestMatrixWithin(t *testing.T) {
-	m := NewMatrix(3, 2)
-	m.Set(0, 1, 2)
-	if !m.Within(0, 1) {
-		t.Fatal("distance 2 with L=2 should be within")
-	}
-	if m.Within(0, 2) {
-		t.Fatal("Far pair reported within")
-	}
+func TestStoreCountWithinAndHistogram(t *testing.T) {
+	forEachKind(t, func(t *testing.T, k Kind) {
+		m := NewStore(4, 2, k) // 6 pairs
+		m.Set(0, 1, 1)
+		m.Set(0, 2, 2)
+		m.Set(1, 2, 1)
+		if got := CountWithin(m); got != 3 {
+			t.Fatalf("CountWithin = %d, want 3", got)
+		}
+		h := Histogram(m)
+		if h[1] != 2 || h[2] != 1 || h[3] != 3 {
+			t.Fatalf("Histogram = %v", h)
+		}
+	})
+}
+
+func TestStoreEachPairOrder(t *testing.T) {
+	forEachKind(t, func(t *testing.T, k Kind) {
+		m := NewStore(3, 1, k)
+		var pairs [][2]int
+		m.EachPair(func(i, j, d int) { pairs = append(pairs, [2]int{i, j}) })
+		want := [][2]int{{0, 1}, {0, 2}, {1, 2}}
+		if len(pairs) != len(want) {
+			t.Fatalf("EachPair visited %v", pairs)
+		}
+		for i := range want {
+			if pairs[i] != want[i] {
+				t.Fatalf("EachPair order %v, want %v", pairs, want)
+			}
+		}
+	})
+}
+
+func TestStoreWithin(t *testing.T) {
+	forEachKind(t, func(t *testing.T, k Kind) {
+		m := NewStore(3, 2, k)
+		m.Set(0, 1, 2)
+		if !Within(m, 0, 1) {
+			t.Fatal("distance 2 with L=2 should be within")
+		}
+		if Within(m, 0, 2) {
+			t.Fatal("Far pair reported within")
+		}
+	})
 }

@@ -19,10 +19,20 @@ import (
 // workers < 2 falls back to the sequential engine. This is the engine
 // of choice for one-shot opacity reports on large graphs; the greedy
 // loops keep using incremental deltas, which beat any full rebuild.
-func BoundedAPSPParallel(g *graph.Graph, L, workers int) *Matrix {
+//
+// Striped single-writer cells make the run race-free on either store
+// backing: on the compact store each cell is its own byte, and distinct
+// bytes are distinct memory locations under the Go memory model.
+func BoundedAPSPParallel(g *graph.Graph, L, workers int) Store {
+	return BoundedAPSPParallelKind(g, L, workers, KindCompact)
+}
+
+// BoundedAPSPParallelKind runs the striped parallel engine into a store
+// of the given kind.
+func BoundedAPSPParallelKind(g *graph.Graph, L, workers int, k Kind) Store {
 	n := g.N()
 	if workers < 2 || n < 2 {
-		return BoundedAPSP(g, L)
+		return BoundedAPSPKind(g, L, k)
 	}
 	if cpus := runtime.NumCPU(); workers > cpus {
 		workers = cpus
@@ -30,7 +40,7 @@ func BoundedAPSPParallel(g *graph.Graph, L, workers int) *Matrix {
 	if workers > n {
 		workers = n
 	}
-	m := NewMatrix(n, L)
+	m := newStoreAuto(n, L, k)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

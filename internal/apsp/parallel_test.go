@@ -13,7 +13,7 @@ func TestParallelAgreesOnFigure1(t *testing.T) {
 	for L := 1; L <= 4; L++ {
 		ref := BoundedAPSP(g, L)
 		for _, workers := range []int{0, 1, 2, 3, 8} {
-			if m := BoundedAPSPParallel(g, L, workers); !m.Equal(ref) {
+			if m := BoundedAPSPParallel(g, L, workers); !Equal(m, ref) {
 				t.Errorf("L=%d workers=%d: parallel disagrees with sequential", L, workers)
 			}
 		}
@@ -29,7 +29,7 @@ func TestParallelTrivialGraphs(t *testing.T) {
 	}
 	g := graph.New(5)
 	m := BoundedAPSPParallel(g, 3, 4)
-	if m.CountWithin() != 0 {
+	if CountWithin(m) != 0 {
 		t.Fatal("edgeless graph has pairs within L")
 	}
 }
@@ -41,7 +41,7 @@ func TestParallelQuickMatchesSequential(t *testing.T) {
 		workers := 2 + int(wRaw%6)
 		g := randomGraph(n, p, seed)
 		for _, L := range []int{1, 3} {
-			if !BoundedAPSPParallel(g, L, workers).Equal(BoundedAPSP(g, L)) {
+			if !Equal(BoundedAPSPParallel(g, L, workers), BoundedAPSP(g, L)) {
 				return false
 			}
 		}

@@ -14,9 +14,12 @@ import "repro/internal/graph"
 // Algorithm 3's out/in pointer walk over column and row k visits. Because
 // distances only ever decrease and a cell is appended exactly when it
 // first crosses below L, the append-only lists never hold duplicates.
-func PointerFW(g *graph.Graph, L int) *Matrix {
+func PointerFW(g *graph.Graph, L int) Store { return PointerFWKind(g, L, KindCompact) }
+
+// PointerFWKind runs Algorithm 3 into a store of the given kind.
+func PointerFWKind(g *graph.Graph, L int, k Kind) Store {
 	n := g.N()
-	m := NewMatrix(n, L)
+	m := newStoreAuto(n, L, k)
 	low := make([][]int, n)
 	if L >= 1 {
 		g.EachEdge(func(u, v int) { m.Set(u, v, 1) })

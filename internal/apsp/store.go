@@ -1,0 +1,204 @@
+package apsp
+
+import (
+	"bytes"
+	"fmt"
+	"slices"
+)
+
+// Store is the abstraction every layer above this package programs
+// against: an L-capped geodesic distance store over a fixed vertex set.
+// Entry (i, j), i != j, is the exact distance d(i, j) when d(i, j) <= L
+// and the sentinel Far() = L+1 otherwise. The diagonal is implicit
+// (distance 0) and never stored.
+//
+// Two implementations exist: CompactMatrix (uint8 cells, the default —
+// a capped distance never exceeds L+1, so one byte suffices whenever
+// L <= MaxCompactL) and Matrix (int32 cells, the original packed
+// layout, needed only for thresholds beyond MaxCompactL).
+type Store interface {
+	// N returns the number of vertices.
+	N() int
+	// L returns the distance threshold the store is capped at.
+	L() int
+	// Far returns the sentinel L+1 stored for pairs whose geodesic
+	// distance exceeds L (including unreachable pairs).
+	Far() int
+	// Get returns the capped distance for the unordered pair {i, j},
+	// i != j.
+	Get(i, j int) int
+	// Set stores the capped distance d for the unordered pair {i, j}.
+	// Values above Far() are clamped to Far(); d < 1 panics.
+	Set(i, j, d int)
+	// EachPair calls fn for every unordered pair i < j in row-major
+	// order with the stored capped distance.
+	EachPair(fn func(i, j, d int))
+}
+
+// Kind selects a Store implementation. The zero value is the compact
+// uint8 backing, which is the package default everywhere.
+type Kind int
+
+const (
+	// KindCompact stores one byte per pair: 4x smaller than the packed
+	// int32 layout and cache-friendlier on every scan. Valid for
+	// L <= MaxCompactL, which covers every threshold the privacy model
+	// uses in practice.
+	KindCompact Kind = iota
+	// KindPacked is the original int32 layout; it has no threshold
+	// ceiling and exists as the fallback for L > MaxCompactL and as the
+	// cross-validation twin for the compact store.
+	KindPacked
+)
+
+// String names the kind as accepted by ParseKind.
+func (k Kind) String() string {
+	switch k {
+	case KindCompact:
+		return "compact"
+	case KindPacked:
+		return "packed"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind resolves a case-sensitive store name ("compact", "packed";
+// "" selects the compact default). CLI tools and the HTTP service share
+// this mapping.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "", "compact", "uint8":
+		return KindCompact, nil
+	case "packed", "int32":
+		return KindPacked, nil
+	}
+	return 0, fmt.Errorf("apsp: unknown store %q (want compact or packed)", s)
+}
+
+// EffectiveKind returns the kind actually usable for threshold L: the
+// requested kind, except that compact silently falls back to packed
+// when L exceeds MaxCompactL, so callers resolving user input never
+// trip the constructor bound.
+func EffectiveKind(k Kind, L int) Kind {
+	if k == KindCompact && L > MaxCompactL {
+		return KindPacked
+	}
+	return k
+}
+
+// NewStore returns an all-Far store for n vertices and threshold L with
+// the given backing. It panics on invalid dimensions and on
+// KindCompact with L > MaxCompactL; use EffectiveKind to resolve
+// untrusted thresholds first.
+func NewStore(n, L int, k Kind) Store {
+	switch k {
+	case KindPacked:
+		return NewMatrix(n, L)
+	case KindCompact:
+		return NewCompactMatrix(n, L)
+	}
+	panic(fmt.Sprintf("apsp: unknown store kind %d", int(k)))
+}
+
+// newStoreAuto builds the engine-default store: the requested kind,
+// degraded to packed when the compact cells cannot hold L+1.
+func newStoreAuto(n, L int, k Kind) Store {
+	return NewStore(n, L, EffectiveKind(k, L))
+}
+
+// KindOf reports the backing of a store, defaulting to KindCompact for
+// foreign implementations.
+func KindOf(s Store) Kind {
+	if _, ok := s.(*Matrix); ok {
+		return KindPacked
+	}
+	return KindCompact
+}
+
+// Within reports whether the pair {i, j} is at geodesic distance <= L.
+func Within(s Store, i, j int) bool { return s.Get(i, j) <= s.L() }
+
+// Clone returns a deep copy of s with the same backing.
+func Clone(s Store) Store {
+	switch t := s.(type) {
+	case *Matrix:
+		return t.Clone()
+	case *CompactMatrix:
+		return t.Clone()
+	}
+	c := NewStore(s.N(), s.L(), KindOf(s))
+	Copy(c, s)
+	return c
+}
+
+// Copy overwrites dst with the contents of src, which must have the
+// same dimensions; the backings may differ.
+func Copy(dst, src Store) {
+	if dst.N() != src.N() || dst.L() != src.L() {
+		panic("apsp: Copy dimension mismatch")
+	}
+	if d, ok := dst.(*Matrix); ok {
+		if s, ok := src.(*Matrix); ok {
+			d.CopyFrom(s)
+			return
+		}
+	}
+	if d, ok := dst.(*CompactMatrix); ok {
+		if s, ok := src.(*CompactMatrix); ok {
+			d.CopyFrom(s)
+			return
+		}
+	}
+	src.EachPair(func(i, j, d int) { dst.Set(i, j, d) })
+}
+
+// Equal reports whether two stores describe identical capped-distance
+// matrices: same vertex count, same threshold, same entries. The
+// backing kinds need not match — a compact store equals its packed
+// twin, which is what the cross-store validation tests assert.
+// Same-backing comparisons run as flat slice compares; mixed backings
+// fall back to a pairwise walk that stops at the first mismatch.
+func Equal(a, b Store) bool {
+	if a.N() != b.N() || a.L() != b.L() {
+		return false
+	}
+	if x, ok := a.(*Matrix); ok {
+		if y, ok := b.(*Matrix); ok {
+			return slices.Equal(x.data, y.data)
+		}
+	}
+	if x, ok := a.(*CompactMatrix); ok {
+		if y, ok := b.(*CompactMatrix); ok {
+			return bytes.Equal(x.data, y.data)
+		}
+	}
+	n := a.N()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if a.Get(i, j) != b.Get(i, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CountWithin returns the number of unordered pairs at distance <= L.
+func CountWithin(s Store) int {
+	count := 0
+	l := s.L()
+	s.EachPair(func(_, _, d int) {
+		if d <= l {
+			count++
+		}
+	})
+	return count
+}
+
+// Histogram returns counts of stored distances: hist[d] for d in
+// [1, L] and hist[L+1] aggregating Far pairs. Index 0 is unused.
+func Histogram(s Store) []int {
+	hist := make([]int, s.L()+2)
+	s.EachPair(func(_, _, d int) { hist[d]++ })
+	return hist
+}

@@ -1,0 +1,202 @@
+package apsp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixture"
+)
+
+// TestCompactRejectsOversizedL is the constructor bound: one byte must
+// hold L+1, so NewCompactMatrix and NewStore(KindCompact) reject
+// L > MaxCompactL.
+func TestCompactRejectsOversizedL(t *testing.T) {
+	if m := NewCompactMatrix(4, MaxCompactL); m.Far() != MaxCompactL+1 {
+		t.Fatalf("L=MaxCompactL must be accepted, Far=%d", m.Far())
+	}
+	for _, build := range map[string]func(){
+		"NewCompactMatrix": func() { NewCompactMatrix(4, MaxCompactL+1) },
+		"NewStore":         func() { NewStore(4, MaxCompactL+1, KindCompact) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("compact constructor accepted L=%d", MaxCompactL+1)
+				}
+			}()
+			build()
+		}()
+	}
+}
+
+// TestPackedAcceptsOversizedL: the int32 layout has no threshold
+// ceiling and is what EffectiveKind degrades to.
+func TestPackedAcceptsOversizedL(t *testing.T) {
+	L := MaxCompactL + 10
+	if m := NewStore(4, L, KindPacked); m.Far() != L+1 {
+		t.Fatalf("packed store mangled Far: %d", m.Far())
+	}
+	if got := EffectiveKind(KindCompact, L); got != KindPacked {
+		t.Fatalf("EffectiveKind(compact, %d) = %v, want packed", L, got)
+	}
+	if got := EffectiveKind(KindCompact, MaxCompactL); got != KindCompact {
+		t.Fatalf("EffectiveKind(compact, %d) = %v, want compact", MaxCompactL, got)
+	}
+	// Engine builders resolve the fallback rather than panicking.
+	g := fixture.Figure1()
+	if m := BoundedAPSPKind(g, L, KindCompact); KindOf(m) != KindPacked {
+		t.Fatal("engine did not degrade compact to packed beyond MaxCompactL")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for s, want := range map[string]Kind{
+		"": KindCompact, "compact": KindCompact, "uint8": KindCompact,
+		"packed": KindPacked, "int32": KindPacked,
+	} {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseKind("sparse"); err == nil {
+		t.Error("ParseKind accepted unknown name")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for s, want := range map[string]Engine{
+		"": EngineAuto, "auto": EngineAuto, "bfs": EngineBFS,
+		"fw": EngineFW, "pointer": EnginePointer, "bitbfs": EngineBit,
+	} {
+		got, err := ParseEngine(s)
+		if err != nil || got != want {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseEngine("dijkstra"); err == nil {
+		t.Error("ParseEngine accepted unknown name")
+	}
+}
+
+// TestEnginesAgreeAcrossStores is the tentpole cross-validation: every
+// engine on every backing produces the identical matrix.
+func TestEnginesAgreeAcrossStores(t *testing.T) {
+	g := fixture.Figure1()
+	for L := 1; L <= 4; L++ {
+		ref := FromClassic(ClassicFW(g), L)
+		for _, k := range kinds {
+			for name, m := range map[string]Store{
+				"BoundedAPSP": BoundedAPSPKind(g, L, k),
+				"LPrunedFW":   LPrunedFWKind(g, L, k),
+				"PointerFW":   PointerFWKind(g, L, k),
+				"BitBFS":      BitBFSKind(g, L, k),
+				"Parallel4":   BoundedAPSPParallelKind(g, L, 4, k),
+			} {
+				if KindOf(m) != k {
+					t.Errorf("L=%d %s/%v: wrong backing %v", L, name, k, KindOf(m))
+				}
+				if !Equal(m, ref) {
+					t.Errorf("L=%d: %s on %v store disagrees with classic FW", L, name, k)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyStoresAgreeOnRandomGraphs: compact and packed runs of the
+// same engine are entry-for-entry identical on random graphs.
+func TestPropertyStoresAgreeOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(16)
+		p := 0.05 + rng.Float64()*0.3
+		L := 1 + rng.Intn(4)
+		g := randomGraph(n, p, seed)
+		return Equal(BoundedAPSPKind(g, L, KindCompact), BoundedAPSPKind(g, L, KindPacked)) &&
+			Equal(LPrunedFWKind(g, L, KindCompact), LPrunedFWKind(g, L, KindPacked)) &&
+			Equal(PointerFWKind(g, L, KindCompact), PointerFWKind(g, L, KindPacked))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDeltasAgreeAcrossStores: the insertion delta and the
+// removal recomputation report identical change sets on both backings,
+// keeping the incremental paths bit-for-bit cross-validated.
+func TestPropertyDeltasAgreeAcrossStores(t *testing.T) {
+	type change struct{ x, y, oldD, newD int }
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(12)
+		L := 1 + rng.Intn(3)
+		g := randomGraph(n, 0.25, seed)
+		mc := BoundedAPSPKind(g, L, KindCompact)
+		mp := BoundedAPSPKind(g, L, KindPacked)
+
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			var cc, cp []change
+			InsertionDelta(mc, u, v, func(x, y, oldD, newD int) {
+				cc = append(cc, change{x, y, oldD, newD})
+			})
+			InsertionDelta(mp, u, v, func(x, y, oldD, newD int) {
+				cp = append(cp, change{x, y, oldD, newD})
+			})
+			if len(cc) != len(cp) {
+				return false
+			}
+			for i := range cc {
+				if cc[i] != cp[i] {
+					return false
+				}
+			}
+		}
+		if g.M() == 0 {
+			return true
+		}
+		e := g.Edges()[rng.Intn(g.M())]
+		var rc, rp []change
+		RemovalDelta(g, mc, e.U, e.V, nil, func(x, y, oldD, newD int) {
+			rc = append(rc, change{x, y, oldD, newD})
+		})
+		RemovalDelta(g, mp, e.U, e.V, nil, func(x, y, oldD, newD int) {
+			rp = append(rp, change{x, y, oldD, newD})
+		})
+		if len(rc) != len(rp) {
+			return false
+		}
+		for i := range rc {
+			if rc[i] != rp[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildDispatch: the configuration-driven builder reaches every
+// engine and backing and always produces the reference matrix.
+func TestBuildDispatch(t *testing.T) {
+	g := fixture.Figure1()
+	L := 2
+	ref := FromClassic(ClassicFW(g), L)
+	for _, e := range []Engine{EngineAuto, EngineBFS, EngineFW, EnginePointer, EngineBit} {
+		for _, k := range kinds {
+			for _, w := range []int{0, 4} {
+				m := Build(g, L, BuildOptions{Engine: e, Kind: k, Workers: w})
+				if KindOf(m) != k {
+					t.Errorf("Build(%v, %v): wrong backing %v", e, k, KindOf(m))
+				}
+				if !Equal(m, ref) {
+					t.Errorf("Build(%v, %v, workers=%d) disagrees with reference", e, k, w)
+				}
+			}
+		}
+	}
+}

@@ -176,16 +176,16 @@ func extBitBFS(cfg Config) (Table, error) {
 			return Table{}, err
 		}
 		for _, L := range []int{1, 2, 4} {
-			build := func(f func() *apsp.Matrix) (time.Duration, *apsp.Matrix) {
+			build := func(f func() apsp.Store) (time.Duration, apsp.Store) {
 				start := time.Now()
 				m := f()
 				return time.Since(start), m
 			}
-			dBit, mBit := build(func() *apsp.Matrix { return apsp.BitBFS(g, L) })
-			dBFS, mBFS := build(func() *apsp.Matrix { return apsp.BoundedAPSP(g, L) })
-			dFW, mFW := build(func() *apsp.Matrix { return apsp.LPrunedFW(g, L) })
-			dPtr, mPtr := build(func() *apsp.Matrix { return apsp.PointerFW(g, L) })
-			agree := mBit.Equal(mBFS) && mBFS.Equal(mFW) && mFW.Equal(mPtr)
+			dBit, mBit := build(func() apsp.Store { return apsp.BitBFS(g, L) })
+			dBFS, mBFS := build(func() apsp.Store { return apsp.BoundedAPSP(g, L) })
+			dFW, mFW := build(func() apsp.Store { return apsp.LPrunedFW(g, L) })
+			dPtr, mPtr := build(func() apsp.Store { return apsp.PointerFW(g, L) })
+			agree := apsp.Equal(mBit, mBFS) && apsp.Equal(mBFS, mFW) && apsp.Equal(mFW, mPtr)
 			t.Rows = append(t.Rows, []string{
 				key, fmt.Sprintf("%d", L),
 				dBit.String(), dBFS.String(), dFW.String(), dPtr.String(),

@@ -15,11 +15,17 @@ import (
 // after anonymizing mutations). Pass degrees == nil to use g's own
 // degrees (i.e., when g is the original graph).
 func MaxLO(g *graph.Graph, degrees []int, L int) float64 {
+	return MaxLOWith(g, degrees, L, apsp.BuildOptions{})
+}
+
+// MaxLOWith is MaxLO with an explicit distance engine/store selection
+// (the serving path exposes the choice per request).
+func MaxLOWith(g *graph.Graph, degrees []int, L int, build apsp.BuildOptions) float64 {
 	if degrees == nil {
 		degrees = g.Degrees()
 	}
 	types := NewDegreeTypes(degrees)
-	m := apsp.BoundedAPSP(g, L)
+	m := apsp.Build(g, L, build)
 	return NewTracker(types, m).Evaluate().MaxLO
 }
 
@@ -50,11 +56,17 @@ type Report struct {
 // NewReport computes a full opacity report for g with the given original
 // degrees (nil for g's own).
 func NewReport(g *graph.Graph, degrees []int, L int) Report {
+	return NewReportWith(g, degrees, L, apsp.BuildOptions{})
+}
+
+// NewReportWith is NewReport with an explicit distance engine/store
+// selection.
+func NewReportWith(g *graph.Graph, degrees []int, L int, build apsp.BuildOptions) Report {
 	if degrees == nil {
 		degrees = g.Degrees()
 	}
 	types := NewDegreeTypes(degrees)
-	tr := NewTracker(types, apsp.BoundedAPSP(g, L))
+	tr := NewTracker(types, apsp.Build(g, L, build))
 	ev := tr.Evaluate()
 	rep := Report{L: L, MaxLO: ev.MaxLO, N: ev.Population}
 	for id := 0; id < types.NumTypes(); id++ {

@@ -15,9 +15,12 @@ type Tracker struct {
 	counts []int
 }
 
-// NewTracker builds a tracker from an L-capped distance matrix, counting
-// every typed pair within L (the loop of Algorithm 1, lines 3-6).
-func NewTracker(types TypeAssigner, m *apsp.Matrix) *Tracker {
+// NewTracker builds a tracker from an L-capped distance store, counting
+// every typed pair within L (the loop of Algorithm 1, lines 3-6). Any
+// Store backing works; the tracker keeps no reference to the store
+// afterward, so trackers built from a compact and a packed store of the
+// same graph are identical.
+func NewTracker(types TypeAssigner, m apsp.Store) *Tracker {
 	t := &Tracker{
 		types:  types,
 		l:      m.L(),

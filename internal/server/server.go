@@ -30,9 +30,11 @@ import (
 	"time"
 
 	lopacity "repro"
+	"repro/internal/apsp"
 )
 
-// Config bounds the server's resource use.
+// Config bounds the server's resource use and sets the distance-compute
+// defaults.
 type Config struct {
 	// MaxBodyBytes caps request bodies; zero selects 8 MiB.
 	MaxBodyBytes int64
@@ -41,6 +43,15 @@ type Config struct {
 	// MaxBudget caps (and defaults) the per-request anonymization
 	// wall-clock budget; zero selects 30 s.
 	MaxBudget time.Duration
+	// Engine is the default APSP engine for opacity and anonymize
+	// requests that do not select one: "auto" (default), "bfs", "fw",
+	// "pointer", or "bitbfs". Every engine computes identical results.
+	Engine string
+	// Store is the default distance-store backing: "compact" (default;
+	// uint8 cells, 4x smaller — this is what keeps the 20k-vertex
+	// ceiling at ~200 MB of distance data instead of ~800 MB) or
+	// "packed" (int32).
+	Store string
 }
 
 func (c *Config) setDefaults() {
@@ -53,10 +64,45 @@ func (c *Config) setDefaults() {
 	if c.MaxBudget <= 0 {
 		c.MaxBudget = 30 * time.Second
 	}
+	if c.Engine == "" {
+		c.Engine = "auto"
+	}
+	if c.Store == "" {
+		c.Store = "compact"
+	}
 }
 
-// New returns the REST handler.
+// Validate rejects unusable server-wide defaults. A bad Engine or
+// Store would otherwise boot a healthy-looking server that fails every
+// opacity/anonymize request with a client-blaming 400.
+func (c Config) Validate() error {
+	c.setDefaults()
+	if _, err := apsp.ParseEngine(c.Engine); err != nil {
+		return fmt.Errorf("server config: %w", err)
+	}
+	if _, err := apsp.ParseKind(c.Store); err != nil {
+		return fmt.Errorf("server config: %w", err)
+	}
+	return nil
+}
+
+// pick returns the request-level override when present, else the
+// server-wide default.
+func pick(req, def string) string {
+	if req != "" {
+		return req
+	}
+	return def
+}
+
+// New returns the REST handler. It panics on a Config whose Engine or
+// Store name does not parse — an operator misconfiguration that must
+// fail at startup, not per request; call Config.Validate first to
+// surface the error gracefully.
 func New(cfg Config) http.Handler {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	cfg.setDefaults()
 	s := &server{cfg: cfg}
 	mux := http.NewServeMux()
@@ -192,10 +238,15 @@ func (s *server) handleProperties(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// OpacityRequest asks for the L-opacity report of a graph.
+// OpacityRequest asks for the L-opacity report of a graph. Engine and
+// Store optionally override the server's distance-compute defaults
+// (engines: auto, bfs, fw, pointer, bitbfs; stores: compact, packed);
+// every combination returns the identical report.
 type OpacityRequest struct {
-	Graph GraphJSON `json:"graph"`
-	L     int       `json:"l"`
+	Graph  GraphJSON `json:"graph"`
+	L      int       `json:"l"`
+	Engine string    `json:"engine,omitempty"`
+	Store  string    `json:"store,omitempty"`
 }
 
 // OpacityResponse reports the graph's maximum opacity and per-type rows.
@@ -227,7 +278,14 @@ func (s *server) handleOpacity(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	rep := g.Opacity(req.L)
+	rep, err := g.OpacityWith(req.L, nil, lopacity.ReportOptions{
+		Engine: pick(req.Engine, s.cfg.Engine),
+		Store:  pick(req.Store, s.cfg.Store),
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	resp := OpacityResponse{L: req.L, MaxOpacity: rep.MaxOpacity}
 	for _, t := range rep.Types {
 		resp.Types = append(resp.Types, OpacityType{
@@ -248,6 +306,11 @@ type AnonymizeRequest struct {
 	// BudgetMS caps the run's wall-clock milliseconds; it is clamped
 	// to the server's MaxBudget and defaults to it when omitted.
 	BudgetMS int64 `json:"budget_ms"`
+	// Engine and Store override the server's distance-compute defaults
+	// for this run; results are identical for every combination, only
+	// build time and memory differ.
+	Engine string `json:"engine,omitempty"`
+	Store  string `json:"store,omitempty"`
 }
 
 // AnonymizeResponse returns the published graph and the run report.
@@ -289,6 +352,8 @@ func (s *server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 	res, err := lopacity.Anonymize(g, lopacity.Options{
 		L: req.L, Theta: req.Theta, Method: method,
 		LookAhead: req.LookAhead, Seed: req.Seed, Budget: budget,
+		Engine: pick(req.Engine, s.cfg.Engine),
+		Store:  pick(req.Store, s.cfg.Store),
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// TestOpacityEngineStoreKnobs: every engine/store combination a client
+// can request returns the identical opacity report, and the knobs are
+// accepted both as server-wide defaults and per request.
+func TestOpacityEngineStoreKnobs(t *testing.T) {
+	ts := newTestServer(t, Config{Engine: "bfs", Store: "packed"})
+
+	var ref OpacityResponse
+	resp := postJSON(t, ts.URL+"/v1/opacity", OpacityRequest{Graph: figure1(), L: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default knobs: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ref); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, engine := range []string{"auto", "bfs", "fw", "pointer", "bitbfs"} {
+		for _, store := range []string{"compact", "packed"} {
+			resp := postJSON(t, ts.URL+"/v1/opacity", OpacityRequest{
+				Graph: figure1(), L: 2, Engine: engine, Store: store,
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("engine=%s store=%s: status %d", engine, store, resp.StatusCode)
+			}
+			var got OpacityResponse
+			if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("engine=%s store=%s: report differs from default", engine, store)
+			}
+		}
+	}
+}
+
+func TestOpacityRejectsUnknownEngineAndStore(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, req := range []OpacityRequest{
+		{Graph: figure1(), L: 1, Engine: "dijkstra"},
+		{Graph: figure1(), L: 1, Store: "sparse"},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/opacity", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("engine=%q store=%q: status %d, want 400", req.Engine, req.Store, resp.StatusCode)
+		}
+	}
+}
+
+// TestAnonymizeStoreInvariant: the same anonymize request produces the
+// same published graph on either store backing.
+func TestAnonymizeStoreInvariant(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	var runs []AnonymizeResponse
+	for _, store := range []string{"compact", "packed"} {
+		resp := postJSON(t, ts.URL+"/v1/anonymize", AnonymizeRequest{
+			Graph: figure1(), L: 2, Theta: 0.5, Method: "rem-ins", Seed: 11, Store: store,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("store=%s: status %d", store, resp.StatusCode)
+		}
+		var out AnonymizeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, out)
+	}
+	if !reflect.DeepEqual(runs[0], runs[1]) {
+		t.Errorf("anonymize diverges across stores:\ncompact: %+v\npacked:  %+v", runs[0], runs[1])
+	}
+}
+
+// TestConfigValidateRejectsBadDefaults: a misconfigured server-wide
+// engine/store must fail at startup, not per request.
+func TestConfigValidateRejectsBadDefaults(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if err := (Config{Engine: "bfs", Store: "packed"}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for _, cfg := range []Config{{Engine: "dikstra"}, {Store: "sparse"}} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v passed validation", cfg)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

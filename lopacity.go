@@ -22,6 +22,17 @@
 //	util := lopacity.Compare(g, res.Graph)
 //	fmt.Println(util.Distortion)
 //
+// All distance computation runs over a pluggable L-capped store
+// (internal/apsp). Because the model caps distances at L+1, the default
+// backing packs one uint8 per vertex pair — four times smaller than the
+// int32 layout it replaces, which is the dominant memory cost on large
+// graphs. Options.Engine and Options.Store (and the same knobs on
+// ReportOptions, the lopserve server config/requests, and the lopstats
+// CLI) select the APSP algorithm ("auto", "bfs", "fw", "pointer",
+// "bitbfs") and the backing ("compact", "packed"); every combination
+// produces bit-for-bit identical results, so the choice trades only
+// time and memory.
+//
 // The heavy lifting lives in the internal packages (graph, apsp,
 // opacity, anonymize, baseline, metrics, gen, dataset, satreduce,
 // experiments); this package re-exposes the subset a downstream user
@@ -36,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/anonymize"
+	"repro/internal/apsp"
 	"repro/internal/baseline"
 	"repro/internal/dataset"
 	"repro/internal/graph"
@@ -214,6 +226,31 @@ type Options struct {
 	// Result.TimedOut set. Supported by EdgeRemoval,
 	// EdgeRemovalInsertion, and SimulatedAnnealing.
 	Budget time.Duration
+	// Engine selects the APSP algorithm for the initial distance build:
+	// "auto" (default; bounded BFS, parallelized over Workers), "bfs",
+	// "fw" (the paper's Algorithm 2), "pointer" (Algorithm 3), or
+	// "bitbfs". Every engine computes the identical store, so the
+	// choice never changes the anonymization outcome.
+	Engine string
+	// Store selects the distance-store backing: "compact" (default;
+	// one uint8 per vertex pair, 4x smaller) or "packed" (int32).
+	// Results are bit-for-bit identical on either backing.
+	Store string
+}
+
+// parseEngineStore resolves the string engine/store selection shared
+// by Options and ReportOptions. Worker parallelism travels separately
+// (anonymize.Options.Workers, ReportOptions.Workers).
+func parseEngineStore(engine, store string) (apsp.Engine, apsp.Kind, error) {
+	e, err := apsp.ParseEngine(engine)
+	if err != nil {
+		return 0, 0, fmt.Errorf("lopacity: %w", err)
+	}
+	k, err := apsp.ParseKind(store)
+	if err != nil {
+		return 0, 0, fmt.Errorf("lopacity: %w", err)
+	}
+	return e, k, nil
 }
 
 // Result reports an anonymization run.
@@ -253,6 +290,10 @@ func Anonymize(g *Graph, opts Options) (*Result, error) {
 	if opts.LookAhead == 0 {
 		opts.LookAhead = 1
 	}
+	engine, kind, err := parseEngineStore(opts.Engine, opts.Store)
+	if err != nil {
+		return nil, err
+	}
 	switch opts.Method {
 	case EdgeRemoval, EdgeRemovalInsertion:
 		h := anonymize.Removal
@@ -270,6 +311,8 @@ func Anonymize(g *Graph, opts Options) (*Result, error) {
 			Workers: opts.Workers,
 			Budget:  opts.Budget,
 			Trace:   trace,
+			Engine:  engine,
+			Store:   kind,
 		})
 		if err != nil {
 			return nil, err
@@ -296,6 +339,8 @@ func Anonymize(g *Graph, opts Options) (*Result, error) {
 			L: opts.L, Theta: opts.Theta, Seed: opts.Seed,
 			Budget: opts.Budget,
 			Trace:  trace,
+			Engine: engine,
+			Store:  kind,
 		})
 		if err != nil {
 			return nil, err
@@ -396,7 +441,34 @@ func (g *Graph) Opacity(L int) OpacityReport {
 // types are frozen from the original graph even as degrees drift under
 // anonymization. The two graphs must have the same vertex count.
 func (g *Graph) OpacityAgainst(L int, original *Graph) OpacityReport {
-	rep := opacity.NewReport(g.g, original.g.Degrees(), L)
+	rep, _ := g.OpacityWith(L, original, ReportOptions{})
+	return rep
+}
+
+// ReportOptions selects the distance engine and store backing for
+// opacity reports; the zero value (auto engine, compact store,
+// sequential) is right for most calls. The engine/store names are the
+// same as Options.Engine and Options.Store.
+type ReportOptions struct {
+	Engine  string
+	Store   string
+	Workers int
+}
+
+// OpacityWith computes the report of g with types frozen from
+// original's degrees (nil selects g itself) using the given distance
+// engine and store backing. Every engine/store combination yields the
+// identical report.
+func (g *Graph) OpacityWith(L int, original *Graph, opts ReportOptions) (OpacityReport, error) {
+	engine, kind, err := parseEngineStore(opts.Engine, opts.Store)
+	if err != nil {
+		return OpacityReport{}, err
+	}
+	if original == nil {
+		original = g
+	}
+	rep := opacity.NewReportWith(g.g, original.g.Degrees(), L,
+		apsp.BuildOptions{Engine: engine, Kind: kind, Workers: opts.Workers})
 	out := OpacityReport{L: L, MaxOpacity: rep.MaxLO}
 	for _, tr := range rep.ByType {
 		out.Types = append(out.Types, TypeOpacity{
@@ -406,7 +478,7 @@ func (g *Graph) OpacityAgainst(L int, original *Graph) OpacityReport {
 			Opacity: tr.Opacity,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // Satisfies reports whether g is L-opaque with respect to theta under

@@ -1,12 +1,15 @@
 // Command lopserve exposes the L-opacity toolkit as an HTTP service:
-// anonymization, privacy auditing, k-isomorphism, opacity reports, and
-// structural property reports, all with JSON bodies.
+// anonymization, privacy auditing, k-isomorphism, opacity reports,
+// structural property reports, async job submission, and a
+// content-addressed result cache, all with JSON bodies.
 //
 // Usage:
 //
-//	lopserve -addr :8080 -max-body 8388608 -max-budget 30s -engine auto -store compact
+//	lopserve -addr :8080 -max-body 8388608 -max-budget 30s \
+//	         -engine auto -store compact \
+//	         -workers 4 -queue 64 -cache-entries 256 -job-ttl 15m
 //
-// Endpoints (see internal/server for request/response schemas):
+// Endpoints (see docs/API.md for the full reference):
 //
 //	GET  /healthz
 //	POST /v1/properties
@@ -14,9 +17,15 @@
 //	POST /v1/anonymize
 //	POST /v1/kiso
 //	POST /v1/audit
+//	POST /v1/jobs         submit any POST operation async
+//	GET  /v1/jobs/{id}    poll status/result
+//	DELETE /v1/jobs/{id}  cancel
+//	GET  /v1/stats        cache and queue counters
 //
-// The process shuts down cleanly on SIGINT/SIGTERM, draining in-flight
-// requests for up to 10 seconds.
+// The process shuts down cleanly on SIGINT/SIGTERM: in-flight HTTP
+// requests drain for up to 10 seconds, then the async job pool is
+// closed — queued jobs are cancelled, running jobs have their contexts
+// cancelled, and the workers are awaited within the same deadline.
 package main
 
 import (
@@ -35,12 +44,16 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		maxBody   = flag.Int64("max-body", 8<<20, "maximum request body bytes")
-		maxVerts  = flag.Int("max-vertices", 20000, "maximum graph size accepted")
-		maxBudget = flag.Duration("max-budget", 30*time.Second, "per-request anonymization wall-clock cap")
-		engine    = flag.String("engine", "auto", "default APSP engine: auto, bfs, fw, pointer, or bitbfs")
-		store     = flag.String("store", "compact", "default distance-store backing: compact (uint8) or packed (int32)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxBody      = flag.Int64("max-body", 8<<20, "maximum request body bytes")
+		maxVerts     = flag.Int("max-vertices", 20000, "maximum graph size accepted")
+		maxBudget    = flag.Duration("max-budget", 30*time.Second, "per-request anonymization wall-clock cap")
+		engine       = flag.String("engine", "auto", "default APSP engine: auto, bfs, fw, pointer, or bitbfs")
+		store        = flag.String("store", "compact", "default distance-store backing: compact (uint8) or packed (int32)")
+		workers      = flag.Int("workers", 0, "async job worker goroutines (0 selects 4)")
+		queue        = flag.Int("queue", 0, "async job queue depth before 429s (0 selects 64)")
+		cacheEntries = flag.Int("cache-entries", 0, "content-addressed result cache capacity (0 selects 256)")
+		jobTTL       = flag.Duration("job-ttl", 0, "retention of finished async jobs (0 selects 15m)")
 	)
 	flag.Parse()
 
@@ -50,23 +63,28 @@ func main() {
 		MaxBudget:    *maxBudget,
 		Engine:       *engine,
 		Store:        *store,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		JobTTL:       *jobTTL,
 	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatalf("lopserve: %v", err)
 	}
 
-	serve(buildServer(*addr, cfg))
+	api := server.New(cfg)
+	serve(buildServer(*addr, cfg, api), api)
 }
 
-// buildServer assembles the http.Server with production timeouts.
-func buildServer(addr string, cfg server.Config) *http.Server {
+// buildServer assembles the http.Server with production timeouts around
+// the given handler.
+func buildServer(addr string, cfg server.Config, handler http.Handler) *http.Server {
 	// Mirror server.Config's zero-value default so the write deadline
 	// always exceeds the budget the handler will actually grant.
 	maxBudget := cfg.MaxBudget
 	if maxBudget <= 0 {
 		maxBudget = 30 * time.Second
 	}
-	handler := server.New(cfg)
 	return &http.Server{
 		Addr:              addr,
 		Handler:           handler,
@@ -79,8 +97,9 @@ func buildServer(addr string, cfg server.Config) *http.Server {
 }
 
 // serve runs the server until it fails or the process receives
-// SIGINT/SIGTERM, then drains in-flight requests.
-func serve(srv *http.Server) {
+// SIGINT/SIGTERM, then drains in-flight requests and the async job
+// pool.
+func serve(srv *http.Server, api *server.Server) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -101,6 +120,12 @@ func serve(srv *http.Server) {
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("lopserve: shutdown: %v", err)
+		}
+		// Drain the async subsystem second, inside whatever remains of
+		// the deadline: a poller that got its response during Shutdown
+		// has already seen the job state it is owed.
+		if err := api.Close(shutdownCtx); err != nil {
+			log.Printf("lopserve: job drain: %v", err)
 		}
 	}
 }

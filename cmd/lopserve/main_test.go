@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -12,7 +15,10 @@ import (
 )
 
 func TestBuildServerTimeouts(t *testing.T) {
-	srv := buildServer(":0", server.Config{MaxBodyBytes: 1 << 20, MaxVertices: 500, MaxBudget: 10 * time.Second})
+	cfg := server.Config{MaxBodyBytes: 1 << 20, MaxVertices: 500, MaxBudget: 10 * time.Second}
+	api := server.New(cfg)
+	defer api.Close(context.Background())
+	srv := buildServer(":0", cfg, api)
 	if srv.ReadHeaderTimeout != 5*time.Second {
 		t.Fatalf("ReadHeaderTimeout=%v", srv.ReadHeaderTimeout)
 	}
@@ -27,7 +33,10 @@ func TestBuildServerTimeouts(t *testing.T) {
 // End-to-end smoke test: the assembled handler serves an anonymize
 // round-trip over a real listener.
 func TestServerEndToEnd(t *testing.T) {
-	srv := buildServer(":0", server.Config{MaxBodyBytes: 1 << 20, MaxVertices: 500, MaxBudget: 5 * time.Second})
+	cfg := server.Config{MaxBodyBytes: 1 << 20, MaxVertices: 500, MaxBudget: 5 * time.Second}
+	api := server.New(cfg)
+	defer api.Close(context.Background())
+	srv := buildServer(":0", cfg, api)
 	ts := httptest.NewServer(srv.Handler)
 	defer ts.Close()
 
@@ -58,5 +67,38 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 	if !out.Satisfied || out.MaxOpacity > 0.6 {
 		t.Fatalf("unexpected result: %+v", out)
+	}
+}
+
+// The standalone signal path: serve() must return after SIGINT, having
+// drained in-flight requests via http.Server.Shutdown and closed the
+// job pool, instead of exiting abruptly.
+func TestServeShutsDownOnSignal(t *testing.T) {
+	cfg := server.Config{MaxBodyBytes: 1 << 20, MaxVertices: 500, MaxBudget: time.Second}
+	api := server.New(cfg)
+	srv := buildServer("127.0.0.1:0", cfg, api)
+
+	done := make(chan struct{})
+	go func() {
+		serve(srv, api)
+		close(done)
+	}()
+
+	// Give ListenAndServe a moment to start, then deliver SIGINT to
+	// ourselves — the same path a Ctrl-C takes. The ordering is safe
+	// either way: serve installs its signal context before the
+	// listener, so an early signal still routes to the drain path.
+	time.Sleep(200 * time.Millisecond)
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not return after SIGINT")
 	}
 }

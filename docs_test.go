@@ -1,0 +1,134 @@
+package lopacity_test
+
+// TestDocLinks is the CI "docs" gate: every relative link and anchor in
+// README.md and docs/*.md must resolve, so the reference documentation
+// cannot rot silently as files and headings move. External (http, https,
+// mailto) links are out of scope — checking them would make CI flaky on
+// network weather.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var (
+	// [text](target) — target captured up to the closing parenthesis.
+	mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	// ATX headings; the anchor is derived GitHub-style from the text.
+	mdHeading = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+	fencedRE  = regexp.MustCompile("(?s)```.*?```")
+	inlineRE  = regexp.MustCompile("`[^`\n]*`")
+	anchorREs = []*regexp.Regexp{
+		regexp.MustCompile(`[^\w\- ]`), // drop punctuation
+		regexp.MustCompile(` `),        // then spaces become hyphens
+	}
+)
+
+// githubAnchor mirrors GitHub's heading-to-fragment slugification
+// closely enough for the headings this repo uses: lowercase, strip
+// punctuation, hyphenate spaces.
+func githubAnchor(heading string) string {
+	s := strings.ToLower(strings.TrimSpace(heading))
+	// Inline code and emphasis markers contribute their text only.
+	s = strings.NewReplacer("`", "", "*", "", "_", "").Replace(s)
+	s = anchorREs[0].ReplaceAllString(s, "")
+	s = anchorREs[1].ReplaceAllString(s, "-")
+	return s
+}
+
+// docFiles returns README.md plus every docs/*.md file.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	more, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, more...)
+}
+
+// stripCode removes fenced and inline code so markdown-looking text in
+// examples is not mistaken for links or headings.
+func stripCode(src string) string {
+	return inlineRE.ReplaceAllString(fencedRE.ReplaceAllString(src, ""), "")
+}
+
+func TestDocLinks(t *testing.T) {
+	files := docFiles(t)
+	if len(files) < 3 {
+		t.Fatalf("expected README.md and at least docs/API.md + docs/ARCHITECTURE.md, found %v", files)
+	}
+
+	// Pass 1: collect the anchor set of every doc file.
+	anchors := make(map[string]map[string]bool, len(files))
+	bodies := make(map[string]string, len(files))
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[f] = string(b)
+		set := make(map[string]bool)
+		for _, m := range mdHeading.FindAllStringSubmatch(stripCode(string(b)), -1) {
+			set[githubAnchor(m[1])] = true
+		}
+		anchors[f] = set
+	}
+
+	// Pass 2: verify every relative link and fragment.
+	for _, f := range files {
+		for _, m := range mdLink.FindAllStringSubmatch(stripCode(bodies[f]), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			resolved := f // self-reference for pure fragments
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(f), path)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q: %v", f, target, err)
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			set, ok := anchors[resolved]
+			if !ok {
+				// Fragment into a non-doc file (source code etc.) —
+				// nothing to verify.
+				continue
+			}
+			if !set[frag] {
+				t.Errorf("%s: link %q: no heading anchors to #%s in %s (have %s)",
+					f, target, frag, resolved, anchorList(set))
+			}
+		}
+	}
+}
+
+func anchorList(set map[string]bool) string {
+	var out []string
+	for a := range set {
+		out = append(out, "#"+a)
+	}
+	return fmt.Sprint(out)
+}
+
+// The README must link the doc set it advertises.
+func TestReadmeLinksDocSet(t *testing.T) {
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"docs/API.md", "docs/ARCHITECTURE.md"} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("README.md does not link %s", want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package jobs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCache(4)
+	k, _ := HashJSON("a")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, []byte("v"))
+	v, ok := c.Get(k)
+	if !ok || string(v) != "v" {
+		t.Fatalf("get after put: %q found=%v", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.Capacity != 4 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	keys := make([]Key, 3)
+	for i := range keys {
+		keys[i], _ = HashJSON(i)
+	}
+	c.Put(keys[0], []byte("0"))
+	c.Put(keys[1], []byte("1"))
+	// Touch key 0 so key 1 is the LRU entry when 2 arrives.
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("key 0 missing")
+	}
+	c.Put(keys[2], []byte("2"))
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := NewCache(2)
+	k, _ := HashJSON("k")
+	c.Put(k, []byte("old"))
+	c.Put(k, []byte("new"))
+	if v, _ := c.Get(k); string(v) != "new" {
+		t.Fatalf("value %q", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestHashJSONDistinguishesInputs(t *testing.T) {
+	type keyData struct {
+		Op     string
+		L      int
+		Engine string
+	}
+	base := keyData{"opacity", 2, "auto"}
+	k0, err := HashJSON(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Key]keyData{k0: base}
+	for _, variant := range []keyData{
+		{"anonymize", 2, "auto"},
+		{"opacity", 3, "auto"},
+		{"opacity", 2, "bfs"},
+	} {
+		k, err := HashJSON(variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("collision between %+v and %+v", prev, variant)
+		}
+		seen[k] = variant
+	}
+	// Same content hashes identically.
+	again, _ := HashJSON(keyData{"opacity", 2, "auto"})
+	if again != k0 {
+		t.Fatal("identical content produced different keys")
+	}
+}
+
+func TestHashJSONError(t *testing.T) {
+	if _, err := HashJSON(make(chan int)); err == nil {
+		t.Fatal("unencodable value hashed")
+	}
+}
+
+func TestNewCachePanicsOnBadCapacity(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCache(%d) did not panic", capacity)
+				}
+			}()
+			NewCache(capacity)
+		}()
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k, _ := HashJSON("x")
+	s := fmt.Sprint(k)
+	if len(s) != 64 {
+		t.Fatalf("hex key length %d, want 64", len(s))
+	}
+}

@@ -1,0 +1,516 @@
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is the lifecycle phase of a job. Transitions are strictly
+// forward: queued -> running -> one of done/failed, and queued or
+// running -> cancelled. Finished jobs (done, failed, cancelled) are
+// retained for Config.TTL and then evicted.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Finished reports whether the state is terminal.
+func (s State) Finished() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Task is the unit of asynchronous work: it computes a serialized
+// result under a context that is cancelled when the job is cancelled or
+// the manager shuts down. Implementations should return promptly after
+// ctx is done; the manager additionally detaches from tasks that cannot
+// observe cancellation mid-computation (up to a bound), so a stubborn
+// task delays only its own goroutine, not a worker slot.
+type Task func(ctx context.Context) (json.RawMessage, error)
+
+// Config sizes a Manager. The zero value selects the defaults noted on
+// each field.
+type Config struct {
+	// Workers is the number of goroutines executing jobs; zero selects 4.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run; Submit
+	// returns ErrQueueFull beyond it. Zero selects 64.
+	QueueDepth int
+	// TTL is how long finished jobs remain queryable before eviction;
+	// zero selects 15 minutes.
+	TTL time.Duration
+	// Clock overrides the time source; nil selects time.Now. Test hook.
+	Clock func() time.Time
+}
+
+func (c *Config) setDefaults() {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.TTL == 0 {
+		c.TTL = 15 * time.Minute
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+// Validate rejects negative sizes, which would otherwise panic deep in
+// channel construction or silently disable retention.
+func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("jobs: workers must be >= 0, got %d", c.Workers)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("jobs: queue depth must be >= 0, got %d", c.QueueDepth)
+	}
+	if c.TTL < 0 {
+		return fmt.Errorf("jobs: job TTL must be >= 0, got %v", c.TTL)
+	}
+	return nil
+}
+
+// Job is an immutable snapshot of one job's state, safe to retain and
+// serialize.
+type Job struct {
+	ID    string
+	Op    string
+	State State
+	// CacheHit marks a job satisfied from the result cache at submit
+	// time; such jobs are born in StateDone and never occupy a worker.
+	CacheHit bool
+	// Result holds the serialized result once State == StateDone.
+	Result json.RawMessage
+	// Error describes the failure once State == StateFailed.
+	Error string
+	// Created, Started, and Finished are the lifecycle timestamps;
+	// Started and Finished are zero until the job reaches that phase.
+	Created, Started, Finished time.Time
+}
+
+// Stats is a point-in-time snapshot of the manager.
+type Stats struct {
+	// Workers is the configured worker count.
+	Workers int
+	// QueueCapacity is the configured queue bound; QueueDepth is the
+	// number of jobs currently waiting to run.
+	QueueCapacity, QueueDepth int
+	// Running, Done, Failed, and Cancelled count retained jobs by
+	// state. Finished jobs leave the counts when their TTL expires or
+	// the retention cap evicts them.
+	Running, Done, Failed, Cancelled int
+}
+
+// maxRetainedFinished caps how many finished jobs stay queryable at
+// once, independent of TTL: beyond it the oldest-finished job is
+// evicted on each new finish. Without the cap, a flood of submissions
+// (cache-hit submissions in particular, which bypass the queue bound)
+// would grow the retained map by rate x TTL with no backpressure.
+const maxRetainedFinished = 1024
+
+// Sentinel errors returned by Submit and Cancel. The server layer maps
+// these onto HTTP statuses (429, 404, 409, 503).
+var (
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrClosed    = errors.New("jobs: manager closed")
+	ErrNotFound  = errors.New("jobs: no such job")
+	ErrFinished  = errors.New("jobs: job already finished")
+)
+
+type job struct {
+	id       string
+	op       string
+	state    State
+	cacheHit bool
+	task     Task
+	cancel   context.CancelFunc
+	ctx      context.Context
+	result   json.RawMessage
+	err      error
+
+	created, started, finished time.Time
+}
+
+func (j *job) snapshot() Job {
+	s := Job{
+		ID: j.id, Op: j.op, State: j.state, CacheHit: j.cacheHit,
+		Result:  j.result,
+		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// release drops the references a finished job no longer needs — the
+// task closure (which captures the parsed input graph and request) and
+// its context — so retention for the TTL pins only the result bytes,
+// not every input submitted in the last TTL window. Callers hold the
+// manager lock and have already set a terminal state.
+func (j *job) release() {
+	j.task = nil
+	j.ctx = nil
+	if j.cancel != nil {
+		j.cancel()
+		j.cancel = nil
+	}
+}
+
+// Manager runs submitted tasks on a fixed worker pool over an explicit
+// FIFO queue. The queue is a slice, not a channel, so cancelling a
+// queued job frees its slot immediately and queue-depth accounting is
+// exact. All methods are safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signalled on enqueue and on close
+	pending  []*job     // FIFO of StateQueued jobs
+	jobs     map[string]*job
+	closed   bool
+	done     chan struct{} // closed when every worker has exited
+	live     int           // workers still running
+	detached int           // abandoned task goroutines still computing
+}
+
+// maxDetached bounds how many cancelled-but-still-computing task
+// goroutines may exist before workers stop detaching and instead wait
+// for the task to return. Without the bound, a submit/cancel loop could
+// stack unboundedly many heavy computations despite the worker cap.
+func (m *Manager) maxDetached() int { return 2 * m.cfg.Workers }
+
+// NewManager starts cfg.Workers workers and returns the manager. Call
+// Close to stop them. It panics on an invalid Config; call
+// Config.Validate first to surface the error gracefully.
+func NewManager(cfg Config) *Manager {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg.setDefaults()
+	m := &Manager{
+		cfg:  cfg,
+		jobs: make(map[string]*job),
+		done: make(chan struct{}),
+		live: cfg.Workers,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// newID returns a 16-hex-character random job identifier.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: reading random id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit enqueues task under the given operation name and returns the
+// new job's snapshot. It fails with ErrQueueFull when QueueDepth jobs
+// are already waiting and ErrClosed after Close.
+func (m *Manager) Submit(op string, task Task) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Job{}, ErrClosed
+	}
+	m.sweepLocked()
+	if len(m.pending) >= m.cfg.QueueDepth {
+		return Job{}, ErrQueueFull
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id: newID(), op: op, state: StateQueued, task: task,
+		ctx: ctx, cancel: cancel, created: m.cfg.Clock(),
+	}
+	m.pending = append(m.pending, j)
+	m.jobs[j.id] = j
+	m.cond.Signal()
+	return j.snapshot(), nil
+}
+
+// SubmitDone registers a job that is already complete — the submit-time
+// cache-hit path. The job is born in StateDone with CacheHit set, never
+// enters the queue, and is retained for the usual TTL so clients can
+// poll it like any other job.
+func (m *Manager) SubmitDone(op string, result json.RawMessage) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Job{}, ErrClosed
+	}
+	m.sweepLocked()
+	now := m.cfg.Clock()
+	j := &job{
+		id: newID(), op: op, state: StateDone, cacheHit: true,
+		result: result, created: now, started: now, finished: now,
+	}
+	m.jobs[j.id] = j
+	m.evictOverCapLocked()
+	return j.snapshot(), nil
+}
+
+// Get returns the snapshot of a job, if it is still retained.
+func (m *Manager) Get(id string) (Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Cancel stops a job: a queued job is cancelled immediately and leaves
+// the queue (its slot frees for new submissions at once); a running job
+// has its context cancelled and is marked cancelled at once (the worker
+// discards any result the task still produces). Cancelling a finished
+// job returns its snapshot with ErrFinished; an unknown or evicted id
+// returns ErrNotFound.
+func (m *Manager) Cancel(id string) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	if j.state.Finished() {
+		return j.snapshot(), ErrFinished
+	}
+	if j.state == StateQueued {
+		m.dequeueLocked(j)
+	}
+	j.state = StateCancelled
+	m.finishLocked(j)
+	return j.snapshot(), nil
+}
+
+// dequeueLocked removes a job from the pending FIFO.
+func (m *Manager) dequeueLocked(target *job) {
+	for i, j := range m.pending {
+		if j == target {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// Stats snapshots queue occupancy and per-state job counts.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	s := Stats{
+		Workers:       m.cfg.Workers,
+		QueueCapacity: m.cfg.QueueDepth,
+		QueueDepth:    len(m.pending),
+	}
+	for _, j := range m.jobs {
+		switch j.state {
+		case StateRunning:
+			s.Running++
+		case StateDone:
+			s.Done++
+		case StateFailed:
+			s.Failed++
+		case StateCancelled:
+			s.Cancelled++
+		}
+	}
+	return s
+}
+
+// Close shuts the manager down: no further submissions are accepted,
+// queued jobs are cancelled, running jobs have their contexts
+// cancelled, and Close waits for the workers to exit or ctx to expire,
+// whichever comes first. Detached computations may still be winding
+// down when Close returns; their results are discarded. Retained
+// snapshots remain queryable via Get.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		select {
+		case <-m.done:
+			return nil
+		case <-ctx.Done():
+			return fmt.Errorf("jobs: shutdown: %w", ctx.Err())
+		}
+	}
+	m.closed = true
+	m.pending = nil
+	now := m.cfg.Clock()
+	for _, j := range m.jobs {
+		if j.state.Finished() {
+			continue
+		}
+		j.state = StateCancelled
+		j.finished = now
+		j.release()
+	}
+	m.evictOverCapLocked()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	select {
+	case <-m.done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: shutdown: %w", ctx.Err())
+	}
+}
+
+// sweepLocked evicts finished jobs whose TTL has expired. Eviction is
+// lazy — it runs on every public entry point — so retention needs no
+// janitor goroutine and is exact under an injected test clock.
+func (m *Manager) sweepLocked() {
+	cutoff := m.cfg.Clock().Add(-m.cfg.TTL)
+	for id, j := range m.jobs {
+		if j.state.Finished() && j.finished.Before(cutoff) {
+			delete(m.jobs, id)
+		}
+	}
+}
+
+// finishLocked stamps a job's terminal timestamp, drops its inputs, and
+// applies the retention cap.
+func (m *Manager) finishLocked(j *job) {
+	j.finished = m.cfg.Clock()
+	j.release()
+	m.evictOverCapLocked()
+}
+
+// evictOverCapLocked enforces maxRetainedFinished by evicting the
+// oldest-finished jobs first. The linear scan is fine: the cap bounds
+// the map at ~1k entries, and the scan runs only when a job finishes.
+func (m *Manager) evictOverCapLocked() {
+	for {
+		count := 0
+		var oldestID string
+		var oldestAt time.Time
+		for id, j := range m.jobs {
+			if !j.state.Finished() {
+				continue
+			}
+			count++
+			if oldestID == "" || j.finished.Before(oldestAt) {
+				oldestID, oldestAt = id, j.finished
+			}
+		}
+		if count <= maxRetainedFinished {
+			return
+		}
+		delete(m.jobs, oldestID)
+	}
+}
+
+func (m *Manager) worker() {
+	defer func() {
+		m.mu.Lock()
+		m.live--
+		if m.live == 0 {
+			close(m.done)
+		}
+		m.mu.Unlock()
+	}()
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := m.pending[0]
+		m.pending = m.pending[1:]
+		j.state = StateRunning
+		j.started = m.cfg.Clock()
+		ctx, task := j.ctx, j.task
+		canDetach := m.detached < m.maxDetached()
+		m.mu.Unlock()
+
+		result, err := m.runTask(ctx, task, canDetach)
+
+		m.mu.Lock()
+		if j.state == StateRunning { // not cancelled mid-run
+			if err != nil {
+				j.state = StateFailed
+				j.err = err
+			} else {
+				j.state = StateDone
+				j.result = result
+			}
+			m.finishLocked(j)
+		}
+		m.mu.Unlock()
+	}
+}
+
+type taskResult struct {
+	value json.RawMessage
+	err   error
+}
+
+// runTask executes one task, converting panics to errors. When
+// canDetach is set and the context is cancelled first, the worker
+// returns immediately and the abandoned goroutine's eventual result is
+// discarded — this is what keeps DELETE /v1/jobs/{id} effective even
+// for computations that cannot observe cancellation mid-run. The
+// detach budget (maxDetached) keeps a submit/cancel loop from stacking
+// unboundedly many live computations; past it, cancellation still
+// flips the job's state instantly but the worker slot stays pinned
+// until the task returns.
+func (m *Manager) runTask(ctx context.Context, task Task, canDetach bool) (json.RawMessage, error) {
+	done := make(chan taskResult, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- taskResult{err: fmt.Errorf("jobs: task panicked: %v", r)}
+			}
+		}()
+		v, err := task(ctx)
+		done <- taskResult{value: v, err: err}
+	}()
+	if !canDetach {
+		r := <-done
+		return r.value, r.err
+	}
+	select {
+	case r := <-done:
+		return r.value, r.err
+	case <-ctx.Done():
+		// Detach: count the abandoned computation and leave a reaper to
+		// uncount it when it finally returns.
+		m.mu.Lock()
+		m.detached++
+		m.mu.Unlock()
+		go func() {
+			<-done
+			m.mu.Lock()
+			m.detached--
+			m.mu.Unlock()
+		}()
+		return nil, ctx.Err()
+	}
+}

@@ -1,0 +1,425 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded manual time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func newTestManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	m := NewManager(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	})
+	return m
+}
+
+// awaitState polls until the job reaches a terminal/expected state.
+func awaitState(t *testing.T, m *Manager, id string, want State) Job {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		j, ok := m.Get(id)
+		if ok && j.State == want {
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %s (last: %+v, found=%v)", id, want, j, ok)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// blockingTask returns a task that signals it has started and then
+// waits for release (or context cancellation).
+func blockingTask(started chan<- string, release <-chan struct{}) Task {
+	return func(ctx context.Context) (json.RawMessage, error) {
+		select {
+		case started <- "":
+		default:
+		}
+		select {
+		case <-release:
+			return json.RawMessage(`"released"`), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func TestSubmitPollResult(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 2})
+	j, err := m.Submit("echo", func(ctx context.Context) (json.RawMessage, error) {
+		return json.RawMessage(`{"answer":42}`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateQueued || j.ID == "" || j.Op != "echo" {
+		t.Fatalf("submit snapshot: %+v", j)
+	}
+	done := awaitState(t, m, j.ID, StateDone)
+	if string(done.Result) != `{"answer":42}` {
+		t.Fatalf("result %q", done.Result)
+	}
+	if done.Started.IsZero() || done.Finished.IsZero() {
+		t.Fatalf("missing lifecycle timestamps: %+v", done)
+	}
+}
+
+func TestTaskErrorFails(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	j, err := m.Submit("boom", func(ctx context.Context) (json.RawMessage, error) {
+		return nil, errors.New("kaboom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := awaitState(t, m, j.ID, StateFailed)
+	if failed.Error != "kaboom" {
+		t.Fatalf("error %q", failed.Error)
+	}
+}
+
+func TestTaskPanicFails(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	j, err := m.Submit("panic", func(ctx context.Context) (json.RawMessage, error) {
+		panic("deliberate")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := awaitState(t, m, j.ID, StateFailed)
+	if failed.Error == "" {
+		t.Fatal("panic did not surface as error")
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	m := newTestManager(t, Config{Workers: 1, QueueDepth: 4})
+
+	blocker, err := m.Submit("block", blockingTask(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the only worker is now occupied
+
+	ran := make(chan struct{}, 1)
+	queued, err := m.Submit("victim", func(ctx context.Context) (json.RawMessage, error) {
+		ran <- struct{}{}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Cancel(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCancelled {
+		t.Fatalf("state %s, want cancelled", got.State)
+	}
+
+	// Release the blocker; the cancelled job must be skipped, never run.
+	release <- struct{}{}
+	awaitState(t, m, blocker.ID, StateDone)
+	select {
+	case <-ran:
+		t.Fatal("cancelled queued job was executed")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestCancelRunningJobFreesWorker(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	m := newTestManager(t, Config{Workers: 1})
+
+	j, err := m.Submit("runner", blockingTask(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	got, err := m.Cancel(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCancelled {
+		t.Fatalf("state %s", got.State)
+	}
+	// The worker must detach from the cancelled task and pick up new
+	// work without waiting for the blocked goroutine.
+	next, err := m.Submit("after", func(ctx context.Context) (json.RawMessage, error) {
+		return json.RawMessage(`1`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitState(t, m, next.ID, StateDone)
+}
+
+func TestCancelFinishedAndUnknown(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	j, _ := m.Submit("quick", func(ctx context.Context) (json.RawMessage, error) {
+		return json.RawMessage(`1`), nil
+	})
+	awaitState(t, m, j.ID, StateDone)
+	if _, err := m.Cancel(j.ID); !errors.Is(err, ErrFinished) {
+		t.Fatalf("cancel finished: %v, want ErrFinished", err)
+	}
+	if _, err := m.Cancel("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cancel unknown: %v, want ErrNotFound", err)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	m := newTestManager(t, Config{Workers: 1, QueueDepth: 1})
+
+	if _, err := m.Submit("block", blockingTask(started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	idle := func(ctx context.Context) (json.RawMessage, error) { return nil, nil }
+	if _, err := m.Submit("fills-queue", idle); err != nil {
+		t.Fatalf("queued submit: %v", err)
+	}
+	if _, err := m.Submit("overflow", idle); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: %v, want ErrQueueFull", err)
+	}
+}
+
+// Cancelling a queued job must free its queue slot immediately: the
+// queue is an explicit FIFO, not a channel with dead entries.
+func TestCancelledQueuedJobFreesSlot(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	m := newTestManager(t, Config{Workers: 1, QueueDepth: 1})
+
+	if _, err := m.Submit("block", blockingTask(started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	idle := func(ctx context.Context) (json.RawMessage, error) { return nil, nil }
+	q1, err := m.Submit("q1", idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Stats(); s.QueueDepth != 1 {
+		t.Fatalf("queue depth %d, want 1", s.QueueDepth)
+	}
+	if _, err := m.Cancel(q1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Stats(); s.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after cancel, want 0", s.QueueDepth)
+	}
+	q2, err := m.Submit("q2", idle)
+	if err != nil {
+		t.Fatalf("submit into freed slot: %v", err)
+	}
+	release <- struct{}{}
+	awaitState(t, m, q2.ID, StateDone)
+}
+
+// The detach budget: after maxDetached (2*Workers) cancelled-but-still-
+// computing tasks, cancelling another running job flips its state but
+// pins the worker until the task actually returns.
+func TestDetachBudgetBoundsAbandonedTasks(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1, QueueDepth: 8})
+
+	// stubborn ignores its context entirely — the worst-case task.
+	releases := make([]chan struct{}, 4)
+	started := make(chan int, 4)
+	stubborn := func(i int) Task {
+		return func(ctx context.Context) (json.RawMessage, error) {
+			started <- i
+			<-releases[i]
+			return json.RawMessage(`null`), nil
+		}
+	}
+	for i := range releases {
+		releases[i] = make(chan struct{})
+	}
+
+	// Burn the detach budget (2 * 1 worker = 2): two stubborn tasks,
+	// each cancelled mid-run, each detaching.
+	for i := 0; i < 2; i++ {
+		j, err := m.Submit("stubborn", stubborn(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := <-started; got != i {
+			t.Fatalf("task %d started, want %d", got, i)
+		}
+		if _, err := m.Cancel(j.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Third stubborn task: its cancel still flips the state instantly…
+	j3, err := m.Submit("stubborn", stubborn(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if got, err := m.Cancel(j3.ID); err != nil || got.State != StateCancelled {
+		t.Fatalf("cancel over budget: %+v, %v", got, err)
+	}
+	// …but the worker is pinned: a follow-up job stays queued.
+	j4, err := m.Submit("queued-behind-pin", stubborn(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got, _ := m.Get(j4.ID); got.State != StateQueued {
+		t.Fatalf("job behind pinned worker: %s, want queued", got.State)
+	}
+	// Releasing the third task unpins the worker; the fourth job runs.
+	close(releases[2])
+	<-started
+	close(releases[3])
+	awaitState(t, m, j4.ID, StateDone)
+	close(releases[0])
+	close(releases[1])
+}
+
+func TestTTLEviction(t *testing.T) {
+	clock := newFakeClock()
+	m := newTestManager(t, Config{Workers: 1, TTL: time.Minute, Clock: clock.Now})
+
+	j, err := m.SubmitDone("cached", json.RawMessage(`"hit"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := m.Get(j.ID); !ok || !got.CacheHit || got.State != StateDone {
+		t.Fatalf("fresh job: %+v found=%v", got, ok)
+	}
+	clock.Advance(59 * time.Second)
+	if _, ok := m.Get(j.ID); !ok {
+		t.Fatal("evicted before TTL")
+	}
+	clock.Advance(2 * time.Second)
+	if _, ok := m.Get(j.ID); ok {
+		t.Fatal("retained past TTL")
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	m := newTestManager(t, Config{Workers: 1, QueueDepth: 8})
+
+	run, _ := m.Submit("run", blockingTask(started, release))
+	<-started
+	m.Submit("wait", func(ctx context.Context) (json.RawMessage, error) { return nil, nil })
+	m.SubmitDone("hit", json.RawMessage(`1`))
+
+	s := m.Stats()
+	if s.Running != 1 || s.Done != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.QueueDepth != 1 || s.QueueCapacity != 8 || s.Workers != 1 {
+		t.Fatalf("queue stats %+v", s)
+	}
+	_ = run
+}
+
+// The retention cap: finished jobs beyond maxRetainedFinished are
+// evicted oldest-first, bounding memory even for cache-hit floods that
+// never touch the queue.
+func TestRetentionCapEvictsOldestFinished(t *testing.T) {
+	clock := newFakeClock()
+	m := newTestManager(t, Config{Workers: 1, TTL: time.Hour, Clock: clock.Now})
+
+	first, err := m.SubmitDone("flood", json.RawMessage(`0`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxRetainedFinished; i++ {
+		clock.Advance(time.Millisecond) // strictly older-to-newer finish times
+		if _, err := m.SubmitDone("flood", json.RawMessage(`1`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := m.Get(first.ID); ok {
+		t.Fatal("oldest finished job survived the retention cap")
+	}
+	if s := m.Stats(); s.Done != maxRetainedFinished {
+		t.Fatalf("retained %d done jobs, want %d", s.Done, maxRetainedFinished)
+	}
+}
+
+func TestCloseCancelsAndRejects(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	m := NewManager(Config{Workers: 1, QueueDepth: 4})
+
+	running, _ := m.Submit("run", blockingTask(started, release))
+	<-started
+	queued, _ := m.Submit("wait", func(ctx context.Context) (json.RawMessage, error) { return nil, nil })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for _, id := range []string{running.ID, queued.ID} {
+		if j, ok := m.Get(id); !ok || j.State != StateCancelled {
+			t.Fatalf("job %s after close: %+v found=%v", id, j, ok)
+		}
+	}
+	if _, err := m.Submit("late", func(ctx context.Context) (json.RawMessage, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, bad := range []Config{{Workers: -1}, {QueueDepth: -2}, {TTL: -time.Second}} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("config %+v validated", bad)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}

@@ -1,0 +1,366 @@
+// Async job endpoints and the shared cached-execution path.
+//
+// Every POST operation is refactored into a "prepared" form: cheap
+// validation up front (bad requests fail fast with a 400, on the sync
+// and async paths alike), then a run closure that does the heavy work.
+// The synchronous handlers execute the closure inline via serveSync;
+// POST /v1/jobs hands the identical closure to the jobs.Manager worker
+// pool instead, so both paths share one implementation, one cache, and
+// one set of counters.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/apsp"
+	"repro/internal/jobs"
+)
+
+// prepared is one validated operation, ready to execute inline or on
+// the worker pool.
+type prepared struct {
+	// op names the operation ("opacity", "anonymize", ...).
+	op string
+	// key is the content address of the result; meaningful only when
+	// cacheable is set.
+	key jobs.Key
+	// cacheable marks operations whose results are memoized (opacity
+	// and anonymize — the expensive, frequently replayed ones).
+	cacheable bool
+	// cacheOff records the request's "cache":"off" escape hatch: skip
+	// both the lookup and the store for this request.
+	cacheOff bool
+	// run computes the response value; the bool reports whether the
+	// result may be stored in the cache (false for timed-out
+	// anonymization runs, whose output depends on scheduling luck).
+	run func(ctx context.Context) (any, bool, error)
+	// runErrStatus is the HTTP status for run errors on the sync path;
+	// zero means 400.
+	runErrStatus int
+}
+
+// resolveEngineStore canonicalizes the request/server engine and store
+// selection to their parsed String() names, so cache keys are stable
+// across spelling aliases ("bit" and "bitbfs" hash identically) while
+// distinct engines and stores never collide.
+func (s *Server) resolveEngineStore(engine, store string) (string, string, error) {
+	e, err := apsp.ParseEngine(pick(engine, s.cfg.Engine))
+	if err != nil {
+		return "", "", err
+	}
+	k, err := apsp.ParseKind(pick(store, s.cfg.Store))
+	if err != nil {
+		return "", "", err
+	}
+	return e.String(), k.String(), nil
+}
+
+// parseCacheMode interprets the per-request cache field: "" and "on"
+// use the cache, "off" bypasses it, anything else is a client error.
+func parseCacheMode(mode string) (off bool, err error) {
+	switch mode {
+	case "", "on":
+		return false, nil
+	case "off":
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown cache mode %q (want on or off)", mode)
+}
+
+// serveSync executes a prepared operation inline, consulting the result
+// cache when the operation is cacheable. Hits are written byte-for-byte
+// as the miss that populated them was: the stored body is the exact
+// marshaled response, newline-terminated on the wire just as
+// json.Encoder would have produced.
+func (s *Server) serveSync(w http.ResponseWriter, r *http.Request, p prepared) {
+	useCache := p.cacheable && !p.cacheOff
+	if useCache {
+		if b, ok := s.cache.Get(p.key); ok {
+			writeRawJSON(w, b)
+			return
+		}
+	}
+	v, storable, err := p.run(r.Context())
+	if err != nil {
+		status := p.runErrStatus
+		if status == 0 {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if useCache && storable {
+		s.cache.Put(p.key, b)
+	}
+	writeRawJSON(w, b)
+}
+
+// writeRawJSON writes a pre-marshaled JSON body, newline-terminated to
+// match json.Encoder output byte-for-byte.
+func writeRawJSON(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+	w.Write([]byte{'\n'})
+}
+
+// JobSubmitRequest submits one POST operation for asynchronous
+// execution: Op names the operation and Request carries the exact JSON
+// body the synchronous endpoint would take.
+type JobSubmitRequest struct {
+	Op      string          `json:"op"`
+	Request json.RawMessage `json:"request"`
+}
+
+// JobResponse is the wire form of a job snapshot, returned by the
+// submit, poll, and cancel endpoints. Result is present once State is
+// "done"; Error once it is "failed". Timestamps are RFC 3339.
+type JobResponse struct {
+	ID         string          `json:"id"`
+	Op         string          `json:"op"`
+	State      string          `json:"state"`
+	CacheHit   bool            `json:"cache_hit"`
+	CreatedAt  string          `json:"created_at"`
+	StartedAt  string          `json:"started_at,omitempty"`
+	FinishedAt string          `json:"finished_at,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+func jobResponse(j jobs.Job) JobResponse {
+	stamp := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	return JobResponse{
+		ID: j.ID, Op: j.Op, State: string(j.State), CacheHit: j.CacheHit,
+		CreatedAt: stamp(j.Created), StartedAt: stamp(j.Started),
+		FinishedAt: stamp(j.Finished), Error: j.Error, Result: j.Result,
+	}
+}
+
+// prepare dispatches an async submission to the per-operation
+// validators. It returns the HTTP status for the error when validation
+// fails.
+func (s *Server) prepare(op string, raw json.RawMessage) (prepared, int, error) {
+	bad := func(err error) (prepared, int, error) {
+		return prepared{}, http.StatusBadRequest, err
+	}
+	var (
+		p   prepared
+		err error
+	)
+	switch op {
+	case "properties":
+		var req PropertiesRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return bad(err)
+		}
+		p, err = s.prepareProperties(&req)
+	case "opacity":
+		var req OpacityRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return bad(err)
+		}
+		p, err = s.prepareOpacity(&req)
+	case "anonymize":
+		var req AnonymizeRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return bad(err)
+		}
+		p, err = s.prepareAnonymize(&req)
+	case "kiso":
+		var req KIsoRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return bad(err)
+		}
+		p, err = s.prepareKIso(&req)
+	case "audit":
+		var req AuditRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return bad(err)
+		}
+		p, err = s.prepareAudit(&req)
+	case "dataset":
+		var req DatasetRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return bad(err)
+		}
+		p, err = s.prepareDataset(&req)
+	case "replay":
+		var req ReplayRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return bad(err)
+		}
+		p, err = s.prepareReplay(&req)
+	default:
+		return bad(fmt.Errorf("unknown op %q (want properties, opacity, anonymize, kiso, audit, dataset, or replay)", op))
+	}
+	if err != nil {
+		return bad(err)
+	}
+	return p, 0, nil
+}
+
+// decodeStrict unmarshals an embedded request document with the same
+// unknown-field rejection the top-level decoder applies.
+func decodeStrict(raw json.RawMessage, v any) error {
+	if len(raw) == 0 {
+		return errors.New("missing request document")
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request document: %w", err)
+	}
+	return nil
+}
+
+// handleJobSubmit is POST /v1/jobs: validate synchronously, then either
+// answer from the cache (the job is born finished) or enqueue the work.
+// A full queue is a 429 so load-shedding is visible to clients; a
+// closing server is a 503.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobSubmitRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	p, status, err := s.prepare(req.Op, req.Request)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	useCache := p.cacheable && !p.cacheOff
+	if useCache {
+		if b, ok := s.cache.Get(p.key); ok {
+			j, err := s.jobs.SubmitDone(p.op, b)
+			if err != nil {
+				writeError(w, http.StatusServiceUnavailable, err)
+				return
+			}
+			writeJob(w, http.StatusAccepted, j)
+			return
+		}
+	}
+	task := func(ctx context.Context) (json.RawMessage, error) {
+		v, storable, err := p.run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		if useCache && storable {
+			s.cache.Put(p.key, b)
+		}
+		return b, nil
+	}
+	j, err := s.jobs.Submit(p.op, task)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJob(w, http.StatusAccepted, j)
+}
+
+func writeJob(w http.ResponseWriter, status int, j jobs.Job) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(jobResponse(j))
+}
+
+// handleJobByID serves GET (poll) and DELETE (cancel) on /v1/jobs/{id}.
+func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch r.Method {
+	case http.MethodGet:
+		j, ok := s.jobs.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no job %q (unknown id, or evicted after its TTL)", id))
+			return
+		}
+		writeJSON(w, jobResponse(j))
+	case http.MethodDelete:
+		j, err := s.jobs.Cancel(id)
+		switch {
+		case errors.Is(err, jobs.ErrNotFound):
+			writeError(w, http.StatusNotFound, fmt.Errorf("no job %q (unknown id, or evicted after its TTL)", id))
+		case errors.Is(err, jobs.ErrFinished):
+			writeError(w, http.StatusConflict, fmt.Errorf("job %q already finished (%s)", id, j.State))
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			writeJSON(w, jobResponse(j))
+		}
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or DELETE"))
+	}
+}
+
+// StatsResponse is the GET /v1/stats body: cache effectiveness and
+// job-queue occupancy.
+type StatsResponse struct {
+	Cache CacheStats `json:"cache"`
+	Jobs  JobStats   `json:"jobs"`
+}
+
+// CacheStats reports the content-addressed result cache counters.
+type CacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Entries  int   `json:"entries"`
+	Capacity int   `json:"capacity"`
+}
+
+// JobStats reports worker-pool configuration and retained jobs by
+// state. QueueDepth is the number of jobs currently waiting (the
+// "queued" count; it is not repeated per state).
+type JobStats struct {
+	Workers       int `json:"workers"`
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	Running       int `json:"running"`
+	Done          int `json:"done"`
+	Failed        int `json:"failed"`
+	Cancelled     int `json:"cancelled"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	cs := s.cache.Stats()
+	js := s.jobs.Stats()
+	writeJSON(w, StatsResponse{
+		Cache: CacheStats{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries, Capacity: cs.Capacity},
+		Jobs: JobStats{
+			Workers: js.Workers, QueueDepth: js.QueueDepth, QueueCapacity: js.QueueCapacity,
+			Running: js.Running, Done: js.Done,
+			Failed: js.Failed, Cancelled: js.Cancelled,
+		},
+	})
+}

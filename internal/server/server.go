@@ -13,16 +13,30 @@
 //	POST /v1/kiso        k-isomorphism anonymization
 //	POST /v1/audit       adversary audit of a published graph
 //	POST /v1/replay      verify an anonymization audit trail
+//	POST /v1/jobs        submit any POST operation as an async job
+//	GET  /v1/jobs/{id}   job status, progress timestamps, and result
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET  /v1/stats       cache hit/miss and job-queue counters
 //
 // Every request body is a JSON document containing a graph as
 // {"n": vertexCount, "edges": [[u,v], ...]}. Errors come back as
 // {"error": "..."} with a 4xx/5xx status. Request bodies are capped at
 // Config.MaxBodyBytes and anonymization runs at Config.MaxBudget of
 // wall-clock time, so a single request cannot pin the process.
+//
+// Opacity and anonymize results are additionally memoized in a
+// content-addressed cache (see internal/jobs): requests that hash to
+// the same canonical key — same graph, threshold, parameters, and
+// engine/store selection — are served byte-identically from the cache
+// unless the request opts out with "cache": "off". Long-running work
+// can be submitted to the bounded worker pool via /v1/jobs instead of
+// holding an HTTP connection open; see docs/API.md for the full
+// reference.
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +45,7 @@ import (
 
 	lopacity "repro"
 	"repro/internal/apsp"
+	"repro/internal/jobs"
 )
 
 // Config bounds the server's resource use and sets the distance-compute
@@ -52,6 +67,17 @@ type Config struct {
 	// ceiling at ~200 MB of distance data instead of ~800 MB) or
 	// "packed" (int32).
 	Store string
+	// Workers is the async job pool size; zero selects 4.
+	Workers int
+	// QueueDepth bounds waiting async jobs; submissions beyond it get
+	// 429. Zero selects 64.
+	QueueDepth int
+	// CacheEntries caps the content-addressed result cache; zero
+	// selects 256.
+	CacheEntries int
+	// JobTTL is how long finished jobs stay pollable; zero selects
+	// 15 minutes.
+	JobTTL time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -70,11 +96,17 @@ func (c *Config) setDefaults() {
 	if c.Store == "" {
 		c.Store = "compact"
 	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	// Workers, QueueDepth, and JobTTL defaults live in jobs.Config so
+	// the jobs package stays usable on its own.
 }
 
 // Validate rejects unusable server-wide defaults. A bad Engine or
 // Store would otherwise boot a healthy-looking server that fails every
-// opacity/anonymize request with a client-blaming 400.
+// opacity/anonymize request with a client-blaming 400, and a negative
+// pool size would panic mid-construction.
 func (c Config) Validate() error {
 	c.setDefaults()
 	if _, err := apsp.ParseEngine(c.Engine); err != nil {
@@ -83,7 +115,18 @@ func (c Config) Validate() error {
 	if _, err := apsp.ParseKind(c.Store); err != nil {
 		return fmt.Errorf("server config: %w", err)
 	}
+	if c.CacheEntries < 0 {
+		return fmt.Errorf("server config: cache entries must be >= 0, got %d", c.CacheEntries)
+	}
+	if err := c.jobsConfig().Validate(); err != nil {
+		return fmt.Errorf("server config: %w", err)
+	}
 	return nil
+}
+
+// jobsConfig maps the server knobs onto the jobs package's own Config.
+func (c Config) jobsConfig() jobs.Config {
+	return jobs.Config{Workers: c.Workers, QueueDepth: c.QueueDepth, TTL: c.JobTTL}
 }
 
 // pick returns the request-level override when present, else the
@@ -95,16 +138,21 @@ func pick(req, def string) string {
 	return def
 }
 
-// New returns the REST handler. It panics on a Config whose Engine or
-// Store name does not parse — an operator misconfiguration that must
-// fail at startup, not per request; call Config.Validate first to
-// surface the error gracefully.
-func New(cfg Config) http.Handler {
+// New returns the REST server, which serves HTTP directly (it is an
+// http.Handler) and owns an async worker pool — call Close on shutdown
+// to drain it. New panics on a Config that fails Validate — an
+// operator misconfiguration that must fail at startup, not per
+// request; call Config.Validate first to surface the error gracefully.
+func New(cfg Config) *Server {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	cfg.setDefaults()
-	s := &server{cfg: cfg}
+	s := &Server{
+		cfg:   cfg,
+		jobs:  jobs.NewManager(cfg.jobsConfig()),
+		cache: jobs.NewCache(cfg.CacheEntries),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/properties", post(s.handleProperties))
@@ -115,11 +163,36 @@ func New(cfg Config) http.Handler {
 	mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	mux.HandleFunc("/v1/dataset", post(s.handleDataset))
 	mux.HandleFunc("/v1/replay", post(s.handleReplay))
-	return mux
+	mux.HandleFunc("/v1/jobs", post(s.handleJobSubmit))
+	mux.HandleFunc("/v1/jobs/{id}", s.handleJobByID)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux = mux
+	return s
 }
 
-type server struct {
-	cfg Config
+// Server is the REST API plus its async execution state: the job
+// worker pool and the content-addressed result cache shared by the
+// synchronous and asynchronous paths.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	jobs  *jobs.Manager
+	cache *jobs.Cache
+}
+
+// ServeHTTP dispatches to the route table; *Server is mountable under
+// any mux, exactly as the previous bare-handler API was.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close drains the async subsystem: queued jobs are cancelled, running
+// jobs have their contexts cancelled, and Close waits for the workers
+// to exit or ctx to expire. The HTTP routes keep answering (returning
+// 503 for new job submissions), so call http.Server.Shutdown first and
+// Close second.
+func (s *Server) Close(ctx context.Context) error {
+	return s.jobs.Close(ctx)
 }
 
 // GraphJSON is the wire form of a graph.
@@ -130,7 +203,7 @@ type GraphJSON struct {
 
 // ToGraph validates the wire form against the server limits and builds
 // the graph.
-func (s *server) toGraph(gj GraphJSON) (*lopacity.Graph, error) {
+func (s *Server) toGraph(gj GraphJSON) (*lopacity.Graph, error) {
 	if gj.N <= 0 {
 		return nil, errors.New("graph: n must be positive")
 	}
@@ -182,7 +255,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // decode reads a size-capped JSON body into v, rejecting unknown fields
 // so client typos surface as errors instead of silently defaulting.
-func (s *server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -198,7 +271,7 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
 }
 
@@ -219,34 +292,47 @@ type PropertiesResponse struct {
 	AvgPathLength float64 `json:"avg_path_length"`
 }
 
-func (s *server) handleProperties(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleProperties(w http.ResponseWriter, r *http.Request) {
 	var req PropertiesRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	g, err := s.toGraph(req.Graph)
+	p, err := s.prepareProperties(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	p := g.Properties()
-	writeJSON(w, PropertiesResponse{
-		Nodes: p.Nodes, Links: p.Links, Diameter: p.Diameter,
-		AvgDegree: p.AvgDegree, DegreeStdDev: p.DegreeStdDev,
-		AvgClustering: p.AvgClustering,
-		Assortativity: p.Assortativity, AvgPathLength: p.AvgPathLength,
-	})
+	s.serveSync(w, r, p)
+}
+
+func (s *Server) prepareProperties(req *PropertiesRequest) (prepared, error) {
+	g, err := s.toGraph(req.Graph)
+	if err != nil {
+		return prepared{}, err
+	}
+	run := func(ctx context.Context) (any, bool, error) {
+		p := g.Properties()
+		return PropertiesResponse{
+			Nodes: p.Nodes, Links: p.Links, Diameter: p.Diameter,
+			AvgDegree: p.AvgDegree, DegreeStdDev: p.DegreeStdDev,
+			AvgClustering: p.AvgClustering,
+			Assortativity: p.Assortativity, AvgPathLength: p.AvgPathLength,
+		}, false, nil
+	}
+	return prepared{op: "properties", run: run}, nil
 }
 
 // OpacityRequest asks for the L-opacity report of a graph. Engine and
 // Store optionally override the server's distance-compute defaults
 // (engines: auto, bfs, fw, pointer, bitbfs; stores: compact, packed);
-// every combination returns the identical report.
+// every combination returns the identical report. Cache set to "off"
+// bypasses the content-addressed result cache for this request.
 type OpacityRequest struct {
 	Graph  GraphJSON `json:"graph"`
 	L      int       `json:"l"`
 	Engine string    `json:"engine,omitempty"`
 	Store  string    `json:"store,omitempty"`
+	Cache  string    `json:"cache,omitempty"`
 }
 
 // OpacityResponse reports the graph's maximum opacity and per-type rows.
@@ -264,35 +350,64 @@ type OpacityType struct {
 	Opacity float64 `json:"opacity"`
 }
 
-func (s *server) handleOpacity(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleOpacity(w http.ResponseWriter, r *http.Request) {
 	var req OpacityRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if req.L < 1 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("l must be >= 1, got %d", req.L))
+	p, err := s.prepareOpacity(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	s.serveSync(w, r, p)
+}
+
+// prepareOpacity validates an opacity request and packages it as a
+// cacheable operation.
+func (s *Server) prepareOpacity(req *OpacityRequest) (prepared, error) {
+	if req.L < 1 {
+		return prepared{}, fmt.Errorf("l must be >= 1, got %d", req.L)
 	}
 	g, err := s.toGraph(req.Graph)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return prepared{}, err
 	}
-	rep, err := g.OpacityWith(req.L, nil, lopacity.ReportOptions{
-		Engine: pick(req.Engine, s.cfg.Engine),
-		Store:  pick(req.Store, s.cfg.Store),
-	})
+	engine, kind, err := s.resolveEngineStore(req.Engine, req.Store)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return prepared{}, err
 	}
-	resp := OpacityResponse{L: req.L, MaxOpacity: rep.MaxOpacity}
-	for _, t := range rep.Types {
-		resp.Types = append(resp.Types, OpacityType{
-			Label: t.Label, Within: t.Within, Total: t.Total, Opacity: t.Opacity,
-		})
+	cacheOff, err := parseCacheMode(req.Cache)
+	if err != nil {
+		return prepared{}, err
 	}
-	writeJSON(w, resp)
+	var key jobs.Key
+	if !cacheOff { // hashing the edge set is O(m); skip it when bypassing
+		key, err = jobs.HashJSON(struct {
+			Op            string   `json:"op"`
+			N             int      `json:"n"`
+			Edges         [][2]int `json:"edges"`
+			L             int      `json:"l"`
+			Engine, Store string
+		}{"opacity", g.N(), g.Edges(), req.L, engine, kind})
+		if err != nil {
+			return prepared{}, err
+		}
+	}
+	run := func(ctx context.Context) (any, bool, error) {
+		rep, err := g.OpacityWith(req.L, nil, lopacity.ReportOptions{Engine: engine, Store: kind})
+		if err != nil {
+			return nil, false, err
+		}
+		resp := OpacityResponse{L: req.L, MaxOpacity: rep.MaxOpacity}
+		for _, t := range rep.Types {
+			resp.Types = append(resp.Types, OpacityType{
+				Label: t.Label, Within: t.Within, Total: t.Total, Opacity: t.Opacity,
+			})
+		}
+		return resp, true, nil
+	}
+	return prepared{op: "opacity", key: key, cacheable: true, cacheOff: cacheOff, run: run}, nil
 }
 
 // AnonymizeRequest runs one anonymization method on a graph.
@@ -311,6 +426,8 @@ type AnonymizeRequest struct {
 	// build time and memory differ.
 	Engine string `json:"engine,omitempty"`
 	Store  string `json:"store,omitempty"`
+	// Cache set to "off" bypasses the content-addressed result cache.
+	Cache string `json:"cache,omitempty"`
 }
 
 // AnonymizeResponse returns the published graph and the run report.
@@ -325,23 +442,56 @@ type AnonymizeResponse struct {
 	Distortion float64   `json:"distortion"`
 }
 
-func (s *server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 	var req AnonymizeRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	g, err := s.toGraph(req.Graph)
+	p, err := s.prepareAnonymize(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	s.serveSync(w, r, p)
+}
+
+// prepareAnonymize validates an anonymize request and packages it as a
+// cacheable operation. The cache key covers every input that steers
+// the run — graph, L, theta, method, look-ahead, seed, the effective
+// (clamped) budget, and the canonical engine/store names — so two
+// requests collide only when the computation is genuinely identical.
+// Runs that time out are not stored: a rerun with more headroom may
+// legitimately do better, and a byte-identical replay of a partial
+// result would pin that accident of scheduling.
+func (s *Server) prepareAnonymize(req *AnonymizeRequest) (prepared, error) {
+	g, err := s.toGraph(req.Graph)
+	if err != nil {
+		return prepared{}, err
+	}
+	if req.L < 0 {
+		return prepared{}, fmt.Errorf("l must be >= 1, got %d", req.L)
+	}
+	l := req.L
+	if l == 0 { // the library's default; normalized here so l:0 and l:1 share a cache key
+		l = 1
+	}
+	if req.Theta < 0 || req.Theta > 1 {
+		return prepared{}, fmt.Errorf("theta %v outside [0, 1]", req.Theta)
 	}
 	method := lopacity.EdgeRemoval
 	if req.Method != "" {
 		method, err = lopacity.ParseMethod(req.Method)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
+			return prepared{}, err
 		}
+	}
+	engine, kind, err := s.resolveEngineStore(req.Engine, req.Store)
+	if err != nil {
+		return prepared{}, err
+	}
+	cacheOff, err := parseCacheMode(req.Cache)
+	if err != nil {
+		return prepared{}, err
 	}
 	budget := s.cfg.MaxBudget
 	if req.BudgetMS > 0 {
@@ -349,26 +499,53 @@ func (s *server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 			budget = b
 		}
 	}
-	res, err := lopacity.Anonymize(g, lopacity.Options{
-		L: req.L, Theta: req.Theta, Method: method,
-		LookAhead: req.LookAhead, Seed: req.Seed, Budget: budget,
-		Engine: pick(req.Engine, s.cfg.Engine),
-		Store:  pick(req.Store, s.cfg.Store),
-	})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+	if req.LookAhead < 0 {
+		return prepared{}, fmt.Errorf("lookahead must be >= 1, got %d", req.LookAhead)
 	}
-	writeJSON(w, AnonymizeResponse{
-		Graph:      graphJSON(res.Graph),
-		Satisfied:  res.Satisfied,
-		MaxOpacity: res.MaxOpacity,
-		Removed:    pairsOrEmpty(res.Removed),
-		Inserted:   pairsOrEmpty(res.Inserted),
-		Steps:      res.Steps,
-		TimedOut:   res.TimedOut,
-		Distortion: lopacity.Compare(g, res.Graph).Distortion,
-	})
+	lookAhead := req.LookAhead
+	if lookAhead == 0 { // the library's default; normalized so omitted and 1 share a key
+		lookAhead = 1
+	}
+	var key jobs.Key
+	if !cacheOff { // hashing the edge set is O(m); skip it when bypassing
+		key, err = jobs.HashJSON(struct {
+			Op            string   `json:"op"`
+			N             int      `json:"n"`
+			Edges         [][2]int `json:"edges"`
+			L             int      `json:"l"`
+			Theta         float64  `json:"theta"`
+			Method        string   `json:"method"`
+			LookAhead     int      `json:"lookahead"`
+			Seed          int64    `json:"seed"`
+			BudgetMS      int64    `json:"budget_ms"`
+			Engine, Store string
+		}{"anonymize", g.N(), g.Edges(), l, req.Theta, method.String(),
+			lookAhead, req.Seed, budget.Milliseconds(), engine, kind})
+		if err != nil {
+			return prepared{}, err
+		}
+	}
+	run := func(ctx context.Context) (any, bool, error) {
+		res, err := lopacity.Anonymize(g, lopacity.Options{
+			L: l, Theta: req.Theta, Method: method,
+			LookAhead: lookAhead, Seed: req.Seed, Budget: budget,
+			Engine: engine, Store: kind,
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		return AnonymizeResponse{
+			Graph:      graphJSON(res.Graph),
+			Satisfied:  res.Satisfied,
+			MaxOpacity: res.MaxOpacity,
+			Removed:    pairsOrEmpty(res.Removed),
+			Inserted:   pairsOrEmpty(res.Inserted),
+			Steps:      res.Steps,
+			TimedOut:   res.TimedOut,
+			Distortion: lopacity.Compare(g, res.Graph).Distortion,
+		}, !res.TimedOut, nil
+	}
+	return prepared{op: "anonymize", key: key, cacheable: true, cacheOff: cacheOff, run: run}, nil
 }
 
 // KIsoRequest runs the k-isomorphism comparator.
@@ -389,29 +566,39 @@ type KIsoResponse struct {
 	Distortion   float64   `json:"distortion"`
 }
 
-func (s *server) handleKIso(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleKIso(w http.ResponseWriter, r *http.Request) {
 	var req KIsoRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
+	p, err := s.prepareKIso(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.serveSync(w, r, p)
+}
+
+func (s *Server) prepareKIso(req *KIsoRequest) (prepared, error) {
 	g, err := s.toGraph(req.Graph)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return prepared{}, err
 	}
-	res, err := lopacity.AnonymizeKIso(g, req.K, req.Seed)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+	run := func(ctx context.Context) (any, bool, error) {
+		res, err := lopacity.AnonymizeKIso(g, req.K, req.Seed)
+		if err != nil {
+			return nil, false, err
+		}
+		return KIsoResponse{
+			Graph:        graphJSON(res.Graph),
+			Blocks:       res.Blocks,
+			Removed:      pairsOrEmpty(res.Removed),
+			Inserted:     pairsOrEmpty(res.Inserted),
+			CrossRemoved: res.CrossRemoved,
+			Distortion:   res.Distortion,
+		}, false, nil
 	}
-	writeJSON(w, KIsoResponse{
-		Graph:        graphJSON(res.Graph),
-		Blocks:       res.Blocks,
-		Removed:      pairsOrEmpty(res.Removed),
-		Inserted:     pairsOrEmpty(res.Inserted),
-		CrossRemoved: res.CrossRemoved,
-		Distortion:   res.Distortion,
-	})
+	return prepared{op: "kiso", run: run}, nil
 }
 
 // AuditRequest checks a published graph against the degree-knowledge
@@ -439,49 +626,56 @@ type AuditType struct {
 	Confidence float64 `json:"confidence"`
 }
 
-func (s *server) handleAudit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	var req AuditRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if req.L < 1 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("l must be >= 1, got %d", req.L))
-		return
-	}
-	if req.Theta < 0 || req.Theta > 1 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("theta %v outside [0, 1]", req.Theta))
-		return
-	}
-	pub, err := s.toGraph(req.Published)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("published: %w", err))
-		return
-	}
-	orig, err := s.toGraph(req.Original)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("original: %w", err))
-		return
-	}
-	adv, err := lopacity.NewAdversary(pub, orig)
+	p, err := s.prepareAudit(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	maxInf := adv.MaxConfidence(req.L)
-	resp := AuditResponse{
-		Passed:        maxInf.Confidence <= req.Theta,
-		MaxConfidence: maxInf.Confidence,
-		MaxType:       fmt.Sprintf("{%d,%d}", maxInf.DegreeA, maxInf.DegreeB),
-	}
-	for _, inf := range adv.VulnerablePairs(req.L, req.Theta) {
-		resp.Vulnerable = append(resp.Vulnerable, AuditType{
-			D1: inf.DegreeA, D2: inf.DegreeB, Confidence: inf.Confidence,
-		})
-	}
-	writeJSON(w, resp)
+	s.serveSync(w, r, p)
 }
 
-func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+func (s *Server) prepareAudit(req *AuditRequest) (prepared, error) {
+	if req.L < 1 {
+		return prepared{}, fmt.Errorf("l must be >= 1, got %d", req.L)
+	}
+	if req.Theta < 0 || req.Theta > 1 {
+		return prepared{}, fmt.Errorf("theta %v outside [0, 1]", req.Theta)
+	}
+	pub, err := s.toGraph(req.Published)
+	if err != nil {
+		return prepared{}, fmt.Errorf("published: %w", err)
+	}
+	orig, err := s.toGraph(req.Original)
+	if err != nil {
+		return prepared{}, fmt.Errorf("original: %w", err)
+	}
+	adv, err := lopacity.NewAdversary(pub, orig)
+	if err != nil {
+		return prepared{}, err
+	}
+	run := func(ctx context.Context) (any, bool, error) {
+		maxInf := adv.MaxConfidence(req.L)
+		resp := AuditResponse{
+			Passed:        maxInf.Confidence <= req.Theta,
+			MaxConfidence: maxInf.Confidence,
+			MaxType:       fmt.Sprintf("{%d,%d}", maxInf.DegreeA, maxInf.DegreeB),
+		}
+		for _, inf := range adv.VulnerablePairs(req.L, req.Theta) {
+			resp.Vulnerable = append(resp.Vulnerable, AuditType{
+				D1: inf.DegreeA, D2: inf.DegreeB, Confidence: inf.Confidence,
+			})
+		}
+		return resp, false, nil
+	}
+	return prepared{op: "audit", run: run}, nil
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
@@ -505,27 +699,40 @@ type DatasetResponse struct {
 	Properties PropertiesResponse `json:"properties"`
 }
 
-func (s *server) handleDataset(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	var req DatasetRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	g, err := lopacity.Dataset(req.Key, req.Seed)
+	p, err := s.prepareDataset(&req)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	p := g.Properties()
-	writeJSON(w, DatasetResponse{
-		Key:   req.Key,
-		Graph: graphJSON(g),
-		Properties: PropertiesResponse{
-			Nodes: p.Nodes, Links: p.Links, Diameter: p.Diameter,
-			AvgDegree: p.AvgDegree, DegreeStdDev: p.DegreeStdDev,
-			AvgClustering: p.AvgClustering,
-			Assortativity: p.Assortativity, AvgPathLength: p.AvgPathLength,
-		},
-	})
+	s.serveSync(w, r, p)
+}
+
+func (s *Server) prepareDataset(req *DatasetRequest) (prepared, error) {
+	run := func(ctx context.Context) (any, bool, error) {
+		g, err := lopacity.Dataset(req.Key, req.Seed)
+		if err != nil {
+			return nil, false, err
+		}
+		p := g.Properties()
+		return DatasetResponse{
+			Key:   req.Key,
+			Graph: graphJSON(g),
+			Properties: PropertiesResponse{
+				Nodes: p.Nodes, Links: p.Links, Diameter: p.Diameter,
+				AvgDegree: p.AvgDegree, DegreeStdDev: p.DegreeStdDev,
+				AvgClustering: p.AvgClustering,
+				Assortativity: p.Assortativity, AvgPathLength: p.AvgPathLength,
+			},
+		}, false, nil
+	}
+	// An unknown dataset key surfaces at run time; the sync path maps
+	// it to 404 to preserve the endpoint's original contract.
+	return prepared{op: "dataset", run: run, runErrStatus: http.StatusNotFound}, nil
 }
 
 // ReplayRequest verifies an anonymization audit trail server-side:
@@ -553,51 +760,59 @@ type ReplayResponse struct {
 	FinalOpacity float64 `json:"final_opacity"`
 }
 
-func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	var req ReplayRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
+	p, err := s.prepareReplay(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.serveSync(w, r, p)
+}
+
+func (s *Server) prepareReplay(req *ReplayRequest) (prepared, error) {
 	g, err := s.toGraph(req.Original)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("original: %w", err))
-		return
+		return prepared{}, fmt.Errorf("original: %w", err)
 	}
 	opts := lopacity.ReplayOptions{L: req.L, Theta: req.Theta, SkipOpacityCheck: req.Fast}
 	if req.Published != nil {
 		pub, err := s.toGraph(*req.Published)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("published: %w", err))
-			return
+			return prepared{}, fmt.Errorf("published: %w", err)
 		}
 		opts.Published = pub
 	}
 	if req.L < 1 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("l must be >= 1, got %d", req.L))
-		return
+		return prepared{}, fmt.Errorf("l must be >= 1, got %d", req.L)
 	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	for _, step := range req.Trace {
 		if err := enc.Encode(step); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
+			return prepared{}, err
 		}
 	}
-	rep, err := lopacity.ReplayTrace(g, &buf, opts)
-	resp := ReplayResponse{
-		Verified:     err == nil,
-		Steps:        rep.Steps,
-		Removals:     rep.Removals,
-		Insertions:   rep.Insertions,
-		FinalOpacity: rep.FinalOpacity,
+	run := func(ctx context.Context) (any, bool, error) {
+		rep, err := lopacity.ReplayTrace(g, &buf, opts)
+		resp := ReplayResponse{
+			Verified:     err == nil,
+			Steps:        rep.Steps,
+			Removals:     rep.Removals,
+			Insertions:   rep.Insertions,
+			FinalOpacity: rep.FinalOpacity,
+		}
+		if err != nil {
+			// A failed verification is a successful HTTP request: the
+			// violation is the answer, not a transport error.
+			resp.Error = err.Error()
+		}
+		return resp, false, nil
 	}
-	if err != nil {
-		// A failed verification is a successful HTTP request: the
-		// violation is the answer, not a transport error.
-		resp.Error = err.Error()
-	}
-	writeJSON(w, resp)
+	return prepared{op: "replay", run: run}, nil
 }
 
 func pairsOrEmpty(ps [][2]int) [][2]int {

@@ -7,11 +7,15 @@
 //
 //	lopserve -addr :8080 -max-body 8388608 -max-budget 30s \
 //	         -engine auto -store compact \
-//	         -workers 4 -queue 64 -cache-entries 256 -job-ttl 15m
+//	         -workers 4 -queue 64 -cache-entries 256 -job-ttl 15m \
+//	         -graphs 64 -stores-per-graph 4 -preload gnutella500=1
 //
 // Endpoints (see docs/API.md for the full reference):
 //
 //	GET  /healthz
+//	POST /v1/graphs       register a graph (content-addressed; see -preload)
+//	GET  /v1/graphs       list registered graphs
+//	GET/DELETE /v1/graphs/{id}
 //	POST /v1/properties
 //	POST /v1/opacity
 //	POST /v1/anonymize
@@ -20,7 +24,7 @@
 //	POST /v1/jobs         submit any POST operation async
 //	GET  /v1/jobs/{id}    poll status/result
 //	DELETE /v1/jobs/{id}  cancel
-//	GET  /v1/stats        cache and queue counters
+//	GET  /v1/stats        cache, registry, and queue counters
 //
 // The process shuts down cleanly on SIGINT/SIGTERM: in-flight HTTP
 // requests drain for up to 10 seconds, then the async job pool is
@@ -32,17 +36,57 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
 )
 
+// preload is one -preload directive: a built-in dataset key and the
+// generation seed, written on the command line as "key=seed" (a bare
+// "key" selects seed 1).
+type preload struct {
+	key  string
+	seed int64
+}
+
+// preloadList collects repeated -preload flags.
+type preloadList []preload
+
+func (p *preloadList) String() string {
+	parts := make([]string, len(*p))
+	for i, pl := range *p {
+		parts[i] = fmt.Sprintf("%s=%d", pl.key, pl.seed)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *preloadList) Set(v string) error {
+	key, seedStr, hasSeed := strings.Cut(v, "=")
+	if key == "" {
+		return fmt.Errorf("preload %q: want key=seed", v)
+	}
+	seed := int64(1)
+	if hasSeed {
+		var err error
+		seed, err = strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			return fmt.Errorf("preload %q: bad seed: %w", v, err)
+		}
+	}
+	*p = append(*p, preload{key: key, seed: seed})
+	return nil
+}
+
 func main() {
+	var preloads preloadList
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		maxBody      = flag.Int64("max-body", 8<<20, "maximum request body bytes")
@@ -54,25 +98,37 @@ func main() {
 		queue        = flag.Int("queue", 0, "async job queue depth before 429s (0 selects 64)")
 		cacheEntries = flag.Int("cache-entries", 0, "content-addressed result cache capacity (0 selects 256)")
 		jobTTL       = flag.Duration("job-ttl", 0, "retention of finished async jobs (0 selects 15m)")
+		graphs       = flag.Int("graphs", 0, "graph registry capacity (0 selects 64)")
+		storesPer    = flag.Int("stores-per-graph", 0, "cached distance stores per registered graph (0 selects 4)")
 	)
+	flag.Var(&preloads, "preload", "register a built-in dataset at boot as key=seed (repeatable)")
 	flag.Parse()
 
 	cfg := server.Config{
-		MaxBodyBytes: *maxBody,
-		MaxVertices:  *maxVerts,
-		MaxBudget:    *maxBudget,
-		Engine:       *engine,
-		Store:        *store,
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheEntries,
-		JobTTL:       *jobTTL,
+		MaxBodyBytes:   *maxBody,
+		MaxVertices:    *maxVerts,
+		MaxBudget:      *maxBudget,
+		Engine:         *engine,
+		Store:          *store,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		JobTTL:         *jobTTL,
+		GraphCapacity:  *graphs,
+		StoresPerGraph: *storesPer,
 	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatalf("lopserve: %v", err)
 	}
 
 	api := server.New(cfg)
+	for _, pl := range preloads {
+		id, err := api.RegisterDataset(pl.key, pl.seed)
+		if err != nil {
+			log.Fatalf("lopserve: preload %s: %v", pl.key, err)
+		}
+		log.Printf("lopserve: preloaded %s (seed %d) as graph %s", pl.key, pl.seed, id)
+	}
 	serve(buildServer(*addr, cfg, api), api)
 }
 

@@ -70,6 +70,70 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 }
 
+func TestPreloadFlagParsing(t *testing.T) {
+	var p preloadList
+	for _, c := range []struct {
+		in   string
+		key  string
+		seed int64
+	}{
+		{"gnutella500=7", "gnutella500", 7},
+		{"enron100=-3", "enron100", -3},
+		{"google100", "google100", 1}, // bare key selects seed 1
+	} {
+		p = nil
+		if err := p.Set(c.in); err != nil {
+			t.Fatalf("Set(%q): %v", c.in, err)
+		}
+		if len(p) != 1 || p[0].key != c.key || p[0].seed != c.seed {
+			t.Fatalf("Set(%q) parsed as %+v", c.in, p)
+		}
+	}
+	for _, bad := range []string{"", "=3", "key=notanumber"} {
+		p = nil
+		if err := p.Set(bad); err == nil {
+			t.Errorf("Set(%q): no error", bad)
+		}
+	}
+	p = preloadList{{key: "a", seed: 1}, {key: "b", seed: 2}}
+	if got := p.String(); got != "a=1,b=2" {
+		t.Fatalf("String()=%q", got)
+	}
+}
+
+// TestPreloadRegistersAtBoot drives the same path main takes for each
+// -preload directive and confirms the graph is queryable by reference.
+func TestPreloadRegistersAtBoot(t *testing.T) {
+	cfg := server.Config{MaxBodyBytes: 1 << 20, MaxVertices: 500, MaxBudget: time.Second}
+	api := server.New(cfg)
+	defer api.Close(context.Background())
+	id, err := api.RegisterDataset("gnutella100", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+
+	body := `{"graph_ref":"` + id + `","l":2}`
+	resp, err := http.Post(ts.URL+"/v1/opacity", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("opacity via preloaded ref: status %d", resp.StatusCode)
+	}
+	var out struct {
+		MaxOpacity float64 `json:"max_opacity"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxOpacity <= 0 {
+		t.Fatalf("max_opacity=%v, want > 0", out.MaxOpacity)
+	}
+}
+
 // The standalone signal path: serve() must return after SIGINT, having
 // drained in-flight requests via http.Server.Shutdown and closed the
 // job pool, instead of exiting abruptly.

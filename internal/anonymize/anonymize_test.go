@@ -409,6 +409,28 @@ func TestParallelMatchesSequential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// Workers = 0 (the zero value) and Workers = 1 are the same
+			// sequential path by contract; the run summaries must agree
+			// exactly.
+			zero, err := Run(g, Options{L: 2, Theta: theta, Heuristic: h, Seed: 99, Workers: 0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if zero.Satisfied != seq.Satisfied || zero.FinalLO != seq.FinalLO ||
+				zero.Steps != seq.Steps || zero.CandidateEvals != seq.CandidateEvals ||
+				len(zero.Removed) != len(seq.Removed) || len(zero.Inserted) != len(seq.Inserted) {
+				t.Fatalf("%v theta=%v: Workers=0 diverges from Workers=1: %+v vs %+v", h, theta, zero, seq)
+			}
+			for i := range seq.Removed {
+				if zero.Removed[i] != seq.Removed[i] {
+					t.Fatalf("%v: Workers=0 removal %d differs: %v vs %v", h, i, zero.Removed[i], seq.Removed[i])
+				}
+			}
+			for i := range seq.Inserted {
+				if zero.Inserted[i] != seq.Inserted[i] {
+					t.Fatalf("%v: Workers=0 insertion %d differs: %v vs %v", h, i, zero.Inserted[i], seq.Inserted[i])
+				}
+			}
 			par, err := Run(g, Options{L: 2, Theta: theta, Heuristic: h, Seed: 99, Workers: 8})
 			if err != nil {
 				t.Fatal(err)

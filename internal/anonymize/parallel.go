@@ -24,11 +24,15 @@ import (
 // makes those concurrent scans a quarter of the cache traffic of the
 // int32 layout.
 
-// workers resolves the configured parallelism: Options.Workers if
-// positive, 1 (sequential) when zero or negative. The count is not
-// capped at GOMAXPROCS: extra goroutines cost little, and honoring the
-// requested fan-out keeps the concurrent code path exercised (and
-// race-checkable) even on small machines.
+// workers resolves the configured parallelism: Options.Workers when it
+// is greater than 1, else 1 (sequential). Workers = 1 is sequential by
+// definition, and the zero value deliberately shares that path — a
+// single lane through the parallel machinery would only add goroutine
+// and clone overhead, so the two settings are exact equivalents (a
+// cross-worker test asserts it). The count is not capped at GOMAXPROCS:
+// extra goroutines cost little, and honoring the requested fan-out
+// keeps the concurrent code path exercised (and race-checkable) even on
+// small machines.
 func (s *state) workers() int {
 	if w := s.opts.Workers; w > 1 {
 		return w

@@ -65,10 +65,19 @@ func NewReportWith(g *graph.Graph, degrees []int, L int, build apsp.BuildOptions
 	if degrees == nil {
 		degrees = g.Degrees()
 	}
+	return NewReportFromStore(degrees, apsp.Build(g, L, build))
+}
+
+// NewReportFromStore computes the report over a prebuilt distance
+// store — the serving path caches stores per registered graph and
+// reuses them across requests, skipping the APSP build entirely.
+// degrees must be the original degree vector the pair types are drawn
+// from; the store is only read, so it may be shared concurrently.
+func NewReportFromStore(degrees []int, m apsp.Store) Report {
 	types := NewDegreeTypes(degrees)
-	tr := NewTracker(types, apsp.Build(g, L, build))
+	tr := NewTracker(types, m)
 	ev := tr.Evaluate()
-	rep := Report{L: L, MaxLO: ev.MaxLO, N: ev.Population}
+	rep := Report{L: m.L(), MaxLO: ev.MaxLO, N: ev.Population}
 	for id := 0; id < types.NumTypes(); id++ {
 		if types.Total(id) == 0 {
 			continue

@@ -1,0 +1,423 @@
+// Package registry implements the server's content-addressed graph
+// registry: graphs are parsed and validated once, stored under the
+// SHA-256 digest of their canonical edge set, and reused across
+// requests. Beneath each graph the registry caches built distance
+// stores keyed by (L, engine, backing), so the dominant cost of the
+// serving workload — APSP construction — is paid once per
+// (graph, threshold) instead of once per request.
+//
+// Content addressing gives the registry its semantics for free: two
+// registrations of the same effective graph (any edge order, either
+// endpoint order per edge) resolve to the same id, and the id doubles
+// as an integrity check — a client that knows the digest of the graph
+// it means to query can verify the server is holding exactly that
+// graph. Both the graph map and the per-graph store cache are bounded
+// LRUs, so a long-lived server cannot accumulate unbounded parsed
+// graphs or distance matrices.
+//
+// Registered graphs are immutable and safe for concurrent use: every
+// operation in this codebase treats its input graph as read-only
+// (the anonymizers clone before mutating), and cached stores are only
+// ever read after construction. A graph evicted or deleted while a
+// request still holds it keeps working for that request; it simply
+// stops being findable.
+package registry
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	lopacity "repro"
+	"repro/internal/apsp"
+	"repro/internal/graph"
+)
+
+// Config bounds the registry's two LRU layers.
+type Config struct {
+	// MaxGraphs caps registered graphs; the least recently used graph
+	// (and its cached stores) is evicted on overflow. Zero selects 64.
+	MaxGraphs int
+	// MaxStoresPerGraph caps cached distance stores per graph. Zero
+	// selects 4.
+	MaxStoresPerGraph int
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxGraphs == 0 {
+		c.MaxGraphs = 64
+	}
+	if c.MaxStoresPerGraph == 0 {
+		c.MaxStoresPerGraph = 4
+	}
+}
+
+// Validate rejects negative capacities; zero values select defaults.
+func (c Config) Validate() error {
+	if c.MaxGraphs < 0 {
+		return fmt.Errorf("registry: graph capacity must be >= 0, got %d", c.MaxGraphs)
+	}
+	if c.MaxStoresPerGraph < 0 {
+		return fmt.Errorf("registry: stores per graph must be >= 0, got %d", c.MaxStoresPerGraph)
+	}
+	return nil
+}
+
+// Canonicalize validates an edge list against the simple-graph model
+// and returns its canonical form: every edge as (min, max), the list
+// sorted lexicographically. Out-of-range endpoints, self-loops, and
+// duplicate edges (including reversed duplicates such as [0,1] and
+// [1,0]) are errors: the canonical edge set must be in bijection with
+// the graph it denotes, or content addressing breaks — two requests
+// for the same effective graph would hash to different ids.
+func Canonicalize(n int, edges [][2]int) ([][2]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("graph: n must be positive")
+	}
+	out := make([][2]int, len(edges))
+	for i, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || u >= n || v >= n {
+			return nil, fmt.Errorf("graph: edge [%d, %d] out of range for n=%d", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: self-loop [%d, %d] not allowed in a simple graph", u, v)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		out[i] = [2]int{u, v}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	for i := 1; i < len(out); i++ {
+		if out[i] == out[i-1] {
+			return nil, fmt.Errorf("graph: duplicate edge [%d, %d] not allowed in a simple graph", out[i][0], out[i][1])
+		}
+	}
+	return out, nil
+}
+
+// Digest returns the hex SHA-256 content address of a canonical edge
+// set (as produced by Canonicalize) on n vertices. The encoding is a
+// fixed-width binary stream — vertex count, then each endpoint — so
+// the digest is stable across processes and releases.
+func Digest(n int, canonical [][2]int) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(x int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	put(n)
+	for _, e := range canonical {
+		put(e[0])
+		put(e[1])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// storeKey identifies one cached distance store: the threshold and the
+// canonical engine/backing that built it.
+type storeKey struct {
+	l      int
+	engine apsp.Engine
+	kind   apsp.Kind
+}
+
+// storeSlot is the build-once cell for a cached store. The sync.Once
+// makes concurrent first requests for the same (L, engine, kind) share
+// a single APSP build instead of racing duplicate ones.
+type storeSlot struct {
+	once  sync.Once
+	store apsp.Store
+}
+
+type storeEntry struct {
+	key  storeKey
+	slot *storeSlot
+}
+
+// Graph is one registered graph: parsed once, content-addressed, with
+// an LRU cache of built distance stores beneath it. Everything except
+// the store cache is immutable after construction, so a Graph may be
+// shared freely across concurrent requests.
+type Graph struct {
+	id      string
+	edges   [][2]int
+	raw     *graph.Graph
+	pub     *lopacity.Graph
+	degrees []int
+	reg     *Registry
+
+	mu         sync.Mutex
+	stores     map[storeKey]*list.Element
+	storeOrder *list.List // front = most recently used
+	maxStores  int
+	detached   bool // no longer in the registry; stop aggregate accounting
+}
+
+// ID returns the graph's content address (hex SHA-256 of the canonical
+// edge set).
+func (g *Graph) ID() string { return g.id }
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.raw.N() }
+
+// M returns the edge count.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the canonical sorted edge set. The slice is shared:
+// callers must treat it as read-only.
+func (g *Graph) Edges() [][2]int { return g.edges }
+
+// Degrees returns the degree sequence. The slice is shared: callers
+// must treat it as read-only.
+func (g *Graph) Degrees() []int { return g.degrees }
+
+// Public returns the graph as the public-API type. The graph is shared
+// across requests; callers must not mutate it (every operation in this
+// codebase already treats its input graph as read-only).
+func (g *Graph) Public() *lopacity.Graph { return g.pub }
+
+// StoreCount returns the number of currently cached distance stores.
+func (g *Graph) StoreCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.storeOrder.Len()
+}
+
+// Distances returns the graph's L-capped distance store for the given
+// engine and backing, building it on first use and serving the cached
+// store afterwards. The bool reports reuse: true means no APSP build
+// happened on this call (either the store was cached, or a concurrent
+// caller's in-flight build was joined). Returned stores are shared and
+// must be treated as read-only.
+func (g *Graph) Distances(L int, engine apsp.Engine, kind apsp.Kind) (apsp.Store, bool) {
+	// Key on the backing actually built: compact degrades to packed for
+	// L > MaxCompactL inside apsp.Build, so the two spellings must share
+	// one slot rather than caching byte-equivalent twins.
+	k := storeKey{l: L, engine: engine, kind: apsp.EffectiveKind(kind, L)}
+	g.mu.Lock()
+	var slot *storeSlot
+	if el, ok := g.stores[k]; ok {
+		g.storeOrder.MoveToFront(el)
+		slot = el.Value.(*storeEntry).slot
+	} else {
+		if g.storeOrder.Len() >= g.maxStores {
+			oldest := g.storeOrder.Back()
+			g.storeOrder.Remove(oldest)
+			delete(g.stores, oldest.Value.(*storeEntry).key)
+			g.reg.storeEvictions.Add(1)
+			if !g.detached {
+				g.reg.stores.Add(-1)
+			}
+		}
+		slot = &storeSlot{}
+		g.stores[k] = g.storeOrder.PushFront(&storeEntry{key: k, slot: slot})
+		if !g.detached {
+			g.reg.stores.Add(1)
+		}
+	}
+	g.mu.Unlock()
+
+	built := false
+	slot.once.Do(func() {
+		slot.store = apsp.Build(g.raw, L, apsp.BuildOptions{Engine: engine, Kind: kind})
+		built = true
+	})
+	if built {
+		g.reg.storeMisses.Add(1)
+	} else {
+		g.reg.storeHits.Add(1)
+	}
+	return slot.store, !built
+}
+
+// Stats is a point-in-time snapshot of registry effectiveness.
+type Stats struct {
+	// Graphs is the current number of registered graphs; Capacity the
+	// LRU bound.
+	Graphs, Capacity int
+	// Hits and Misses count Get lookups; Evictions counts graphs
+	// displaced by the LRU bound (explicit deletes are not evictions).
+	Hits, Misses, Evictions int64
+	// Stores is the current number of cached distance stores across all
+	// registered graphs.
+	Stores int
+	// StoreHits counts Distances calls served without an APSP build;
+	// StoreMisses counts calls that built; StoreEvictions counts stores
+	// displaced by either LRU layer.
+	StoreHits, StoreMisses, StoreEvictions int64
+}
+
+// Registry is a concurrency-safe, LRU-bounded map from content address
+// to registered graph.
+type Registry struct {
+	cfg     Config
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses, evictions                atomic.Int64
+	stores                                 atomic.Int64
+	storeHits, storeMisses, storeEvictions atomic.Int64
+}
+
+// New returns an empty registry. It panics on a Config that fails
+// Validate — a misconfiguration that must surface at startup.
+func New(cfg Config) *Registry {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg.setDefaults()
+	return &Registry{
+		cfg:     cfg,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Put registers the graph described by (n, edges), returning the
+// already-registered entry when the canonical edge set is present
+// (created = false). The edge list is validated and canonicalized; the
+// same errors a request-level graph validation would raise (range,
+// self-loop, duplicate) are returned here.
+func (r *Registry) Put(n int, edges [][2]int) (g *Graph, created bool, err error) {
+	canonical, err := Canonicalize(n, edges)
+	if err != nil {
+		return nil, false, err
+	}
+	id := Digest(n, canonical)
+	r.mu.Lock()
+	if el, ok := r.entries[id]; ok {
+		r.order.MoveToFront(el)
+		ent := el.Value.(*Graph)
+		r.mu.Unlock()
+		return ent, false, nil
+	}
+	r.mu.Unlock()
+
+	// Build outside the lock: adjacency construction is O(n + m) and
+	// must not block concurrent lookups. A lost registration race is
+	// resolved below in favor of the first writer.
+	raw := graph.New(n)
+	for _, e := range canonical {
+		raw.AddEdge(e[0], e[1])
+	}
+	ent := &Graph{
+		id:         id,
+		edges:      canonical,
+		raw:        raw,
+		pub:        lopacity.FromEdges(n, canonical),
+		degrees:    raw.Degrees(),
+		reg:        r,
+		stores:     make(map[storeKey]*list.Element),
+		storeOrder: list.New(),
+		maxStores:  r.cfg.MaxStoresPerGraph,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.entries[id]; ok {
+		r.order.MoveToFront(el)
+		return el.Value.(*Graph), false, nil
+	}
+	for r.order.Len() >= r.cfg.MaxGraphs {
+		r.dropLocked(r.order.Back(), true)
+	}
+	r.entries[id] = r.order.PushFront(ent)
+	return ent, true, nil
+}
+
+// Get returns the registered graph for id, refreshing its recency and
+// recording a hit or miss.
+func (r *Registry) Get(id string) (*Graph, bool) {
+	r.mu.Lock()
+	el, ok := r.entries[id]
+	if !ok {
+		r.mu.Unlock()
+		r.misses.Add(1)
+		return nil, false
+	}
+	r.order.MoveToFront(el)
+	ent := el.Value.(*Graph)
+	r.mu.Unlock()
+	r.hits.Add(1)
+	return ent, true
+}
+
+// Delete removes the graph with the given id, reporting whether it was
+// present. Requests still holding the graph keep working; its stores
+// just stop counting toward the registry.
+func (r *Registry) Delete(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.entries[id]
+	if !ok {
+		return false
+	}
+	r.dropLocked(el, false)
+	return true
+}
+
+// dropLocked unlinks an entry and detaches it from aggregate store
+// accounting. Callers hold r.mu.
+func (r *Registry) dropLocked(el *list.Element, evicted bool) {
+	ent := el.Value.(*Graph)
+	r.order.Remove(el)
+	delete(r.entries, ent.id)
+	ent.mu.Lock()
+	n := int64(ent.storeOrder.Len())
+	ent.detached = true
+	ent.mu.Unlock()
+	r.stores.Add(-n)
+	if evicted {
+		r.evictions.Add(1)
+		r.storeEvictions.Add(n)
+	}
+}
+
+// List returns the registered graphs, most recently used first.
+func (r *Registry) List() []*Graph {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Graph, 0, r.order.Len())
+	for el := r.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Graph))
+	}
+	return out
+}
+
+// Len returns the current number of registered graphs.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.order.Len()
+}
+
+// Stats snapshots the registry counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	graphs := r.order.Len()
+	r.mu.Unlock()
+	return Stats{
+		Graphs:         graphs,
+		Capacity:       r.cfg.MaxGraphs,
+		Hits:           r.hits.Load(),
+		Misses:         r.misses.Load(),
+		Evictions:      r.evictions.Load(),
+		Stores:         int(r.stores.Load()),
+		StoreHits:      r.storeHits.Load(),
+		StoreMisses:    r.storeMisses.Load(),
+		StoreEvictions: r.storeEvictions.Load(),
+	}
+}

@@ -1,0 +1,181 @@
+// Graph-registry endpoints: the content-addressed store of parsed
+// graphs that operation requests reference via "graph_ref".
+//
+//	POST   /v1/graphs       register a graph (inline edges or a dataset key)
+//	GET    /v1/graphs       list registered graphs, most recently used first
+//	GET    /v1/graphs/{id}  metadata of one registered graph
+//	DELETE /v1/graphs/{id}  unregister a graph
+//
+// A graph's id is the SHA-256 of its canonical edge set, so registering
+// the same effective graph twice — in any edge order, either endpoint
+// order — returns the existing id, and an operation's cache key derived
+// from a ref is identical to the key the equivalent inline request
+// hashes to.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	lopacity "repro"
+	"repro/internal/registry"
+)
+
+// GraphRegisterRequest registers a graph: either Graph (inline edges)
+// or Dataset (a built-in calibrated dataset key, generated
+// deterministically from Seed) — exactly one of the two.
+type GraphRegisterRequest struct {
+	Graph   *GraphJSON `json:"graph,omitempty"`
+	Dataset string     `json:"dataset,omitempty"`
+	Seed    int64      `json:"seed,omitempty"`
+}
+
+// GraphInfo is the wire form of a registered graph's metadata. Stores
+// is the number of distance stores currently cached under the graph.
+type GraphInfo struct {
+	ID     string `json:"id"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	Stores int    `json:"stores"`
+}
+
+// GraphRegisterResponse reports the registered graph's content address.
+// Created is false when the graph was already registered.
+type GraphRegisterResponse struct {
+	GraphInfo
+	Created bool `json:"created"`
+}
+
+// GraphListResponse is the GET /v1/graphs body.
+type GraphListResponse struct {
+	Graphs   []GraphInfo `json:"graphs"`
+	Capacity int         `json:"capacity"`
+}
+
+// handleGraphs serves GET (list) and POST (register) on /v1/graphs.
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		list := s.reg.List()
+		resp := GraphListResponse{Graphs: make([]GraphInfo, 0, len(list)), Capacity: s.reg.Stats().Capacity}
+		for _, g := range list {
+			resp.Graphs = append(resp.Graphs, GraphInfo{ID: g.ID(), N: g.N(), M: g.M(), Stores: g.StoreCount()})
+		}
+		writeJSON(w, resp)
+	case http.MethodPost:
+		s.handleGraphRegister(w, r)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+	}
+}
+
+func (s *Server) handleGraphRegister(w http.ResponseWriter, r *http.Request) {
+	var req GraphRegisterRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	var gj GraphJSON
+	switch {
+	case req.Graph != nil && req.Dataset != "":
+		writeError(w, http.StatusBadRequest, errors.New("provide graph or dataset, not both"))
+		return
+	case req.Graph != nil:
+		gj = *req.Graph
+	case req.Dataset != "":
+		g, err := lopacity.Dataset(req.Dataset, req.Seed)
+		if err != nil {
+			// Same contract as POST /v1/dataset: an unknown key is 404.
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		gj = graphJSON(g)
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("provide graph or dataset"))
+		return
+	}
+	ent, created, err := s.register(gj)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/graphs/"+ent.ID())
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(GraphRegisterResponse{
+		GraphInfo: GraphInfo{ID: ent.ID(), N: ent.N(), M: ent.M(), Stores: ent.StoreCount()},
+		Created:   created,
+	})
+}
+
+// handleGraphByID serves GET (metadata) and DELETE (unregister) on
+// /v1/graphs/{id}.
+func (s *Server) handleGraphByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch r.Method {
+	case http.MethodGet:
+		g, ok := s.reg.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q (unknown id, or evicted)", id))
+			return
+		}
+		writeJSON(w, GraphInfo{ID: g.ID(), N: g.N(), M: g.M(), Stores: g.StoreCount()})
+	case http.MethodDelete:
+		if !s.reg.Delete(id) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q (unknown id, or evicted)", id))
+			return
+		}
+		writeJSON(w, map[string]any{"deleted": true, "id": id})
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or DELETE"))
+	}
+}
+
+// register applies the server's registration bound and stores the
+// graph — the one path every registration takes (HTTP and -preload),
+// so the two can never diverge on what is registrable.
+func (s *Server) register(gj GraphJSON) (*registry.Graph, bool, error) {
+	if gj.N > s.cfg.MaxVertices {
+		return nil, false, fmt.Errorf("graph: n=%d exceeds server limit %d", gj.N, s.cfg.MaxVertices)
+	}
+	return s.reg.Put(gj.N, gj.Edges)
+}
+
+// RegisterDataset generates a built-in calibrated dataset and registers
+// it in the graph registry, returning the graph's content address. It
+// backs lopserve's -preload flag, so a server can come up with its
+// serving graphs already parsed.
+func (s *Server) RegisterDataset(key string, seed int64) (string, error) {
+	g, err := lopacity.Dataset(key, seed)
+	if err != nil {
+		return "", err
+	}
+	ent, _, err := s.register(graphJSON(g))
+	if err != nil {
+		return "", err
+	}
+	return ent.ID(), nil
+}
+
+// RegistryStats reports the graph-registry counters on GET /v1/stats:
+// graph lookup effectiveness, capacity pressure, and — the number that
+// proves the architecture — distance-store reuse, where every store
+// hit is one full APSP build skipped.
+type RegistryStats struct {
+	Graphs         int   `json:"graphs"`
+	Capacity       int   `json:"capacity"`
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	Evictions      int64 `json:"evictions"`
+	Stores         int   `json:"stores"`
+	StoreHits      int64 `json:"store_hits"`
+	StoreMisses    int64 `json:"store_misses"`
+	StoreEvictions int64 `json:"store_evictions"`
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -46,19 +47,21 @@ type prepared struct {
 }
 
 // resolveEngineStore canonicalizes the request/server engine and store
-// selection to their parsed String() names, so cache keys are stable
-// across spelling aliases ("bit" and "bitbfs" hash identically) while
-// distinct engines and stores never collide.
-func (s *Server) resolveEngineStore(engine, store string) (string, string, error) {
+// selection to their parsed values. Cache keys and run options use the
+// canonical String() names, so keys are stable across spelling aliases
+// ("bit" and "bitbfs" hash identically) while distinct engines and
+// stores never collide; the registry's store cache keys on the parsed
+// values directly.
+func (s *Server) resolveEngineStore(engine, store string) (apsp.Engine, apsp.Kind, error) {
 	e, err := apsp.ParseEngine(pick(engine, s.cfg.Engine))
 	if err != nil {
-		return "", "", err
+		return 0, 0, err
 	}
 	k, err := apsp.ParseKind(pick(store, s.cfg.Store))
 	if err != nil {
-		return "", "", err
+		return 0, 0, err
 	}
-	return e.String(), k.String(), nil
+	return e, k, nil
 }
 
 // parseCacheMode interprets the per-request cache field: "" and "on"
@@ -153,10 +156,10 @@ func jobResponse(j jobs.Job) JobResponse {
 
 // prepare dispatches an async submission to the per-operation
 // validators. It returns the HTTP status for the error when validation
-// fails.
+// fails (400 by default; e.g. 404 for an unknown graph_ref).
 func (s *Server) prepare(op string, raw json.RawMessage) (prepared, int, error) {
 	bad := func(err error) (prepared, int, error) {
-		return prepared{}, http.StatusBadRequest, err
+		return prepared{}, errStatus(err, http.StatusBadRequest), err
 	}
 	var (
 		p   prepared
@@ -215,7 +218,8 @@ func (s *Server) prepare(op string, raw json.RawMessage) (prepared, int, error) 
 }
 
 // decodeStrict unmarshals an embedded request document with the same
-// unknown-field rejection the top-level decoder applies.
+// unknown-field and trailing-data rejection the top-level decoder
+// applies.
 func decodeStrict(raw json.RawMessage, v any) error {
 	if len(raw) == 0 {
 		return errors.New("missing request document")
@@ -224,6 +228,9 @@ func decodeStrict(raw json.RawMessage, v any) error {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("invalid request document: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return errors.New("invalid request document: trailing data after JSON document")
 	}
 	return nil
 }
@@ -319,11 +326,12 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// StatsResponse is the GET /v1/stats body: cache effectiveness and
-// job-queue occupancy.
+// StatsResponse is the GET /v1/stats body: cache effectiveness,
+// graph-registry effectiveness, and job-queue occupancy.
 type StatsResponse struct {
-	Cache CacheStats `json:"cache"`
-	Jobs  JobStats   `json:"jobs"`
+	Cache    CacheStats    `json:"cache"`
+	Registry RegistryStats `json:"registry"`
+	Jobs     JobStats      `json:"jobs"`
 }
 
 // CacheStats reports the content-addressed result cache counters.
@@ -354,9 +362,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cs := s.cache.Stats()
+	rs := s.reg.Stats()
 	js := s.jobs.Stats()
 	writeJSON(w, StatsResponse{
 		Cache: CacheStats{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries, Capacity: cs.Capacity},
+		Registry: RegistryStats{
+			Graphs: rs.Graphs, Capacity: rs.Capacity,
+			Hits: rs.Hits, Misses: rs.Misses, Evictions: rs.Evictions,
+			Stores: rs.Stores, StoreHits: rs.StoreHits,
+			StoreMisses: rs.StoreMisses, StoreEvictions: rs.StoreEvictions,
+		},
 		Jobs: JobStats{
 			Workers: js.Workers, QueueDepth: js.QueueDepth, QueueCapacity: js.QueueCapacity,
 			Running: js.Running, Done: js.Done,

@@ -13,13 +13,20 @@
 //	POST /v1/kiso        k-isomorphism anonymization
 //	POST /v1/audit       adversary audit of a published graph
 //	POST /v1/replay      verify an anonymization audit trail
+//	POST /v1/graphs      register a graph in the content-addressed registry
+//	GET  /v1/graphs      list registered graphs
+//	GET  /v1/graphs/{id} metadata of a registered graph
+//	DELETE /v1/graphs/{id} unregister a graph
 //	POST /v1/jobs        submit any POST operation as an async job
 //	GET  /v1/jobs/{id}   job status, progress timestamps, and result
 //	DELETE /v1/jobs/{id} cancel a queued or running job
-//	GET  /v1/stats       cache hit/miss and job-queue counters
+//	GET  /v1/stats       cache, registry, and job-queue counters
 //
 // Every request body is a JSON document containing a graph as
-// {"n": vertexCount, "edges": [[u,v], ...]}. Errors come back as
+// {"n": vertexCount, "edges": [[u,v], ...]}, or — once the graph is
+// registered via POST /v1/graphs — a "graph_ref" naming its content
+// address, which skips both the JSON re-parse and (for opacity) the
+// APSP rebuild on every subsequent request. Errors come back as
 // {"error": "..."} with a 4xx/5xx status. Request bodies are capped at
 // Config.MaxBodyBytes and anonymization runs at Config.MaxBudget of
 // wall-clock time, so a single request cannot pin the process.
@@ -40,12 +47,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
 	lopacity "repro"
 	"repro/internal/apsp"
 	"repro/internal/jobs"
+	"repro/internal/opacity"
+	"repro/internal/registry"
 )
 
 // Config bounds the server's resource use and sets the distance-compute
@@ -78,6 +88,12 @@ type Config struct {
 	// JobTTL is how long finished jobs stay pollable; zero selects
 	// 15 minutes.
 	JobTTL time.Duration
+	// GraphCapacity caps the content-addressed graph registry (LRU);
+	// zero selects 64.
+	GraphCapacity int
+	// StoresPerGraph caps cached distance stores per registered graph
+	// (LRU); zero selects 4.
+	StoresPerGraph int
 }
 
 func (c *Config) setDefaults() {
@@ -121,7 +137,16 @@ func (c Config) Validate() error {
 	if err := c.jobsConfig().Validate(); err != nil {
 		return fmt.Errorf("server config: %w", err)
 	}
+	if err := c.registryConfig().Validate(); err != nil {
+		return fmt.Errorf("server config: %w", err)
+	}
 	return nil
+}
+
+// registryConfig maps the server knobs onto the registry package's own
+// Config.
+func (c Config) registryConfig() registry.Config {
+	return registry.Config{MaxGraphs: c.GraphCapacity, MaxStoresPerGraph: c.StoresPerGraph}
 }
 
 // jobsConfig maps the server knobs onto the jobs package's own Config.
@@ -152,9 +177,12 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		jobs:  jobs.NewManager(cfg.jobsConfig()),
 		cache: jobs.NewCache(cfg.CacheEntries),
+		reg:   registry.New(cfg.registryConfig()),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	mux.HandleFunc("/v1/graphs/{id}", s.handleGraphByID)
 	mux.HandleFunc("/v1/properties", post(s.handleProperties))
 	mux.HandleFunc("/v1/opacity", post(s.handleOpacity))
 	mux.HandleFunc("/v1/anonymize", post(s.handleAnonymize))
@@ -178,6 +206,7 @@ type Server struct {
 	mux   *http.ServeMux
 	jobs  *jobs.Manager
 	cache *jobs.Cache
+	reg   *registry.Registry
 }
 
 // ServeHTTP dispatches to the route table; *Server is mountable under
@@ -202,25 +231,56 @@ type GraphJSON struct {
 }
 
 // ToGraph validates the wire form against the server limits and builds
-// the graph.
+// the graph. Validation is registry.Canonicalize — the same rules
+// (range, self-loop, duplicate incl. reversed) under which graphs are
+// content-addressed — so an inline graph and its registered twin can
+// never disagree about what counts as valid, and the edge set built
+// here is always in bijection with what the cache and registry keys
+// hash.
 func (s *Server) toGraph(gj GraphJSON) (*lopacity.Graph, error) {
-	if gj.N <= 0 {
-		return nil, errors.New("graph: n must be positive")
-	}
 	if gj.N > s.cfg.MaxVertices {
 		return nil, fmt.Errorf("graph: n=%d exceeds server limit %d", gj.N, s.cfg.MaxVertices)
 	}
-	g := lopacity.NewGraph(gj.N)
-	for _, e := range gj.Edges {
-		if e[0] < 0 || e[0] >= gj.N || e[1] < 0 || e[1] >= gj.N {
-			return nil, fmt.Errorf("graph: edge [%d, %d] out of range for n=%d", e[0], e[1], gj.N)
-		}
-		if e[0] == e[1] {
-			return nil, fmt.Errorf("graph: self-loop [%d, %d] not allowed in a simple graph", e[0], e[1])
-		}
-		g.AddEdge(e[0], e[1])
+	canonical, err := registry.Canonicalize(gj.N, gj.Edges)
+	if err != nil {
+		return nil, err
 	}
-	return g, nil
+	return lopacity.FromEdges(gj.N, canonical), nil
+}
+
+// resolveGraph produces an operation's input graph from either an
+// inline wire graph or a registry reference; exactly one form must be
+// present. The returned registry entry is non-nil only on the ref
+// path, where callers can reuse the canonical edge set and the cached
+// distance stores. An unknown reference is a 404: the resource named
+// by the request does not exist.
+func (s *Server) resolveGraph(gj GraphJSON, ref string) (*lopacity.Graph, *registry.Graph, error) {
+	if ref == "" {
+		g, err := s.toGraph(gj)
+		return g, nil, err
+	}
+	if gj.N != 0 || len(gj.Edges) != 0 {
+		return nil, nil, errors.New("graph: provide graph or graph_ref, not both")
+	}
+	ent, ok := s.reg.Get(ref)
+	if !ok {
+		return nil, nil, &statusError{
+			status: http.StatusNotFound,
+			err:    fmt.Errorf("unknown graph_ref %q (register the graph via POST /v1/graphs first)", ref),
+		}
+	}
+	return ent.Public(), ent, nil
+}
+
+// opEdges returns the canonical edge set used in cache keys: the
+// registry's precomputed set on the ref path (no re-sort), the graph's
+// sorted edge set inline. Both spellings of one graph hash identically,
+// which is what lets inline and ref requests share cache entries.
+func opEdges(g *lopacity.Graph, ent *registry.Graph) [][2]int {
+	if ent != nil {
+		return ent.Edges()
+	}
+	return g.Edges()
 }
 
 func graphJSON(g *lopacity.Graph) GraphJSON {
@@ -239,6 +299,27 @@ func post(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// statusError carries a specific HTTP status for a validation error —
+// e.g. 404 for an operation naming an unregistered graph_ref — where
+// the default would be 400.
+type statusError struct {
+	status int
+	err    error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+// errStatus returns the status carried by err when it wraps a
+// statusError, else fallback.
+func errStatus(err error, fallback int) int {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.status
+	}
+	return fallback
+}
+
 func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -254,7 +335,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // decode reads a size-capped JSON body into v, rejecting unknown fields
-// so client typos surface as errors instead of silently defaulting.
+// so client typos surface as errors instead of silently defaulting, and
+// rejecting trailing data after the document so a concatenated body
+// like `{"l":2}{"garbage":true}` cannot masquerade as a valid request.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
@@ -268,6 +351,15 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
 		return false
 	}
+	if _, err := dec.Token(); err != io.EOF {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, errors.New("invalid request body: trailing data after JSON document"))
+		return false
+	}
 	return true
 }
 
@@ -275,9 +367,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
 }
 
-// PropertiesRequest asks for the structural property report of a graph.
+// PropertiesRequest asks for the structural property report of a graph,
+// given inline or as a registry reference.
 type PropertiesRequest struct {
-	Graph GraphJSON `json:"graph"`
+	Graph    GraphJSON `json:"graph"`
+	GraphRef string    `json:"graph_ref,omitempty"`
 }
 
 // PropertiesResponse mirrors lopacity.Properties (the Table 2/3 columns).
@@ -299,14 +393,14 @@ func (s *Server) handleProperties(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := s.prepareProperties(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, errStatus(err, http.StatusBadRequest), err)
 		return
 	}
 	s.serveSync(w, r, p)
 }
 
 func (s *Server) prepareProperties(req *PropertiesRequest) (prepared, error) {
-	g, err := s.toGraph(req.Graph)
+	g, _, err := s.resolveGraph(req.Graph, req.GraphRef)
 	if err != nil {
 		return prepared{}, err
 	}
@@ -322,17 +416,21 @@ func (s *Server) prepareProperties(req *PropertiesRequest) (prepared, error) {
 	return prepared{op: "properties", run: run}, nil
 }
 
-// OpacityRequest asks for the L-opacity report of a graph. Engine and
-// Store optionally override the server's distance-compute defaults
-// (engines: auto, bfs, fw, pointer, bitbfs; stores: compact, packed);
-// every combination returns the identical report. Cache set to "off"
-// bypasses the content-addressed result cache for this request.
+// OpacityRequest asks for the L-opacity report of a graph, given
+// inline or as a registry reference (GraphRef requests additionally
+// reuse the registered graph's cached distance store, skipping the
+// APSP build). Engine and Store optionally override the server's
+// distance-compute defaults (engines: auto, bfs, fw, pointer, bitbfs;
+// stores: compact, packed); every combination returns the identical
+// report. Cache set to "off" bypasses the content-addressed result
+// cache for this request.
 type OpacityRequest struct {
-	Graph  GraphJSON `json:"graph"`
-	L      int       `json:"l"`
-	Engine string    `json:"engine,omitempty"`
-	Store  string    `json:"store,omitempty"`
-	Cache  string    `json:"cache,omitempty"`
+	Graph    GraphJSON `json:"graph"`
+	GraphRef string    `json:"graph_ref,omitempty"`
+	L        int       `json:"l"`
+	Engine   string    `json:"engine,omitempty"`
+	Store    string    `json:"store,omitempty"`
+	Cache    string    `json:"cache,omitempty"`
 }
 
 // OpacityResponse reports the graph's maximum opacity and per-type rows.
@@ -357,19 +455,23 @@ func (s *Server) handleOpacity(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := s.prepareOpacity(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, errStatus(err, http.StatusBadRequest), err)
 		return
 	}
 	s.serveSync(w, r, p)
 }
 
 // prepareOpacity validates an opacity request and packages it as a
-// cacheable operation.
+// cacheable operation. On the graph_ref path the run reuses the
+// registered graph's cached distance store — the second request for
+// the same (graph, L, engine, store) performs zero APSP builds — and
+// the cache key hashes the same canonical edge set an inline spelling
+// of the graph would, so both forms share one result-cache entry.
 func (s *Server) prepareOpacity(req *OpacityRequest) (prepared, error) {
 	if req.L < 1 {
 		return prepared{}, fmt.Errorf("l must be >= 1, got %d", req.L)
 	}
-	g, err := s.toGraph(req.Graph)
+	g, ent, err := s.resolveGraph(req.Graph, req.GraphRef)
 	if err != nil {
 		return prepared{}, err
 	}
@@ -389,15 +491,29 @@ func (s *Server) prepareOpacity(req *OpacityRequest) (prepared, error) {
 			Edges         [][2]int `json:"edges"`
 			L             int      `json:"l"`
 			Engine, Store string
-		}{"opacity", g.N(), g.Edges(), req.L, engine, kind})
+		}{"opacity", g.N(), opEdges(g, ent), req.L, engine.String(), kind.String()})
 		if err != nil {
 			return prepared{}, err
 		}
 	}
 	run := func(ctx context.Context) (any, bool, error) {
-		rep, err := g.OpacityWith(req.L, nil, lopacity.ReportOptions{Engine: engine, Store: kind})
-		if err != nil {
-			return nil, false, err
+		var rep lopacity.OpacityReport
+		if ent != nil {
+			// Registry path: the store is built at most once per
+			// (graph, L, engine, kind) and shared read-only thereafter.
+			st, _ := ent.Distances(req.L, engine, kind)
+			irep := opacity.NewReportFromStore(ent.Degrees(), st)
+			rep = lopacity.OpacityReport{L: req.L, MaxOpacity: irep.MaxLO}
+			for _, t := range irep.ByType {
+				rep.Types = append(rep.Types, lopacity.TypeOpacity{
+					Label: t.Label, Total: t.Total, Within: t.Within, Opacity: t.Opacity,
+				})
+			}
+		} else {
+			rep, err = g.OpacityWith(req.L, nil, lopacity.ReportOptions{Engine: engine.String(), Store: kind.String()})
+			if err != nil {
+				return nil, false, err
+			}
 		}
 		resp := OpacityResponse{L: req.L, MaxOpacity: rep.MaxOpacity}
 		for _, t := range rep.Types {
@@ -410,9 +526,11 @@ func (s *Server) prepareOpacity(req *OpacityRequest) (prepared, error) {
 	return prepared{op: "opacity", key: key, cacheable: true, cacheOff: cacheOff, run: run}, nil
 }
 
-// AnonymizeRequest runs one anonymization method on a graph.
+// AnonymizeRequest runs one anonymization method on a graph, given
+// inline or as a registry reference.
 type AnonymizeRequest struct {
 	Graph     GraphJSON `json:"graph"`
+	GraphRef  string    `json:"graph_ref,omitempty"`
 	L         int       `json:"l"`
 	Theta     float64   `json:"theta"`
 	Method    string    `json:"method"`
@@ -449,7 +567,7 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := s.prepareAnonymize(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, errStatus(err, http.StatusBadRequest), err)
 		return
 	}
 	s.serveSync(w, r, p)
@@ -464,7 +582,7 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 // legitimately do better, and a byte-identical replay of a partial
 // result would pin that accident of scheduling.
 func (s *Server) prepareAnonymize(req *AnonymizeRequest) (prepared, error) {
-	g, err := s.toGraph(req.Graph)
+	g, ent, err := s.resolveGraph(req.Graph, req.GraphRef)
 	if err != nil {
 		return prepared{}, err
 	}
@@ -519,8 +637,8 @@ func (s *Server) prepareAnonymize(req *AnonymizeRequest) (prepared, error) {
 			Seed          int64    `json:"seed"`
 			BudgetMS      int64    `json:"budget_ms"`
 			Engine, Store string
-		}{"anonymize", g.N(), g.Edges(), l, req.Theta, method.String(),
-			lookAhead, req.Seed, budget.Milliseconds(), engine, kind})
+		}{"anonymize", g.N(), opEdges(g, ent), l, req.Theta, method.String(),
+			lookAhead, req.Seed, budget.Milliseconds(), engine.String(), kind.String()})
 		if err != nil {
 			return prepared{}, err
 		}
@@ -529,7 +647,7 @@ func (s *Server) prepareAnonymize(req *AnonymizeRequest) (prepared, error) {
 		res, err := lopacity.Anonymize(g, lopacity.Options{
 			L: l, Theta: req.Theta, Method: method,
 			LookAhead: lookAhead, Seed: req.Seed, Budget: budget,
-			Engine: engine, Store: kind,
+			Engine: engine.String(), Store: kind.String(),
 		})
 		if err != nil {
 			return nil, false, err
@@ -548,11 +666,13 @@ func (s *Server) prepareAnonymize(req *AnonymizeRequest) (prepared, error) {
 	return prepared{op: "anonymize", key: key, cacheable: true, cacheOff: cacheOff, run: run}, nil
 }
 
-// KIsoRequest runs the k-isomorphism comparator.
+// KIsoRequest runs the k-isomorphism comparator on a graph, given
+// inline or as a registry reference.
 type KIsoRequest struct {
-	Graph GraphJSON `json:"graph"`
-	K     int       `json:"k"`
-	Seed  int64     `json:"seed"`
+	Graph    GraphJSON `json:"graph"`
+	GraphRef string    `json:"graph_ref,omitempty"`
+	K        int       `json:"k"`
+	Seed     int64     `json:"seed"`
 }
 
 // KIsoResponse returns the k-isomorphic graph, its block structure, and
@@ -573,14 +693,14 @@ func (s *Server) handleKIso(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := s.prepareKIso(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, errStatus(err, http.StatusBadRequest), err)
 		return
 	}
 	s.serveSync(w, r, p)
 }
 
 func (s *Server) prepareKIso(req *KIsoRequest) (prepared, error) {
-	g, err := s.toGraph(req.Graph)
+	g, _, err := s.resolveGraph(req.Graph, req.GraphRef)
 	if err != nil {
 		return prepared{}, err
 	}
@@ -602,12 +722,15 @@ func (s *Server) prepareKIso(req *KIsoRequest) (prepared, error) {
 }
 
 // AuditRequest checks a published graph against the degree-knowledge
-// adversary. Original supplies the pre-anonymization degrees.
+// adversary. Original supplies the pre-anonymization degrees. Either
+// graph may be given inline or as a registry reference.
 type AuditRequest struct {
-	Published GraphJSON `json:"published"`
-	Original  GraphJSON `json:"original"`
-	L         int       `json:"l"`
-	Theta     float64   `json:"theta"`
+	Published    GraphJSON `json:"published"`
+	PublishedRef string    `json:"published_ref,omitempty"`
+	Original     GraphJSON `json:"original"`
+	OriginalRef  string    `json:"original_ref,omitempty"`
+	L            int       `json:"l"`
+	Theta        float64   `json:"theta"`
 }
 
 // AuditResponse reports the strongest inference and every vertex-pair
@@ -633,7 +756,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := s.prepareAudit(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, errStatus(err, http.StatusBadRequest), err)
 		return
 	}
 	s.serveSync(w, r, p)
@@ -646,11 +769,11 @@ func (s *Server) prepareAudit(req *AuditRequest) (prepared, error) {
 	if req.Theta < 0 || req.Theta > 1 {
 		return prepared{}, fmt.Errorf("theta %v outside [0, 1]", req.Theta)
 	}
-	pub, err := s.toGraph(req.Published)
+	pub, _, err := s.resolveGraph(req.Published, req.PublishedRef)
 	if err != nil {
 		return prepared{}, fmt.Errorf("published: %w", err)
 	}
-	orig, err := s.toGraph(req.Original)
+	orig, _, err := s.resolveGraph(req.Original, req.OriginalRef)
 	if err != nil {
 		return prepared{}, fmt.Errorf("original: %w", err)
 	}
@@ -738,14 +861,17 @@ func (s *Server) prepareDataset(req *DatasetRequest) (prepared, error) {
 // ReplayRequest verifies an anonymization audit trail server-side:
 // the original graph, the trace steps (as produced by the anonymize
 // trace), the claimed privacy target, and optionally the published
-// graph to compare against.
+// graph to compare against. Either graph may be given inline or as a
+// registry reference.
 type ReplayRequest struct {
-	Original  GraphJSON            `json:"original"`
-	Trace     []lopacity.TraceStep `json:"trace"`
-	L         int                  `json:"l"`
-	Theta     float64              `json:"theta"`
-	Published *GraphJSON           `json:"published"`
-	Fast      bool                 `json:"fast"`
+	Original     GraphJSON            `json:"original"`
+	OriginalRef  string               `json:"original_ref,omitempty"`
+	Trace        []lopacity.TraceStep `json:"trace"`
+	L            int                  `json:"l"`
+	Theta        float64              `json:"theta"`
+	Published    *GraphJSON           `json:"published"`
+	PublishedRef string               `json:"published_ref,omitempty"`
+	Fast         bool                 `json:"fast"`
 }
 
 // ReplayResponse reports the verification outcome. Verified is false
@@ -767,20 +893,24 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := s.prepareReplay(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, errStatus(err, http.StatusBadRequest), err)
 		return
 	}
 	s.serveSync(w, r, p)
 }
 
 func (s *Server) prepareReplay(req *ReplayRequest) (prepared, error) {
-	g, err := s.toGraph(req.Original)
+	g, _, err := s.resolveGraph(req.Original, req.OriginalRef)
 	if err != nil {
 		return prepared{}, fmt.Errorf("original: %w", err)
 	}
 	opts := lopacity.ReplayOptions{L: req.L, Theta: req.Theta, SkipOpacityCheck: req.Fast}
-	if req.Published != nil {
-		pub, err := s.toGraph(*req.Published)
+	if req.Published != nil || req.PublishedRef != "" {
+		var gj GraphJSON
+		if req.Published != nil {
+			gj = *req.Published
+		}
+		pub, _, err := s.resolveGraph(gj, req.PublishedRef)
 		if err != nil {
 			return prepared{}, fmt.Errorf("published: %w", err)
 		}

@@ -249,6 +249,62 @@ func TestGraphValidation(t *testing.T) {
 	}
 }
 
+// TestDuplicateEdgesRejected is the regression test for the silent
+// duplicate-edge acceptance bug: toGraph used to drop AddEdge's false
+// return, so [[0,1],[1,0]] built the same graph as [[0,1]] while
+// hashing to a different cache key.
+func TestDuplicateEdgesRejected(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	cases := []struct {
+		name  string
+		graph GraphJSON
+	}{
+		{"exact duplicate", GraphJSON{N: 3, Edges: [][2]int{{0, 1}, {0, 1}}}},
+		{"reversed duplicate", GraphJSON{N: 3, Edges: [][2]int{{0, 1}, {1, 0}}}},
+	}
+	for _, c := range cases {
+		resp := postJSON(t, ts.URL+"/v1/properties", PropertiesRequest{Graph: c.graph})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
+			continue
+		}
+		body := decodeBody[map[string]string](t, resp)
+		if !strings.Contains(body["error"], "duplicate") {
+			t.Errorf("%s: error %q does not name the duplicate", c.name, body["error"])
+		}
+	}
+}
+
+// TestTrailingDataRejected is the regression test for the
+// request-decoding bug: a multi-document body like
+// `{"l":2}{"garbage":true}` used to parse as a valid request, with
+// everything after the first document silently ignored.
+func TestTrailingDataRejected(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	valid := `{"graph":{"n":3,"edges":[[0,1],[1,2]]},"l":2}`
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"single document", valid, http.StatusOK},
+		{"trailing whitespace", valid + "\n\t ", http.StatusOK},
+		{"second document", valid + `{"garbage":true}`, http.StatusBadRequest},
+		{"trailing token", valid + ` 42`, http.StatusBadRequest},
+		{"trailing garbage", valid + `xyz`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/v1/opacity", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+}
+
 func TestVertexLimitEnforced(t *testing.T) {
 	ts := newTestServer(t, Config{MaxVertices: 10})
 	resp := postJSON(t, ts.URL+"/v1/properties", PropertiesRequest{Graph: GraphJSON{N: 11}})

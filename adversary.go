@@ -24,6 +24,17 @@ func NewAdversary(published, original *Graph) (*Adversary, error) {
 	return &Adversary{a: a}, nil
 }
 
+// UseDistances equips the adversary with a prebuilt L-capped distance
+// store of the PUBLISHED graph (a registry handle, see
+// lopacity.DistanceStore). Queries with L within the store's cap then
+// read capped distances instead of running per-source BFS — the
+// serving layer's audit path reuses the same cached store its opacity
+// and anonymize paths do. Answers are identical with or without the
+// store. Passing nil reverts to the BFS path.
+func (adv *Adversary) UseDistances(d *DistanceStore) error {
+	return adv.a.UseStore(d.store())
+}
+
 // Inference is one linkage-disclosure finding: the adversary's
 // confidence that two individuals with the given original degrees are
 // within L hops in the published graph.

@@ -8,7 +8,14 @@
 //	lopserve -addr :8080 -max-body 8388608 -max-budget 30s \
 //	         -engine auto -store compact \
 //	         -workers 4 -queue 64 -cache-entries 256 -job-ttl 15m \
-//	         -graphs 64 -stores-per-graph 4 -preload gnutella500=1
+//	         -graphs 64 -stores-per-graph 4 -preload gnutella500=1 \
+//	         -data-dir /var/lib/lopserve
+//
+// With -data-dir set, registered graphs and their built distance
+// stores are snapshotted write-through into the directory and
+// recovered at startup, so a restarted server answers its first
+// graph_ref queries with zero APSP builds (see the "persistence"
+// section of GET /v1/stats).
 //
 // Endpoints (see docs/API.md for the full reference):
 //
@@ -100,6 +107,7 @@ func main() {
 		jobTTL       = flag.Duration("job-ttl", 0, "retention of finished async jobs (0 selects 15m)")
 		graphs       = flag.Int("graphs", 0, "graph registry capacity (0 selects 64)")
 		storesPer    = flag.Int("stores-per-graph", 0, "cached distance stores per registered graph (0 selects 4)")
+		dataDir      = flag.String("data-dir", "", "snapshot directory for registry persistence (empty disables)")
 	)
 	flag.Var(&preloads, "preload", "register a built-in dataset at boot as key=seed (repeatable)")
 	flag.Parse()
@@ -116,6 +124,7 @@ func main() {
 		JobTTL:         *jobTTL,
 		GraphCapacity:  *graphs,
 		StoresPerGraph: *storesPer,
+		DataDir:        *dataDir,
 	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatalf("lopserve: %v", err)

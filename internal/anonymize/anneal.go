@@ -1,6 +1,7 @@
 package anonymize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -52,6 +53,9 @@ type AnnealOptions struct {
 	// right for every annealing workload.
 	Engine apsp.Engine
 	Store  apsp.Kind
+	// Distances optionally seeds the run from a prebuilt store, as in
+	// Options.Distances: it is cloned, never mutated.
+	Distances apsp.Store
 }
 
 func (o *AnnealOptions) setDefaults(n, m int) {
@@ -74,6 +78,13 @@ func (o *AnnealOptions) setDefaults(n, m int) {
 // or, when no feasible state was ever visited, the final state. The
 // input graph is never modified.
 func Anneal(g *graph.Graph, opts AnnealOptions) (Result, error) {
+	return AnnealContext(context.Background(), g, opts)
+}
+
+// AnnealContext is Anneal under a context: cancellation is observed
+// between proposal iterations, exactly like the wall-clock budget, and
+// returns the usual best-effort result with Result.Cancelled set.
+func AnnealContext(ctx context.Context, g *graph.Graph, opts AnnealOptions) (Result, error) {
 	if opts.L < 1 {
 		return Result{}, fmt.Errorf("anonymize: L must be >= 1, got %d", opts.L)
 	}
@@ -82,11 +93,14 @@ func Anneal(g *graph.Graph, opts AnnealOptions) (Result, error) {
 	}
 	opts.setDefaults(g.N(), g.M())
 
-	s := newState(g, Options{
+	s, err := newState(ctx, g, Options{
 		L: opts.L, Theta: opts.Theta, Seed: opts.Seed, LookAhead: 1,
 		Budget: opts.Budget, Types: opts.Types,
-		Engine: opts.Engine, Store: opts.Store,
+		Engine: opts.Engine, Store: opts.Store, Distances: opts.Distances,
 	})
+	if err != nil {
+		return Result{}, err
+	}
 	a := &annealer{
 		state:    s,
 		opts:     opts,
@@ -148,7 +162,7 @@ func (a *annealer) run() Result {
 	temp := t0
 
 	for i := 0; i < a.opts.Steps; i++ {
-		if a.overBudget() {
+		if a.interrupted() {
 			break
 		}
 		ev2, undo, ok := a.propose()
@@ -302,6 +316,7 @@ func (a *annealer) finish(ev opacity.Evaluation) Result {
 			Steps:          a.accepted,
 			CandidateEvals: a.evals,
 			TimedOut:       a.timedOut,
+			Cancelled:      a.cancelled,
 		}
 	}
 	return Result{
@@ -313,5 +328,6 @@ func (a *annealer) finish(ev opacity.Evaluation) Result {
 		Steps:          a.accepted,
 		CandidateEvals: a.evals,
 		TimedOut:       a.timedOut,
+		Cancelled:      a.cancelled,
 	}
 }

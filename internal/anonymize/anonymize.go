@@ -23,6 +23,7 @@
 package anonymize
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -94,6 +95,16 @@ type Options struct {
 	// Runs on either backing choose identical edges — the stores hold
 	// identical capped distances.
 	Store apsp.Kind
+	// Distances, when non-nil, is a prebuilt L-capped distance store of
+	// the INPUT graph (same vertex count, same L). The run clones it
+	// instead of rebuilding APSP from scratch — the serving layer's
+	// registry hands one cached store to every request — and never
+	// mutates the original, so the same store may seed concurrent runs.
+	// Engine and Store are ignored for the initial build when set (the
+	// clone keeps the prebuilt store's backing); every prebuilt store
+	// holds the identical capped distances a fresh build would, so the
+	// anonymization outcome is unchanged.
+	Distances apsp.Store
 	// Budget bounds the wall-clock time of the run; 0 means unlimited.
 	// When the budget is exhausted the run stops between greedy
 	// iterations and returns the best-effort graph with TimedOut set.
@@ -142,6 +153,10 @@ type Result struct {
 	// TimedOut reports that the run stopped because Options.Budget was
 	// exhausted before the privacy target was reached.
 	TimedOut bool
+	// Cancelled reports that the run stopped because the context passed
+	// to RunContext (or AnnealContext) was cancelled. The returned graph
+	// is the best effort at the moment of cancellation.
+	Cancelled bool
 }
 
 // Distortion returns the paper's Equation 1 for this result relative to
@@ -158,6 +173,15 @@ func (r Result) Distortion(originalM int) float64 {
 // and the vertex-pair types are frozen from its ORIGINAL degrees per the
 // paper's publication model.
 func Run(g *graph.Graph, opts Options) (Result, error) {
+	return RunContext(context.Background(), g, opts)
+}
+
+// RunContext is Run under a context: cancellation is observed between
+// greedy iterations — the same boundary the wall-clock budget is
+// checked at — so cancelling the context stops the computation itself
+// promptly, not merely whoever was waiting on it. A cancelled run
+// returns the best-effort result with Result.Cancelled set.
+func RunContext(ctx context.Context, g *graph.Graph, opts Options) (Result, error) {
 	if opts.L < 1 {
 		return Result{}, fmt.Errorf("anonymize: L must be >= 1, got %d", opts.L)
 	}
@@ -167,7 +191,10 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 	if opts.LookAhead < 1 {
 		opts.LookAhead = 1
 	}
-	s := newState(g, opts)
+	s, err := newState(ctx, g, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	switch opts.Heuristic {
 	case Removal:
 		return s.runRemoval(), nil
@@ -179,6 +206,7 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 
 // state carries the working graph and all incremental bookkeeping.
 type state struct {
+	ctx     context.Context
 	opts    Options
 	g       *graph.Graph
 	m       apsp.Store
@@ -196,6 +224,7 @@ type state struct {
 	steps       int
 	deadline    time.Time // zero when Options.Budget is unset
 	timedOut    bool
+	cancelled   bool
 
 	evalsBuf  []opacity.Evaluation // reusable candidate-evaluation array
 	insertBuf []graph.Edge         // reusable insertion-candidate list
@@ -211,22 +240,38 @@ func (s *state) evalBuf(n int) []opacity.Evaluation {
 	return s.evalsBuf
 }
 
-func newState(g *graph.Graph, opts Options) *state {
+func newState(ctx context.Context, g *graph.Graph, opts Options) (*state, error) {
 	work := g.Clone()
 	types := opts.Types
 	if types == nil {
 		types = opacity.NewDegreeTypes(g.Degrees())
 	}
-	m := apsp.Build(work, opts.L, apsp.BuildOptions{
-		Engine:  opts.Engine,
-		Kind:    opts.Store,
-		Workers: opts.Workers,
-	})
+	var m apsp.Store
+	if opts.Distances != nil {
+		// Seed from the caller's prebuilt store: clone it so the run's
+		// incremental mutations never leak into the (shared, read-only)
+		// original. The clone is a flat memcpy — orders of magnitude
+		// cheaper than the APSP build it replaces.
+		if opts.Distances.N() != g.N() {
+			return nil, fmt.Errorf("anonymize: prebuilt store covers %d vertices, graph has %d", opts.Distances.N(), g.N())
+		}
+		if opts.Distances.L() != opts.L {
+			return nil, fmt.Errorf("anonymize: prebuilt store is capped at L=%d, run wants L=%d", opts.Distances.L(), opts.L)
+		}
+		m = opts.Distances.Clone()
+	} else {
+		m = apsp.Build(work, opts.L, apsp.BuildOptions{
+			Engine:  opts.Engine,
+			Kind:    opts.Store,
+			Workers: opts.Workers,
+		})
+	}
 	var deadline time.Time
 	if opts.Budget > 0 {
 		deadline = time.Now().Add(opts.Budget)
 	}
 	return &state{
+		ctx:      ctx,
 		deadline: deadline,
 		opts:     opts,
 		g:        work,
@@ -237,7 +282,7 @@ func newState(g *graph.Graph, opts Options) *state {
 		deltas:   make([]int, types.NumTypes()),
 		removed:  graph.NewEdgeSet(),
 		added:    graph.NewEdgeSet(),
-	}
+	}, nil
 }
 
 func (s *state) result() Result {
@@ -251,6 +296,7 @@ func (s *state) result() Result {
 		Steps:          s.steps,
 		CandidateEvals: s.evals,
 		TimedOut:       s.timedOut,
+		Cancelled:      s.cancelled,
 	}
 }
 
@@ -264,17 +310,34 @@ func (s *state) overBudget() bool {
 	return true
 }
 
+// interrupted reports whether the run must stop between iterations:
+// context cancellation (latching Cancelled) is checked first, then the
+// wall-clock budget. Both interrupts share this one poll point, so a
+// cancelled job stops within a single greedy iteration instead of
+// burning CPU until its budget expires.
+func (s *state) interrupted() bool {
+	if s.ctx != nil {
+		select {
+		case <-s.ctx.Done():
+			s.cancelled = true
+			return true
+		default:
+		}
+	}
+	return s.overBudget()
+}
+
 // runRemoval is the paper's Algorithm 4 (with look-ahead).
 func (s *state) runRemoval() Result {
+	cur := s.tr.Evaluate()
 	for {
-		cur := s.tr.Evaluate()
 		if cur.MaxLO <= s.opts.Theta || s.g.M() == 0 {
 			break
 		}
 		if s.opts.MaxSteps > 0 && s.steps >= s.opts.MaxSteps {
 			break
 		}
-		if s.overBudget() {
+		if s.interrupted() {
 			break
 		}
 		combo := s.chooseRemovalCombo(cur, nil)
@@ -285,7 +348,7 @@ func (s *state) runRemoval() Result {
 			s.commitRemoval(e)
 			s.removedLog = append(s.removedLog, e)
 		}
-		s.traceStep(false, combo)
+		cur = s.traceStep(false, combo)
 		s.steps++
 	}
 	return s.result()
@@ -296,15 +359,15 @@ func (s *state) runRemoval() Result {
 // insertion, never reinserting a removed edge nor re-removing an
 // inserted one, so the edge count of the original graph is preserved.
 func (s *state) runRemovalInsertion() Result {
+	cur := s.tr.Evaluate()
 	for {
-		cur := s.tr.Evaluate()
 		if cur.MaxLO <= s.opts.Theta || s.g.M() == 0 {
 			break
 		}
 		if s.opts.MaxSteps > 0 && s.steps >= s.opts.MaxSteps {
 			break
 		}
-		if s.overBudget() {
+		if s.interrupted() {
 			break
 		}
 		// Removal phase: candidates are E' minus previously inserted
@@ -318,7 +381,7 @@ func (s *state) runRemovalInsertion() Result {
 			s.removedLog = append(s.removedLog, e)
 			s.removed.Add(e)
 		}
-		s.traceStep(false, combo)
+		cur = s.traceStep(false, combo)
 		// Insertion phase: candidates are absent edges minus previously
 		// removed ones (Algorithm 5 line 12). Inserting can only create
 		// new <=L pairs, so a combination of insertions is never
@@ -329,21 +392,26 @@ func (s *state) runRemovalInsertion() Result {
 			s.commitInsertion(e)
 			s.insertedLog = append(s.insertedLog, e)
 			s.added.Add(e)
-			s.traceStep(true, []graph.Edge{e})
+			cur = s.traceStep(true, []graph.Edge{e})
 		}
 		s.steps++
 	}
 	return s.result()
 }
 
-func (s *state) traceStep(insert bool, edges []graph.Edge) {
-	if s.opts.Trace == nil {
-		return
+// traceStep evaluates the tracker once after a committed move, emits
+// the trace record when tracing is on, and returns the evaluation so
+// the caller's loop head can reuse it — one Evaluate per committed
+// step, shared between the trace record and the next iteration.
+func (s *state) traceStep(insert bool, edges []graph.Edge) opacity.Evaluation {
+	ev := s.tr.Evaluate()
+	if s.opts.Trace != nil {
+		s.opts.Trace(Step{
+			Index:  s.steps,
+			Insert: insert,
+			Edges:  append([]graph.Edge(nil), edges...),
+			After:  ev,
+		})
 	}
-	s.opts.Trace(Step{
-		Index:  s.steps,
-		Insert: insert,
-		Edges:  append([]graph.Edge(nil), edges...),
-		After:  s.tr.Evaluate(),
-	})
+	return ev
 }

@@ -72,8 +72,9 @@ func (m *CompactMatrix) Set(i, j, d int) {
 	m.data[m.index(i, j)] = uint8(d)
 }
 
-// Clone returns a deep copy.
-func (m *CompactMatrix) Clone() *CompactMatrix {
+// Clone returns an independent deep copy (satisfying the Store
+// contract): mutations of the clone never reach m.
+func (m *CompactMatrix) Clone() Store {
 	c := &CompactMatrix{n: m.n, l: m.l, data: make([]uint8, len(m.data))}
 	copy(c.data, m.data)
 	return c

@@ -104,8 +104,9 @@ func (m *Matrix) Set(i, j, d int) {
 	m.data[m.index(i, j)] = int32(d)
 }
 
-// Clone returns a deep copy.
-func (m *Matrix) Clone() *Matrix {
+// Clone returns an independent deep copy (satisfying the Store
+// contract): mutations of the clone never reach m.
+func (m *Matrix) Clone() Store {
 	c := &Matrix{n: m.n, l: m.l, data: make([]int32, len(m.data))}
 	copy(c.data, m.data)
 	return c

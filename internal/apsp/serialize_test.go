@@ -1,0 +1,171 @@
+package apsp
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// serializeTestGraph returns a deterministic sparse graph with several
+// components, so stores hold a mix of real distances and Far cells.
+func serializeTestGraph(n int, seed int64) *graph.Graph {
+	g := graph.New(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// TestSerializeRoundTrip: marshal/unmarshal equality for both store
+// kinds across every engine — the snapshot a warm restart reloads must
+// be indistinguishable from the store it replaces.
+func TestSerializeRoundTrip(t *testing.T) {
+	g := serializeTestGraph(60, 7)
+	for _, L := range []int{1, 3, 6} {
+		for _, engine := range []Engine{EngineAuto, EngineBFS, EngineFW, EnginePointer, EngineBit} {
+			for _, kind := range []Kind{KindCompact, KindPacked} {
+				s := Build(g, L, BuildOptions{Engine: engine, Kind: kind})
+				data, err := MarshalStore(s)
+				if err != nil {
+					t.Fatalf("L=%d %v/%v: marshal: %v", L, engine, kind, err)
+				}
+				got, err := UnmarshalStore(data)
+				if err != nil {
+					t.Fatalf("L=%d %v/%v: unmarshal: %v", L, engine, kind, err)
+				}
+				if KindOf(got) != kind {
+					t.Fatalf("L=%d %v/%v: round-trip changed kind to %v", L, engine, kind, KindOf(got))
+				}
+				if !Equal(s, got) {
+					t.Fatalf("L=%d %v/%v: round-trip changed contents", L, engine, kind)
+				}
+			}
+		}
+	}
+}
+
+// TestSerializeRoundTripEmptyAndTiny: degenerate dimensions must
+// survive the trip too.
+func TestSerializeRoundTripEmptyAndTiny(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		for _, kind := range []Kind{KindCompact, KindPacked} {
+			s := NewStore(n, 2, kind)
+			data, err := MarshalStore(s)
+			if err != nil {
+				t.Fatalf("n=%d %v: marshal: %v", n, kind, err)
+			}
+			got, err := UnmarshalStore(data)
+			if err != nil {
+				t.Fatalf("n=%d %v: unmarshal: %v", n, kind, err)
+			}
+			if !Equal(s, got) {
+				t.Fatalf("n=%d %v: round-trip changed contents", n, kind)
+			}
+		}
+	}
+}
+
+// TestUnmarshalRejectsCorruptInput: every corruption is an error (with
+// a stable prefix), never a panic and never a silently wrong store.
+func TestUnmarshalRejectsCorruptInput(t *testing.T) {
+	g := serializeTestGraph(20, 3)
+	compact, err := MarshalStore(Build(g, 3, BuildOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := MarshalStore(Build(g, 3, BuildOptions{Kind: KindPacked}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(src []byte, f func(b []byte)) []byte {
+		b := append([]byte(nil), src...)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated header", compact[:storeHeaderLen-1]},
+		{"truncated payload", compact[:len(compact)-1]},
+		{"trailing data", append(append([]byte(nil), compact...), 0x02)},
+		{"bad magic", mutate(compact, func(b []byte) { b[0] = 'X' })},
+		{"bad version", mutate(compact, func(b []byte) { b[4] = 99 })},
+		{"bad kind", mutate(compact, func(b []byte) { b[5] = 7 })},
+		{"zero cell", mutate(compact, func(b []byte) { b[storeHeaderLen] = 0 })},
+		{"cell above far", mutate(compact, func(b []byte) { b[storeHeaderLen] = 5 })}, // far = 4 at L=3
+		{"huge n", mutate(compact, func(b []byte) { b[6], b[7], b[8] = 0xff, 0xff, 0xff })},
+		{"packed zero cell", mutate(packed, func(b []byte) {
+			b[storeHeaderLen], b[storeHeaderLen+1], b[storeHeaderLen+2], b[storeHeaderLen+3] = 0, 0, 0, 0
+		})},
+		{"packed truncated", packed[:len(packed)-2]},
+	}
+	for _, tc := range cases {
+		if _, err := UnmarshalStore(tc.data); err == nil {
+			t.Errorf("%s: corrupt snapshot accepted", tc.name)
+		}
+	}
+}
+
+// TestUnmarshalKindMismatch: the typed UnmarshalBinary methods refuse
+// snapshots of the other backing instead of misreading them.
+func TestUnmarshalKindMismatch(t *testing.T) {
+	g := serializeTestGraph(10, 5)
+	compact, _ := MarshalStore(Build(g, 2, BuildOptions{}))
+	packed, _ := MarshalStore(Build(g, 2, BuildOptions{Kind: KindPacked}))
+	var m Matrix
+	if err := m.UnmarshalBinary(compact); err == nil || !strings.Contains(err.Error(), "not packed") {
+		t.Errorf("Matrix accepted a compact snapshot (err=%v)", err)
+	}
+	var c CompactMatrix
+	if err := c.UnmarshalBinary(packed); err == nil || !strings.Contains(err.Error(), "not compact") {
+		t.Errorf("CompactMatrix accepted a packed snapshot (err=%v)", err)
+	}
+}
+
+// TestCloneIndependence: mutating a clone never leaks into the
+// original, for either backing. Run under -race in CI with concurrent
+// readers of the original, mirroring how the registry shares one
+// cached store with many anonymization runs that each clone it.
+func TestCloneIndependence(t *testing.T) {
+	g := serializeTestGraph(40, 11)
+	for _, kind := range []Kind{KindCompact, KindPacked} {
+		orig := Build(g, 3, BuildOptions{Kind: kind})
+		want := Build(g, 3, BuildOptions{Kind: kind})
+
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				clone := orig.Clone()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 1000; i++ {
+					u, v := rng.Intn(orig.N()), rng.Intn(orig.N())
+					if u != v {
+						clone.Set(u, v, 1+rng.Intn(clone.Far()))
+					}
+				}
+			}(int64(w))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Concurrent readers of the shared original: any write
+				// reaching it would trip the race detector.
+				orig.EachPair(func(i, j, d int) {})
+			}()
+		}
+		wg.Wait()
+		if !Equal(orig, want) {
+			t.Fatalf("%v: mutating clones changed the original", kind)
+		}
+	}
+}

@@ -33,6 +33,11 @@ type Store interface {
 	// EachPair calls fn for every unordered pair i < j in row-major
 	// order with the stored capped distance.
 	EachPair(fn func(i, j, d int))
+	// Clone returns an independent deep copy with the same backing:
+	// mutating the clone never affects the original, which is what lets
+	// the serving layer hand one cached read-only store to many
+	// anonymization runs, each mutating its own copy.
+	Clone() Store
 }
 
 // Kind selects a Store implementation. The zero value is the compact
@@ -119,17 +124,7 @@ func KindOf(s Store) Kind {
 func Within(s Store, i, j int) bool { return s.Get(i, j) <= s.L() }
 
 // Clone returns a deep copy of s with the same backing.
-func Clone(s Store) Store {
-	switch t := s.(type) {
-	case *Matrix:
-		return t.Clone()
-	case *CompactMatrix:
-		return t.Clone()
-	}
-	c := NewStore(s.N(), s.L(), KindOf(s))
-	Copy(c, s)
-	return c
-}
+func Clone(s Store) Store { return s.Clone() }
 
 // Copy overwrites dst with the contents of src, which must have the
 // same dimensions; the backings may differ.

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/apsp"
 	"repro/internal/graph"
 )
 
@@ -30,6 +31,10 @@ type Adversary struct {
 	byDegree map[int][]int
 	// dist caches BFS distance rows from vertices we have queried.
 	dist map[int][]int
+	// store, when non-nil, is a prebuilt L-capped distance store of the
+	// published graph; queries with L <= store.L() read it instead of
+	// running per-source BFS. See UseStore.
+	store apsp.Store
 }
 
 // New builds an adversary for a published graph and the original degree
@@ -53,6 +58,21 @@ func New(published *graph.Graph, originalDegrees []int) (*Adversary, error) {
 		byDegree:  byDegree,
 		dist:      make(map[int][]int),
 	}, nil
+}
+
+// UseStore equips the adversary with a prebuilt L-capped distance
+// store of the published graph (as cached by the serving layer's
+// registry). Queries whose L does not exceed the store's cap then read
+// capped distances from the store — zero BFS — while larger L falls
+// back to the BFS path; answers are identical either way, because a
+// capped entry is exact whenever it is <= L. The store is only read,
+// so it may be shared concurrently with other consumers.
+func (a *Adversary) UseStore(s apsp.Store) error {
+	if s != nil && s.N() != a.published.N() {
+		return fmt.Errorf("attack: store covers %d vertices, published graph has %d", s.N(), a.published.N())
+	}
+	a.store = s
+	return nil
 }
 
 // Candidates returns the vertices whose original degree matches the
@@ -103,26 +123,38 @@ func (inf Inference) String() string {
 func (a *Adversary) LinkageConfidence(d1, d2, L int) Inference {
 	inf := Inference{DegreeA: d1, DegreeB: d2, L: L}
 	ca, cb := a.Candidates(d1), a.Candidates(d2)
+	// count tallies candidate partners of u. Candidate sets of distinct
+	// degrees are disjoint and the same-degree case excludes u itself,
+	// so u never pairs with itself. A capped store answers d <= L
+	// exactly whenever L is within its cap; otherwise fall back to the
+	// cached BFS rows.
+	useStore := a.store != nil && L <= a.store.L()
+	count := func(u int, partners []int) {
+		if useStore {
+			for _, v := range partners {
+				inf.Total++
+				if a.store.Get(u, v) <= L {
+					inf.Within++
+				}
+			}
+			return
+		}
+		row := a.distances(u)
+		for _, v := range partners {
+			inf.Total++
+			if d := row[v]; d >= 0 && d <= L {
+				inf.Within++
+			}
+		}
+	}
 	if d1 == d2 {
 		// Unordered pairs of distinct candidates within one set.
 		for i, u := range ca {
-			row := a.distances(u)
-			for _, v := range ca[i+1:] {
-				inf.Total++
-				if d := row[v]; d >= 0 && d <= L {
-					inf.Within++
-				}
-			}
+			count(u, ca[i+1:])
 		}
 	} else {
 		for _, u := range ca {
-			row := a.distances(u)
-			for _, v := range cb {
-				inf.Total++
-				if d := row[v]; d >= 0 && d <= L {
-					inf.Within++
-				}
-			}
+			count(u, cb)
 		}
 	}
 	if inf.Total > 0 {

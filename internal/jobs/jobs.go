@@ -112,6 +112,13 @@ type Stats struct {
 	// state. Finished jobs leave the counts when their TTL expires or
 	// the retention cap evicts them.
 	Running, Done, Failed, Cancelled int
+	// Detached counts cancelled-but-still-computing task goroutines:
+	// work whose job was cancelled (or whose manager closed) but whose
+	// computation has not observed the cancellation yet. With
+	// cancellation-aware tasks this drains to zero within one poll
+	// interval; a persistently non-zero value means some task is
+	// ignoring its context.
+	Detached int
 }
 
 // maxRetainedFinished caps how many finished jobs stay queryable at
@@ -324,6 +331,7 @@ func (m *Manager) Stats() Stats {
 		Workers:       m.cfg.Workers,
 		QueueCapacity: m.cfg.QueueDepth,
 		QueueDepth:    len(m.pending),
+		Detached:      m.detached,
 	}
 	for _, j := range m.jobs {
 		switch j.state {

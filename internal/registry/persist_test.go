@@ -1,0 +1,280 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/apsp"
+)
+
+// persistGraph is a small fixed test graph (a 6-cycle plus a chord).
+func persistGraphEdges() (int, [][2]int) {
+	return 6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}, {1, 4}}
+}
+
+// TestPersistWarmRestart: a second registry over the same directory
+// recovers the graph and its built store, and serves the first
+// Distances call as a hit — zero APSP builds after a restart.
+func TestPersistWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	n, edges := persistGraphEdges()
+
+	r1 := New(Config{Dir: dir})
+	g1, created, err := r1.Put(n, edges)
+	if err != nil || !created {
+		t.Fatalf("Put: created=%v err=%v", created, err)
+	}
+	st1, reused := g1.Distances(3, apsp.EngineAuto, apsp.KindCompact)
+	if reused {
+		t.Fatal("first Distances call reported reuse")
+	}
+	if _, err := os.Stat(filepath.Join(dir, graphFile(g1.ID()))); err != nil {
+		t.Fatalf("graph snapshot not written: %v", err)
+	}
+
+	r2 := New(Config{Dir: dir})
+	if r2.Len() != 1 {
+		t.Fatalf("restarted registry holds %d graphs, want 1", r2.Len())
+	}
+	g2, ok := r2.Get(g1.ID())
+	if !ok {
+		t.Fatalf("restarted registry lost graph %s", g1.ID())
+	}
+	st2, reused := g2.Distances(3, apsp.EngineAuto, apsp.KindCompact)
+	if !reused {
+		t.Fatal("first Distances call after restart rebuilt the store")
+	}
+	if !apsp.Equal(st1, st2) {
+		t.Fatal("recovered store differs from the one persisted")
+	}
+	stats := r2.Stats()
+	if stats.StoreMisses != 0 || stats.StoreHits != 1 {
+		t.Fatalf("restart stats: hits=%d misses=%d, want 1/0", stats.StoreHits, stats.StoreMisses)
+	}
+	if p := stats.Persist; !p.Enabled || p.GraphsLoaded != 1 || p.StoresLoaded != 1 || p.Quarantined != 0 {
+		t.Fatalf("persist stats %+v, want enabled with 1 graph and 1 store loaded", p)
+	}
+}
+
+// TestPersistDeleteRemovesFiles: DELETE (and LRU eviction) must not
+// leave snapshots behind, or deleted graphs would resurrect on boot.
+func TestPersistDeleteRemovesFiles(t *testing.T) {
+	dir := t.TempDir()
+	n, edges := persistGraphEdges()
+	r := New(Config{Dir: dir})
+	g, _, err := r.Put(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Distances(2, apsp.EngineAuto, apsp.KindCompact)
+	if !r.Delete(g.ID()) {
+		t.Fatal("Delete reported the graph missing")
+	}
+	left, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		names := make([]string, 0, len(left))
+		for _, e := range left {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("snapshots left after delete: %v", names)
+	}
+	if New(Config{Dir: dir}).Len() != 0 {
+		t.Fatal("deleted graph resurrected on reboot")
+	}
+}
+
+// TestPersistStoreEvictionRemovesFile: the per-graph store LRU deletes
+// the snapshot of whatever it displaces.
+func TestPersistStoreEvictionRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	n, edges := persistGraphEdges()
+	r := New(Config{Dir: dir, MaxStoresPerGraph: 1})
+	g, _, err := r.Put(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Distances(2, apsp.EngineAuto, apsp.KindCompact)
+	evicted := storeFile(g.ID(), storeKey{l: 2, engine: apsp.EngineAuto, kind: apsp.KindCompact})
+	if _, err := os.Stat(filepath.Join(dir, evicted)); err != nil {
+		t.Fatalf("first store snapshot missing: %v", err)
+	}
+	g.Distances(3, apsp.EngineAuto, apsp.KindCompact) // displaces L=2
+	if _, err := os.Stat(filepath.Join(dir, evicted)); !os.IsNotExist(err) {
+		t.Fatalf("evicted store snapshot still on disk (err=%v)", err)
+	}
+}
+
+// TestPersistQuarantinesCorruptFiles: boot-time load must skip — and
+// set aside — every kind of bad file without failing startup, while
+// still loading the good ones alongside.
+func TestPersistQuarantinesCorruptFiles(t *testing.T) {
+	n, edges := persistGraphEdges()
+
+	// Build one valid graph + store snapshot pair to corrupt.
+	seedDir := t.TempDir()
+	seed := New(Config{Dir: seedDir})
+	g, _, err := seed.Put(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Distances(3, apsp.EngineAuto, apsp.KindCompact)
+	goodGraph, err := os.ReadFile(filepath.Join(seedDir, graphFile(g.ID())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeName := storeFile(g.ID(), storeKey{l: 3, engine: apsp.EngineAuto, kind: apsp.KindCompact})
+	goodStore, err := os.ReadFile(filepath.Join(seedDir, storeName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherID := strings.Repeat("ab", 32)
+
+	cases := []struct {
+		name string
+		file string
+		data []byte
+	}{
+		{"truncated graph", graphFile(otherID), goodGraph[:len(goodGraph)-3]},
+		{"bad graph magic", graphFile(otherID), append([]byte("XXXX"), goodGraph[4:]...)},
+		{"digest mismatch", graphFile(otherID), goodGraph}, // valid bytes, wrong filename id
+		{"unparseable store name", "nonsense.store", goodStore},
+		{"orphan store", storeFile(otherID, storeKey{l: 3}), goodStore},
+		{"kind mismatch", storeFile(g.ID(), storeKey{l: 3, engine: apsp.EngineBFS, kind: apsp.KindPacked}), goodStore},
+		{"corrupt store payload", storeFile(g.ID(), storeKey{l: 2}), goodStore[:10]},
+		{"store dimension lie", storeFile(g.ID(), storeKey{l: 5}), goodStore}, // claims L=5, holds L=3
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, graphFile(g.ID())), goodGraph, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, storeName), goodStore, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, tc.file), tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			r := New(Config{Dir: dir})
+			stats := r.Stats().Persist
+			if stats.GraphsLoaded != 1 || stats.StoresLoaded != 1 {
+				t.Fatalf("good snapshots not loaded alongside %s: %+v", tc.name, stats)
+			}
+			if stats.Quarantined != 1 {
+				t.Fatalf("quarantined=%d, want 1 for %s", stats.Quarantined, tc.name)
+			}
+			if _, err := os.Stat(filepath.Join(dir, tc.file+corruptSuffix)); err != nil {
+				t.Fatalf("%s not renamed aside: %v", tc.name, err)
+			}
+			// The quarantined file must not be re-counted on reboot.
+			if again := New(Config{Dir: dir}).Stats().Persist; again.Quarantined != 0 {
+				t.Fatalf("reboot after quarantine still sees %d bad files", again.Quarantined)
+			}
+		})
+	}
+}
+
+// TestPersistCapacitySkipLeavesStores: graphs (and their stores)
+// beyond the capacity bound are left on disk untouched — NOT
+// quarantined — so a later boot with a larger -graphs recovers them
+// warm.
+func TestPersistCapacitySkipLeavesStores(t *testing.T) {
+	dir := t.TempDir()
+	r := New(Config{Dir: dir})
+	n, edges := persistGraphEdges()
+	g1, _, err := r.Put(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := r.Put(n, edges[:len(edges)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1.Distances(2, apsp.EngineAuto, apsp.KindCompact)
+	g2.Distances(2, apsp.EngineAuto, apsp.KindCompact)
+
+	small := New(Config{Dir: dir, MaxGraphs: 1})
+	ps := small.Stats().Persist
+	if ps.GraphsLoaded != 1 || ps.StoresLoaded != 1 {
+		t.Fatalf("capacity-1 boot loaded %d graphs / %d stores, want 1/1", ps.GraphsLoaded, ps.StoresLoaded)
+	}
+	if ps.Quarantined != 0 {
+		t.Fatalf("capacity-1 boot quarantined %d valid snapshots", ps.Quarantined)
+	}
+	// The skipped graph's snapshots must still be intact for a roomier
+	// boot.
+	full := New(Config{Dir: dir})
+	ps = full.Stats().Persist
+	if ps.GraphsLoaded != 2 || ps.StoresLoaded != 2 || ps.Quarantined != 0 {
+		t.Fatalf("roomy reboot stats %+v, want both graphs and stores back", ps)
+	}
+}
+
+// TestCachedDistancesNeverBuilds: the peeking lookup reports absent on
+// a cold cache (no build, no miss counted) and hits once Distances has
+// built.
+func TestCachedDistancesNeverBuilds(t *testing.T) {
+	r := New(Config{})
+	n, edges := persistGraphEdges()
+	g, _, err := r.Put(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.CachedDistances(2, apsp.EngineAuto, apsp.KindCompact); ok {
+		t.Fatal("cold cache reported a store")
+	}
+	if s := r.Stats(); s.StoreMisses != 0 || s.StoreHits != 0 || s.Stores != 0 {
+		t.Fatalf("peek perturbed counters: %+v", s)
+	}
+	want, _ := g.Distances(2, apsp.EngineAuto, apsp.KindCompact)
+	got, ok := g.CachedDistances(2, apsp.EngineAuto, apsp.KindCompact)
+	if !ok || !apsp.Equal(want, got) {
+		t.Fatal("warm cache peek did not return the built store")
+	}
+	if s := r.Stats(); s.StoreHits != 1 {
+		t.Fatalf("warm peek counted %d hits, want 1", s.StoreHits)
+	}
+}
+
+// TestPersistCleansTempFiles: a temp file left by a crash mid-write is
+// removed at boot and never loaded.
+func TestPersistCleansTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	leftover := filepath.Join(dir, tmpPrefix+"whatever.graph")
+	if err := os.WriteFile(leftover, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New(Config{Dir: dir})
+	if r.Len() != 0 || r.Stats().Persist.Quarantined != 0 {
+		t.Fatal("temp leftover was loaded or quarantined")
+	}
+	if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+		t.Fatalf("temp leftover not removed (err=%v)", err)
+	}
+}
+
+// TestParseStoreFileRoundTrip: the filename codec inverts itself for
+// every key shape the cache can produce.
+func TestParseStoreFileRoundTrip(t *testing.T) {
+	id := strings.Repeat("cd", 32)
+	for _, k := range []storeKey{
+		{l: 1, engine: apsp.EngineAuto, kind: apsp.KindCompact},
+		{l: 300, engine: apsp.EngineFW, kind: apsp.KindPacked},
+		{l: 7, engine: apsp.EngineBit, kind: apsp.KindCompact},
+	} {
+		gotID, gotKey, ok := parseStoreFile(storeFile(id, k))
+		if !ok || gotID != id || gotKey != k {
+			t.Errorf("round-trip of %v: got (%q, %v, %v)", k, gotID, gotKey, ok)
+		}
+	}
+	for _, bad := range []string{"x.graph", "a.l2.auto.compact", "a.lx.auto.compact.store", "a.l2.dijkstra.compact.store", "a.l2.auto.sparse.store", "a.l2.auto.store"} {
+		if _, _, ok := parseStoreFile(bad); ok {
+			t.Errorf("parseStoreFile accepted %q", bad)
+		}
+	}
+}

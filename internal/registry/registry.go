@@ -29,6 +29,8 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -38,7 +40,8 @@ import (
 	"repro/internal/graph"
 )
 
-// Config bounds the registry's two LRU layers.
+// Config bounds the registry's two LRU layers and optionally points it
+// at a snapshot directory.
 type Config struct {
 	// MaxGraphs caps registered graphs; the least recently used graph
 	// (and its cached stores) is evicted on overflow. Zero selects 64.
@@ -46,6 +49,12 @@ type Config struct {
 	// MaxStoresPerGraph caps cached distance stores per graph. Zero
 	// selects 4.
 	MaxStoresPerGraph int
+	// Dir, when non-empty, enables persistence: graphs and built
+	// distance stores are snapshotted write-through into this
+	// directory and recovered at construction, so a restarted process
+	// serves its first graph_ref queries with zero APSP builds. See
+	// persist.go for the format and the failure policy.
+	Dir string
 }
 
 func (c *Config) setDefaults() {
@@ -58,12 +67,26 @@ func (c *Config) setDefaults() {
 }
 
 // Validate rejects negative capacities; zero values select defaults.
+// When Dir is set, Validate also creates the snapshot directory and
+// probes it for writability, so a server booted with an unusable data
+// directory fails at startup with a clear error instead of silently
+// persisting nothing.
 func (c Config) Validate() error {
 	if c.MaxGraphs < 0 {
 		return fmt.Errorf("registry: graph capacity must be >= 0, got %d", c.MaxGraphs)
 	}
 	if c.MaxStoresPerGraph < 0 {
 		return fmt.Errorf("registry: stores per graph must be >= 0, got %d", c.MaxStoresPerGraph)
+	}
+	if c.Dir != "" {
+		if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+			return fmt.Errorf("registry: data dir: %w", err)
+		}
+		probe := filepath.Join(c.Dir, tmpPrefix+"probe")
+		if err := os.WriteFile(probe, nil, 0o644); err != nil {
+			return fmt.Errorf("registry: data dir not writable: %w", err)
+		}
+		os.Remove(probe)
 	}
 	return nil
 }
@@ -136,10 +159,12 @@ type storeKey struct {
 
 // storeSlot is the build-once cell for a cached store. The sync.Once
 // makes concurrent first requests for the same (L, engine, kind) share
-// a single APSP build instead of racing duplicate ones.
+// a single APSP build instead of racing duplicate ones; ready flips
+// (after store is assigned) for lock-free peeking by CachedDistances.
 type storeSlot struct {
 	once  sync.Once
 	store apsp.Store
+	ready atomic.Bool
 }
 
 type storeEntry struct {
@@ -196,6 +221,47 @@ func (g *Graph) StoreCount() int {
 	return g.storeOrder.Len()
 }
 
+// seedStore installs a store recovered from a snapshot into the
+// graph's cache with its build already "spent", so the first request
+// for it counts as a hit with zero APSP builds. It reports false when
+// the per-graph cache is full or the key is already present. Called
+// only during boot-time load, before the registry is shared.
+func (g *Graph) seedStore(k storeKey, st apsp.Store) bool {
+	if _, ok := g.stores[k]; ok || g.storeOrder.Len() >= g.maxStores {
+		return false
+	}
+	slot := &storeSlot{store: st}
+	slot.once.Do(func() {}) // consume the build
+	slot.ready.Store(true)
+	g.stores[k] = g.storeOrder.PushFront(&storeEntry{key: k, slot: slot})
+	g.reg.stores.Add(1)
+	return true
+}
+
+// CachedDistances returns the store for (L, engine, kind) only when it
+// is already built, refreshing its recency and counting a hit — it
+// never triggers (or waits for) an APSP build. Callers with a cheaper
+// fallback than a full build (the audit path's lazy per-source BFS)
+// use this instead of Distances so a cold registry never forces the
+// O(n·m) build into their request. A slot whose build is still in
+// flight reports absent.
+func (g *Graph) CachedDistances(L int, engine apsp.Engine, kind apsp.Kind) (apsp.Store, bool) {
+	k := storeKey{l: L, engine: engine, kind: apsp.EffectiveKind(kind, L)}
+	g.mu.Lock()
+	el, ok := g.stores[k]
+	var slot *storeSlot
+	if ok {
+		g.storeOrder.MoveToFront(el)
+		slot = el.Value.(*storeEntry).slot
+	}
+	g.mu.Unlock()
+	if !ok || !slot.ready.Load() {
+		return nil, false
+	}
+	g.reg.storeHits.Add(1)
+	return slot.store, true
+}
+
 // Distances returns the graph's L-capped distance store for the given
 // engine and backing, building it on first use and serving the cached
 // store afterwards. The bool reports reuse: true means no APSP build
@@ -216,10 +282,14 @@ func (g *Graph) Distances(L int, engine apsp.Engine, kind apsp.Kind) (apsp.Store
 		if g.storeOrder.Len() >= g.maxStores {
 			oldest := g.storeOrder.Back()
 			g.storeOrder.Remove(oldest)
-			delete(g.stores, oldest.Value.(*storeEntry).key)
+			evicted := oldest.Value.(*storeEntry).key
+			delete(g.stores, evicted)
 			g.reg.storeEvictions.Add(1)
 			if !g.detached {
 				g.reg.stores.Add(-1)
+				if p := g.reg.persist; p != nil {
+					p.deleteFile(storeFile(g.id, evicted))
+				}
 			}
 		}
 		slot = &storeSlot{}
@@ -233,10 +303,24 @@ func (g *Graph) Distances(L int, engine apsp.Engine, kind apsp.Kind) (apsp.Store
 	built := false
 	slot.once.Do(func() {
 		slot.store = apsp.Build(g.raw, L, apsp.BuildOptions{Engine: engine, Kind: kind})
+		slot.ready.Store(true)
 		built = true
 	})
 	if built {
 		g.reg.storeMisses.Add(1)
+		// Write-through: snapshot the freshly built store so a restart
+		// starts warm — unless the graph was deleted mid-build, whose
+		// file cleanup already ran. If this slot was concurrently
+		// evicted above, the file may briefly outlive the cache entry;
+		// the next boot just reloads it as a valid cached store.
+		if p := g.reg.persist; p != nil {
+			g.mu.Lock()
+			detached := g.detached
+			g.mu.Unlock()
+			if !detached {
+				p.saveStore(g.id, k, slot.store)
+			}
+		}
 	} else {
 		g.reg.storeHits.Add(1)
 	}
@@ -258,6 +342,8 @@ type Stats struct {
 	// StoreMisses counts calls that built; StoreEvictions counts stores
 	// displaced by either LRU layer.
 	StoreHits, StoreMisses, StoreEvictions int64
+	// Persist reports the snapshot layer (zero value when disabled).
+	Persist PersistStats
 }
 
 // Registry is a concurrency-safe, LRU-bounded map from content address
@@ -267,24 +353,55 @@ type Registry struct {
 	mu      sync.Mutex
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
+	persist *persister // nil when persistence is disabled
 
 	hits, misses, evictions                atomic.Int64
 	stores                                 atomic.Int64
 	storeHits, storeMisses, storeEvictions atomic.Int64
 }
 
-// New returns an empty registry. It panics on a Config that fails
-// Validate — a misconfiguration that must surface at startup.
+// New returns a registry, recovering any snapshots when Config.Dir is
+// set. It panics on a Config that fails Validate — a misconfiguration
+// that must surface at startup.
 func New(cfg Config) *Registry {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	cfg.setDefaults()
-	return &Registry{
+	r := &Registry{
 		cfg:     cfg,
 		entries: make(map[string]*list.Element),
 		order:   list.New(),
 	}
+	if cfg.Dir != "" {
+		r.persist = &persister{dir: cfg.Dir}
+		r.loadFromDisk()
+	}
+	return r
+}
+
+// insertLoadedGraph registers a graph recovered from a snapshot. It
+// mirrors the construction in Put but skips canonicalization (the
+// loader already validated it) and does not write back to disk. Called
+// only during loadFromDisk, before the registry is shared.
+func (r *Registry) insertLoadedGraph(id string, n int, canonical [][2]int) *Graph {
+	raw := graph.New(n)
+	for _, e := range canonical {
+		raw.AddEdge(e[0], e[1])
+	}
+	ent := &Graph{
+		id:         id,
+		edges:      canonical,
+		raw:        raw,
+		pub:        lopacity.FromEdges(n, canonical),
+		degrees:    raw.Degrees(),
+		reg:        r,
+		stores:     make(map[storeKey]*list.Element),
+		storeOrder: list.New(),
+		maxStores:  r.cfg.MaxStoresPerGraph,
+	}
+	r.entries[id] = r.order.PushFront(ent)
+	return ent
 }
 
 // Put registers the graph described by (n, edges), returning the
@@ -326,15 +443,31 @@ func (r *Registry) Put(n int, edges [][2]int) (g *Graph, created bool, err error
 		maxStores:  r.cfg.MaxStoresPerGraph,
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if el, ok := r.entries[id]; ok {
 		r.order.MoveToFront(el)
-		return el.Value.(*Graph), false, nil
+		existing := el.Value.(*Graph)
+		r.mu.Unlock()
+		return existing, false, nil
 	}
 	for r.order.Len() >= r.cfg.MaxGraphs {
 		r.dropLocked(r.order.Back(), true)
 	}
 	r.entries[id] = r.order.PushFront(ent)
+	r.mu.Unlock()
+	// Write-through outside the lock: snapshot IO must not stall
+	// concurrent lookups. A Delete racing this write may run its file
+	// removal before the snapshot lands, so re-check membership after
+	// writing and undo the snapshot if the graph is already gone —
+	// otherwise the deleted graph would resurrect on the next boot.
+	if r.persist != nil {
+		r.persist.saveGraph(ent)
+		r.mu.Lock()
+		_, still := r.entries[id]
+		r.mu.Unlock()
+		if !still {
+			r.persist.deleteFile(graphFile(id))
+		}
+	}
 	return ent, true, nil
 }
 
@@ -369,8 +502,8 @@ func (r *Registry) Delete(id string) bool {
 	return true
 }
 
-// dropLocked unlinks an entry and detaches it from aggregate store
-// accounting. Callers hold r.mu.
+// dropLocked unlinks an entry, detaches it from aggregate store
+// accounting, and removes its snapshot files. Callers hold r.mu.
 func (r *Registry) dropLocked(el *list.Element, evicted bool) {
 	ent := el.Value.(*Graph)
 	r.order.Remove(el)
@@ -378,6 +511,12 @@ func (r *Registry) dropLocked(el *list.Element, evicted bool) {
 	ent.mu.Lock()
 	n := int64(ent.storeOrder.Len())
 	ent.detached = true
+	if r.persist != nil {
+		for el := ent.storeOrder.Front(); el != nil; el = el.Next() {
+			r.persist.deleteFile(storeFile(ent.id, el.Value.(*storeEntry).key))
+		}
+		r.persist.deleteFile(graphFile(ent.id))
+	}
 	ent.mu.Unlock()
 	r.stores.Add(-n)
 	if evicted {
@@ -419,5 +558,6 @@ func (r *Registry) Stats() Stats {
 		StoreHits:      r.storeHits.Load(),
 		StoreMisses:    r.storeMisses.Load(),
 		StoreEvictions: r.storeEvictions.Load(),
+		Persist:        r.persist.stats(),
 	}
 }

@@ -427,3 +427,34 @@ func BenchmarkOpacityRef(b *testing.B) {
 		benchPost(b, api, "/v1/opacity", body)
 	}
 }
+
+// BenchmarkAnonymizeInline / BenchmarkAnonymizeRef mirror the opacity
+// pair for the anonymize path. Theta is 1 so the greedy loop commits
+// zero moves: the pair isolates exactly the per-request setup cost the
+// registry eliminates — JSON re-parse plus the L=3 APSP build inline,
+// versus a flat clone of the cached store on the ref path. (Greedy
+// iterations cost the same on both paths, so including them would only
+// dilute the comparison.)
+func BenchmarkAnonymizeInline(b *testing.B) {
+	api, gj, _ := benchServer(b)
+	body, err := json.Marshal(AnonymizeRequest{Graph: gj, L: 3, Theta: 1, Cache: "off"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, api, "/v1/anonymize", body)
+	}
+}
+
+// BenchmarkAnonymizeRef measures the registry path: the run clones the
+// cached distance store instead of rebuilding it.
+func BenchmarkAnonymizeRef(b *testing.B) {
+	api, _, id := benchServer(b)
+	body := []byte(fmt.Sprintf(`{"graph_ref":%q,"l":3,"theta":1,"cache":"off"}`, id))
+	benchPost(b, api, "/v1/anonymize", body) // warm the store cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, api, "/v1/anonymize", body)
+	}
+}

@@ -327,11 +327,28 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 }
 
 // StatsResponse is the GET /v1/stats body: cache effectiveness,
-// graph-registry effectiveness, and job-queue occupancy.
+// graph-registry effectiveness, snapshot persistence, and job-queue
+// occupancy.
 type StatsResponse struct {
-	Cache    CacheStats    `json:"cache"`
-	Registry RegistryStats `json:"registry"`
-	Jobs     JobStats      `json:"jobs"`
+	Cache       CacheStats       `json:"cache"`
+	Registry    RegistryStats    `json:"registry"`
+	Persistence PersistenceStats `json:"persistence"`
+	Jobs        JobStats         `json:"jobs"`
+}
+
+// PersistenceStats reports the registry snapshot layer (-data-dir):
+// what the last boot recovered and the write/delete traffic since.
+// All counters are zero when persistence is disabled.
+type PersistenceStats struct {
+	Enabled      bool   `json:"enabled"`
+	Dir          string `json:"dir,omitempty"`
+	GraphsLoaded int    `json:"graphs_loaded"`
+	StoresLoaded int    `json:"stores_loaded"`
+	Quarantined  int    `json:"quarantined"`
+	GraphWrites  int64  `json:"graph_writes"`
+	StoreWrites  int64  `json:"store_writes"`
+	WriteErrors  int64  `json:"write_errors"`
+	Deletes      int64  `json:"deletes"`
 }
 
 // CacheStats reports the content-addressed result cache counters.
@@ -353,6 +370,10 @@ type JobStats struct {
 	Done          int `json:"done"`
 	Failed        int `json:"failed"`
 	Cancelled     int `json:"cancelled"`
+	// Detached counts cancelled jobs whose computation goroutine has
+	// not exited yet; with cancellation-aware operations it drains to
+	// zero within one poll interval.
+	Detached int `json:"detached"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -372,10 +393,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Stores: rs.Stores, StoreHits: rs.StoreHits,
 			StoreMisses: rs.StoreMisses, StoreEvictions: rs.StoreEvictions,
 		},
+		Persistence: PersistenceStats{
+			Enabled: rs.Persist.Enabled, Dir: rs.Persist.Dir,
+			GraphsLoaded: rs.Persist.GraphsLoaded, StoresLoaded: rs.Persist.StoresLoaded,
+			Quarantined: rs.Persist.Quarantined,
+			GraphWrites: rs.Persist.GraphWrites, StoreWrites: rs.Persist.StoreWrites,
+			WriteErrors: rs.Persist.WriteErrors, Deletes: rs.Persist.Deletes,
+		},
 		Jobs: JobStats{
 			Workers: js.Workers, QueueDepth: js.QueueDepth, QueueCapacity: js.QueueCapacity,
 			Running: js.Running, Done: js.Done,
 			Failed: js.Failed, Cancelled: js.Cancelled,
+			Detached: js.Detached,
 		},
 	})
 }

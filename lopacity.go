@@ -40,6 +40,7 @@
 package lopacity
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -236,6 +237,50 @@ type Options struct {
 	// one uint8 per vertex pair, 4x smaller) or "packed" (int32).
 	// Results are bit-for-bit identical on either backing.
 	Store string
+	// Distances, when non-nil, seeds the run from a prebuilt L-capped
+	// distance store of the input graph (same vertex count, same L).
+	// The run clones the store instead of rebuilding APSP — the
+	// serving layer's registry obtains handles via WrapDistances — and
+	// never mutates the original, so one store may seed many
+	// concurrent runs. The anonymization outcome is identical either
+	// way; only the per-run setup cost changes. Supported by
+	// EdgeRemoval, EdgeRemovalInsertion, and SimulatedAnnealing.
+	Distances *DistanceStore
+}
+
+// DistanceStore is an opaque handle to a prebuilt L-capped distance
+// store. Handles come from this module's serving layers (the graph
+// registry caches one store per (graph, L, engine, backing)); pass one
+// through Options.Distances or Adversary.UseDistances to skip the APSP
+// build those operations would otherwise pay. The underlying store is
+// treated as read-only by every consumer.
+type DistanceStore struct {
+	s apsp.Store
+}
+
+// WrapDistances wraps a prebuilt internal distance store in the public
+// handle. It exists for this module's serving layers (registry,
+// server), which hold apsp.Store values; external callers cannot
+// construct the argument and should obtain handles from those layers.
+func WrapDistances(s apsp.Store) *DistanceStore {
+	if s == nil {
+		return nil
+	}
+	return &DistanceStore{s: s}
+}
+
+// N returns the vertex count the store covers.
+func (d *DistanceStore) N() int { return d.s.N() }
+
+// L returns the distance threshold the store is capped at.
+func (d *DistanceStore) L() int { return d.s.L() }
+
+// store returns the wrapped internal store, nil-safe.
+func (d *DistanceStore) store() apsp.Store {
+	if d == nil {
+		return nil
+	}
+	return d.s
 }
 
 // parseEngineStore resolves the string engine/store selection shared
@@ -270,11 +315,25 @@ type Result struct {
 	// TimedOut reports that the run stopped because Options.Budget was
 	// exhausted before reaching the privacy target.
 	TimedOut bool
+	// Cancelled reports that the run stopped because the context passed
+	// to AnonymizeContext was cancelled; Graph holds the best effort at
+	// that moment.
+	Cancelled bool
 }
 
 // Anonymize transforms g into an L-opaque graph with respect to
 // opts.Theta using the selected method, leaving g untouched.
 func Anonymize(g *Graph, opts Options) (*Result, error) {
+	return AnonymizeContext(context.Background(), g, opts)
+}
+
+// AnonymizeContext is Anonymize under a context. The greedy and
+// annealing methods poll the context between iterations — the same
+// boundary the wall-clock budget is checked at — so cancelling the
+// context stops the computation itself promptly; the best-effort
+// result is returned with Result.Cancelled set. The GADED baselines do
+// not observe the context (they are L=1-only and cheap).
+func AnonymizeContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 	if g == nil {
 		return nil, errors.New("lopacity: nil graph")
 	}
@@ -305,14 +364,15 @@ func Anonymize(g *Graph, opts Options) (*Result, error) {
 		if opts.TraceWriter != nil {
 			trace = traceFunc(opts.TraceWriter, &traceErr)
 		}
-		res, err := anonymize.Run(g.g, anonymize.Options{
+		res, err := anonymize.RunContext(ctx, g.g, anonymize.Options{
 			L: opts.L, Theta: opts.Theta, Heuristic: h,
 			LookAhead: opts.LookAhead, Seed: opts.Seed,
-			Workers: opts.Workers,
-			Budget:  opts.Budget,
-			Trace:   trace,
-			Engine:  engine,
-			Store:   kind,
+			Workers:   opts.Workers,
+			Budget:    opts.Budget,
+			Trace:     trace,
+			Engine:    engine,
+			Store:     kind,
+			Distances: opts.Distances.store(),
 		})
 		if err != nil {
 			return nil, err
@@ -328,6 +388,7 @@ func Anonymize(g *Graph, opts Options) (*Result, error) {
 			Inserted:   toPairs(res.Inserted),
 			Steps:      res.Steps,
 			TimedOut:   res.TimedOut,
+			Cancelled:  res.Cancelled,
 		}, nil
 	case SimulatedAnnealing:
 		var traceErr error
@@ -335,12 +396,13 @@ func Anonymize(g *Graph, opts Options) (*Result, error) {
 		if opts.TraceWriter != nil {
 			trace = traceFunc(opts.TraceWriter, &traceErr)
 		}
-		res, err := anonymize.Anneal(g.g, anonymize.AnnealOptions{
+		res, err := anonymize.AnnealContext(ctx, g.g, anonymize.AnnealOptions{
 			L: opts.L, Theta: opts.Theta, Seed: opts.Seed,
-			Budget: opts.Budget,
-			Trace:  trace,
-			Engine: engine,
-			Store:  kind,
+			Budget:    opts.Budget,
+			Trace:     trace,
+			Engine:    engine,
+			Store:     kind,
+			Distances: opts.Distances.store(),
 		})
 		if err != nil {
 			return nil, err
@@ -356,6 +418,7 @@ func Anonymize(g *Graph, opts Options) (*Result, error) {
 			Inserted:   toPairs(res.Inserted),
 			Steps:      res.Steps,
 			TimedOut:   res.TimedOut,
+			Cancelled:  res.Cancelled,
 		}, nil
 	case GADEDRand, GADEDMax, GADES:
 		if opts.L != 1 {
@@ -506,6 +569,15 @@ type Utility struct {
 	AssortativityDelta float64
 	// AvgPathLengthDelta is |APL - APL'| over reachable pairs.
 	AvgPathLengthDelta float64
+}
+
+// Distortion returns only the edit-distance ratio |E xor Ê| / |E|
+// (Eq. 1). Unlike Compare — which additionally computes the EMD,
+// clustering, and path-length deltas, each requiring full traversals
+// of both graphs — this is a set difference over the edge lists, cheap
+// enough for every serving-path response.
+func Distortion(original, anonymized *Graph) float64 {
+	return metrics.Distortion(original.g, anonymized.g)
 }
 
 // Compare measures the utility cost of anonymized relative to original.

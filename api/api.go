@@ -1,0 +1,57 @@
+// Package api is the wire contract of the lopserve REST service: the
+// request and response types of every endpoint, the structured error
+// envelope, and the stable machine-readable error codes. Both the
+// server (internal/server) and the official Go client (package client)
+// compile against these types, so the two can never drift apart on
+// field names, JSON tags, or optionality.
+//
+// The contract is versioned by the URL prefix (/v1). Within a version,
+// changes are strictly additive: existing fields keep their names,
+// tags, and meaning, and new fields are optional. The error envelope
+// follows the same rule — see ErrorResponse for how the structured
+// form rides alongside the legacy "error" string.
+//
+// Endpoints and their types:
+//
+//	GET    /v1/healthz             -> HealthResponse
+//	GET    /v1/datasets            -> DatasetsResponse
+//	POST   /v1/dataset             DatasetRequest -> DatasetResponse
+//	POST   /v1/properties          PropertiesRequest -> PropertiesResponse
+//	POST   /v1/opacity             OpacityRequest -> OpacityResponse
+//	POST   /v1/anonymize           AnonymizeRequest -> AnonymizeResponse
+//	POST   /v1/kiso                KIsoRequest -> KIsoResponse
+//	POST   /v1/audit               AuditRequest -> AuditResponse
+//	POST   /v1/replay              ReplayRequest -> ReplayResponse
+//	POST   /v1/batch               BatchRequest -> BatchResponse
+//	POST   /v1/graphs              GraphRegisterRequest -> GraphRegisterResponse
+//	GET    /v1/graphs              -> GraphListResponse
+//	GET    /v1/graphs/{id}         -> GraphInfo
+//	DELETE /v1/graphs/{id}         -> GraphDeleteResponse
+//	POST   /v1/jobs                JobSubmitRequest -> JobResponse
+//	GET    /v1/jobs/{id}           -> JobResponse
+//	DELETE /v1/jobs/{id}           -> JobResponse
+//	GET    /v1/jobs/{id}/events    -> NDJSON stream of JobEvent
+//	GET    /v1/stats               -> StatsResponse
+//
+// Errors come back with a 4xx/5xx status and an ErrorResponse body.
+package api
+
+// Graph is the wire form of a graph: a vertex count and an undirected
+// simple edge list. Vertices are 0-based; each edge appears once in
+// either endpoint order.
+type Graph struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// HealthResponse is the GET /v1/healthz (and legacy /healthz) body.
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+// DatasetsResponse is the GET /v1/datasets body: the built-in
+// calibrated dataset keys accepted by DatasetRequest.Key and
+// GraphRegisterRequest.Dataset.
+type DatasetsResponse struct {
+	Datasets []string `json:"datasets"`
+}

@@ -1,0 +1,98 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestErrorResponseWireShape pins the envelope's JSON: the legacy
+// top-level "error" string plus the structured "error_detail" object.
+func TestErrorResponseWireShape(t *testing.T) {
+	b, err := json.Marshal(ErrorResponse{
+		Message: "unknown graph_ref \"x\"",
+		Err: &Error{
+			Code:    CodeGraphNotFound,
+			Message: "unknown graph_ref \"x\"",
+			Details: map[string]any{"graph_ref": "x"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"error":"unknown graph_ref \"x\"","error_detail":{"code":"graph_not_found","message":"unknown graph_ref \"x\"","details":{"graph_ref":"x"}}}`
+	if string(b) != want {
+		t.Fatalf("envelope:\n got %s\nwant %s", b, want)
+	}
+}
+
+// TestErrorResponseLegacyClientsStillParse: a pre-envelope client
+// decoding into {Error string} keeps working — the contract the
+// envelope's additivity exists to protect.
+func TestErrorResponseLegacyClientsStillParse(t *testing.T) {
+	body := `{"error":"queue full","error_detail":{"code":"queue_full","message":"queue full"}}`
+	var legacy struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &legacy); err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if legacy.Error != "queue full" {
+		t.Fatalf("legacy error %q", legacy.Error)
+	}
+}
+
+func TestAsErrorPrefersStructuredForm(t *testing.T) {
+	env := ErrorResponse{Message: "m", Err: &Error{Code: CodeQueueFull, Message: "m"}}
+	e := env.AsError(429)
+	if e.Code != CodeQueueFull || e.HTTPStatus != 429 {
+		t.Fatalf("AsError %+v", e)
+	}
+
+	// Envelope-less body (legacy server): synthesize from the string.
+	e = ErrorResponse{Message: "bare"}.AsError(400)
+	if e == nil || e.Code != "" || e.Message != "bare" || e.HTTPStatus != 400 {
+		t.Fatalf("AsError legacy %+v", e)
+	}
+
+	if (ErrorResponse{}).AsError(500) != nil {
+		t.Fatal("empty envelope must yield nil")
+	}
+}
+
+func TestIsCodeUnwraps(t *testing.T) {
+	base := &Error{Code: CodeJobNotFound, Message: "gone"}
+	wrapped := fmt.Errorf("polling: %w", base)
+	if !IsCode(wrapped, CodeJobNotFound) {
+		t.Fatal("IsCode must unwrap")
+	}
+	if IsCode(wrapped, CodeQueueFull) {
+		t.Fatal("IsCode matched the wrong code")
+	}
+	if IsCode(errors.New("plain"), CodeJobNotFound) {
+		t.Fatal("IsCode matched a non-api error")
+	}
+}
+
+func TestErrorStringCarriesCode(t *testing.T) {
+	e := &Error{Code: CodeInvalidEdge, Message: "self-loop"}
+	if got := e.Error(); got != "invalid_edge: self-loop" {
+		t.Fatalf("Error() = %q", got)
+	}
+	if got := (&Error{Message: "bare"}).Error(); got != "bare" {
+		t.Fatalf("codeless Error() = %q", got)
+	}
+}
+
+func TestJobFinished(t *testing.T) {
+	for state, want := range map[string]bool{
+		JobQueued: false, JobRunning: false,
+		JobDone: true, JobFailed: true, JobCancelled: true,
+		"bogus": false,
+	} {
+		if JobFinished(state) != want {
+			t.Errorf("JobFinished(%q) != %v", state, want)
+		}
+	}
+}

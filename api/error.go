@@ -1,0 +1,110 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Stable machine-readable error codes. Codes are part of the v1
+// contract: existing codes never change meaning, new conditions get
+// new codes. Clients should branch on Code, never on message text.
+const (
+	// CodeInvalidRequest covers malformed JSON, unknown fields,
+	// trailing data, and parameter values outside their domain.
+	CodeInvalidRequest = "invalid_request"
+	// CodeInvalidEdge covers graph validation failures: an endpoint out
+	// of range, a self-loop, or a duplicate edge (including the
+	// reversed spelling of an edge already given).
+	CodeInvalidEdge = "invalid_edge"
+	// CodeGraphNotFound is returned when a graph_ref (or published_ref
+	// / original_ref) names no registered graph, and when GET/DELETE
+	// /v1/graphs/{id} misses.
+	CodeGraphNotFound = "graph_not_found"
+	// CodeDatasetNotFound is returned for an unknown built-in dataset
+	// key.
+	CodeDatasetNotFound = "dataset_not_found"
+	// CodeJobNotFound is returned when a job id is unknown or the job
+	// was evicted after its TTL.
+	CodeJobNotFound = "job_not_found"
+	// CodeJobFinished is returned by DELETE /v1/jobs/{id} when the job
+	// already reached a terminal state.
+	CodeJobFinished = "job_finished"
+	// CodeMethodNotAllowed accompanies every 405; the Allow header
+	// lists the permitted methods.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeBodyTooLarge is returned when the request body exceeds the
+	// server's size cap (413).
+	CodeBodyTooLarge = "body_too_large"
+	// CodeQueueFull is returned by job submission when the async queue
+	// is at capacity (429). Clients should back off and retry.
+	CodeQueueFull = "queue_full"
+	// CodeUnavailable is returned while the server is shutting down
+	// (503). Clients may retry against another instance.
+	CodeUnavailable = "unavailable"
+	// CodeNotFound is the generic fallback for a 404 that none of the
+	// specific *_not_found codes describes.
+	CodeNotFound = "not_found"
+	// CodeConflict is the generic fallback for a 409.
+	CodeConflict = "conflict"
+	// CodeInternal is the generic fallback for a 5xx the server did not
+	// classify.
+	CodeInternal = "internal"
+)
+
+// Error is the structured, machine-readable form of a service error:
+// a stable code, a human-readable message, and optional code-specific
+// details (for example {"graph_ref": "..."} under CodeGraphNotFound).
+// It implements the error interface, and it is the concrete type the
+// client package returns for every non-2xx response.
+type Error struct {
+	Code    string         `json:"code"`
+	Message string         `json:"message"`
+	Details map[string]any `json:"details,omitempty"`
+	// HTTPStatus is the HTTP status the envelope travelled with. It is
+	// not serialized — the status line already carries it — but the
+	// client fills it in so callers can branch on either form.
+	HTTPStatus int `json:"-"`
+}
+
+// Error returns the human-readable message, prefixed with the code so
+// a bare %v in a log line still identifies the condition.
+func (e *Error) Error() string {
+	if e.Code == "" {
+		return e.Message
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// ErrorResponse is the wire form of every error body the service
+// emits. The envelope is additive for backward compatibility: Message
+// keeps the legacy top-level "error" string that pre-envelope clients
+// parse, while Err carries the structured {"code", "message",
+// "details"} form under "error_detail". New clients should read Err;
+// the two always describe the same failure.
+type ErrorResponse struct {
+	Message string `json:"error"`
+	Err     *Error `json:"error_detail,omitempty"`
+}
+
+// AsError converts the envelope to the richest error value it holds:
+// the structured Error when present (stamped with httpStatus), else a
+// synthesized one carrying only the legacy message. It returns nil for
+// an empty envelope.
+func (r ErrorResponse) AsError(httpStatus int) *Error {
+	if r.Err != nil {
+		e := *r.Err
+		e.HTTPStatus = httpStatus
+		return &e
+	}
+	if r.Message == "" {
+		return nil
+	}
+	return &Error{Message: r.Message, HTTPStatus: httpStatus}
+}
+
+// IsCode reports whether err is (or wraps) an *Error with the given
+// code.
+func IsCode(err error, code string) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Code == code
+}

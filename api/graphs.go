@@ -1,0 +1,39 @@
+package api
+
+// GraphRegisterRequest registers a graph in the content-addressed
+// registry: either Graph (inline edges) or Dataset (a built-in
+// calibrated dataset key, generated deterministically from Seed) —
+// exactly one of the two.
+type GraphRegisterRequest struct {
+	Graph   *Graph `json:"graph,omitempty"`
+	Dataset string `json:"dataset,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+}
+
+// GraphInfo is the wire form of a registered graph's metadata. Stores
+// is the number of distance stores currently cached under the graph.
+type GraphInfo struct {
+	ID     string `json:"id"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	Stores int    `json:"stores"`
+}
+
+// GraphRegisterResponse reports the registered graph's content
+// address. Created is false when the graph was already registered.
+type GraphRegisterResponse struct {
+	GraphInfo
+	Created bool `json:"created"`
+}
+
+// GraphListResponse is the GET /v1/graphs body.
+type GraphListResponse struct {
+	Graphs   []GraphInfo `json:"graphs"`
+	Capacity int         `json:"capacity"`
+}
+
+// GraphDeleteResponse is the DELETE /v1/graphs/{id} body.
+type GraphDeleteResponse struct {
+	Deleted bool   `json:"deleted"`
+	ID      string `json:"id"`
+}

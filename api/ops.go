@@ -1,0 +1,197 @@
+package api
+
+// PropertiesRequest asks for the structural property report of a
+// graph, given inline or as a registry reference (exactly one of the
+// two).
+type PropertiesRequest struct {
+	Graph    Graph  `json:"graph"`
+	GraphRef string `json:"graph_ref,omitempty"`
+}
+
+// PropertiesResponse mirrors lopacity.Properties (the paper's
+// Table 2/3 columns).
+type PropertiesResponse struct {
+	Nodes         int     `json:"nodes"`
+	Links         int     `json:"links"`
+	Diameter      int     `json:"diameter"`
+	AvgDegree     float64 `json:"avg_degree"`
+	DegreeStdDev  float64 `json:"degree_stddev"`
+	AvgClustering float64 `json:"avg_clustering_coefficient"`
+	Assortativity float64 `json:"assortativity"`
+	AvgPathLength float64 `json:"avg_path_length"`
+}
+
+// OpacityRequest asks for the L-opacity report of a graph, given
+// inline or as a registry reference (GraphRef requests additionally
+// reuse the registered graph's cached distance store, skipping the
+// APSP build). Engine and Store optionally override the server's
+// distance-compute defaults (engines: auto, bfs, fw, pointer, bitbfs;
+// stores: compact, packed); every combination returns the identical
+// report. Cache set to "off" bypasses the content-addressed result
+// cache for this request.
+type OpacityRequest struct {
+	Graph    Graph  `json:"graph"`
+	GraphRef string `json:"graph_ref,omitempty"`
+	L        int    `json:"l"`
+	Engine   string `json:"engine,omitempty"`
+	Store    string `json:"store,omitempty"`
+	Cache    string `json:"cache,omitempty"`
+}
+
+// OpacityResponse reports the graph's maximum opacity and per-type
+// rows.
+type OpacityResponse struct {
+	L          int           `json:"l"`
+	MaxOpacity float64       `json:"max_opacity"`
+	Types      []OpacityType `json:"types"`
+}
+
+// OpacityType is one vertex-pair type row.
+type OpacityType struct {
+	Label   string  `json:"label"`
+	Within  int     `json:"within"`
+	Total   int     `json:"total"`
+	Opacity float64 `json:"opacity"`
+}
+
+// AnonymizeRequest runs one anonymization method on a graph, given
+// inline or as a registry reference.
+type AnonymizeRequest struct {
+	Graph     Graph   `json:"graph"`
+	GraphRef  string  `json:"graph_ref,omitempty"`
+	L         int     `json:"l"`
+	Theta     float64 `json:"theta"`
+	Method    string  `json:"method"`
+	LookAhead int     `json:"lookahead"`
+	Seed      int64   `json:"seed"`
+	// BudgetMS caps the run's wall-clock milliseconds; it is clamped
+	// to the server's MaxBudget and defaults to it when omitted.
+	BudgetMS int64 `json:"budget_ms"`
+	// Engine and Store override the server's distance-compute defaults
+	// for this run; results are identical for every combination, only
+	// build time and memory differ.
+	Engine string `json:"engine,omitempty"`
+	Store  string `json:"store,omitempty"`
+	// Cache set to "off" bypasses the content-addressed result cache.
+	Cache string `json:"cache,omitempty"`
+}
+
+// AnonymizeResponse returns the published graph and the run report.
+type AnonymizeResponse struct {
+	Graph      Graph    `json:"graph"`
+	Satisfied  bool     `json:"satisfied"`
+	MaxOpacity float64  `json:"max_opacity"`
+	Removed    [][2]int `json:"removed"`
+	Inserted   [][2]int `json:"inserted"`
+	Steps      int      `json:"steps"`
+	TimedOut   bool     `json:"timed_out"`
+	Distortion float64  `json:"distortion"`
+}
+
+// KIsoRequest runs the k-isomorphism comparator on a graph, given
+// inline or as a registry reference.
+type KIsoRequest struct {
+	Graph    Graph  `json:"graph"`
+	GraphRef string `json:"graph_ref,omitempty"`
+	K        int    `json:"k"`
+	Seed     int64  `json:"seed"`
+}
+
+// KIsoResponse returns the k-isomorphic graph, its block structure,
+// and the edit cost.
+type KIsoResponse struct {
+	Graph        Graph    `json:"graph"`
+	Blocks       [][]int  `json:"blocks"`
+	Removed      [][2]int `json:"removed"`
+	Inserted     [][2]int `json:"inserted"`
+	CrossRemoved int      `json:"cross_removed"`
+	Distortion   float64  `json:"distortion"`
+}
+
+// AuditRequest checks a published graph against the degree-knowledge
+// adversary. Original supplies the pre-anonymization degrees. Either
+// graph may be given inline or as a registry reference.
+type AuditRequest struct {
+	Published    Graph   `json:"published"`
+	PublishedRef string  `json:"published_ref,omitempty"`
+	Original     Graph   `json:"original"`
+	OriginalRef  string  `json:"original_ref,omitempty"`
+	L            int     `json:"l"`
+	Theta        float64 `json:"theta"`
+}
+
+// AuditResponse reports the strongest inference and every vertex-pair
+// type whose linkage confidence exceeds theta.
+type AuditResponse struct {
+	Passed        bool        `json:"passed"`
+	MaxConfidence float64     `json:"max_confidence"`
+	MaxType       string      `json:"max_type"`
+	Vulnerable    []AuditType `json:"vulnerable"`
+}
+
+// AuditType is one over-threshold vertex-pair type.
+type AuditType struct {
+	D1         int     `json:"d1"`
+	D2         int     `json:"d2"`
+	Confidence float64 `json:"confidence"`
+}
+
+// DatasetRequest asks for one of the built-in calibrated dataset
+// emulators (the paper's Table 3 samples), generated deterministically
+// from the seed.
+type DatasetRequest struct {
+	Key  string `json:"key"`
+	Seed int64  `json:"seed"`
+}
+
+// DatasetResponse returns the generated graph and its properties.
+type DatasetResponse struct {
+	Key        string             `json:"key"`
+	Graph      Graph              `json:"graph"`
+	Properties PropertiesResponse `json:"properties"`
+}
+
+// TraceStep is the wire form of one committed move of an
+// anonymization audit trail, field-compatible with the trace lines the
+// library's TraceWriter emits (lopacity.TraceStep). It is redeclared
+// here so the wire contract stays free of the algorithm packages.
+type TraceStep struct {
+	// Step is the 0-based greedy iteration index.
+	Step int `json:"step"`
+	// Op is "remove" or "insert".
+	Op string `json:"op"`
+	// Edges lists the one or more edges of the committed combination.
+	Edges [][2]int `json:"edges"`
+	// MaxOpacity is the graph-level maximum opacity after the move.
+	MaxOpacity float64 `json:"maxOpacity"`
+	// Population counts the types attaining MaxOpacity after the move.
+	Population int `json:"population"`
+}
+
+// ReplayRequest verifies an anonymization audit trail server-side:
+// the original graph, the trace steps (as produced by the anonymize
+// trace), the claimed privacy target, and optionally the published
+// graph to compare against. Either graph may be given inline or as a
+// registry reference.
+type ReplayRequest struct {
+	Original     Graph       `json:"original"`
+	OriginalRef  string      `json:"original_ref,omitempty"`
+	Trace        []TraceStep `json:"trace"`
+	L            int         `json:"l"`
+	Theta        float64     `json:"theta"`
+	Published    *Graph      `json:"published"`
+	PublishedRef string      `json:"published_ref,omitempty"`
+	Fast         bool        `json:"fast"`
+}
+
+// ReplayResponse reports the verification outcome. Verified is false
+// when any step is inconsistent, the published graph differs, or the
+// final opacity exceeds theta; Error carries the first violation.
+type ReplayResponse struct {
+	Verified     bool    `json:"verified"`
+	Error        string  `json:"error,omitempty"`
+	Steps        int     `json:"steps"`
+	Removals     int     `json:"removals"`
+	Insertions   int     `json:"insertions"`
+	FinalOpacity float64 `json:"final_opacity"`
+}

@@ -1,0 +1,66 @@
+package api
+
+// StatsResponse is the GET /v1/stats body: cache effectiveness,
+// graph-registry effectiveness, snapshot persistence, and job-queue
+// occupancy.
+type StatsResponse struct {
+	Cache       CacheStats       `json:"cache"`
+	Registry    RegistryStats    `json:"registry"`
+	Persistence PersistenceStats `json:"persistence"`
+	Jobs        JobStats         `json:"jobs"`
+}
+
+// CacheStats reports the content-addressed result cache counters.
+type CacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Entries  int   `json:"entries"`
+	Capacity int   `json:"capacity"`
+}
+
+// RegistryStats reports the graph-registry counters: graph lookup
+// effectiveness, capacity pressure, and distance-store reuse, where
+// every store hit is one full APSP build skipped.
+type RegistryStats struct {
+	Graphs         int   `json:"graphs"`
+	Capacity       int   `json:"capacity"`
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	Evictions      int64 `json:"evictions"`
+	Stores         int   `json:"stores"`
+	StoreHits      int64 `json:"store_hits"`
+	StoreMisses    int64 `json:"store_misses"`
+	StoreEvictions int64 `json:"store_evictions"`
+}
+
+// PersistenceStats reports the registry snapshot layer (-data-dir):
+// what the last boot recovered and the write/delete traffic since.
+// All counters are zero when persistence is disabled.
+type PersistenceStats struct {
+	Enabled      bool   `json:"enabled"`
+	Dir          string `json:"dir,omitempty"`
+	GraphsLoaded int    `json:"graphs_loaded"`
+	StoresLoaded int    `json:"stores_loaded"`
+	Quarantined  int    `json:"quarantined"`
+	GraphWrites  int64  `json:"graph_writes"`
+	StoreWrites  int64  `json:"store_writes"`
+	WriteErrors  int64  `json:"write_errors"`
+	Deletes      int64  `json:"deletes"`
+}
+
+// JobStats reports worker-pool configuration and retained jobs by
+// state. QueueDepth is the number of jobs currently waiting (the
+// "queued" count; it is not repeated per state).
+type JobStats struct {
+	Workers       int `json:"workers"`
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	Running       int `json:"running"`
+	Done          int `json:"done"`
+	Failed        int `json:"failed"`
+	Cancelled     int `json:"cancelled"`
+	// Detached counts cancelled jobs whose computation goroutine has
+	// not exited yet; with cancellation-aware operations it drains to
+	// zero within one poll interval.
+	Detached int `json:"detached"`
+}

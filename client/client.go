@@ -1,0 +1,376 @@
+// Package client is the official Go SDK for the lopserve REST service.
+// It compiles against the same wire contract (package api) the server
+// marshals through, so requests and responses can never drift from the
+// service's types.
+//
+// Construct a client with New and call the typed method for each
+// endpoint; every method takes a context and returns the api response
+// type. Non-2xx responses come back as *api.Error with the stable
+// machine-readable code and the HTTP status filled in:
+//
+//	c, _ := client.New("http://127.0.0.1:8080")
+//	rep, err := c.Opacity(ctx, api.OpacityRequest{Graph: g, L: 2})
+//	if api.IsCode(err, api.CodeGraphNotFound) { ... }
+//
+// The Graph handle implements upload-once semantics for the
+// register-once-query-many pattern: construct one with NewGraph (or
+// DatasetGraph), and every operation through it registers the graph on
+// first use and sends only the content-address reference afterwards.
+//
+// Requests that fail with 429 (queue full) or 503 (shutting down) are
+// retried with capped exponential backoff; see Retry. Backoff waits
+// respect context cancellation.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/api"
+)
+
+// Retry configures the automatic retry policy for 429 and 503
+// responses — the two statuses the service documents as transient.
+// Other failures are never retried: a 4xx will not get better, and
+// re-sending after a transport error could double-execute work.
+type Retry struct {
+	// MaxAttempts is the total number of tries including the first;
+	// values below 1 select 3. Set 1 to disable retries.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry, doubling each
+	// attempt; zero selects 100 ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the per-attempt wait; zero selects 2 s.
+	MaxDelay time.Duration
+}
+
+func (r *Retry) setDefaults() {
+	if r.MaxAttempts < 1 {
+		r.MaxAttempts = 3
+	}
+	if r.BaseDelay <= 0 {
+		r.BaseDelay = 100 * time.Millisecond
+	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = 2 * time.Second
+	}
+}
+
+// backoff returns the wait before retrying after the given 0-based
+// attempt: BaseDelay doubled per attempt, capped at MaxDelay.
+func (r Retry) backoff(attempt int) time.Duration {
+	d := r.BaseDelay
+	for i := 0; i < attempt && d < r.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > r.MaxDelay {
+		d = r.MaxDelay
+	}
+	return d
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, instrumentation). The default is a dedicated client with
+// no global timeout — per-call contexts bound each request.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.httpc = hc }
+}
+
+// WithRetry replaces the default retry policy.
+func WithRetry(r Retry) Option {
+	return func(c *Client) { c.retry = r }
+}
+
+// WithWaitInterval sets the poll interval used by Jobs.Wait; zero
+// keeps the default 100 ms.
+func WithWaitInterval(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.waitInterval = d
+		}
+	}
+}
+
+// Client is a lopserve API client. It is safe for concurrent use.
+type Client struct {
+	base         string
+	httpc        *http.Client
+	retry        Retry
+	waitInterval time.Duration
+
+	// Graphs and Jobs group the registry and async-job endpoints.
+	Graphs *GraphsService
+	Jobs   *JobsService
+}
+
+// New returns a client for the service at baseURL (scheme and host,
+// e.g. "http://127.0.0.1:8080"; any trailing slash is ignored).
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: invalid base URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q must include scheme and host", baseURL)
+	}
+	c := &Client{
+		base:         strings.TrimRight(baseURL, "/"),
+		httpc:        &http.Client{},
+		waitInterval: 100 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	c.retry.setDefaults()
+	c.Graphs = &GraphsService{c: c}
+	c.Jobs = &JobsService{c: c}
+	return c, nil
+}
+
+// retryable reports whether a status is worth another attempt.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// send issues one request with the retry policy and returns the
+// response on 2xx. Non-2xx responses are decoded into *api.Error; 429
+// and 503 are retried with capped exponential backoff, and a context
+// cancelled mid-backoff aborts immediately with the context's error.
+func (c *Client) send(ctx context.Context, method, path string, in any) (*http.Response, error) {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return nil, fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if in != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode/100 == 2 {
+			return resp, nil
+		}
+		apiErr := decodeError(resp)
+		if !retryable(resp.StatusCode) || attempt+1 >= c.retry.MaxAttempts {
+			return nil, apiErr
+		}
+		if err := sleep(ctx, c.retry.backoff(attempt)); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// sleep waits for d or until ctx is done, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// decodeError turns a non-2xx response into an *api.Error, consuming
+// and closing the body. Bodies that are not the documented envelope
+// (a proxy's HTML error page, say) still yield a usable error carrying
+// the status.
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env api.ErrorResponse
+	if err := json.Unmarshal(b, &env); err == nil {
+		if e := env.AsError(resp.StatusCode); e != nil {
+			return e
+		}
+	}
+	return &api.Error{
+		Message:    fmt.Sprintf("http %d: %s", resp.StatusCode, strings.TrimSpace(string(b))),
+		HTTPStatus: resp.StatusCode,
+	}
+}
+
+// do issues a request and decodes the JSON response into out (skipped
+// when out is nil).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	resp, err := c.send(ctx, method, path, in)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Healthz checks service liveness (GET /v1/healthz).
+func (c *Client) Healthz(ctx context.Context) error {
+	var h api.HealthResponse
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h)
+}
+
+// Datasets lists the built-in calibrated dataset keys
+// (GET /v1/datasets).
+func (c *Client) Datasets(ctx context.Context) ([]string, error) {
+	var out api.DatasetsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Datasets, nil
+}
+
+// Dataset generates a built-in dataset deterministically
+// (POST /v1/dataset).
+func (c *Client) Dataset(ctx context.Context, key string, seed int64) (*api.DatasetResponse, error) {
+	var out api.DatasetResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/dataset", api.DatasetRequest{Key: key, Seed: seed}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Properties reports a graph's structural properties
+// (POST /v1/properties).
+func (c *Client) Properties(ctx context.Context, req api.PropertiesRequest) (*api.PropertiesResponse, error) {
+	var out api.PropertiesResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/properties", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Opacity computes a graph's L-opacity report (POST /v1/opacity).
+func (c *Client) Opacity(ctx context.Context, req api.OpacityRequest) (*api.OpacityResponse, error) {
+	var out api.OpacityResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/opacity", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Anonymize runs an anonymization method synchronously
+// (POST /v1/anonymize). For long runs prefer Jobs.Submit plus
+// Jobs.Wait or Jobs.Events.
+func (c *Client) Anonymize(ctx context.Context, req api.AnonymizeRequest) (*api.AnonymizeResponse, error) {
+	var out api.AnonymizeResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/anonymize", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// KIso runs k-isomorphism anonymization (POST /v1/kiso).
+func (c *Client) KIso(ctx context.Context, req api.KIsoRequest) (*api.KIsoResponse, error) {
+	var out api.KIsoResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/kiso", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Audit runs the degree-knowledge adversary audit (POST /v1/audit).
+func (c *Client) Audit(ctx context.Context, req api.AuditRequest) (*api.AuditResponse, error) {
+	var out api.AuditResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/audit", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Replay verifies an anonymization audit trail (POST /v1/replay).
+func (c *Client) Replay(ctx context.Context, req api.ReplayRequest) (*api.ReplayResponse, error) {
+	var out api.ReplayResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/replay", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch executes heterogeneous operations in one request
+// (POST /v1/batch). Item failures are reported per item in the
+// response, not as a call error.
+func (c *Client) Batch(ctx context.Context, req api.BatchRequest) (*api.BatchResponse, error) {
+	var out api.BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats reads the service counters (GET /v1/stats).
+func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
+	var out api.StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// GraphsService groups the /v1/graphs registry endpoints.
+type GraphsService struct {
+	c *Client
+}
+
+// Register adds a graph to the content-addressed registry
+// (POST /v1/graphs). Registering an already-known graph is not an
+// error; the response's Created field distinguishes the two.
+func (s *GraphsService) Register(ctx context.Context, req api.GraphRegisterRequest) (*api.GraphRegisterResponse, error) {
+	var out api.GraphRegisterResponse
+	if err := s.c.do(ctx, http.MethodPost, "/v1/graphs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// List returns the registered graphs, most recently used first
+// (GET /v1/graphs).
+func (s *GraphsService) List(ctx context.Context) (*api.GraphListResponse, error) {
+	var out api.GraphListResponse
+	if err := s.c.do(ctx, http.MethodGet, "/v1/graphs", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Get returns one registered graph's metadata (GET /v1/graphs/{id}).
+func (s *GraphsService) Get(ctx context.Context, id string) (*api.GraphInfo, error) {
+	var out api.GraphInfo
+	if err := s.c.do(ctx, http.MethodGet, "/v1/graphs/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Delete unregisters a graph (DELETE /v1/graphs/{id}).
+func (s *GraphsService) Delete(ctx context.Context, id string) error {
+	return s.c.do(ctx, http.MethodDelete, "/v1/graphs/"+url.PathEscape(id), nil, nil)
+}

@@ -1,0 +1,170 @@
+package client
+
+import (
+	"context"
+	"sync"
+
+	"repro/api"
+)
+
+// Graph is an upload-once handle implementing the service's
+// register-once-query-many pattern. The first operation through the
+// handle registers the graph (POST /v1/graphs) and caches its content
+// address; every subsequent operation sends only the reference, so the
+// server skips re-parsing the edge list and reuses its cached distance
+// stores. Handles are safe for concurrent use; a failed registration
+// is retried by the next call, and a reference the server stopped
+// recognizing (LRU eviction, deletion, restart without persistence) is
+// transparently re-registered and the operation retried once.
+type Graph struct {
+	c *Client
+
+	// exactly one source: an inline edge list or a dataset key.
+	inline  *api.Graph
+	dataset string
+	seed    int64
+
+	mu  sync.Mutex
+	ref string
+}
+
+// NewGraph returns an upload-once handle for an inline graph. Nothing
+// is sent until the first operation through the handle.
+func (c *Client) NewGraph(n int, edges [][2]int) *Graph {
+	return &Graph{c: c, inline: &api.Graph{N: n, Edges: edges}}
+}
+
+// DatasetGraph returns an upload-once handle for a built-in calibrated
+// dataset, generated server-side deterministically from the seed.
+func (c *Client) DatasetGraph(key string, seed int64) *Graph {
+	return &Graph{c: c, dataset: key, seed: seed}
+}
+
+// Ref returns the graph's content address, registering the graph on
+// first use. Concurrent callers register at most once; on failure the
+// next caller retries.
+func (g *Graph) Ref(ctx context.Context) (string, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ref != "" {
+		return g.ref, nil
+	}
+	req := api.GraphRegisterRequest{Dataset: g.dataset, Seed: g.seed}
+	if g.inline != nil {
+		req = api.GraphRegisterRequest{Graph: g.inline}
+	}
+	resp, err := g.c.Graphs.Register(ctx, req)
+	if err != nil {
+		return "", err
+	}
+	g.ref = resp.ID
+	return g.ref, nil
+}
+
+// invalidate drops a cached reference the server no longer recognizes,
+// so the next Ref re-registers.
+func (g *Graph) invalidate(ref string) {
+	g.mu.Lock()
+	if g.ref == ref {
+		g.ref = ""
+	}
+	g.mu.Unlock()
+}
+
+// withRef runs op with the graph's reference, transparently
+// re-registering and retrying ONCE when the server answers
+// graph_not_found — the cached reference can go stale when the
+// server's LRU registry evicts the graph, someone deletes it, or the
+// server restarts without persistence. The handle still holds the
+// graph's source, so staleness is recoverable, not fatal.
+func (g *Graph) withRef(ctx context.Context, op func(ref string) error) error {
+	ref, err := g.Ref(ctx)
+	if err != nil {
+		return err
+	}
+	err = op(ref)
+	if !api.IsCode(err, api.CodeGraphNotFound) {
+		return err
+	}
+	g.invalidate(ref)
+	ref, err = g.Ref(ctx)
+	if err != nil {
+		return err
+	}
+	return op(ref)
+}
+
+// Properties reports the graph's structural properties by reference.
+func (g *Graph) Properties(ctx context.Context) (*api.PropertiesResponse, error) {
+	var out *api.PropertiesResponse
+	err := g.withRef(ctx, func(ref string) (err error) {
+		out, err = g.c.Properties(ctx, api.PropertiesRequest{GraphRef: ref})
+		return err
+	})
+	return out, err
+}
+
+// Opacity computes the graph's L-opacity report by reference; the
+// request's Graph and GraphRef fields are overwritten by the handle's
+// reference.
+func (g *Graph) Opacity(ctx context.Context, req api.OpacityRequest) (*api.OpacityResponse, error) {
+	var out *api.OpacityResponse
+	err := g.withRef(ctx, func(ref string) (err error) {
+		req.Graph = api.Graph{}
+		req.GraphRef = ref
+		out, err = g.c.Opacity(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// Anonymize runs an anonymization method on the graph by reference;
+// the request's Graph and GraphRef fields are overwritten by the
+// handle's reference.
+func (g *Graph) Anonymize(ctx context.Context, req api.AnonymizeRequest) (*api.AnonymizeResponse, error) {
+	var out *api.AnonymizeResponse
+	err := g.withRef(ctx, func(ref string) (err error) {
+		req.Graph = api.Graph{}
+		req.GraphRef = ref
+		out, err = g.c.Anonymize(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// KIso runs k-isomorphism anonymization on the graph by reference.
+func (g *Graph) KIso(ctx context.Context, req api.KIsoRequest) (*api.KIsoResponse, error) {
+	var out *api.KIsoResponse
+	err := g.withRef(ctx, func(ref string) (err error) {
+		req.Graph = api.Graph{}
+		req.GraphRef = ref
+		out, err = g.c.KIso(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// SubmitAnonymize submits an anonymization of the graph as an async
+// job by reference; watch it with Jobs.Events or block with Jobs.Wait.
+func (g *Graph) SubmitAnonymize(ctx context.Context, req api.AnonymizeRequest) (*api.JobResponse, error) {
+	var out *api.JobResponse
+	err := g.withRef(ctx, func(ref string) (err error) {
+		req.Graph = api.Graph{}
+		req.GraphRef = ref
+		out, err = g.c.Jobs.Submit(ctx, "anonymize", req)
+		return err
+	})
+	return out, err
+}
+
+// Batch executes items in one request with the graph as the shared
+// reference: single-graph items that name no graph of their own
+// inherit it.
+func (g *Graph) Batch(ctx context.Context, items []api.BatchItem) (*api.BatchResponse, error) {
+	var out *api.BatchResponse
+	err := g.withRef(ctx, func(ref string) (err error) {
+		out, err = g.c.Batch(ctx, api.BatchRequest{GraphRef: ref, Items: items})
+		return err
+	})
+	return out, err
+}

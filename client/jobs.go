@@ -1,0 +1,127 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+
+	"repro/api"
+)
+
+// JobsService groups the /v1/jobs async endpoints.
+type JobsService struct {
+	c *Client
+}
+
+// Submit enqueues one operation for asynchronous execution
+// (POST /v1/jobs). Op names the operation ("opacity", "anonymize",
+// ...) and request is the operation's api request value, exactly as
+// the synchronous method would take it. The returned job is usually in
+// state "queued" — poll with Get, block with Wait, or stream with
+// Events; a submit-time cache hit comes back already "done".
+func (s *JobsService) Submit(ctx context.Context, op string, request any) (*api.JobResponse, error) {
+	raw, err := json.Marshal(request)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding job request: %w", err)
+	}
+	var out api.JobResponse
+	if err := s.c.do(ctx, http.MethodPost, "/v1/jobs", api.JobSubmitRequest{Op: op, Request: raw}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Get polls a job's snapshot (GET /v1/jobs/{id}).
+func (s *JobsService) Get(ctx context.Context, id string) (*api.JobResponse, error) {
+	var out api.JobResponse
+	if err := s.c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Cancel stops a queued or running job (DELETE /v1/jobs/{id}).
+// Cancelling an already-finished job fails with api.CodeJobFinished.
+func (s *JobsService) Cancel(ctx context.Context, id string) (*api.JobResponse, error) {
+	var out api.JobResponse
+	if err := s.c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Wait blocks until the job reaches a terminal state (done, failed, or
+// cancelled) and returns its final snapshot; inspect State and Error
+// to distinguish the outcomes. It polls GET /v1/jobs/{id} at the
+// client's wait interval (WithWaitInterval) and returns early with the
+// context's error when ctx is done.
+func (s *JobsService) Wait(ctx context.Context, id string) (*api.JobResponse, error) {
+	for {
+		j, err := s.Get(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if api.JobFinished(j.State) {
+			return j, nil
+		}
+		if err := sleep(ctx, s.c.waitInterval); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ErrStreamTruncated reports an event stream that ended without a
+// terminal state event — the server drops a stream this way when the
+// job is evicted mid-watch (TTL or retention pressure). The job's
+// outcome is unknown; Jobs.Get may still answer if the eviction was
+// only of the stream's view.
+var ErrStreamTruncated = errors.New("client: event stream ended without a terminal state event")
+
+// Events streams a job's lifecycle and progress events
+// (GET /v1/jobs/{id}/events), invoking fn for each NDJSON line in
+// order. The stream replays the job's history from the beginning and
+// follows the live job; Events returns nil when the stream ends after
+// the terminal state event, fn's error if fn aborts the stream,
+// ErrStreamTruncated if the stream ended with the job's outcome
+// unknown, or the transport/context error otherwise.
+func (s *JobsService) Events(ctx context.Context, id string, fn func(api.JobEvent) error) error {
+	resp, err := s.c.send(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	terminal := false
+	for sc.Scan() {
+		var ev api.JobEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("client: decoding event: %w", err)
+		}
+		if ev.Type == api.JobEventState && api.JobFinished(ev.State) {
+			terminal = true
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// Prefer the context's error: a cancelled watch is the caller's
+		// decision, not a transport failure.
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	if !terminal {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return ErrStreamTruncated
+	}
+	return nil
+}

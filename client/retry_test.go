@@ -1,0 +1,133 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/client"
+)
+
+// flakyServer answers fail429 requests with a queue_full envelope
+// before succeeding, counting every attempt.
+func flakyServer(t *testing.T, fail429 int64) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		if n <= fail429 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.ErrorResponse{
+				Message: "jobs: queue full",
+				Err:     &api.Error{Code: api.CodeQueueFull, Message: "jobs: queue full"},
+			})
+			return
+		}
+		json.NewEncoder(w).Encode(api.HealthResponse{Status: "ok"})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &attempts
+}
+
+// TestRetry429ThenSuccess is the satellite test: a 429-then-200 server
+// succeeds transparently, with exactly one retry per 429.
+func TestRetry429ThenSuccess(t *testing.T) {
+	ts, attempts := flakyServer(t, 2)
+	c, err := client.New(ts.URL, client.WithRetry(client.Retry{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz after two 429s: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts=%d, want 3 (two 429s + success)", got)
+	}
+}
+
+// TestRetryAttemptsBounded: a persistently overloaded server fails
+// after exactly MaxAttempts tries, surfacing the envelope's code.
+func TestRetryAttemptsBounded(t *testing.T) {
+	ts, attempts := flakyServer(t, 1<<30)
+	c, err := client.New(ts.URL, client.WithRetry(client.Retry{
+		MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Healthz(context.Background())
+	if !api.IsCode(err, api.CodeQueueFull) {
+		t.Fatalf("error %v, want queue_full", err)
+	}
+	var ae *api.Error
+	if errors.As(err, &ae); ae.HTTPStatus != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", ae.HTTPStatus)
+	}
+	if got := attempts.Load(); got != 4 {
+		t.Fatalf("attempts=%d, want exactly MaxAttempts=4", got)
+	}
+}
+
+// TestRetryContextCancelledMidBackoff is the satellite test's second
+// half: cancelling the context while the client sleeps between
+// attempts aborts immediately with the context's error instead of
+// finishing the backoff.
+func TestRetryContextCancelledMidBackoff(t *testing.T) {
+	ts, attempts := flakyServer(t, 1<<30)
+	c, err := client.New(ts.URL, client.WithRetry(client.Retry{
+		MaxAttempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond) // land inside the hour-long backoff
+		cancel()
+	}()
+	start := time.Now()
+	err = c.Healthz(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, backoff was not interrupted", elapsed)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts=%d, want 1 (cancelled before the retry fired)", got)
+	}
+}
+
+// TestNon2xxNotRetried: a 400 is the caller's bug, not backpressure —
+// one attempt only.
+func TestNon2xxNotRetried(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(api.ErrorResponse{
+			Message: "bad",
+			Err:     &api.Error{Code: api.CodeInvalidRequest, Message: "bad"},
+		})
+	}))
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL, client.WithRetry(client.Retry{MaxAttempts: 5, BaseDelay: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Healthz(context.Background()); !api.IsCode(err, api.CodeInvalidRequest) {
+		t.Fatalf("error %v, want invalid_request", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts=%d, want 1", got)
+	}
+}

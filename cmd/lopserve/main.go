@@ -17,9 +17,11 @@
 // graph_ref queries with zero APSP builds (see the "persistence"
 // section of GET /v1/stats).
 //
-// Endpoints (see docs/API.md for the full reference):
+// The wire contract lives in the exported api package; the official Go
+// client (package client) and examples/client consume it. Endpoints
+// (see docs/API.md for the full reference):
 //
-//	GET  /healthz
+//	GET  /v1/healthz      liveness probe (also at legacy /healthz)
 //	POST /v1/graphs       register a graph (content-addressed; see -preload)
 //	GET  /v1/graphs       list registered graphs
 //	GET/DELETE /v1/graphs/{id}
@@ -28,9 +30,12 @@
 //	POST /v1/anonymize
 //	POST /v1/kiso
 //	POST /v1/audit
+//	POST /v1/replay
+//	POST /v1/batch        heterogeneous operations, one shared graph ref
 //	POST /v1/jobs         submit any POST operation async
 //	GET  /v1/jobs/{id}    poll status/result
 //	DELETE /v1/jobs/{id}  cancel
+//	GET  /v1/jobs/{id}/events  NDJSON stream of lifecycle + progress
 //	GET  /v1/stats        cache, registry, and queue counters
 //
 // The process shuts down cleanly on SIGINT/SIGTERM: in-flight HTTP
@@ -107,6 +112,7 @@ func main() {
 		jobTTL       = flag.Duration("job-ttl", 0, "retention of finished async jobs (0 selects 15m)")
 		graphs       = flag.Int("graphs", 0, "graph registry capacity (0 selects 64)")
 		storesPer    = flag.Int("stores-per-graph", 0, "cached distance stores per registered graph (0 selects 4)")
+		maxBatch     = flag.Int("max-batch", 0, "operations accepted per POST /v1/batch request (0 selects 64)")
 		dataDir      = flag.String("data-dir", "", "snapshot directory for registry persistence (empty disables)")
 	)
 	flag.Var(&preloads, "preload", "register a built-in dataset at boot as key=seed (repeatable)")
@@ -124,6 +130,7 @@ func main() {
 		JobTTL:         *jobTTL,
 		GraphCapacity:  *graphs,
 		StoresPerGraph: *storesPer,
+		MaxBatchItems:  *maxBatch,
 		DataDir:        *dataDir,
 	}
 	if err := cfg.Validate(); err != nil {

@@ -1,0 +1,136 @@
+// Example client: the register-once-query-many workflow over the Go
+// SDK against a running lopserve.
+//
+//	lopserve -addr :8080 &
+//	go run ./examples/client -base http://127.0.0.1:8080
+//
+// The program registers a calibrated dataset graph once (the Graph
+// handle uploads it on first use and sends only the content-address
+// reference afterwards), runs a heterogeneous batch against that one
+// reference, then submits an anonymization job and streams its
+// lifecycle and progress events live instead of polling. It exits
+// non-zero on any failure, which is what makes it usable as the CI
+// end-to-end smoke check.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/api"
+	"repro/client"
+)
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:8080", "lopserve base URL")
+	flag.Parse()
+	log.SetFlags(0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	c, err := client.New(*base)
+	if err != nil {
+		log.Fatalf("client: %v", err)
+	}
+	if err := c.Healthz(ctx); err != nil {
+		log.Fatalf("healthz: %v", err)
+	}
+
+	// Register once: the handle uploads the graph on first use and every
+	// later call goes by content-address reference.
+	g := c.DatasetGraph("gnutella100", 1)
+	ref, err := g.Ref(ctx)
+	if err != nil {
+		log.Fatalf("register: %v", err)
+	}
+	fmt.Printf("registered gnutella100 as %s\n", ref[:12])
+
+	// One round trip, four heterogeneous operations, one shared graph
+	// reference — the opacity items share a single APSP build.
+	batch, err := g.Batch(ctx, []api.BatchItem{
+		item("properties", api.PropertiesRequest{}),
+		item("opacity", api.OpacityRequest{L: 1}),
+		item("opacity", api.OpacityRequest{L: 2}),
+		item("opacity", api.OpacityRequest{L: 3}),
+	})
+	if err != nil {
+		log.Fatalf("batch: %v", err)
+	}
+	if batch.Failed != 0 {
+		log.Fatalf("batch: %d items failed: %+v", batch.Failed, batch.Results)
+	}
+	var props api.PropertiesResponse
+	mustDecode(batch.Results[0].Result, &props)
+	fmt.Printf("batch: %d ok — %d nodes, %d links", batch.Succeeded, props.Nodes, props.Links)
+	for _, r := range batch.Results[1:] {
+		var rep api.OpacityResponse
+		mustDecode(r.Result, &rep)
+		fmt.Printf(", LO(L=%d)=%.2f", rep.L, rep.MaxOpacity)
+	}
+	fmt.Println()
+
+	// Long work goes through the job queue; the events stream replaces
+	// polling with live lifecycle + progress lines.
+	job, err := g.SubmitAnonymize(ctx, api.AnonymizeRequest{
+		L: 2, Theta: 0.4, Method: "rem", Seed: 1, BudgetMS: 30_000,
+	})
+	if err != nil {
+		log.Fatalf("submit: %v", err)
+	}
+	fmt.Printf("job %s submitted, streaming events:\n", job.ID)
+	err = c.Jobs.Events(ctx, job.ID, func(ev api.JobEvent) error {
+		switch ev.Type {
+		case api.JobEventState:
+			fmt.Printf("  [%s] %s\n", ev.Time, ev.State)
+		case api.JobEventProgress:
+			if ev.Progress == nil { // the payload is optional on the wire
+				fmt.Printf("  [%s] progress\n", ev.Time)
+				break
+			}
+			fmt.Printf("  [%s] progress: %d steps, LO=%.3f, %dms elapsed\n",
+				ev.Time, ev.Progress.Steps, ev.Progress.MaxOpacity, ev.Progress.ElapsedMS)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("events: %v", err)
+	}
+
+	final, err := c.Jobs.Wait(ctx, job.ID)
+	if err != nil {
+		log.Fatalf("wait: %v", err)
+	}
+	if final.State != api.JobDone {
+		log.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+	var anon api.AnonymizeResponse
+	mustDecode(final.Result, &anon)
+	fmt.Printf("anonymized: satisfied=%v LO=%.3f steps=%d removed=%d\n",
+		anon.Satisfied, anon.MaxOpacity, anon.Steps, len(anon.Removed))
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatalf("stats: %v", err)
+	}
+	fmt.Printf("server: %d store build(s), %d store hit(s) — register once, query many\n",
+		stats.Registry.StoreMisses, stats.Registry.StoreHits)
+}
+
+func item(op string, req any) api.BatchItem {
+	b, err := json.Marshal(req)
+	if err != nil {
+		log.Fatalf("encoding %s item: %v", op, err)
+	}
+	return api.BatchItem{Op: op, Request: b}
+}
+
+func mustDecode(raw json.RawMessage, v any) {
+	if err := json.Unmarshal(raw, v); err != nil {
+		log.Fatalf("decoding result: %v", err)
+	}
+}

@@ -46,6 +46,10 @@ type AnnealOptions struct {
 	Budget time.Duration
 	// Trace, when non-nil, receives a record after every ACCEPTED move.
 	Trace func(Step)
+	// Progress, when non-nil, receives a report after every accepted
+	// move, exactly as Options.Progress does for the greedy
+	// heuristics: Steps counts accepted moves.
+	Progress func(Progress)
 	// Types overrides the vertex-pair type system, as in Options.Types.
 	Types opacity.TypeAssigner
 	// Engine and Store select the initial distance build and backing,
@@ -95,7 +99,7 @@ func AnnealContext(ctx context.Context, g *graph.Graph, opts AnnealOptions) (Res
 
 	s, err := newState(ctx, g, Options{
 		L: opts.L, Theta: opts.Theta, Seed: opts.Seed, LookAhead: 1,
-		Budget: opts.Budget, Types: opts.Types,
+		Budget: opts.Budget, Types: opts.Types, Progress: opts.Progress,
 		Engine: opts.Engine, Store: opts.Store, Distances: opts.Distances,
 	})
 	if err != nil {
@@ -180,6 +184,7 @@ func (a *annealer) run() Result {
 			if a.opts.Trace != nil {
 				a.opts.Trace(Step{Index: a.accepted - 1, Insert: undo.insert, Edges: []graph.Edge{undo.e}, After: ev})
 			}
+			a.emitProgress(a.accepted, ev.MaxLO)
 		} else {
 			undo.apply(a)
 		}

@@ -113,11 +113,34 @@ type Options struct {
 	Budget time.Duration
 	// Trace, when non-nil, receives a record after every committed step.
 	Trace func(Step)
+	// Progress, when non-nil, receives a lightweight report after every
+	// committed greedy step (or accepted annealing move): steps so far,
+	// the current maximum opacity, and the wall-clock budget consumed.
+	// It is invoked synchronously on the run's goroutine, so
+	// implementations must be fast and must not block; the serving
+	// layer uses it to stream job progress to watching clients.
+	Progress func(Progress)
 	// Types overrides the vertex-pair type system of Definition 1; nil
 	// selects the paper's default, unordered pairs of ORIGINAL degrees.
 	// Custom assigners must be computed against the original graph —
 	// the publication model freezes types before any mutation.
 	Types opacity.TypeAssigner
+}
+
+// Progress is a point-in-time report of a running opacification,
+// delivered through Options.Progress after every committed step.
+type Progress struct {
+	// Steps counts committed greedy iterations (or accepted annealing
+	// moves) so far.
+	Steps int
+	// MaxLO is the graph-level maximum opacity after the last
+	// committed step.
+	MaxLO float64
+	// Elapsed is the wall-clock time consumed since the run started.
+	Elapsed time.Duration
+	// Budget echoes Options.Budget (zero for an unbounded run), so a
+	// consumer can render "budget consumed" without extra plumbing.
+	Budget time.Duration
 }
 
 // Step describes one committed greedy move for tracing and audit.
@@ -222,6 +245,7 @@ type state struct {
 	removedLog  []graph.Edge
 	insertedLog []graph.Edge
 	steps       int
+	started     time.Time // run start, for Progress.Elapsed
 	deadline    time.Time // zero when Options.Budget is unset
 	timedOut    bool
 	cancelled   bool
@@ -272,6 +296,7 @@ func newState(ctx context.Context, g *graph.Graph, opts Options) (*state, error)
 	}
 	return &state{
 		ctx:      ctx,
+		started:  time.Now(),
 		deadline: deadline,
 		opts:     opts,
 		g:        work,
@@ -400,9 +425,10 @@ func (s *state) runRemovalInsertion() Result {
 }
 
 // traceStep evaluates the tracker once after a committed move, emits
-// the trace record when tracing is on, and returns the evaluation so
-// the caller's loop head can reuse it — one Evaluate per committed
-// step, shared between the trace record and the next iteration.
+// the trace record when tracing is on plus the progress report when a
+// Progress callback is set, and returns the evaluation so the
+// caller's loop head can reuse it — one Evaluate per committed step,
+// shared between the trace record and the next iteration.
 func (s *state) traceStep(insert bool, edges []graph.Edge) opacity.Evaluation {
 	ev := s.tr.Evaluate()
 	if s.opts.Trace != nil {
@@ -413,5 +439,22 @@ func (s *state) traceStep(insert bool, edges []graph.Edge) opacity.Evaluation {
 			After:  ev,
 		})
 	}
+	// The step being committed counts: s.steps increments after the
+	// iteration completes, so report one past it.
+	s.emitProgress(s.steps+1, ev.MaxLO)
 	return ev
+}
+
+// emitProgress invokes the Progress callback, if any, with the
+// current step count and opacity.
+func (s *state) emitProgress(steps int, maxLO float64) {
+	if s.opts.Progress == nil {
+		return
+	}
+	s.opts.Progress(Progress{
+		Steps:   steps,
+		MaxLO:   maxLO,
+		Elapsed: time.Since(s.started),
+		Budget:  s.opts.Budget,
+	})
 }

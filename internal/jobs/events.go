@@ -1,0 +1,140 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+)
+
+// EventType discriminates the two kinds of job events.
+type EventType string
+
+const (
+	// EventState marks a lifecycle transition; Event.State carries the
+	// state just entered.
+	EventState EventType = "state"
+	// EventProgress carries a progress payload published by the
+	// running task via ReportProgress.
+	EventProgress EventType = "progress"
+)
+
+// Event is one entry in a job's lifecycle/progress stream. Seq
+// increases strictly within a job (0, 1, 2, ...), so a consumer can
+// resume a stream from the last sequence number it saw.
+type Event struct {
+	Seq   int
+	Time  time.Time
+	Type  EventType
+	State State
+	// Error carries the failure message on the terminal EventState of
+	// a failed job.
+	Error string
+	// Progress is the opaque payload of an EventProgress, exactly as
+	// the task passed it to ReportProgress.
+	Progress json.RawMessage
+}
+
+// maxEventsPerJob bounds the retained history per job. State events
+// are always kept (there are at most three); beyond the cap the
+// OLDEST progress events are pruned, so a late watcher of a very
+// chatty job replays a truncated prefix but always sees the latest
+// progress and every lifecycle transition.
+const maxEventsPerJob = 512
+
+// eventLocked appends an event to the job's history and wakes every
+// Events waiter. Callers hold m.mu and have already set the state the
+// event should report.
+func (m *Manager) eventLocked(j *job, typ EventType, progress json.RawMessage) {
+	ev := Event{Seq: j.eventSeq, Time: m.cfg.Clock(), Type: typ, State: j.state, Progress: progress}
+	if typ == EventState && j.err != nil {
+		ev.Error = j.err.Error()
+	}
+	j.eventSeq++
+	j.events = append(j.events, ev)
+	if len(j.events) > maxEventsPerJob {
+		for i, e := range j.events {
+			if e.Type == EventProgress {
+				j.events = append(j.events[:i], j.events[i+1:]...)
+				break
+			}
+		}
+	}
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// Events returns the job's retained events with Seq strictly greater
+// than after (pass -1 to start from the beginning), blocking until at
+// least one such event exists, the job reaches a terminal state, or
+// ctx is done. The bool reports whether the job is finished — once
+// true, no further events will ever arrive and the caller should stop
+// iterating. A consumer streams a job by looping: emit the returned
+// batch, advance after to the last Seq seen, repeat until finished.
+//
+// An unknown or TTL-evicted id returns ErrNotFound; a job evicted
+// mid-stream surfaces the same way on the next call.
+func (m *Manager) Events(ctx context.Context, id string, after int) ([]Event, bool, error) {
+	m.mu.Lock()
+	for {
+		m.sweepLocked()
+		j, ok := m.jobs[id]
+		if !ok {
+			m.mu.Unlock()
+			return nil, false, ErrNotFound
+		}
+		var out []Event
+		for _, ev := range j.events {
+			if ev.Seq > after {
+				out = append(out, ev)
+			}
+		}
+		finished := j.state.Finished()
+		if len(out) > 0 || finished {
+			m.mu.Unlock()
+			return out, finished, nil
+		}
+		ch := j.changed
+		m.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		m.mu.Lock()
+	}
+}
+
+// progressKey carries the per-job progress hook through the task's
+// context.
+type progressKey struct{}
+
+// Reporter extracts the progress-publishing hook from a task context.
+// It returns nil under contexts that do not belong to a managed job —
+// the synchronous execution path — so callers can skip building
+// payloads no one will ever see.
+func Reporter(ctx context.Context) func(json.RawMessage) {
+	fn, _ := ctx.Value(progressKey{}).(func(json.RawMessage))
+	return fn
+}
+
+// ReportProgress publishes a progress payload for the job owning ctx.
+// It is a no-op under contexts that do not belong to a managed job,
+// so task code can call it unconditionally.
+func ReportProgress(ctx context.Context, payload json.RawMessage) {
+	if fn := Reporter(ctx); fn != nil {
+		fn(payload)
+	}
+}
+
+// publish appends a progress event to a running job. Reports arriving
+// after the job left StateRunning — a detached computation still
+// winding down after cancellation — are dropped: the stream's
+// terminal state event has already been emitted.
+func (m *Manager) publish(j *job, payload json.RawMessage) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.state != StateRunning {
+		return
+	}
+	m.eventLocked(j, EventProgress, payload)
+}

@@ -149,6 +149,13 @@ type job struct {
 	err      error
 
 	created, started, finished time.Time
+
+	// events is the retained lifecycle/progress stream (see events.go);
+	// changed is closed and replaced on every append so Events waiters
+	// wake without per-subscriber bookkeeping.
+	events   []Event
+	eventSeq int
+	changed  chan struct{}
 }
 
 func (j *job) snapshot() Job {
@@ -246,10 +253,16 @@ func (m *Manager) Submit(op string, task Task) (Job, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		id: newID(), op: op, state: StateQueued, task: task,
-		ctx: ctx, cancel: cancel, created: m.cfg.Clock(),
+		cancel: cancel, created: m.cfg.Clock(),
+		changed: make(chan struct{}),
 	}
+	// The task's context carries the job's progress hook, so code deep
+	// inside the computation can stream progress (jobs.ReportProgress)
+	// without knowing about the manager.
+	j.ctx = context.WithValue(ctx, progressKey{}, func(p json.RawMessage) { m.publish(j, p) })
 	m.pending = append(m.pending, j)
 	m.jobs[j.id] = j
+	m.eventLocked(j, EventState, nil)
 	m.cond.Signal()
 	return j.snapshot(), nil
 }
@@ -269,8 +282,10 @@ func (m *Manager) SubmitDone(op string, result json.RawMessage) (Job, error) {
 	j := &job{
 		id: newID(), op: op, state: StateDone, cacheHit: true,
 		result: result, created: now, started: now, finished: now,
+		changed: make(chan struct{}),
 	}
 	m.jobs[j.id] = j
+	m.eventLocked(j, EventState, nil)
 	m.evictOverCapLocked()
 	return j.snapshot(), nil
 }
@@ -321,6 +336,12 @@ func (m *Manager) dequeueLocked(target *job) {
 		}
 	}
 }
+
+// QueueCapacity returns the configured queue bound. The value is
+// immutable after construction, so — unlike Stats, which scans every
+// retained job under the lock — this is free and safe on hot rejection
+// paths.
+func (m *Manager) QueueCapacity() int { return m.cfg.QueueDepth }
 
 // Stats snapshots queue occupancy and per-state job counts.
 func (m *Manager) Stats() Stats {
@@ -375,6 +396,7 @@ func (m *Manager) Close(ctx context.Context) error {
 		j.state = StateCancelled
 		j.finished = now
 		j.release()
+		m.eventLocked(j, EventState, nil)
 	}
 	m.evictOverCapLocked()
 	m.cond.Broadcast()
@@ -400,11 +422,12 @@ func (m *Manager) sweepLocked() {
 	}
 }
 
-// finishLocked stamps a job's terminal timestamp, drops its inputs, and
-// applies the retention cap.
+// finishLocked stamps a job's terminal timestamp, drops its inputs,
+// emits the terminal state event, and applies the retention cap.
 func (m *Manager) finishLocked(j *job) {
 	j.finished = m.cfg.Clock()
 	j.release()
+	m.eventLocked(j, EventState, nil)
 	m.evictOverCapLocked()
 }
 
@@ -454,6 +477,7 @@ func (m *Manager) worker() {
 		m.pending = m.pending[1:]
 		j.state = StateRunning
 		j.started = m.cfg.Clock()
+		m.eventLocked(j, EventState, nil)
 		ctx, task := j.ctx, j.task
 		canDetach := m.detached < m.maxDetached()
 		m.mu.Unlock()

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/api"
+)
+
+// TestMethodNotAllowedSetsAllow is the satellite regression test for
+// RFC 9110 §15.5.6: every route must answer a disallowed method with
+// 405, an Allow header listing the permitted methods, and the
+// method_not_allowed error code in the envelope.
+func TestMethodNotAllowedSetsAllow(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	cases := []struct {
+		path  string
+		send  string // a method the route does not allow
+		allow string // expected Allow header
+	}{
+		{"/healthz", http.MethodPost, "GET, HEAD"},
+		{"/v1/healthz", http.MethodPost, "GET, HEAD"},
+		{"/v1/datasets", http.MethodPost, "GET"},
+		{"/v1/dataset", http.MethodGet, "POST"},
+		{"/v1/properties", http.MethodGet, "POST"},
+		{"/v1/opacity", http.MethodPut, "POST"},
+		{"/v1/anonymize", http.MethodDelete, "POST"},
+		{"/v1/kiso", http.MethodGet, "POST"},
+		{"/v1/audit", http.MethodGet, "POST"},
+		{"/v1/replay", http.MethodGet, "POST"},
+		{"/v1/batch", http.MethodGet, "POST"},
+		{"/v1/graphs", http.MethodDelete, "GET, POST"},
+		{"/v1/graphs/deadbeef", http.MethodPost, "GET, DELETE"},
+		{"/v1/jobs", http.MethodGet, "POST"},
+		{"/v1/jobs/deadbeef", http.MethodPost, "GET, DELETE"},
+		{"/v1/jobs/deadbeef/events", http.MethodPost, "GET"},
+		{"/v1/stats", http.MethodPost, "GET"},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.send, ts.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", c.send, c.path, resp.StatusCode)
+			resp.Body.Close()
+			continue
+		}
+		if allow := resp.Header.Get("Allow"); allow != c.allow {
+			t.Errorf("%s %s: Allow=%q, want %q", c.send, c.path, allow, c.allow)
+		}
+		body := decodeError(t, resp)
+		if body.Err.Code != api.CodeMethodNotAllowed {
+			t.Errorf("%s %s: code %q, want %q", c.send, c.path, body.Err.Code, api.CodeMethodNotAllowed)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestHealthzV1 covers the load-balancer liveness route: GET and HEAD
+// succeed with no auth and no body parsing, on both the /v1 path and
+// the legacy alias.
+func TestHealthzV1(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, path := range []string{"/healthz", "/v1/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body := decodeBody[api.HealthResponse](t, resp)
+		resp.Body.Close()
+		if body.Status != "ok" {
+			t.Fatalf("GET %s: body %+v", path, body)
+		}
+		head, err := http.Head(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		head.Body.Close()
+		if head.StatusCode != http.StatusOK {
+			t.Fatalf("HEAD %s: status %d", path, head.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// POST /v1/anonymize: run one anonymization method on a graph. This is
+// the operation that streams progress when executed as an async job:
+// the run closure bridges the library's Progress callback onto the
+// job's event stream (see events.go).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	lopacity "repro"
+	"repro/api"
+	"repro/internal/jobs"
+)
+
+func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
+	var req api.AnonymizeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	p, err := s.prepareAnonymize(&req)
+	if err != nil {
+		writeError(w, errStatus(err, http.StatusBadRequest), err)
+		return
+	}
+	s.serveSync(w, r, p)
+}
+
+// prepareAnonymize validates an anonymize request and packages it as a
+// cacheable operation. The cache key covers every input that steers
+// the run — graph, L, theta, method, look-ahead, seed, the effective
+// (clamped) budget, and the canonical engine/store names — so two
+// requests collide only when the computation is genuinely identical.
+// Runs that time out are not stored: a rerun with more headroom may
+// legitimately do better, and a byte-identical replay of a partial
+// result would pin that accident of scheduling. On the graph_ref path
+// the run seeds from the registered graph's cached distance store
+// (cloning it instead of rebuilding APSP), so repeat anonymize
+// requests pay zero builds — the BenchmarkAnonymizeInline /
+// BenchmarkAnonymizeRef pair quantifies the saving.
+func (s *Server) prepareAnonymize(req *api.AnonymizeRequest) (prepared, error) {
+	g, ent, err := s.resolveGraph(req.Graph, req.GraphRef)
+	if err != nil {
+		return prepared{}, err
+	}
+	if req.L < 0 {
+		// Unlike opacity, anonymize accepts l:0 as "use the library
+		// default of 1" (normalized below so l:0 and l:1 share a cache
+		// key); only negatives are outside the domain.
+		return prepared{}, fmt.Errorf("l must be >= 0 (l:0 selects the default 1), got %d", req.L)
+	}
+	l := req.L
+	if l == 0 { // the library's default; normalized here so l:0 and l:1 share a cache key
+		l = 1
+	}
+	if req.Theta < 0 || req.Theta > 1 {
+		return prepared{}, fmt.Errorf("theta %v outside [0, 1]", req.Theta)
+	}
+	method := lopacity.EdgeRemoval
+	if req.Method != "" {
+		method, err = lopacity.ParseMethod(req.Method)
+		if err != nil {
+			return prepared{}, err
+		}
+	}
+	engine, kind, err := s.resolveEngineStore(req.Engine, req.Store)
+	if err != nil {
+		return prepared{}, err
+	}
+	cacheOff, err := parseCacheMode(req.Cache)
+	if err != nil {
+		return prepared{}, err
+	}
+	budget := s.cfg.MaxBudget
+	if req.BudgetMS > 0 {
+		if b := time.Duration(req.BudgetMS) * time.Millisecond; b < budget {
+			budget = b
+		}
+	}
+	if req.LookAhead < 0 {
+		return prepared{}, fmt.Errorf("lookahead must be >= 1, got %d", req.LookAhead)
+	}
+	lookAhead := req.LookAhead
+	if lookAhead == 0 { // the library's default; normalized so omitted and 1 share a key
+		lookAhead = 1
+	}
+	var key jobs.Key
+	if !cacheOff { // hashing the edge set is O(m); skip it when bypassing
+		key, err = jobs.HashJSON(struct {
+			Op            string   `json:"op"`
+			N             int      `json:"n"`
+			Edges         [][2]int `json:"edges"`
+			L             int      `json:"l"`
+			Theta         float64  `json:"theta"`
+			Method        string   `json:"method"`
+			LookAhead     int      `json:"lookahead"`
+			Seed          int64    `json:"seed"`
+			BudgetMS      int64    `json:"budget_ms"`
+			Engine, Store string
+		}{"anonymize", g.N(), opEdges(g, ent), l, req.Theta, method.String(),
+			lookAhead, req.Seed, budget.Milliseconds(), engine.String(), kind.String()})
+		if err != nil {
+			return prepared{}, err
+		}
+	}
+	run := func(ctx context.Context) (any, bool, error) {
+		opts := lopacity.Options{
+			L: l, Theta: req.Theta, Method: method,
+			LookAhead: lookAhead, Seed: req.Seed, Budget: budget,
+			Engine: engine.String(), Store: kind.String(),
+		}
+		if report := jobs.Reporter(ctx); report != nil {
+			// Async path: stream committed steps onto the job's event
+			// stream so watchers see the run advance instead of polling.
+			opts.Progress = progressPublisher(report)
+		}
+		if ent != nil {
+			// Registry path: seed the run from the cached distance
+			// store (built at most once per (graph, L, engine, kind)
+			// and shared read-only); the run clones it, so this request
+			// performs zero APSP builds once the store is warm.
+			st, _ := ent.Distances(l, engine, kind)
+			opts.Distances = lopacity.WrapDistances(st)
+		}
+		res, err := lopacity.AnonymizeContext(ctx, g, opts)
+		if err != nil {
+			return nil, false, err
+		}
+		if res.Cancelled {
+			// The job was cancelled or the client went away: surface
+			// the context's error instead of a half-finished result,
+			// and never cache it.
+			return nil, false, ctx.Err()
+		}
+		return api.AnonymizeResponse{
+			Graph:      graphJSON(res.Graph),
+			Satisfied:  res.Satisfied,
+			MaxOpacity: res.MaxOpacity,
+			Removed:    pairsOrEmpty(res.Removed),
+			Inserted:   pairsOrEmpty(res.Inserted),
+			Steps:      res.Steps,
+			TimedOut:   res.TimedOut,
+			Distortion: lopacity.Distortion(g, res.Graph),
+		}, !res.TimedOut, nil
+	}
+	return prepared{op: "anonymize", key: key, cacheable: true, cacheOff: cacheOff, run: run}, nil
+}
+
+// progressMinGap throttles the job event stream: progress reports
+// arriving faster than this are dropped (annealing accepts thousands
+// of moves per second). The FIRST report always goes through, so even
+// a one-step run emits at least one progress event before finishing.
+const progressMinGap = 50 * time.Millisecond
+
+// progressPublisher adapts the library's Progress callback to the job
+// event stream. The callback runs on the computation's own goroutine,
+// strictly sequentially, so the throttle state needs no lock.
+func progressPublisher(report func(json.RawMessage)) func(lopacity.Progress) {
+	var last time.Time
+	return func(p lopacity.Progress) {
+		now := time.Now()
+		if !last.IsZero() && now.Sub(last) < progressMinGap {
+			return
+		}
+		last = now
+		b, err := json.Marshal(api.JobProgress{
+			Steps:      p.Steps,
+			MaxOpacity: p.MaxOpacity,
+			ElapsedMS:  p.Elapsed.Milliseconds(),
+			BudgetMS:   p.Budget.Milliseconds(),
+		})
+		if err != nil {
+			return
+		}
+		report(b)
+	}
+}

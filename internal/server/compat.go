@@ -1,0 +1,41 @@
+// Compatibility aliases for the wire types that lived in this package
+// before the contract was extracted into the exported api package.
+// They are true type aliases — the server and any pre-extraction
+// caller (tests, tools) compile against the identical types the api
+// package now owns — retained so the extraction is invisible to code
+// that imported internal/server for its request/response structs. New
+// code should import repro/api directly.
+package server
+
+import "repro/api"
+
+type (
+	GraphJSON             = api.Graph
+	PropertiesRequest     = api.PropertiesRequest
+	PropertiesResponse    = api.PropertiesResponse
+	OpacityRequest        = api.OpacityRequest
+	OpacityResponse       = api.OpacityResponse
+	OpacityType           = api.OpacityType
+	AnonymizeRequest      = api.AnonymizeRequest
+	AnonymizeResponse     = api.AnonymizeResponse
+	KIsoRequest           = api.KIsoRequest
+	KIsoResponse          = api.KIsoResponse
+	AuditRequest          = api.AuditRequest
+	AuditResponse         = api.AuditResponse
+	AuditType             = api.AuditType
+	DatasetRequest        = api.DatasetRequest
+	DatasetResponse       = api.DatasetResponse
+	ReplayRequest         = api.ReplayRequest
+	ReplayResponse        = api.ReplayResponse
+	GraphRegisterRequest  = api.GraphRegisterRequest
+	GraphRegisterResponse = api.GraphRegisterResponse
+	GraphInfo             = api.GraphInfo
+	GraphListResponse     = api.GraphListResponse
+	JobSubmitRequest      = api.JobSubmitRequest
+	JobResponse           = api.JobResponse
+	StatsResponse         = api.StatsResponse
+	CacheStats            = api.CacheStats
+	RegistryStats         = api.RegistryStats
+	PersistenceStats      = api.PersistenceStats
+	JobStats              = api.JobStats
+)

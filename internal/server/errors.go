@@ -1,0 +1,142 @@
+// Error plumbing: every handler failure flows through writeError,
+// which emits the api.ErrorResponse envelope — the legacy top-level
+// "error" string (kept byte-compatible for pre-envelope clients) plus
+// the structured {"code", "message", "details"} form under
+// "error_detail". Handlers attach a specific HTTP status and error
+// code by wrapping errors with codedError; everything else falls back
+// to a status-derived code, so no error ever leaves the server
+// without a machine-readable classification.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/api"
+)
+
+// statusError carries a specific HTTP status — and optionally an error
+// code and details map — for a failure detected deep inside request
+// preparation or execution, where the default would be 400 with a
+// status-derived code.
+type statusError struct {
+	status  int
+	code    string
+	details map[string]any
+	err     error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+// codedError wraps err with an HTTP status and machine-readable code.
+func codedError(status int, code string, err error) error {
+	return &statusError{status: status, code: code, err: err}
+}
+
+// detailedError is codedError plus a code-specific details map for the
+// envelope (for example the graph_ref that missed).
+func detailedError(status int, code string, details map[string]any, err error) error {
+	return &statusError{status: status, code: code, details: details, err: err}
+}
+
+// graphNotFound is the one 404 every graph_ref miss maps to, so the
+// code and details shape cannot drift between the endpoints that
+// resolve references.
+func graphNotFound(ref string) error {
+	return detailedError(http.StatusNotFound, api.CodeGraphNotFound,
+		map[string]any{"graph_ref": ref},
+		fmt.Errorf("unknown graph_ref %q (register the graph via POST /v1/graphs first)", ref))
+}
+
+// errStatus returns the status carried by err when it wraps a
+// statusError, else fallback.
+func errStatus(err error, fallback int) int {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.status
+	}
+	return fallback
+}
+
+// errorEnvelope classifies err for the wire: the code and details from
+// the nearest statusError in the chain, else a code derived from the
+// HTTP status, so every error body carries a stable machine-readable
+// code.
+func errorEnvelope(err error, status int) *api.Error {
+	e := &api.Error{Code: fallbackCode(status), Message: err.Error()}
+	var se *statusError
+	if errors.As(err, &se) {
+		if se.code != "" {
+			e.Code = se.code
+		}
+		e.Details = se.details
+	}
+	return e
+}
+
+// fallbackCode maps an HTTP status to the generic error code used when
+// the failure site did not attach a more specific one.
+func fallbackCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return api.CodeInvalidRequest
+	case http.StatusNotFound:
+		return api.CodeNotFound
+	case http.StatusMethodNotAllowed:
+		return api.CodeMethodNotAllowed
+	case http.StatusConflict:
+		return api.CodeConflict
+	case http.StatusRequestEntityTooLarge:
+		return api.CodeBodyTooLarge
+	case http.StatusTooManyRequests:
+		return api.CodeQueueFull
+	case http.StatusServiceUnavailable:
+		return api.CodeUnavailable
+	}
+	if status >= 500 {
+		return api.CodeInternal
+	}
+	return api.CodeInvalidRequest
+}
+
+// writeError emits the error envelope: the legacy "error" string field
+// (unchanged from the pre-envelope contract) plus the structured
+// "error_detail" object, in one body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(api.ErrorResponse{
+		Message: err.Error(),
+		Err:     errorEnvelope(err, status),
+	})
+}
+
+// methodNotAllowed answers 405 with the Allow header listing the
+// permitted methods, per RFC 9110 §15.5.6.
+func methodNotAllowed(w http.ResponseWriter, allowed ...string) {
+	allow := strings.Join(allowed, ", ")
+	w.Header().Set("Allow", allow)
+	writeError(w, http.StatusMethodNotAllowed,
+		codedError(http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			fmt.Errorf("use %s", strings.Join(allowed, " or "))))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+// writeRawJSON writes a pre-marshaled JSON body, newline-terminated to
+// match json.Encoder output byte-for-byte.
+func writeRawJSON(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+	w.Write([]byte{'\n'})
+}

@@ -1,0 +1,91 @@
+// GET /v1/jobs/{id}/events: NDJSON streaming of a job's lifecycle and
+// progress events. The stream replays the job's retained history from
+// the beginning — attaching late, or to an already-finished job, still
+// yields every event in order — then follows the live job until it
+// reaches a terminal state, so clients watch long anonymization runs
+// advance instead of polling GET /v1/jobs/{id}.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/api"
+	"repro/internal/jobs"
+)
+
+// jobEvent converts an internal event to its wire form. Progress
+// payloads were marshaled from api.JobProgress by progressPublisher;
+// an unparseable payload (impossible today, defensive tomorrow) is
+// streamed without the progress object rather than breaking the
+// stream.
+func jobEvent(ev jobs.Event) api.JobEvent {
+	out := api.JobEvent{
+		Seq:   ev.Seq,
+		Time:  ev.Time.UTC().Format(time.RFC3339Nano),
+		Type:  string(ev.Type),
+		State: string(ev.State),
+		Error: ev.Error,
+	}
+	if len(ev.Progress) > 0 {
+		var p api.JobProgress
+		if json.Unmarshal(ev.Progress, &p) == nil {
+			out.Progress = &p
+		}
+	}
+	return out
+}
+
+// handleJobEvents streams a job's events as NDJSON: one api.JobEvent
+// per line, flushed as produced, ending after the terminal state
+// event. Unknown ids answer a regular 404 envelope — every job has at
+// least one retained event from the moment it is submitted, so the
+// existence check never blocks.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	id := r.PathValue("id")
+	// The stream legitimately outlives any per-response write deadline
+	// an embedding http.Server sets (lopserve uses MaxBudget+15s, sized
+	// for one synchronous run — a watched job can spend that long just
+	// queued). Clear it; the stream ends with the job or the client.
+	rc := http.NewResponseController(w)
+	rc.SetWriteDeadline(time.Time{})
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	streaming := false
+	after := -1
+	for {
+		evs, done, err := s.jobs.Events(r.Context(), id, after)
+		if err != nil {
+			if !streaming && errors.Is(err, jobs.ErrNotFound) {
+				writeError(w, http.StatusNotFound, jobNotFound(id))
+			}
+			// Mid-stream errors (job evicted, client gone) cannot change
+			// the already-sent 200; the stream just ends.
+			return
+		}
+		if !streaming {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("Cache-Control", "no-store")
+			w.WriteHeader(http.StatusOK)
+			streaming = true
+		}
+		for _, ev := range evs {
+			if err := enc.Encode(jobEvent(ev)); err != nil {
+				return // client went away
+			}
+			after = ev.Seq
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+	}
+}

@@ -20,38 +20,14 @@ import (
 	"net/http"
 
 	lopacity "repro"
+	"repro/api"
 	"repro/internal/registry"
 )
 
-// GraphRegisterRequest registers a graph: either Graph (inline edges)
-// or Dataset (a built-in calibrated dataset key, generated
-// deterministically from Seed) — exactly one of the two.
-type GraphRegisterRequest struct {
-	Graph   *GraphJSON `json:"graph,omitempty"`
-	Dataset string     `json:"dataset,omitempty"`
-	Seed    int64      `json:"seed,omitempty"`
-}
-
-// GraphInfo is the wire form of a registered graph's metadata. Stores
-// is the number of distance stores currently cached under the graph.
-type GraphInfo struct {
-	ID     string `json:"id"`
-	N      int    `json:"n"`
-	M      int    `json:"m"`
-	Stores int    `json:"stores"`
-}
-
-// GraphRegisterResponse reports the registered graph's content address.
-// Created is false when the graph was already registered.
-type GraphRegisterResponse struct {
-	GraphInfo
-	Created bool `json:"created"`
-}
-
-// GraphListResponse is the GET /v1/graphs body.
-type GraphListResponse struct {
-	Graphs   []GraphInfo `json:"graphs"`
-	Capacity int         `json:"capacity"`
+// graphInfo is the one conversion from a registry entry to its wire
+// metadata.
+func graphInfo(g *registry.Graph) api.GraphInfo {
+	return api.GraphInfo{ID: g.ID(), N: g.N(), M: g.M(), Stores: g.StoreCount()}
 }
 
 // handleGraphs serves GET (list) and POST (register) on /v1/graphs.
@@ -59,25 +35,24 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		list := s.reg.List()
-		resp := GraphListResponse{Graphs: make([]GraphInfo, 0, len(list)), Capacity: s.reg.Stats().Capacity}
+		resp := api.GraphListResponse{Graphs: make([]api.GraphInfo, 0, len(list)), Capacity: s.reg.Stats().Capacity}
 		for _, g := range list {
-			resp.Graphs = append(resp.Graphs, GraphInfo{ID: g.ID(), N: g.N(), M: g.M(), Stores: g.StoreCount()})
+			resp.Graphs = append(resp.Graphs, graphInfo(g))
 		}
 		writeJSON(w, resp)
 	case http.MethodPost:
 		s.handleGraphRegister(w, r)
 	default:
-		w.Header().Set("Allow", "GET, POST")
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+		methodNotAllowed(w, http.MethodGet, http.MethodPost)
 	}
 }
 
 func (s *Server) handleGraphRegister(w http.ResponseWriter, r *http.Request) {
-	var req GraphRegisterRequest
+	var req api.GraphRegisterRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	var gj GraphJSON
+	var gj api.Graph
 	switch {
 	case req.Graph != nil && req.Dataset != "":
 		writeError(w, http.StatusBadRequest, errors.New("provide graph or dataset, not both"))
@@ -88,7 +63,9 @@ func (s *Server) handleGraphRegister(w http.ResponseWriter, r *http.Request) {
 		g, err := lopacity.Dataset(req.Dataset, req.Seed)
 		if err != nil {
 			// Same contract as POST /v1/dataset: an unknown key is 404.
-			writeError(w, http.StatusNotFound, err)
+			writeError(w, http.StatusNotFound,
+				detailedError(http.StatusNotFound, api.CodeDatasetNotFound,
+					map[string]any{"key": req.Dataset}, err))
 			return
 		}
 		gj = graphJSON(g)
@@ -98,7 +75,7 @@ func (s *Server) handleGraphRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	ent, created, err := s.register(gj)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, errStatus(err, http.StatusBadRequest), err)
 		return
 	}
 	status := http.StatusOK
@@ -108,8 +85,8 @@ func (s *Server) handleGraphRegister(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Location", "/v1/graphs/"+ent.ID())
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(GraphRegisterResponse{
-		GraphInfo: GraphInfo{ID: ent.ID(), N: ent.N(), M: ent.M(), Stores: ent.StoreCount()},
+	json.NewEncoder(w).Encode(api.GraphRegisterResponse{
+		GraphInfo: graphInfo(ent),
 		Created:   created,
 	})
 }
@@ -118,34 +95,44 @@ func (s *Server) handleGraphRegister(w http.ResponseWriter, r *http.Request) {
 // /v1/graphs/{id}.
 func (s *Server) handleGraphByID(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	notFound := func() error {
+		return detailedError(http.StatusNotFound, api.CodeGraphNotFound,
+			map[string]any{"id": id},
+			fmt.Errorf("no graph %q (unknown id, or evicted)", id))
+	}
 	switch r.Method {
 	case http.MethodGet:
 		g, ok := s.reg.Get(id)
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q (unknown id, or evicted)", id))
+			writeError(w, http.StatusNotFound, notFound())
 			return
 		}
-		writeJSON(w, GraphInfo{ID: g.ID(), N: g.N(), M: g.M(), Stores: g.StoreCount()})
+		writeJSON(w, graphInfo(g))
 	case http.MethodDelete:
 		if !s.reg.Delete(id) {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q (unknown id, or evicted)", id))
+			writeError(w, http.StatusNotFound, notFound())
 			return
 		}
-		writeJSON(w, map[string]any{"deleted": true, "id": id})
+		writeJSON(w, api.GraphDeleteResponse{Deleted: true, ID: id})
 	default:
-		w.Header().Set("Allow", "GET, DELETE")
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or DELETE"))
+		methodNotAllowed(w, http.MethodGet, http.MethodDelete)
 	}
 }
 
 // register applies the server's registration bound and stores the
 // graph — the one path every registration takes (HTTP and -preload),
 // so the two can never diverge on what is registrable.
-func (s *Server) register(gj GraphJSON) (*registry.Graph, bool, error) {
-	if gj.N > s.cfg.MaxVertices {
-		return nil, false, fmt.Errorf("graph: n=%d exceeds server limit %d", gj.N, s.cfg.MaxVertices)
+func (s *Server) register(gj api.Graph) (*registry.Graph, bool, error) {
+	if err := s.validateGraphBounds(gj); err != nil {
+		return nil, false, err
 	}
-	return s.reg.Put(gj.N, gj.Edges)
+	ent, created, err := s.reg.Put(gj.N, gj.Edges)
+	if err != nil {
+		// Put's validation is registry.Canonicalize, the same edge
+		// rules toGraph applies — classified identically.
+		return nil, false, invalidEdge(err)
+	}
+	return ent, created, nil
 }
 
 // RegisterDataset generates a built-in calibrated dataset and registers
@@ -162,20 +149,4 @@ func (s *Server) RegisterDataset(key string, seed int64) (string, error) {
 		return "", err
 	}
 	return ent.ID(), nil
-}
-
-// RegistryStats reports the graph-registry counters on GET /v1/stats:
-// graph lookup effectiveness, capacity pressure, and — the number that
-// proves the architecture — distance-store reuse, where every store
-// hit is one full APSP build skipped.
-type RegistryStats struct {
-	Graphs         int   `json:"graphs"`
-	Capacity       int   `json:"capacity"`
-	Hits           int64 `json:"hits"`
-	Misses         int64 `json:"misses"`
-	Evictions      int64 `json:"evictions"`
-	Stores         int   `json:"stores"`
-	StoreHits      int64 `json:"store_hits"`
-	StoreMisses    int64 `json:"store_misses"`
-	StoreEvictions int64 `json:"store_evictions"`
 }

@@ -3,10 +3,11 @@
 // Every POST operation is refactored into a "prepared" form: cheap
 // validation up front (bad requests fail fast with a 400, on the sync
 // and async paths alike), then a run closure that does the heavy work.
-// The synchronous handlers execute the closure inline via serveSync;
+// The synchronous handlers execute the closure inline via serveSync,
+// POST /v1/batch runs a list of them with per-item isolation, and
 // POST /v1/jobs hands the identical closure to the jobs.Manager worker
-// pool instead, so both paths share one implementation, one cache, and
-// one set of counters.
+// pool — every path shares one implementation, one result cache, and
+// one set of counters through runPrepared.
 package server
 
 import (
@@ -19,6 +20,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/api"
 	"repro/internal/apsp"
 	"repro/internal/jobs"
 )
@@ -40,10 +42,9 @@ type prepared struct {
 	// run computes the response value; the bool reports whether the
 	// result may be stored in the cache (false for timed-out
 	// anonymization runs, whose output depends on scheduling luck).
+	// Run errors carry their HTTP status and error code by wrapping
+	// with codedError; unwrapped errors default to 400.
 	run func(ctx context.Context) (any, bool, error)
-	// runErrStatus is the HTTP status for run errors on the sync path;
-	// zero means 400.
-	runErrStatus int
 }
 
 // resolveEngineStore canonicalizes the request/server engine and store
@@ -76,145 +77,119 @@ func parseCacheMode(mode string) (off bool, err error) {
 	return false, fmt.Errorf("unknown cache mode %q (want on or off)", mode)
 }
 
-// serveSync executes a prepared operation inline, consulting the result
-// cache when the operation is cacheable. Hits are written byte-for-byte
-// as the miss that populated them was: the stored body is the exact
-// marshaled response, newline-terminated on the wire just as
-// json.Encoder would have produced.
-func (s *Server) serveSync(w http.ResponseWriter, r *http.Request, p prepared) {
+// runPrepared executes a validated operation: consult the result cache
+// when the operation is cacheable, run, marshal, store. The synchronous
+// handlers and the batch endpoint share it, so cache hits are
+// byte-for-byte identical everywhere: the stored body is the exact
+// marshaled response the miss that populated it produced. (The async
+// path consults the cache at submit time instead — see handleJobSubmit
+// — so one job never counts two lookups.)
+func (s *Server) runPrepared(ctx context.Context, p prepared) (body json.RawMessage, cacheHit bool, err error) {
 	useCache := p.cacheable && !p.cacheOff
 	if useCache {
 		if b, ok := s.cache.Get(p.key); ok {
-			writeRawJSON(w, b)
-			return
+			return b, true, nil
 		}
 	}
-	v, storable, err := p.run(r.Context())
+	v, storable, err := p.run(ctx)
 	if err != nil {
-		status := p.runErrStatus
-		if status == 0 {
-			status = http.StatusBadRequest
-		}
-		writeError(w, status, err)
-		return
+		return nil, false, err
 	}
 	b, err := json.Marshal(v)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		return nil, false, codedError(http.StatusInternalServerError, api.CodeInternal, err)
 	}
 	if useCache && storable {
 		s.cache.Put(p.key, b)
 	}
+	return b, false, nil
+}
+
+// serveSync executes a prepared operation inline and writes the
+// response, newline-terminated on the wire just as json.Encoder would
+// have produced (cache hits replay the stored bytes exactly).
+func (s *Server) serveSync(w http.ResponseWriter, r *http.Request, p prepared) {
+	b, _, err := s.runPrepared(r.Context(), p)
+	if err != nil {
+		writeError(w, errStatus(err, http.StatusBadRequest), err)
+		return
+	}
 	writeRawJSON(w, b)
 }
 
-// writeRawJSON writes a pre-marshaled JSON body, newline-terminated to
-// match json.Encoder output byte-for-byte.
-func writeRawJSON(w http.ResponseWriter, b []byte) {
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(b)
-	w.Write([]byte{'\n'})
+// prepare dispatches an operation name and raw request document to the
+// per-operation validators; POST /v1/jobs and the job-shaped callers
+// use it without a shared graph reference.
+func (s *Server) prepare(op string, raw json.RawMessage) (prepared, error) {
+	return s.prepareItem(op, raw, "")
 }
 
-// JobSubmitRequest submits one POST operation for asynchronous
-// execution: Op names the operation and Request carries the exact JSON
-// body the synchronous endpoint would take.
-type JobSubmitRequest struct {
-	Op      string          `json:"op"`
-	Request json.RawMessage `json:"request"`
-}
-
-// JobResponse is the wire form of a job snapshot, returned by the
-// submit, poll, and cancel endpoints. Result is present once State is
-// "done"; Error once it is "failed". Timestamps are RFC 3339.
-type JobResponse struct {
-	ID         string          `json:"id"`
-	Op         string          `json:"op"`
-	State      string          `json:"state"`
-	CacheHit   bool            `json:"cache_hit"`
-	CreatedAt  string          `json:"created_at"`
-	StartedAt  string          `json:"started_at,omitempty"`
-	FinishedAt string          `json:"finished_at,omitempty"`
-	Error      string          `json:"error,omitempty"`
-	Result     json.RawMessage `json:"result,omitempty"`
-}
-
-func jobResponse(j jobs.Job) JobResponse {
-	stamp := func(t time.Time) string {
-		if t.IsZero() {
-			return ""
-		}
-		return t.UTC().Format(time.RFC3339Nano)
-	}
-	return JobResponse{
-		ID: j.ID, Op: j.Op, State: string(j.State), CacheHit: j.CacheHit,
-		CreatedAt: stamp(j.Created), StartedAt: stamp(j.Started),
-		FinishedAt: stamp(j.Finished), Error: j.Error, Result: j.Result,
-	}
-}
-
-// prepare dispatches an async submission to the per-operation
-// validators. It returns the HTTP status for the error when validation
-// fails (400 by default; e.g. 404 for an unknown graph_ref).
-func (s *Server) prepare(op string, raw json.RawMessage) (prepared, int, error) {
-	bad := func(err error) (prepared, int, error) {
-		return prepared{}, errStatus(err, http.StatusBadRequest), err
-	}
-	var (
-		p   prepared
-		err error
-	)
+// prepareItem is prepare with the batch endpoint's shared graph
+// reference: when sharedRef is non-empty and the decoded item is a
+// single-graph operation that names no graph of its own, the shared
+// reference is injected before validation. Operations with two graph
+// inputs (audit, replay) and dataset generation never inherit the
+// shared reference — their items must be self-contained.
+func (s *Server) prepareItem(op string, raw json.RawMessage, sharedRef string) (prepared, error) {
 	switch op {
 	case "properties":
-		var req PropertiesRequest
+		var req api.PropertiesRequest
 		if err := decodeStrict(raw, &req); err != nil {
-			return bad(err)
+			return prepared{}, err
 		}
-		p, err = s.prepareProperties(&req)
+		injectRef(&req.GraphRef, req.Graph, sharedRef)
+		return s.prepareProperties(&req)
 	case "opacity":
-		var req OpacityRequest
+		var req api.OpacityRequest
 		if err := decodeStrict(raw, &req); err != nil {
-			return bad(err)
+			return prepared{}, err
 		}
-		p, err = s.prepareOpacity(&req)
+		injectRef(&req.GraphRef, req.Graph, sharedRef)
+		return s.prepareOpacity(&req)
 	case "anonymize":
-		var req AnonymizeRequest
+		var req api.AnonymizeRequest
 		if err := decodeStrict(raw, &req); err != nil {
-			return bad(err)
+			return prepared{}, err
 		}
-		p, err = s.prepareAnonymize(&req)
+		injectRef(&req.GraphRef, req.Graph, sharedRef)
+		return s.prepareAnonymize(&req)
 	case "kiso":
-		var req KIsoRequest
+		var req api.KIsoRequest
 		if err := decodeStrict(raw, &req); err != nil {
-			return bad(err)
+			return prepared{}, err
 		}
-		p, err = s.prepareKIso(&req)
+		injectRef(&req.GraphRef, req.Graph, sharedRef)
+		return s.prepareKIso(&req)
 	case "audit":
-		var req AuditRequest
+		var req api.AuditRequest
 		if err := decodeStrict(raw, &req); err != nil {
-			return bad(err)
+			return prepared{}, err
 		}
-		p, err = s.prepareAudit(&req)
+		return s.prepareAudit(&req)
 	case "dataset":
-		var req DatasetRequest
+		var req api.DatasetRequest
 		if err := decodeStrict(raw, &req); err != nil {
-			return bad(err)
+			return prepared{}, err
 		}
-		p, err = s.prepareDataset(&req)
+		return s.prepareDataset(&req)
 	case "replay":
-		var req ReplayRequest
+		var req api.ReplayRequest
 		if err := decodeStrict(raw, &req); err != nil {
-			return bad(err)
+			return prepared{}, err
 		}
-		p, err = s.prepareReplay(&req)
-	default:
-		return bad(fmt.Errorf("unknown op %q (want properties, opacity, anonymize, kiso, audit, dataset, or replay)", op))
+		return s.prepareReplay(&req)
 	}
-	if err != nil {
-		return bad(err)
+	return prepared{}, fmt.Errorf("unknown op %q (want properties, opacity, anonymize, kiso, audit, dataset, or replay)", op)
+}
+
+// injectRef applies the batch-level shared graph reference to a
+// single-graph request that names no graph of its own. An item that
+// carries an inline graph or its own reference always wins; conflicts
+// between the winner's forms are still rejected by resolveGraph.
+func injectRef(ref *string, g api.Graph, sharedRef string) {
+	if sharedRef != "" && *ref == "" && g.N == 0 && len(g.Edges) == 0 {
+		*ref = sharedRef
 	}
-	return p, 0, nil
 }
 
 // decodeStrict unmarshals an embedded request document with the same
@@ -235,18 +210,33 @@ func decodeStrict(raw json.RawMessage, v any) error {
 	return nil
 }
 
+// jobResponse converts a job snapshot to its wire form.
+func jobResponse(j jobs.Job) api.JobResponse {
+	stamp := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	return api.JobResponse{
+		ID: j.ID, Op: j.Op, State: string(j.State), CacheHit: j.CacheHit,
+		CreatedAt: stamp(j.Created), StartedAt: stamp(j.Started),
+		FinishedAt: stamp(j.Finished), Error: j.Error, Result: j.Result,
+	}
+}
+
 // handleJobSubmit is POST /v1/jobs: validate synchronously, then either
 // answer from the cache (the job is born finished) or enqueue the work.
 // A full queue is a 429 so load-shedding is visible to clients; a
 // closing server is a 503.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	var req JobSubmitRequest
+	var req api.JobSubmitRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	p, status, err := s.prepare(req.Op, req.Request)
+	p, err := s.prepare(req.Op, req.Request)
 	if err != nil {
-		writeError(w, status, err)
+		writeError(w, errStatus(err, http.StatusBadRequest), err)
 		return
 	}
 	useCache := p.cacheable && !p.cacheOff
@@ -262,6 +252,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	task := func(ctx context.Context) (json.RawMessage, error) {
+		// No second cache lookup here: the submit-time Get above already
+		// decided this job is a miss, and re-consulting at run time would
+		// double-count misses in /v1/stats for every async request. The
+		// run still populates the cache for everyone after it.
 		v, storable, err := p.run(ctx)
 		if err != nil {
 			return nil, err
@@ -278,7 +272,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.jobs.Submit(p.op, task)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err)
+		writeError(w, http.StatusTooManyRequests,
+			detailedError(http.StatusTooManyRequests, api.CodeQueueFull,
+				map[string]any{"queue_capacity": s.jobs.QueueCapacity()}, err))
 		return
 	case errors.Is(err, jobs.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -297,6 +293,13 @@ func writeJob(w http.ResponseWriter, status int, j jobs.Job) {
 	json.NewEncoder(w).Encode(jobResponse(j))
 }
 
+// jobNotFound is the one 404 every job id miss maps to.
+func jobNotFound(id string) error {
+	return detailedError(http.StatusNotFound, api.CodeJobNotFound,
+		map[string]any{"id": id},
+		fmt.Errorf("no job %q (unknown id, or evicted after its TTL)", id))
+}
+
 // handleJobByID serves GET (poll) and DELETE (cancel) on /v1/jobs/{id}.
 func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
@@ -304,7 +307,7 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		j, ok := s.jobs.Get(id)
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no job %q (unknown id, or evicted after its TTL)", id))
+			writeError(w, http.StatusNotFound, jobNotFound(id))
 			return
 		}
 		writeJSON(w, jobResponse(j))
@@ -312,99 +315,18 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 		j, err := s.jobs.Cancel(id)
 		switch {
 		case errors.Is(err, jobs.ErrNotFound):
-			writeError(w, http.StatusNotFound, fmt.Errorf("no job %q (unknown id, or evicted after its TTL)", id))
+			writeError(w, http.StatusNotFound, jobNotFound(id))
 		case errors.Is(err, jobs.ErrFinished):
-			writeError(w, http.StatusConflict, fmt.Errorf("job %q already finished (%s)", id, j.State))
+			writeError(w, http.StatusConflict,
+				detailedError(http.StatusConflict, api.CodeJobFinished,
+					map[string]any{"id": id, "state": string(j.State)},
+					fmt.Errorf("job %q already finished (%s)", id, j.State)))
 		case err != nil:
 			writeError(w, http.StatusInternalServerError, err)
 		default:
 			writeJSON(w, jobResponse(j))
 		}
 	default:
-		w.Header().Set("Allow", "GET, DELETE")
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or DELETE"))
+		methodNotAllowed(w, http.MethodGet, http.MethodDelete)
 	}
-}
-
-// StatsResponse is the GET /v1/stats body: cache effectiveness,
-// graph-registry effectiveness, snapshot persistence, and job-queue
-// occupancy.
-type StatsResponse struct {
-	Cache       CacheStats       `json:"cache"`
-	Registry    RegistryStats    `json:"registry"`
-	Persistence PersistenceStats `json:"persistence"`
-	Jobs        JobStats         `json:"jobs"`
-}
-
-// PersistenceStats reports the registry snapshot layer (-data-dir):
-// what the last boot recovered and the write/delete traffic since.
-// All counters are zero when persistence is disabled.
-type PersistenceStats struct {
-	Enabled      bool   `json:"enabled"`
-	Dir          string `json:"dir,omitempty"`
-	GraphsLoaded int    `json:"graphs_loaded"`
-	StoresLoaded int    `json:"stores_loaded"`
-	Quarantined  int    `json:"quarantined"`
-	GraphWrites  int64  `json:"graph_writes"`
-	StoreWrites  int64  `json:"store_writes"`
-	WriteErrors  int64  `json:"write_errors"`
-	Deletes      int64  `json:"deletes"`
-}
-
-// CacheStats reports the content-addressed result cache counters.
-type CacheStats struct {
-	Hits     int64 `json:"hits"`
-	Misses   int64 `json:"misses"`
-	Entries  int   `json:"entries"`
-	Capacity int   `json:"capacity"`
-}
-
-// JobStats reports worker-pool configuration and retained jobs by
-// state. QueueDepth is the number of jobs currently waiting (the
-// "queued" count; it is not repeated per state).
-type JobStats struct {
-	Workers       int `json:"workers"`
-	QueueDepth    int `json:"queue_depth"`
-	QueueCapacity int `json:"queue_capacity"`
-	Running       int `json:"running"`
-	Done          int `json:"done"`
-	Failed        int `json:"failed"`
-	Cancelled     int `json:"cancelled"`
-	// Detached counts cancelled jobs whose computation goroutine has
-	// not exited yet; with cancellation-aware operations it drains to
-	// zero within one poll interval.
-	Detached int `json:"detached"`
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
-		return
-	}
-	cs := s.cache.Stats()
-	rs := s.reg.Stats()
-	js := s.jobs.Stats()
-	writeJSON(w, StatsResponse{
-		Cache: CacheStats{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries, Capacity: cs.Capacity},
-		Registry: RegistryStats{
-			Graphs: rs.Graphs, Capacity: rs.Capacity,
-			Hits: rs.Hits, Misses: rs.Misses, Evictions: rs.Evictions,
-			Stores: rs.Stores, StoreHits: rs.StoreHits,
-			StoreMisses: rs.StoreMisses, StoreEvictions: rs.StoreEvictions,
-		},
-		Persistence: PersistenceStats{
-			Enabled: rs.Persist.Enabled, Dir: rs.Persist.Dir,
-			GraphsLoaded: rs.Persist.GraphsLoaded, StoresLoaded: rs.Persist.StoresLoaded,
-			Quarantined: rs.Persist.Quarantined,
-			GraphWrites: rs.Persist.GraphWrites, StoreWrites: rs.Persist.StoreWrites,
-			WriteErrors: rs.Persist.WriteErrors, Deletes: rs.Persist.Deletes,
-		},
-		Jobs: JobStats{
-			Workers: js.Workers, QueueDepth: js.QueueDepth, QueueCapacity: js.QueueCapacity,
-			Running: js.Running, Done: js.Done,
-			Failed: js.Failed, Cancelled: js.Cancelled,
-			Detached: js.Detached,
-		},
-	})
 }

@@ -488,3 +488,34 @@ func TestJobTTLEvictionOverHTTP(t *testing.T) {
 		t.Fatalf("evicted job status %d, want 404", resp.StatusCode)
 	}
 }
+
+// TestAsyncJobCountsOneCacheMiss is the stats-accounting regression
+// test: one async submission of an uncached cacheable op must record
+// exactly one cache miss (at submit time), not a second one when the
+// worker executes — and the populated entry must then serve both
+// paths.
+func TestAsyncJobCountsOneCacheMiss(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := OpacityRequest{Graph: figure1(), L: 2}
+
+	_, jr := submitJob(t, ts.URL, "opacity", req)
+	awaitJob(t, ts.URL, jr.ID, "done")
+
+	stats := getStats(t, ts.URL)
+	if stats.Cache.Misses != 1 {
+		t.Fatalf("cache misses=%d after one async job, want exactly 1", stats.Cache.Misses)
+	}
+	if stats.Cache.Entries != 1 {
+		t.Fatalf("cache entries=%d, want 1 (the job populated the cache)", stats.Cache.Entries)
+	}
+
+	// The sync path must now hit the entry the job stored.
+	resp := postJSON(t, ts.URL+"/v1/opacity", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	stats = getStats(t, ts.URL)
+	if stats.Cache.Hits != 1 || stats.Cache.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d after sync replay, want 1/1", stats.Cache.Hits, stats.Cache.Misses)
+	}
+}

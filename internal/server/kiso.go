@@ -1,0 +1,45 @@
+// POST /v1/kiso: k-isomorphism anonymization of a graph.
+package server
+
+import (
+	"context"
+	"net/http"
+
+	lopacity "repro"
+	"repro/api"
+)
+
+func (s *Server) handleKIso(w http.ResponseWriter, r *http.Request) {
+	var req api.KIsoRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	p, err := s.prepareKIso(&req)
+	if err != nil {
+		writeError(w, errStatus(err, http.StatusBadRequest), err)
+		return
+	}
+	s.serveSync(w, r, p)
+}
+
+func (s *Server) prepareKIso(req *api.KIsoRequest) (prepared, error) {
+	g, _, err := s.resolveGraph(req.Graph, req.GraphRef)
+	if err != nil {
+		return prepared{}, err
+	}
+	run := func(ctx context.Context) (any, bool, error) {
+		res, err := lopacity.AnonymizeKIso(g, req.K, req.Seed)
+		if err != nil {
+			return nil, false, err
+		}
+		return api.KIsoResponse{
+			Graph:        graphJSON(res.Graph),
+			Blocks:       res.Blocks,
+			Removed:      pairsOrEmpty(res.Removed),
+			Inserted:     pairsOrEmpty(res.Inserted),
+			CrossRemoved: res.CrossRemoved,
+			Distortion:   res.Distortion,
+		}, false, nil
+	}
+	return prepared{op: "kiso", run: run}, nil
+}

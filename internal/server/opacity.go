@@ -1,0 +1,91 @@
+// POST /v1/opacity: the L-opacity report of a graph.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	lopacity "repro"
+	"repro/api"
+	"repro/internal/jobs"
+	"repro/internal/opacity"
+)
+
+func (s *Server) handleOpacity(w http.ResponseWriter, r *http.Request) {
+	var req api.OpacityRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	p, err := s.prepareOpacity(&req)
+	if err != nil {
+		writeError(w, errStatus(err, http.StatusBadRequest), err)
+		return
+	}
+	s.serveSync(w, r, p)
+}
+
+// prepareOpacity validates an opacity request and packages it as a
+// cacheable operation. On the graph_ref path the run reuses the
+// registered graph's cached distance store — the second request for
+// the same (graph, L, engine, store) performs zero APSP builds — and
+// the cache key hashes the same canonical edge set an inline spelling
+// of the graph would, so both forms share one result-cache entry.
+func (s *Server) prepareOpacity(req *api.OpacityRequest) (prepared, error) {
+	if req.L < 1 {
+		return prepared{}, fmt.Errorf("l must be >= 1, got %d", req.L)
+	}
+	g, ent, err := s.resolveGraph(req.Graph, req.GraphRef)
+	if err != nil {
+		return prepared{}, err
+	}
+	engine, kind, err := s.resolveEngineStore(req.Engine, req.Store)
+	if err != nil {
+		return prepared{}, err
+	}
+	cacheOff, err := parseCacheMode(req.Cache)
+	if err != nil {
+		return prepared{}, err
+	}
+	var key jobs.Key
+	if !cacheOff { // hashing the edge set is O(m); skip it when bypassing
+		key, err = jobs.HashJSON(struct {
+			Op            string   `json:"op"`
+			N             int      `json:"n"`
+			Edges         [][2]int `json:"edges"`
+			L             int      `json:"l"`
+			Engine, Store string
+		}{"opacity", g.N(), opEdges(g, ent), req.L, engine.String(), kind.String()})
+		if err != nil {
+			return prepared{}, err
+		}
+	}
+	run := func(ctx context.Context) (any, bool, error) {
+		var rep lopacity.OpacityReport
+		if ent != nil {
+			// Registry path: the store is built at most once per
+			// (graph, L, engine, kind) and shared read-only thereafter.
+			st, _ := ent.Distances(req.L, engine, kind)
+			irep := opacity.NewReportFromStore(ent.Degrees(), st)
+			rep = lopacity.OpacityReport{L: req.L, MaxOpacity: irep.MaxLO}
+			for _, t := range irep.ByType {
+				rep.Types = append(rep.Types, lopacity.TypeOpacity{
+					Label: t.Label, Total: t.Total, Within: t.Within, Opacity: t.Opacity,
+				})
+			}
+		} else {
+			rep, err = g.OpacityWith(req.L, nil, lopacity.ReportOptions{Engine: engine.String(), Store: kind.String()})
+			if err != nil {
+				return nil, false, err
+			}
+		}
+		resp := api.OpacityResponse{L: req.L, MaxOpacity: rep.MaxOpacity}
+		for _, t := range rep.Types {
+			resp.Types = append(resp.Types, api.OpacityType{
+				Label: t.Label, Within: t.Within, Total: t.Total, Opacity: t.Opacity,
+			})
+		}
+		return resp, true, nil
+	}
+	return prepared{op: "opacity", key: key, cacheable: true, cacheOff: cacheOff, run: run}, nil
+}

@@ -41,9 +41,9 @@ func TestLBoundaryValidation(t *testing.T) {
 			continue
 		}
 		if tc.wantErr != "" {
-			body := decodeBody[map[string]string](t, resp)
-			if !strings.Contains(body["error"], tc.wantErr) {
-				t.Errorf("%s: error %q does not mention %q", tc.op, body["error"], tc.wantErr)
+			body := decodeError(t, resp)
+			if !strings.Contains(body.Message, tc.wantErr) {
+				t.Errorf("%s: error %q does not mention %q", tc.op, body.Message, tc.wantErr)
 			}
 		}
 	}

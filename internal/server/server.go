@@ -1,10 +1,14 @@
 // Package server implements the lopserve REST API: graph anonymization,
 // privacy auditing, and property reporting over HTTP with JSON bodies.
 //
-// The handler is a plain http.Handler so callers can mount it under any
-// mux, wrap it with middleware, or exercise it with httptest. Endpoints:
+// The wire contract — every request/response struct, the structured
+// error envelope, and the stable error codes — lives in the exported
+// package api; this package only binds those types to HTTP. The
+// handler is a plain http.Handler so callers can mount it under any
+// mux, wrap it with middleware, or exercise it with httptest.
+// Endpoints:
 //
-//	GET  /healthz        liveness probe
+//	GET  /v1/healthz     liveness probe (also at legacy /healthz)
 //	GET  /v1/datasets    list the built-in calibrated dataset keys
 //	POST /v1/dataset     generate a built-in dataset deterministically
 //	POST /v1/properties  structural properties of a graph
@@ -13,6 +17,7 @@
 //	POST /v1/kiso        k-isomorphism anonymization
 //	POST /v1/audit       adversary audit of a published graph
 //	POST /v1/replay      verify an anonymization audit trail
+//	POST /v1/batch       run heterogeneous operations in one request
 //	POST /v1/graphs      register a graph in the content-addressed registry
 //	GET  /v1/graphs      list registered graphs
 //	GET  /v1/graphs/{id} metadata of a registered graph
@@ -20,14 +25,17 @@
 //	POST /v1/jobs        submit any POST operation as an async job
 //	GET  /v1/jobs/{id}   job status, progress timestamps, and result
 //	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET  /v1/jobs/{id}/events NDJSON stream of job lifecycle + progress
 //	GET  /v1/stats       cache, registry, and job-queue counters
 //
 // Every request body is a JSON document containing a graph as
 // {"n": vertexCount, "edges": [[u,v], ...]}, or — once the graph is
 // registered via POST /v1/graphs — a "graph_ref" naming its content
 // address, which skips both the JSON re-parse and (for opacity) the
-// APSP rebuild on every subsequent request. Errors come back as
-// {"error": "..."} with a 4xx/5xx status. Request bodies are capped at
+// APSP rebuild on every subsequent request. Errors come back with a
+// 4xx/5xx status and an api.ErrorResponse body: the legacy top-level
+// "error" string plus the structured {"code", "message", "details"}
+// envelope under "error_detail". Request bodies are capped at
 // Config.MaxBodyBytes and anonymization runs at Config.MaxBudget of
 // wall-clock time, so a single request cannot pin the process.
 //
@@ -37,12 +45,11 @@
 // engine/store selection — are served byte-identically from the cache
 // unless the request opts out with "cache": "off". Long-running work
 // can be submitted to the bounded worker pool via /v1/jobs instead of
-// holding an HTTP connection open; see docs/API.md for the full
-// reference.
+// holding an HTTP connection open, and watched live via the events
+// stream; see docs/API.md for the full reference.
 package server
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -52,9 +59,9 @@ import (
 	"time"
 
 	lopacity "repro"
+	"repro/api"
 	"repro/internal/apsp"
 	"repro/internal/jobs"
-	"repro/internal/opacity"
 	"repro/internal/registry"
 )
 
@@ -94,6 +101,9 @@ type Config struct {
 	// StoresPerGraph caps cached distance stores per registered graph
 	// (LRU); zero selects 4.
 	StoresPerGraph int
+	// MaxBatchItems caps the number of operations one POST /v1/batch
+	// request may carry; zero selects 64.
+	MaxBatchItems int
 	// DataDir, when non-empty, enables registry persistence: every
 	// registered graph and built distance store is snapshotted
 	// write-through into this directory and recovered at startup, so a
@@ -122,6 +132,9 @@ func (c *Config) setDefaults() {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
 	}
+	if c.MaxBatchItems == 0 {
+		c.MaxBatchItems = 64
+	}
 	// Workers, QueueDepth, and JobTTL defaults live in jobs.Config so
 	// the jobs package stays usable on its own.
 }
@@ -140,6 +153,9 @@ func (c Config) Validate() error {
 	}
 	if c.CacheEntries < 0 {
 		return fmt.Errorf("server config: cache entries must be >= 0, got %d", c.CacheEntries)
+	}
+	if c.MaxBatchItems < 0 {
+		return fmt.Errorf("server config: max batch items must be >= 0, got %d", c.MaxBatchItems)
 	}
 	if err := c.jobsConfig().Validate(); err != nil {
 		return fmt.Errorf("server config: %w", err)
@@ -188,6 +204,7 @@ func New(cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/graphs", s.handleGraphs)
 	mux.HandleFunc("/v1/graphs/{id}", s.handleGraphByID)
 	mux.HandleFunc("/v1/properties", post(s.handleProperties))
@@ -198,8 +215,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	mux.HandleFunc("/v1/dataset", post(s.handleDataset))
 	mux.HandleFunc("/v1/replay", post(s.handleReplay))
+	mux.HandleFunc("/v1/batch", post(s.handleBatch))
 	mux.HandleFunc("/v1/jobs", post(s.handleJobSubmit))
 	mux.HandleFunc("/v1/jobs/{id}", s.handleJobByID)
+	mux.HandleFunc("/v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux = mux
 	return s
@@ -231,10 +250,40 @@ func (s *Server) Close(ctx context.Context) error {
 	return s.jobs.Close(ctx)
 }
 
-// GraphJSON is the wire form of a graph.
-type GraphJSON struct {
-	N     int      `json:"n"`
-	Edges [][2]int `json:"edges"`
+// handleHealthz is the liveness probe: no auth, no body parsing, no
+// state touched, so load balancers probing it never contend with real
+// traffic. GET and HEAD only.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, api.HealthResponse{Status: "ok"})
+	case http.MethodHead:
+		w.WriteHeader(http.StatusOK)
+	default:
+		methodNotAllowed(w, http.MethodGet, http.MethodHead)
+	}
+}
+
+// validateGraphBounds applies the server-level vertex-count rules —
+// the validation shared by every path that accepts a wire graph
+// (toGraph inline, register), so the two can never classify the same
+// defect differently. Edge-level rules live in registry.Canonicalize;
+// its failures are classified by invalidEdge.
+func (s *Server) validateGraphBounds(gj api.Graph) error {
+	if gj.N > s.cfg.MaxVertices {
+		return fmt.Errorf("graph: n=%d exceeds server limit %d", gj.N, s.cfg.MaxVertices)
+	}
+	if gj.N <= 0 {
+		return errors.New("graph: n must be positive")
+	}
+	return nil
+}
+
+// invalidEdge classifies a registry.Canonicalize failure: edge-level
+// validation gets the invalid_edge code so clients can distinguish a
+// bad edge list from a bad parameter.
+func invalidEdge(err error) error {
+	return codedError(http.StatusBadRequest, api.CodeInvalidEdge, err)
 }
 
 // ToGraph validates the wire form against the server limits and builds
@@ -244,13 +293,13 @@ type GraphJSON struct {
 // never disagree about what counts as valid, and the edge set built
 // here is always in bijection with what the cache and registry keys
 // hash.
-func (s *Server) toGraph(gj GraphJSON) (*lopacity.Graph, error) {
-	if gj.N > s.cfg.MaxVertices {
-		return nil, fmt.Errorf("graph: n=%d exceeds server limit %d", gj.N, s.cfg.MaxVertices)
+func (s *Server) toGraph(gj api.Graph) (*lopacity.Graph, error) {
+	if err := s.validateGraphBounds(gj); err != nil {
+		return nil, err
 	}
 	canonical, err := registry.Canonicalize(gj.N, gj.Edges)
 	if err != nil {
-		return nil, err
+		return nil, invalidEdge(err)
 	}
 	return lopacity.FromEdges(gj.N, canonical), nil
 }
@@ -259,9 +308,9 @@ func (s *Server) toGraph(gj GraphJSON) (*lopacity.Graph, error) {
 // inline wire graph or a registry reference; exactly one form must be
 // present. The returned registry entry is non-nil only on the ref
 // path, where callers can reuse the canonical edge set and the cached
-// distance stores. An unknown reference is a 404: the resource named
-// by the request does not exist.
-func (s *Server) resolveGraph(gj GraphJSON, ref string) (*lopacity.Graph, *registry.Graph, error) {
+// distance stores. An unknown reference is a 404 with code
+// graph_not_found: the resource named by the request does not exist.
+func (s *Server) resolveGraph(gj api.Graph, ref string) (*lopacity.Graph, *registry.Graph, error) {
 	if ref == "" {
 		g, err := s.toGraph(gj)
 		return g, nil, err
@@ -271,10 +320,7 @@ func (s *Server) resolveGraph(gj GraphJSON, ref string) (*lopacity.Graph, *regis
 	}
 	ent, ok := s.reg.Get(ref)
 	if !ok {
-		return nil, nil, &statusError{
-			status: http.StatusNotFound,
-			err:    fmt.Errorf("unknown graph_ref %q (register the graph via POST /v1/graphs first)", ref),
-		}
+		return nil, nil, graphNotFound(ref)
 	}
 	return ent.Public(), ent, nil
 }
@@ -290,54 +336,19 @@ func opEdges(g *lopacity.Graph, ent *registry.Graph) [][2]int {
 	return g.Edges()
 }
 
-func graphJSON(g *lopacity.Graph) GraphJSON {
-	return GraphJSON{N: g.N(), Edges: g.Edges()}
+func graphJSON(g *lopacity.Graph) api.Graph {
+	return api.Graph{N: g.N(), Edges: g.Edges()}
 }
 
-// post restricts a handler to the POST method.
+// post restricts a handler to the POST method, advertising the allowed
+// method set on rejection per RFC 9110.
 func post(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			w.Header().Set("Allow", http.MethodPost)
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			methodNotAllowed(w, http.MethodPost)
 			return
 		}
 		h(w, r)
-	}
-}
-
-// statusError carries a specific HTTP status for a validation error —
-// e.g. 404 for an operation naming an unregistered graph_ref — where
-// the default would be 400.
-type statusError struct {
-	status int
-	err    error
-}
-
-func (e *statusError) Error() string { return e.err.Error() }
-func (e *statusError) Unwrap() error { return e.err }
-
-// errStatus returns the status carried by err when it wraps a
-// statusError, else fallback.
-func errStatus(err error, fallback int) int {
-	var se *statusError
-	if errors.As(err, &se) {
-		return se.status
-	}
-	return fallback
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are gone; nothing to do but drop the connection.
-		return
 	}
 }
 
@@ -368,629 +379,6 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 		return false
 	}
 	return true
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]string{"status": "ok"})
-}
-
-// PropertiesRequest asks for the structural property report of a graph,
-// given inline or as a registry reference.
-type PropertiesRequest struct {
-	Graph    GraphJSON `json:"graph"`
-	GraphRef string    `json:"graph_ref,omitempty"`
-}
-
-// PropertiesResponse mirrors lopacity.Properties (the Table 2/3 columns).
-type PropertiesResponse struct {
-	Nodes         int     `json:"nodes"`
-	Links         int     `json:"links"`
-	Diameter      int     `json:"diameter"`
-	AvgDegree     float64 `json:"avg_degree"`
-	DegreeStdDev  float64 `json:"degree_stddev"`
-	AvgClustering float64 `json:"avg_clustering_coefficient"`
-	Assortativity float64 `json:"assortativity"`
-	AvgPathLength float64 `json:"avg_path_length"`
-}
-
-func (s *Server) handleProperties(w http.ResponseWriter, r *http.Request) {
-	var req PropertiesRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	p, err := s.prepareProperties(&req)
-	if err != nil {
-		writeError(w, errStatus(err, http.StatusBadRequest), err)
-		return
-	}
-	s.serveSync(w, r, p)
-}
-
-func (s *Server) prepareProperties(req *PropertiesRequest) (prepared, error) {
-	g, _, err := s.resolveGraph(req.Graph, req.GraphRef)
-	if err != nil {
-		return prepared{}, err
-	}
-	run := func(ctx context.Context) (any, bool, error) {
-		p := g.Properties()
-		return PropertiesResponse{
-			Nodes: p.Nodes, Links: p.Links, Diameter: p.Diameter,
-			AvgDegree: p.AvgDegree, DegreeStdDev: p.DegreeStdDev,
-			AvgClustering: p.AvgClustering,
-			Assortativity: p.Assortativity, AvgPathLength: p.AvgPathLength,
-		}, false, nil
-	}
-	return prepared{op: "properties", run: run}, nil
-}
-
-// OpacityRequest asks for the L-opacity report of a graph, given
-// inline or as a registry reference (GraphRef requests additionally
-// reuse the registered graph's cached distance store, skipping the
-// APSP build). Engine and Store optionally override the server's
-// distance-compute defaults (engines: auto, bfs, fw, pointer, bitbfs;
-// stores: compact, packed); every combination returns the identical
-// report. Cache set to "off" bypasses the content-addressed result
-// cache for this request.
-type OpacityRequest struct {
-	Graph    GraphJSON `json:"graph"`
-	GraphRef string    `json:"graph_ref,omitempty"`
-	L        int       `json:"l"`
-	Engine   string    `json:"engine,omitempty"`
-	Store    string    `json:"store,omitempty"`
-	Cache    string    `json:"cache,omitempty"`
-}
-
-// OpacityResponse reports the graph's maximum opacity and per-type rows.
-type OpacityResponse struct {
-	L          int           `json:"l"`
-	MaxOpacity float64       `json:"max_opacity"`
-	Types      []OpacityType `json:"types"`
-}
-
-// OpacityType is one vertex-pair type row.
-type OpacityType struct {
-	Label   string  `json:"label"`
-	Within  int     `json:"within"`
-	Total   int     `json:"total"`
-	Opacity float64 `json:"opacity"`
-}
-
-func (s *Server) handleOpacity(w http.ResponseWriter, r *http.Request) {
-	var req OpacityRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	p, err := s.prepareOpacity(&req)
-	if err != nil {
-		writeError(w, errStatus(err, http.StatusBadRequest), err)
-		return
-	}
-	s.serveSync(w, r, p)
-}
-
-// prepareOpacity validates an opacity request and packages it as a
-// cacheable operation. On the graph_ref path the run reuses the
-// registered graph's cached distance store — the second request for
-// the same (graph, L, engine, store) performs zero APSP builds — and
-// the cache key hashes the same canonical edge set an inline spelling
-// of the graph would, so both forms share one result-cache entry.
-func (s *Server) prepareOpacity(req *OpacityRequest) (prepared, error) {
-	if req.L < 1 {
-		return prepared{}, fmt.Errorf("l must be >= 1, got %d", req.L)
-	}
-	g, ent, err := s.resolveGraph(req.Graph, req.GraphRef)
-	if err != nil {
-		return prepared{}, err
-	}
-	engine, kind, err := s.resolveEngineStore(req.Engine, req.Store)
-	if err != nil {
-		return prepared{}, err
-	}
-	cacheOff, err := parseCacheMode(req.Cache)
-	if err != nil {
-		return prepared{}, err
-	}
-	var key jobs.Key
-	if !cacheOff { // hashing the edge set is O(m); skip it when bypassing
-		key, err = jobs.HashJSON(struct {
-			Op            string   `json:"op"`
-			N             int      `json:"n"`
-			Edges         [][2]int `json:"edges"`
-			L             int      `json:"l"`
-			Engine, Store string
-		}{"opacity", g.N(), opEdges(g, ent), req.L, engine.String(), kind.String()})
-		if err != nil {
-			return prepared{}, err
-		}
-	}
-	run := func(ctx context.Context) (any, bool, error) {
-		var rep lopacity.OpacityReport
-		if ent != nil {
-			// Registry path: the store is built at most once per
-			// (graph, L, engine, kind) and shared read-only thereafter.
-			st, _ := ent.Distances(req.L, engine, kind)
-			irep := opacity.NewReportFromStore(ent.Degrees(), st)
-			rep = lopacity.OpacityReport{L: req.L, MaxOpacity: irep.MaxLO}
-			for _, t := range irep.ByType {
-				rep.Types = append(rep.Types, lopacity.TypeOpacity{
-					Label: t.Label, Total: t.Total, Within: t.Within, Opacity: t.Opacity,
-				})
-			}
-		} else {
-			rep, err = g.OpacityWith(req.L, nil, lopacity.ReportOptions{Engine: engine.String(), Store: kind.String()})
-			if err != nil {
-				return nil, false, err
-			}
-		}
-		resp := OpacityResponse{L: req.L, MaxOpacity: rep.MaxOpacity}
-		for _, t := range rep.Types {
-			resp.Types = append(resp.Types, OpacityType{
-				Label: t.Label, Within: t.Within, Total: t.Total, Opacity: t.Opacity,
-			})
-		}
-		return resp, true, nil
-	}
-	return prepared{op: "opacity", key: key, cacheable: true, cacheOff: cacheOff, run: run}, nil
-}
-
-// AnonymizeRequest runs one anonymization method on a graph, given
-// inline or as a registry reference.
-type AnonymizeRequest struct {
-	Graph     GraphJSON `json:"graph"`
-	GraphRef  string    `json:"graph_ref,omitempty"`
-	L         int       `json:"l"`
-	Theta     float64   `json:"theta"`
-	Method    string    `json:"method"`
-	LookAhead int       `json:"lookahead"`
-	Seed      int64     `json:"seed"`
-	// BudgetMS caps the run's wall-clock milliseconds; it is clamped
-	// to the server's MaxBudget and defaults to it when omitted.
-	BudgetMS int64 `json:"budget_ms"`
-	// Engine and Store override the server's distance-compute defaults
-	// for this run; results are identical for every combination, only
-	// build time and memory differ.
-	Engine string `json:"engine,omitempty"`
-	Store  string `json:"store,omitempty"`
-	// Cache set to "off" bypasses the content-addressed result cache.
-	Cache string `json:"cache,omitempty"`
-}
-
-// AnonymizeResponse returns the published graph and the run report.
-type AnonymizeResponse struct {
-	Graph      GraphJSON `json:"graph"`
-	Satisfied  bool      `json:"satisfied"`
-	MaxOpacity float64   `json:"max_opacity"`
-	Removed    [][2]int  `json:"removed"`
-	Inserted   [][2]int  `json:"inserted"`
-	Steps      int       `json:"steps"`
-	TimedOut   bool      `json:"timed_out"`
-	Distortion float64   `json:"distortion"`
-}
-
-func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
-	var req AnonymizeRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	p, err := s.prepareAnonymize(&req)
-	if err != nil {
-		writeError(w, errStatus(err, http.StatusBadRequest), err)
-		return
-	}
-	s.serveSync(w, r, p)
-}
-
-// prepareAnonymize validates an anonymize request and packages it as a
-// cacheable operation. The cache key covers every input that steers
-// the run — graph, L, theta, method, look-ahead, seed, the effective
-// (clamped) budget, and the canonical engine/store names — so two
-// requests collide only when the computation is genuinely identical.
-// Runs that time out are not stored: a rerun with more headroom may
-// legitimately do better, and a byte-identical replay of a partial
-// result would pin that accident of scheduling. On the graph_ref path
-// the run seeds from the registered graph's cached distance store
-// (cloning it instead of rebuilding APSP), so repeat anonymize
-// requests pay zero builds — the BenchmarkAnonymizeInline /
-// BenchmarkAnonymizeRef pair quantifies the saving.
-func (s *Server) prepareAnonymize(req *AnonymizeRequest) (prepared, error) {
-	g, ent, err := s.resolveGraph(req.Graph, req.GraphRef)
-	if err != nil {
-		return prepared{}, err
-	}
-	if req.L < 0 {
-		// Unlike opacity, anonymize accepts l:0 as "use the library
-		// default of 1" (normalized below so l:0 and l:1 share a cache
-		// key); only negatives are outside the domain.
-		return prepared{}, fmt.Errorf("l must be >= 0 (l:0 selects the default 1), got %d", req.L)
-	}
-	l := req.L
-	if l == 0 { // the library's default; normalized here so l:0 and l:1 share a cache key
-		l = 1
-	}
-	if req.Theta < 0 || req.Theta > 1 {
-		return prepared{}, fmt.Errorf("theta %v outside [0, 1]", req.Theta)
-	}
-	method := lopacity.EdgeRemoval
-	if req.Method != "" {
-		method, err = lopacity.ParseMethod(req.Method)
-		if err != nil {
-			return prepared{}, err
-		}
-	}
-	engine, kind, err := s.resolveEngineStore(req.Engine, req.Store)
-	if err != nil {
-		return prepared{}, err
-	}
-	cacheOff, err := parseCacheMode(req.Cache)
-	if err != nil {
-		return prepared{}, err
-	}
-	budget := s.cfg.MaxBudget
-	if req.BudgetMS > 0 {
-		if b := time.Duration(req.BudgetMS) * time.Millisecond; b < budget {
-			budget = b
-		}
-	}
-	if req.LookAhead < 0 {
-		return prepared{}, fmt.Errorf("lookahead must be >= 1, got %d", req.LookAhead)
-	}
-	lookAhead := req.LookAhead
-	if lookAhead == 0 { // the library's default; normalized so omitted and 1 share a key
-		lookAhead = 1
-	}
-	var key jobs.Key
-	if !cacheOff { // hashing the edge set is O(m); skip it when bypassing
-		key, err = jobs.HashJSON(struct {
-			Op            string   `json:"op"`
-			N             int      `json:"n"`
-			Edges         [][2]int `json:"edges"`
-			L             int      `json:"l"`
-			Theta         float64  `json:"theta"`
-			Method        string   `json:"method"`
-			LookAhead     int      `json:"lookahead"`
-			Seed          int64    `json:"seed"`
-			BudgetMS      int64    `json:"budget_ms"`
-			Engine, Store string
-		}{"anonymize", g.N(), opEdges(g, ent), l, req.Theta, method.String(),
-			lookAhead, req.Seed, budget.Milliseconds(), engine.String(), kind.String()})
-		if err != nil {
-			return prepared{}, err
-		}
-	}
-	run := func(ctx context.Context) (any, bool, error) {
-		opts := lopacity.Options{
-			L: l, Theta: req.Theta, Method: method,
-			LookAhead: lookAhead, Seed: req.Seed, Budget: budget,
-			Engine: engine.String(), Store: kind.String(),
-		}
-		if ent != nil {
-			// Registry path: seed the run from the cached distance
-			// store (built at most once per (graph, L, engine, kind)
-			// and shared read-only); the run clones it, so this request
-			// performs zero APSP builds once the store is warm.
-			st, _ := ent.Distances(l, engine, kind)
-			opts.Distances = lopacity.WrapDistances(st)
-		}
-		res, err := lopacity.AnonymizeContext(ctx, g, opts)
-		if err != nil {
-			return nil, false, err
-		}
-		if res.Cancelled {
-			// The job was cancelled or the client went away: surface
-			// the context's error instead of a half-finished result,
-			// and never cache it.
-			return nil, false, ctx.Err()
-		}
-		return AnonymizeResponse{
-			Graph:      graphJSON(res.Graph),
-			Satisfied:  res.Satisfied,
-			MaxOpacity: res.MaxOpacity,
-			Removed:    pairsOrEmpty(res.Removed),
-			Inserted:   pairsOrEmpty(res.Inserted),
-			Steps:      res.Steps,
-			TimedOut:   res.TimedOut,
-			Distortion: lopacity.Distortion(g, res.Graph),
-		}, !res.TimedOut, nil
-	}
-	return prepared{op: "anonymize", key: key, cacheable: true, cacheOff: cacheOff, run: run}, nil
-}
-
-// KIsoRequest runs the k-isomorphism comparator on a graph, given
-// inline or as a registry reference.
-type KIsoRequest struct {
-	Graph    GraphJSON `json:"graph"`
-	GraphRef string    `json:"graph_ref,omitempty"`
-	K        int       `json:"k"`
-	Seed     int64     `json:"seed"`
-}
-
-// KIsoResponse returns the k-isomorphic graph, its block structure, and
-// the edit cost.
-type KIsoResponse struct {
-	Graph        GraphJSON `json:"graph"`
-	Blocks       [][]int   `json:"blocks"`
-	Removed      [][2]int  `json:"removed"`
-	Inserted     [][2]int  `json:"inserted"`
-	CrossRemoved int       `json:"cross_removed"`
-	Distortion   float64   `json:"distortion"`
-}
-
-func (s *Server) handleKIso(w http.ResponseWriter, r *http.Request) {
-	var req KIsoRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	p, err := s.prepareKIso(&req)
-	if err != nil {
-		writeError(w, errStatus(err, http.StatusBadRequest), err)
-		return
-	}
-	s.serveSync(w, r, p)
-}
-
-func (s *Server) prepareKIso(req *KIsoRequest) (prepared, error) {
-	g, _, err := s.resolveGraph(req.Graph, req.GraphRef)
-	if err != nil {
-		return prepared{}, err
-	}
-	run := func(ctx context.Context) (any, bool, error) {
-		res, err := lopacity.AnonymizeKIso(g, req.K, req.Seed)
-		if err != nil {
-			return nil, false, err
-		}
-		return KIsoResponse{
-			Graph:        graphJSON(res.Graph),
-			Blocks:       res.Blocks,
-			Removed:      pairsOrEmpty(res.Removed),
-			Inserted:     pairsOrEmpty(res.Inserted),
-			CrossRemoved: res.CrossRemoved,
-			Distortion:   res.Distortion,
-		}, false, nil
-	}
-	return prepared{op: "kiso", run: run}, nil
-}
-
-// AuditRequest checks a published graph against the degree-knowledge
-// adversary. Original supplies the pre-anonymization degrees. Either
-// graph may be given inline or as a registry reference.
-type AuditRequest struct {
-	Published    GraphJSON `json:"published"`
-	PublishedRef string    `json:"published_ref,omitempty"`
-	Original     GraphJSON `json:"original"`
-	OriginalRef  string    `json:"original_ref,omitempty"`
-	L            int       `json:"l"`
-	Theta        float64   `json:"theta"`
-}
-
-// AuditResponse reports the strongest inference and every vertex-pair
-// type whose linkage confidence exceeds theta.
-type AuditResponse struct {
-	Passed        bool        `json:"passed"`
-	MaxConfidence float64     `json:"max_confidence"`
-	MaxType       string      `json:"max_type"`
-	Vulnerable    []AuditType `json:"vulnerable"`
-}
-
-// AuditType is one over-threshold vertex-pair type.
-type AuditType struct {
-	D1         int     `json:"d1"`
-	D2         int     `json:"d2"`
-	Confidence float64 `json:"confidence"`
-}
-
-func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
-	var req AuditRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	p, err := s.prepareAudit(&req)
-	if err != nil {
-		writeError(w, errStatus(err, http.StatusBadRequest), err)
-		return
-	}
-	s.serveSync(w, r, p)
-}
-
-// prepareAudit validates an audit request. When the published graph is
-// a registry reference AND its L-capped store is already cached (by a
-// prior opacity/anonymize/audit request or a warm restart), the
-// adversary reads linkage distances from that store instead of running
-// per-source BFS — zero distance computation. A cold registry keeps
-// the lazy BFS path: an audit only touches the candidate sets'
-// sources, so forcing the full O(n·m) APSP build here would make the
-// request slower, not faster.
-func (s *Server) prepareAudit(req *AuditRequest) (prepared, error) {
-	if req.L < 1 {
-		return prepared{}, fmt.Errorf("l must be >= 1, got %d", req.L)
-	}
-	if req.Theta < 0 || req.Theta > 1 {
-		return prepared{}, fmt.Errorf("theta %v outside [0, 1]", req.Theta)
-	}
-	pub, pubEnt, err := s.resolveGraph(req.Published, req.PublishedRef)
-	if err != nil {
-		return prepared{}, fmt.Errorf("published: %w", err)
-	}
-	orig, _, err := s.resolveGraph(req.Original, req.OriginalRef)
-	if err != nil {
-		return prepared{}, fmt.Errorf("original: %w", err)
-	}
-	adv, err := lopacity.NewAdversary(pub, orig)
-	if err != nil {
-		return prepared{}, err
-	}
-	engine, kind, err := s.resolveEngineStore("", "")
-	if err != nil {
-		return prepared{}, err
-	}
-	run := func(ctx context.Context) (any, bool, error) {
-		if pubEnt != nil {
-			if st, ok := pubEnt.CachedDistances(req.L, engine, kind); ok {
-				if err := adv.UseDistances(lopacity.WrapDistances(st)); err != nil {
-					return nil, false, err
-				}
-			}
-		}
-		maxInf := adv.MaxConfidence(req.L)
-		resp := AuditResponse{
-			Passed:        maxInf.Confidence <= req.Theta,
-			MaxConfidence: maxInf.Confidence,
-			MaxType:       fmt.Sprintf("{%d,%d}", maxInf.DegreeA, maxInf.DegreeB),
-		}
-		for _, inf := range adv.VulnerablePairs(req.L, req.Theta) {
-			resp.Vulnerable = append(resp.Vulnerable, AuditType{
-				D1: inf.DegreeA, D2: inf.DegreeB, Confidence: inf.Confidence,
-			})
-		}
-		return resp, false, nil
-	}
-	return prepared{op: "audit", run: run}, nil
-}
-
-func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
-		return
-	}
-	writeJSON(w, map[string][]string{"datasets": lopacity.Datasets()})
-}
-
-// DatasetRequest asks for one of the built-in calibrated dataset
-// emulators (the paper's Table 3 samples), generated deterministically
-// from the seed.
-type DatasetRequest struct {
-	Key  string `json:"key"`
-	Seed int64  `json:"seed"`
-}
-
-// DatasetResponse returns the generated graph and its properties.
-type DatasetResponse struct {
-	Key        string             `json:"key"`
-	Graph      GraphJSON          `json:"graph"`
-	Properties PropertiesResponse `json:"properties"`
-}
-
-func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
-	var req DatasetRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	p, err := s.prepareDataset(&req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	s.serveSync(w, r, p)
-}
-
-func (s *Server) prepareDataset(req *DatasetRequest) (prepared, error) {
-	run := func(ctx context.Context) (any, bool, error) {
-		g, err := lopacity.Dataset(req.Key, req.Seed)
-		if err != nil {
-			return nil, false, err
-		}
-		p := g.Properties()
-		return DatasetResponse{
-			Key:   req.Key,
-			Graph: graphJSON(g),
-			Properties: PropertiesResponse{
-				Nodes: p.Nodes, Links: p.Links, Diameter: p.Diameter,
-				AvgDegree: p.AvgDegree, DegreeStdDev: p.DegreeStdDev,
-				AvgClustering: p.AvgClustering,
-				Assortativity: p.Assortativity, AvgPathLength: p.AvgPathLength,
-			},
-		}, false, nil
-	}
-	// An unknown dataset key surfaces at run time; the sync path maps
-	// it to 404 to preserve the endpoint's original contract.
-	return prepared{op: "dataset", run: run, runErrStatus: http.StatusNotFound}, nil
-}
-
-// ReplayRequest verifies an anonymization audit trail server-side:
-// the original graph, the trace steps (as produced by the anonymize
-// trace), the claimed privacy target, and optionally the published
-// graph to compare against. Either graph may be given inline or as a
-// registry reference.
-type ReplayRequest struct {
-	Original     GraphJSON            `json:"original"`
-	OriginalRef  string               `json:"original_ref,omitempty"`
-	Trace        []lopacity.TraceStep `json:"trace"`
-	L            int                  `json:"l"`
-	Theta        float64              `json:"theta"`
-	Published    *GraphJSON           `json:"published"`
-	PublishedRef string               `json:"published_ref,omitempty"`
-	Fast         bool                 `json:"fast"`
-}
-
-// ReplayResponse reports the verification outcome. Verified is false
-// when any step is inconsistent, the published graph differs, or the
-// final opacity exceeds theta; Error carries the first violation.
-type ReplayResponse struct {
-	Verified     bool    `json:"verified"`
-	Error        string  `json:"error,omitempty"`
-	Steps        int     `json:"steps"`
-	Removals     int     `json:"removals"`
-	Insertions   int     `json:"insertions"`
-	FinalOpacity float64 `json:"final_opacity"`
-}
-
-func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
-	var req ReplayRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	p, err := s.prepareReplay(&req)
-	if err != nil {
-		writeError(w, errStatus(err, http.StatusBadRequest), err)
-		return
-	}
-	s.serveSync(w, r, p)
-}
-
-func (s *Server) prepareReplay(req *ReplayRequest) (prepared, error) {
-	g, _, err := s.resolveGraph(req.Original, req.OriginalRef)
-	if err != nil {
-		return prepared{}, fmt.Errorf("original: %w", err)
-	}
-	opts := lopacity.ReplayOptions{L: req.L, Theta: req.Theta, SkipOpacityCheck: req.Fast}
-	if req.Published != nil || req.PublishedRef != "" {
-		var gj GraphJSON
-		if req.Published != nil {
-			gj = *req.Published
-		}
-		pub, _, err := s.resolveGraph(gj, req.PublishedRef)
-		if err != nil {
-			return prepared{}, fmt.Errorf("published: %w", err)
-		}
-		opts.Published = pub
-	}
-	if req.L < 1 {
-		return prepared{}, fmt.Errorf("l must be >= 1, got %d", req.L)
-	}
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	for _, step := range req.Trace {
-		if err := enc.Encode(step); err != nil {
-			return prepared{}, err
-		}
-	}
-	run := func(ctx context.Context) (any, bool, error) {
-		rep, err := lopacity.ReplayTrace(g, &buf, opts)
-		resp := ReplayResponse{
-			Verified:     err == nil,
-			Steps:        rep.Steps,
-			Removals:     rep.Removals,
-			Insertions:   rep.Insertions,
-			FinalOpacity: rep.FinalOpacity,
-		}
-		if err != nil {
-			// A failed verification is a successful HTTP request: the
-			// violation is the answer, not a transport error.
-			resp.Error = err.Error()
-		}
-		return resp, false, nil
-	}
-	return prepared{op: "replay", run: run}, nil
 }
 
 func pairsOrEmpty(ps [][2]int) [][2]int {

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	lopacity "repro"
+	"repro/api"
 )
 
 func newTestServer(t *testing.T, cfg Config) *httptest.Server {
@@ -46,6 +47,28 @@ func decodeBody[T any](t *testing.T, resp *http.Response) T {
 		t.Fatalf("decoding response: %v", err)
 	}
 	return v
+}
+
+// decodeError decodes an error body and asserts the envelope
+// invariant: the legacy top-level "error" string and the structured
+// "error_detail" object are both present, agree on the message, and
+// carry a machine-readable code.
+func decodeError(t *testing.T, resp *http.Response) api.ErrorResponse {
+	t.Helper()
+	body := decodeBody[api.ErrorResponse](t, resp)
+	if body.Message == "" {
+		t.Fatal("legacy \"error\" string field missing")
+	}
+	if body.Err == nil {
+		t.Fatal("structured \"error_detail\" envelope missing")
+	}
+	if body.Err.Message != body.Message {
+		t.Fatalf("envelope message %q != legacy message %q", body.Err.Message, body.Message)
+	}
+	if body.Err.Code == "" {
+		t.Fatal("error code missing from envelope")
+	}
+	return body
 }
 
 func TestHealthz(t *testing.T) {
@@ -268,9 +291,12 @@ func TestDuplicateEdgesRejected(t *testing.T) {
 			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
 			continue
 		}
-		body := decodeBody[map[string]string](t, resp)
-		if !strings.Contains(body["error"], "duplicate") {
-			t.Errorf("%s: error %q does not name the duplicate", c.name, body["error"])
+		body := decodeError(t, resp)
+		if !strings.Contains(body.Message, "duplicate") {
+			t.Errorf("%s: error %q does not name the duplicate", c.name, body.Message)
+		}
+		if body.Err.Code != api.CodeInvalidEdge {
+			t.Errorf("%s: code %q, want %q", c.name, body.Err.Code, api.CodeInvalidEdge)
 		}
 	}
 }
@@ -336,9 +362,9 @@ func TestUnknownFieldsRejected(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400 for misspelled field", resp.StatusCode)
 	}
-	body := decodeBody[map[string]string](t, resp)
-	if body["error"] == "" {
-		t.Fatal("error body missing")
+	body := decodeError(t, resp)
+	if body.Err.Code != api.CodeInvalidRequest {
+		t.Fatalf("code %q, want %q", body.Err.Code, api.CodeInvalidRequest)
 	}
 }
 
@@ -435,9 +461,48 @@ func TestDatasetsRejectsPost(t *testing.T) {
 	}
 }
 
+// TestWireTraceStepMatchesLibrary guards the field-compatibility the
+// api package promises: the wire TraceStep must round-trip the
+// library's trace lines exactly, with no unknown or missing fields.
+func TestWireTraceStepMatchesLibrary(t *testing.T) {
+	in := lopacity.TraceStep{Step: 3, Op: "insert", Edges: [][2]int{{1, 2}, {4, 5}}, MaxOpacity: 0.25, Population: 4}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var wire api.TraceStep
+	if err := dec.Decode(&wire); err != nil {
+		t.Fatalf("library trace line does not decode into api.TraceStep: %v", err)
+	}
+	back, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, back) {
+		t.Fatalf("round trip changed bytes:\n lib  %s\n wire %s", b, back)
+	}
+}
+
+// TestRegisterBadNMatchesInlineClassification: POST /v1/graphs and the
+// inline operation path must classify n<=0 identically — as
+// invalid_request, never invalid_edge.
+func TestRegisterBadNMatchesInlineClassification(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/graphs", GraphRegisterRequest{Graph: &GraphJSON{N: 0}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	body := decodeError(t, resp)
+	if body.Err.Code != api.CodeInvalidRequest {
+		t.Fatalf("code %q, want %q", body.Err.Code, api.CodeInvalidRequest)
+	}
+}
+
 // anonymizeWithTrace produces a (trace, published) pair via the library
 // for the replay endpoint tests.
-func anonymizeWithTrace(t *testing.T, fig GraphJSON, theta float64) ([]lopacity.TraceStep, GraphJSON) {
+func anonymizeWithTrace(t *testing.T, fig GraphJSON, theta float64) ([]api.TraceStep, GraphJSON) {
 	t.Helper()
 	g := lopacity.FromEdges(fig.N, fig.Edges)
 	var buf bytes.Buffer
@@ -448,10 +513,12 @@ func anonymizeWithTrace(t *testing.T, fig GraphJSON, theta float64) ([]lopacity.
 	if !res.Satisfied {
 		t.Fatalf("fixture unsatisfied at theta=%v", theta)
 	}
-	var steps []lopacity.TraceStep
+	// The wire TraceStep is field-compatible with the library's trace
+	// lines, so the JSONL audit log decodes straight into it.
+	var steps []api.TraceStep
 	dec := json.NewDecoder(&buf)
 	for dec.More() {
-		var s lopacity.TraceStep
+		var s api.TraceStep
 		if err := dec.Decode(&s); err != nil {
 			t.Fatal(err)
 		}

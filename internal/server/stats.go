@@ -1,0 +1,40 @@
+// GET /v1/stats: cache, registry, persistence, and job-queue counters.
+package server
+
+import (
+	"net/http"
+
+	"repro/api"
+)
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	cs := s.cache.Stats()
+	rs := s.reg.Stats()
+	js := s.jobs.Stats()
+	writeJSON(w, api.StatsResponse{
+		Cache: api.CacheStats{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries, Capacity: cs.Capacity},
+		Registry: api.RegistryStats{
+			Graphs: rs.Graphs, Capacity: rs.Capacity,
+			Hits: rs.Hits, Misses: rs.Misses, Evictions: rs.Evictions,
+			Stores: rs.Stores, StoreHits: rs.StoreHits,
+			StoreMisses: rs.StoreMisses, StoreEvictions: rs.StoreEvictions,
+		},
+		Persistence: api.PersistenceStats{
+			Enabled: rs.Persist.Enabled, Dir: rs.Persist.Dir,
+			GraphsLoaded: rs.Persist.GraphsLoaded, StoresLoaded: rs.Persist.StoresLoaded,
+			Quarantined: rs.Persist.Quarantined,
+			GraphWrites: rs.Persist.GraphWrites, StoreWrites: rs.Persist.StoreWrites,
+			WriteErrors: rs.Persist.WriteErrors, Deletes: rs.Persist.Deletes,
+		},
+		Jobs: api.JobStats{
+			Workers: js.Workers, QueueDepth: js.QueueDepth, QueueCapacity: js.QueueCapacity,
+			Running: js.Running, Done: js.Done,
+			Failed: js.Failed, Cancelled: js.Cancelled,
+			Detached: js.Detached,
+		},
+	})
+}

@@ -237,6 +237,14 @@ type Options struct {
 	// one uint8 per vertex pair, 4x smaller) or "packed" (int32).
 	// Results are bit-for-bit identical on either backing.
 	Store string
+	// Progress, when non-nil, receives a lightweight report after every
+	// committed greedy step or accepted annealing move: steps so far,
+	// the current maximum opacity, and the wall-clock consumed. It is
+	// invoked synchronously on the run's goroutine — implementations
+	// must be fast and must not block. Supported by EdgeRemoval,
+	// EdgeRemovalInsertion, and SimulatedAnnealing; the GADED baselines
+	// do not report progress (they are L=1-only and cheap).
+	Progress func(Progress)
 	// Distances, when non-nil, seeds the run from a prebuilt L-capped
 	// distance store of the input graph (same vertex count, same L).
 	// The run clones the store instead of rebuilding APSP — the
@@ -246,6 +254,33 @@ type Options struct {
 	// way; only the per-run setup cost changes. Supported by
 	// EdgeRemoval, EdgeRemovalInsertion, and SimulatedAnnealing.
 	Distances *DistanceStore
+}
+
+// Progress is a point-in-time report of a running anonymization,
+// delivered through Options.Progress after every committed step.
+type Progress struct {
+	// Steps counts committed greedy iterations (or accepted annealing
+	// moves) so far.
+	Steps int
+	// MaxOpacity is the graph-level maximum opacity after the last
+	// committed step; the run targets MaxOpacity <= Options.Theta.
+	MaxOpacity float64
+	// Elapsed is the wall-clock time consumed since the run started.
+	Elapsed time.Duration
+	// Budget echoes Options.Budget; zero reports an unbounded run.
+	Budget time.Duration
+}
+
+// progressFunc adapts the public Progress callback to the internal
+// anonymize hook; nil maps to nil so the hot loops skip the adapter
+// entirely.
+func progressFunc(fn func(Progress)) func(anonymize.Progress) {
+	if fn == nil {
+		return nil
+	}
+	return func(p anonymize.Progress) {
+		fn(Progress{Steps: p.Steps, MaxOpacity: p.MaxLO, Elapsed: p.Elapsed, Budget: p.Budget})
+	}
 }
 
 // DistanceStore is an opaque handle to a prebuilt L-capped distance
@@ -370,6 +405,7 @@ func AnonymizeContext(ctx context.Context, g *Graph, opts Options) (*Result, err
 			Workers:   opts.Workers,
 			Budget:    opts.Budget,
 			Trace:     trace,
+			Progress:  progressFunc(opts.Progress),
 			Engine:    engine,
 			Store:     kind,
 			Distances: opts.Distances.store(),
@@ -400,6 +436,7 @@ func AnonymizeContext(ctx context.Context, g *Graph, opts Options) (*Result, err
 			L: opts.L, Theta: opts.Theta, Seed: opts.Seed,
 			Budget:    opts.Budget,
 			Trace:     trace,
+			Progress:  progressFunc(opts.Progress),
 			Engine:    engine,
 			Store:     kind,
 			Distances: opts.Distances.store(),

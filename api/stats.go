@@ -31,6 +31,13 @@ type RegistryStats struct {
 	StoreHits      int64 `json:"store_hits"`
 	StoreMisses    int64 `json:"store_misses"`
 	StoreEvictions int64 `json:"store_evictions"`
+	// Builds counts completed APSP builds; BuildMSTotal and BuildMSMax
+	// aggregate their wall-clock cost in milliseconds, so operators can
+	// read build pressure (and the worst cold-build latency) straight
+	// off /v1/stats.
+	Builds       int64 `json:"builds"`
+	BuildMSTotal int64 `json:"build_ms_total"`
+	BuildMSMax   int64 `json:"build_ms_max"`
 }
 
 // PersistenceStats reports the registry snapshot layer (-data-dir):

@@ -1,0 +1,310 @@
+// Command lopbench is the perf-trajectory runner: it benchmarks the
+// distance-engine hot paths in-process (via testing.Benchmark — no
+// go-test subprocess, so it runs anywhere the binary does) and emits a
+// machine-readable JSON report. Committed reports (BENCH_<n>.json at
+// the repository root) form the project's performance trajectory, and
+// CI re-runs the ci-scale suite against the last committed report,
+// failing on large regressions.
+//
+// Usage:
+//
+//	lopbench -scale ci   -out /tmp/bench.json -baseline BENCH_1.json
+//	lopbench -scale full -out BENCH_2.json        # paper-scale, minutes
+//
+// Suites (each row records ns/op, B/op, allocs/op, and the graph):
+//
+//	build_csr_bfs       sequential CSR bounded-BFS APSP build
+//	build_csr_auto      the server's default engine selection
+//	build_map_baseline  the retained pre-CSR map-adjacency engine
+//	build_bitbfs        bit-parallel BFS engine
+//	csr_frozen          Graph -> CSR snapshot cost
+//	bfs_inner           one bounded BFS + touched-only reset (0 allocs)
+//	anonymize_greedy    capped greedy removal run (ci scale only)
+//	warm_restart_mapped registry reboot with -mmap-stores hydration
+//
+// The tool exits non-zero when an invariant breaks (bfs_inner
+// allocating, warm restart missing the mapped store) or when a
+// baseline comparison exceeds -max-ratio.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/anonymize"
+	"repro/internal/apsp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/registry"
+)
+
+// Result is one benchmark row of the report.
+type Result struct {
+	Name  string `json:"name"`
+	Scale string `json:"scale"`
+	N     int    `json:"n"`
+	M     int    `json:"m"`
+	L     int    `json:"l"`
+	NsOp  int64  `json:"ns_per_op"`
+	BOp   int64  `json:"b_per_op"`
+	AOp   int64  `json:"allocs_per_op"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	Version int      `json:"version"`
+	Go      string   `json:"go"`
+	CPUs    int      `json:"cpus"`
+	Results []Result `json:"results"`
+}
+
+// scaleSize maps a scale name to the RMAT grid point it benchmarks.
+func scaleSize(scale string) (n, m int) {
+	if scale == "full" {
+		return 100_000, 1_000_000
+	}
+	return 5_000, 50_000
+}
+
+const benchL = 3
+
+func main() {
+	var (
+		out      = flag.String("out", "", "write the JSON report here (default stdout)")
+		scale    = flag.String("scale", "ci", "benchmark scale: ci, full, or both")
+		baseline = flag.String("baseline", "", "compare against this committed report; regressions beyond -max-ratio fail")
+		maxRatio = flag.Float64("max-ratio", 2.0, "maximum allowed ns/op ratio vs the baseline")
+	)
+	flag.Parse()
+
+	var scales []string
+	switch *scale {
+	case "ci", "full":
+		scales = []string{*scale}
+	case "both":
+		scales = []string{"ci", "full"}
+	default:
+		fatalf("unknown -scale %q (want ci, full, or both)", *scale)
+	}
+
+	report := Report{Version: 1, Go: runtime.Version(), CPUs: runtime.NumCPU()}
+	for _, sc := range scales {
+		rows, err := runScale(sc)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report.Results = append(report.Results, rows...)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatalf("encoding report: %v", err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+
+	if *baseline != "" {
+		if err := compare(report, *baseline, *maxRatio); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "lopbench: within %.1fx of %s\n", *maxRatio, *baseline)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lopbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runScale benchmarks every suite at one scale and returns the rows.
+func runScale(scale string) ([]Result, error) {
+	n, m := scaleSize(scale)
+	fmt.Fprintf(os.Stderr, "lopbench: generating RMAT n=%d m=%d (scale %s)\n", n, m, scale)
+	g, err := gen.RMAT(n, m, gen.WebRMAT(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		return nil, err
+	}
+	row := func(name string, res testing.BenchmarkResult) Result {
+		r := Result{
+			Name: name, Scale: scale,
+			N: g.N(), M: g.M(), L: benchL,
+			NsOp: res.NsPerOp(), BOp: res.AllocedBytesPerOp(), AOp: res.AllocsPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "lopbench: %-20s %12d ns/op %10d B/op %6d allocs/op\n", name, r.NsOp, r.BOp, r.AOp)
+		return r
+	}
+	var rows []Result
+
+	rows = append(rows, row("build_csr_bfs", bench(func() {
+		apsp.BoundedAPSPKind(g, benchL, apsp.KindCompact)
+	})))
+	rows = append(rows, row("build_csr_auto", bench(func() {
+		apsp.Build(g, benchL, apsp.BuildOptions{})
+	})))
+	rows = append(rows, row("build_map_baseline", bench(func() {
+		apsp.BoundedAPSPMapBaseline(g, benchL, apsp.KindCompact)
+	})))
+	rows = append(rows, row("build_bitbfs", bench(func() {
+		apsp.BitBFSKind(g, benchL, apsp.KindCompact)
+	})))
+	rows = append(rows, row("csr_frozen", bench(func() {
+		g.Frozen()
+	})))
+
+	inner, err := benchBFSInner(g)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row("bfs_inner", inner))
+
+	if scale == "ci" {
+		ag, err := gen.RMAT(150, 450, gen.WebRMAT(), rand.New(rand.NewSource(7)))
+		if err != nil {
+			return nil, err
+		}
+		res := bench(func() {
+			if _, err := anonymize.Run(ag, anonymize.Options{L: benchL, MaxSteps: 2, Seed: 1}); err != nil {
+				panic(err)
+			}
+		})
+		r := row("anonymize_greedy", res)
+		r.N, r.M = ag.N(), ag.M() // row() records the big graph's dims; fix them
+		rows = append(rows, r)
+	}
+
+	warm, err := benchWarmRestart(g)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row("warm_restart_mapped", warm))
+	return rows, nil
+}
+
+// bench runs fn under testing.Benchmark with allocation reporting.
+func bench(fn func()) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+}
+
+// benchBFSInner measures the engine inner loop — one bounded BFS plus
+// its touched-only reset — and enforces the zero-allocation invariant.
+func benchBFSInner(g *graph.Graph) (testing.BenchmarkResult, error) {
+	c := g.Frozen()
+	n := c.N()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	src := 0
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			visited := c.BoundedBFSInto(src, benchL, dist, queue)
+			for _, v := range visited {
+				dist[v] = -1
+			}
+			queue = visited[:0]
+			src++
+			if src == n {
+				src = 0
+			}
+		}
+	})
+	if res.AllocsPerOp() != 0 {
+		return res, fmt.Errorf("bfs_inner allocates %d objects/op, want 0", res.AllocsPerOp())
+	}
+	return res, nil
+}
+
+// benchWarmRestart measures a full registry reboot with mapped-store
+// hydration: build + persist once, then time New(MappedStores) plus
+// the first Distances call, asserting it never rebuilds.
+func benchWarmRestart(g *graph.Graph) (testing.BenchmarkResult, error) {
+	dir, err := os.MkdirTemp("", "lopbench-*")
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	edges := make([][2]int, 0, g.M())
+	for _, e := range g.Edges() {
+		edges = append(edges, [2]int{e.U, e.V})
+	}
+	seedReg := registry.New(registry.Config{Dir: dir})
+	sg, _, err := seedReg.Put(g.N(), edges)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	sg.Distances(benchL, apsp.EngineAuto, apsp.KindCompact)
+	id := sg.ID()
+
+	var misses int64
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := registry.New(registry.Config{Dir: dir, MappedStores: true})
+			wg, ok := r.Get(id)
+			if !ok {
+				panic("warm registry lost the graph")
+			}
+			wg.Distances(benchL, apsp.EngineAuto, apsp.KindCompact)
+			misses = r.Stats().StoreMisses
+		}
+	})
+	if misses != 0 {
+		return res, fmt.Errorf("warm_restart_mapped rebuilt: store_misses=%d, want 0", misses)
+	}
+	return res, nil
+}
+
+// compare fails when any suite present in both reports regressed in
+// ns/op beyond maxRatio. Suites missing on either side are skipped —
+// the trajectory may grow or retire suites between points.
+func compare(cur Report, baselinePath string, maxRatio float64) error {
+	data, err := os.ReadFile(filepath.Clean(baselinePath))
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	baseRows := make(map[string]Result)
+	for _, r := range base.Results {
+		baseRows[r.Name+"/"+r.Scale] = r
+	}
+	var failures []string
+	for _, r := range cur.Results {
+		b, ok := baseRows[r.Name+"/"+r.Scale]
+		if !ok || b.NsOp <= 0 {
+			continue
+		}
+		ratio := float64(r.NsOp) / float64(b.NsOp)
+		if ratio > maxRatio {
+			failures = append(failures, fmt.Sprintf("%s/%s: %d ns/op vs baseline %d (%.2fx > %.1fx)",
+				r.Name, r.Scale, r.NsOp, b.NsOp, ratio, maxRatio))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "lopbench: REGRESSION "+f)
+		}
+		return fmt.Errorf("%d suite(s) regressed beyond %.1fx", len(failures), maxRatio)
+	}
+	return nil
+}

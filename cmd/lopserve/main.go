@@ -15,7 +15,10 @@
 // stores are snapshotted write-through into the directory and
 // recovered at startup, so a restarted server answers its first
 // graph_ref queries with zero APSP builds (see the "persistence"
-// section of GET /v1/stats).
+// section of GET /v1/stats). Adding -mmap-stores makes that recovery
+// zero-copy: store snapshots are memory-mapped read-only instead of
+// decoded into the heap, so warm-restart time is independent of how
+// many gigabytes of distance triangles are on disk.
 //
 // The wire contract lives in the exported api package; the official Go
 // client (package client) and examples/client consume it. Endpoints
@@ -105,7 +108,7 @@ func main() {
 		maxVerts     = flag.Int("max-vertices", 20000, "maximum graph size accepted")
 		maxBudget    = flag.Duration("max-budget", 30*time.Second, "per-request anonymization wall-clock cap")
 		engine       = flag.String("engine", "auto", "default APSP engine: auto, bfs, fw, pointer, or bitbfs")
-		store        = flag.String("store", "compact", "default distance-store backing: compact (uint8) or packed (int32)")
+		store        = flag.String("store", "compact", "default distance-store backing: compact (uint8), packed (int32), or mapped (read-only snapshot view; builds fall back to compact)")
 		workers      = flag.Int("workers", 0, "async job worker goroutines (0 selects 4)")
 		queue        = flag.Int("queue", 0, "async job queue depth before 429s (0 selects 64)")
 		cacheEntries = flag.Int("cache-entries", 0, "content-addressed result cache capacity (0 selects 256)")
@@ -114,6 +117,7 @@ func main() {
 		storesPer    = flag.Int("stores-per-graph", 0, "cached distance stores per registered graph (0 selects 4)")
 		maxBatch     = flag.Int("max-batch", 0, "operations accepted per POST /v1/batch request (0 selects 64)")
 		dataDir      = flag.String("data-dir", "", "snapshot directory for registry persistence (empty disables)")
+		mmapStores   = flag.Bool("mmap-stores", false, "hydrate persisted distance stores at boot as read-only memory-mapped views (requires -data-dir)")
 	)
 	flag.Var(&preloads, "preload", "register a built-in dataset at boot as key=seed (repeatable)")
 	flag.Parse()
@@ -132,6 +136,7 @@ func main() {
 		StoresPerGraph: *storesPer,
 		MaxBatchItems:  *maxBatch,
 		DataDir:        *dataDir,
+		MappedStores:   *mmapStores,
 	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatalf("lopserve: %v", err)

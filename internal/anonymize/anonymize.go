@@ -252,6 +252,7 @@ type state struct {
 
 	evalsBuf  []opacity.Evaluation // reusable candidate-evaluation array
 	insertBuf []graph.Edge         // reusable insertion-candidate list
+	pool      []*workerState       // per-lane scratch, reused across scans
 }
 
 // evalBuf returns a zeroed evaluation slice of length n, reusing the

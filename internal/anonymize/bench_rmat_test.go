@@ -1,0 +1,45 @@
+package anonymize
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// BenchmarkAnonymizeRMATGreedy runs a capped greedy removal on an RMAT
+// graph — the end-to-end serving workload the CSR engine, non-mutating
+// removal deltas, and per-worker scratch reuse accelerate. The default
+// size finishes in CI; LOPBENCH_LARGE=1 adds a heavier point.
+func BenchmarkAnonymizeRMATGreedy(b *testing.B) {
+	sizes := [][2]int{{150, 450}}
+	if os.Getenv("LOPBENCH_LARGE") == "1" {
+		sizes = append(sizes, [2]int{500, 1_500})
+	}
+	for _, sz := range sizes {
+		g, err := gen.RMAT(sz[0], sz[1], gen.WebRMAT(), rand.New(rand.NewSource(7)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(benchSizeName(sz[0], g.M()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := Run(g, Options{
+					L:        3,
+					Theta:    0.0, // unreachable: always run the full step cap
+					MaxSteps: 2,
+					Seed:     1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchSizeName(n, m int) string {
+	return fmt.Sprintf("n%d_m%d", n, m)
+}

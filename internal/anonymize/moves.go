@@ -20,7 +20,7 @@ func (s *state) removalChanges(e graph.Edge) []opacity.PairChange {
 // changes caused by inserting e into the current working graph.
 func (s *state) insertionChanges(e graph.Edge) []opacity.PairChange {
 	s.changes = s.changes[:0]
-	apsp.InsertionDelta(s.m, e.U, e.V, func(x, y, oldD, newD int) {
+	apsp.InsertionDeltaScratch(s.m, e.U, e.V, s.scratch, func(x, y, oldD, newD int) {
 		s.changes = append(s.changes, opacity.PairChange{X: x, Y: y, OldD: oldD, NewD: newD})
 	})
 	return s.changes

@@ -16,23 +16,45 @@ import (
 // order with the original seeded RNG, so a run with Workers = 8 picks
 // exactly the edges a run with Workers = 1 picks.
 //
-// RemovalDelta temporarily toggles the edge under test, so each worker
-// operates on a private clone of the working graph; InsertionDelta is
-// a pure function of the distance store and needs no clone. The
-// distance store itself (s.m, on either backing) is shared read-only
-// across workers — deltas only read it, and the compact uint8 backing
-// makes those concurrent scans a quarter of the cache traffic of the
-// int32 layout.
+// Both delta kernels are pure readers: InsertionDelta reads only the
+// distance store, and RemovalDelta recomputes with the candidate edge
+// masked out of the BFS instead of toggling it, so the working graph
+// and the store are shared read-only across every worker — no clones.
+// The only per-worker state is a workerState of O(n) scratch buffers,
+// allocated once per lane for the lifetime of the run and reused
+// across every greedy step, so steady-state candidate scans allocate
+// nothing.
+
+// workerState is one evaluation lane's private scratch: reused across
+// candidates within a scan and across scans within a run.
+type workerState struct {
+	scratch *apsp.Scratch
+	deltas  []int
+	changes []opacity.PairChange
+}
+
+// workerStates returns w lanes of per-worker scratch, growing the
+// state's pool on first use (and when Workers changes mid-run, which
+// the public API does not allow but costs nothing to tolerate).
+func (s *state) workerStates(w int) []*workerState {
+	for len(s.pool) < w {
+		s.pool = append(s.pool, &workerState{
+			scratch: apsp.NewScratch(s.g.N()),
+			deltas:  make([]int, len(s.deltas)),
+		})
+	}
+	return s.pool[:w]
+}
 
 // workers resolves the configured parallelism: Options.Workers when it
 // is greater than 1, else 1 (sequential). Workers = 1 is sequential by
 // definition, and the zero value deliberately shares that path — a
 // single lane through the parallel machinery would only add goroutine
-// and clone overhead, so the two settings are exact equivalents (a
-// cross-worker test asserts it). The count is not capped at GOMAXPROCS:
-// extra goroutines cost little, and honoring the requested fan-out
-// keeps the concurrent code path exercised (and race-checkable) even on
-// small machines.
+// overhead, so the two settings are exact equivalents (a cross-worker
+// test asserts it). The count is not capped at GOMAXPROCS: extra
+// goroutines cost little, and honoring the requested fan-out keeps the
+// concurrent code path exercised (and race-checkable) even on small
+// machines.
 func (s *state) workers() int {
 	if w := s.opts.Workers; w > 1 {
 		return w
@@ -51,39 +73,36 @@ func (s *state) evalRemovals(candidates []graph.Edge, evs []opacity.Evaluation) 
 		s.evals += int64(len(candidates))
 		return
 	}
+	pool := s.workerStates(w)
 	var wg sync.WaitGroup
 	chunk := (len(candidates) + w - 1) / w
+	lane := 0
 	for start := 0; start < len(candidates); start += chunk {
 		end := start + chunk
 		if end > len(candidates) {
 			end = len(candidates)
 		}
+		ws := pool[lane]
+		lane++
 		wg.Add(1)
-		go func(start, end int) {
+		go func(start, end int, ws *workerState) {
 			defer wg.Done()
-			// Private mutable state per worker: RemovalDelta toggles
-			// the candidate edge on its own clone.
-			g := s.g.Clone()
-			scratch := apsp.NewScratch(g.N())
-			deltas := make([]int, len(s.deltas))
-			var changes []opacity.PairChange
 			for i := start; i < end; i++ {
 				e := candidates[i]
-				changes = changes[:0]
-				apsp.RemovalDelta(g, s.m, e.U, e.V, scratch, func(x, y, oldD, newD int) {
-					changes = append(changes, opacity.PairChange{X: x, Y: y, OldD: oldD, NewD: newD})
+				ws.changes = ws.changes[:0]
+				apsp.RemovalDelta(s.g, s.m, e.U, e.V, ws.scratch, func(x, y, oldD, newD int) {
+					ws.changes = append(ws.changes, opacity.PairChange{X: x, Y: y, OldD: oldD, NewD: newD})
 				})
-				evs[i] = s.normalize(s.tr.EvaluateWith(changes, deltas))
+				evs[i] = s.normalize(s.tr.EvaluateWith(ws.changes, ws.deltas))
 			}
-		}(start, end)
+		}(start, end, ws)
 	}
 	wg.Wait()
 	s.evals += int64(len(candidates))
 }
 
 // evalInsertions fills evs[i] with the evaluation of inserting
-// candidates[i], in parallel when configured. InsertionDelta reads only
-// the shared matrix, so workers need no clones.
+// candidates[i], in parallel when configured.
 func (s *state) evalInsertions(candidates []graph.Edge, evs []opacity.Evaluation) {
 	w := s.workers()
 	if w == 1 || len(candidates) < 2*w {
@@ -93,27 +112,29 @@ func (s *state) evalInsertions(candidates []graph.Edge, evs []opacity.Evaluation
 		s.evals += int64(len(candidates))
 		return
 	}
+	pool := s.workerStates(w)
 	var wg sync.WaitGroup
 	chunk := (len(candidates) + w - 1) / w
+	lane := 0
 	for start := 0; start < len(candidates); start += chunk {
 		end := start + chunk
 		if end > len(candidates) {
 			end = len(candidates)
 		}
+		ws := pool[lane]
+		lane++
 		wg.Add(1)
-		go func(start, end int) {
+		go func(start, end int, ws *workerState) {
 			defer wg.Done()
-			deltas := make([]int, len(s.deltas))
-			var changes []opacity.PairChange
 			for i := start; i < end; i++ {
 				e := candidates[i]
-				changes = changes[:0]
-				apsp.InsertionDelta(s.m, e.U, e.V, func(x, y, oldD, newD int) {
-					changes = append(changes, opacity.PairChange{X: x, Y: y, OldD: oldD, NewD: newD})
+				ws.changes = ws.changes[:0]
+				apsp.InsertionDeltaScratch(s.m, e.U, e.V, ws.scratch, func(x, y, oldD, newD int) {
+					ws.changes = append(ws.changes, opacity.PairChange{X: x, Y: y, OldD: oldD, NewD: newD})
 				})
-				evs[i] = s.normalize(s.tr.EvaluateWith(changes, deltas))
+				evs[i] = s.normalize(s.tr.EvaluateWith(ws.changes, ws.deltas))
 			}
-		}(start, end)
+		}(start, end, ws)
 	}
 	wg.Wait()
 	s.evals += int64(len(candidates))

@@ -1,0 +1,33 @@
+package apsp
+
+import "repro/internal/graph"
+
+// BoundedAPSPMapBaseline is the pre-CSR bounded-BFS engine, retained
+// verbatim as the measured baseline of the perf trajectory
+// (BENCH_*.json): it walks the mutable map adjacency, scans all n
+// candidates per source, and resets the full distance row per source —
+// the exact costs the CSR sweep removes. It produces bit-for-bit the
+// same store as every other engine (the cross-validation tests
+// include it) and exists only so the "CSR vs map adjacency" speedup
+// stays reproducible instead of being a one-off prose number.
+func BoundedAPSPMapBaseline(g *graph.Graph, L int, k Kind) Store {
+	n := g.N()
+	m := newStoreAuto(n, L, k)
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	for src := 0; src < n; src++ {
+		g.BoundedBFSInto(src, L, dist, queue)
+		for j := src + 1; j < n; j++ {
+			if d := dist[j]; d > 0 {
+				m.Set(src, j, d)
+			}
+		}
+		for j := 0; j < n; j++ {
+			dist[j] = -1
+		}
+	}
+	return m
+}

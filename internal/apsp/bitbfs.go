@@ -28,6 +28,7 @@ func BitBFSKind(g *graph.Graph, L int, k Kind) Store {
 	if n == 0 || L == 0 {
 		return m
 	}
+	c := g.Frozen()
 	seen := make([]uint64, n)
 	frontier := make([]uint64, n)
 	next := make([]uint64, n)
@@ -58,7 +59,10 @@ func BitBFSKind(g *graph.Graph, L int, k Kind) Store {
 				if fv == 0 {
 					continue
 				}
-				for _, w := range g.Neighbors(v) {
+				// CSR window scan: contiguous int32 reads, no per-vertex
+				// allocation (the map-walking Neighbors helper allocated
+				// and sorted a slice per visited vertex here).
+				for _, w := range c.Neighbors(v) {
 					if nb := fv &^ seen[w]; nb != 0 {
 						next[w] |= nb
 					}

@@ -2,6 +2,7 @@ package apsp
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/graph"
 )
@@ -64,15 +65,24 @@ func ParseEngine(s string) (Engine, error) {
 
 // BuildOptions selects the engine, store backing, and parallelism of a
 // full distance-store build. The zero value is the package default:
-// bounded BFS into a compact store, sequential.
+// bounded CSR BFS into a compact store, parallel when the graph is
+// large enough to repay the goroutine setup (see autoParallelMinN).
 type BuildOptions struct {
 	Engine Engine
 	Kind   Kind
 	// Workers is the goroutine count for EngineAuto; values below 2 run
-	// sequentially. All engines return bit-for-bit identical stores at
-	// every worker count.
+	// sequentially, except that the zero value on graphs with at least
+	// autoParallelMinN vertices auto-selects one worker per CPU. All
+	// engines return bit-for-bit identical stores at every worker count.
 	Workers int
 }
+
+// autoParallelMinN is the vertex count from which EngineAuto with
+// unset Workers stripes the CSR sweep over all CPUs. Below it the
+// sequential sweep finishes before the goroutines would be scheduled;
+// above it the build is the dominant cost of a request and should use
+// the machine.
+const autoParallelMinN = 4096
 
 // Build computes the L-capped distance store of g with the configured
 // engine and backing. Every engine produces an identical store (the
@@ -89,6 +99,10 @@ func Build(g *graph.Graph, L int, o BuildOptions) Store {
 	case EngineBit:
 		return BitBFSKind(g, L, o.Kind)
 	default:
-		return BoundedAPSPParallelKind(g, L, o.Workers, o.Kind)
+		workers := o.Workers
+		if workers == 0 && g.N() >= autoParallelMinN {
+			workers = runtime.NumCPU()
+		}
+		return BoundedAPSPParallelKind(g, L, workers, o.Kind)
 	}
 }

@@ -15,11 +15,21 @@ import "repro/internal/graph"
 // and legs longer than L-1 (stored as Far or L) cannot contribute a path
 // within the cap, so the capped matrix suffices as input.
 func InsertionDelta(m Store, u, v int, visit func(x, y, oldD, newD int)) {
+	InsertionDeltaScratch(m, u, v, nil, visit)
+}
+
+// InsertionDeltaScratch is InsertionDelta with caller-provided scratch
+// buffers, for the greedy sweeps that evaluate every absent edge at
+// every step: with a reused Scratch the scan allocates nothing.
+func InsertionDeltaScratch(m Store, u, v int, scratch *Scratch, visit func(x, y, oldD, newD int)) {
 	n := m.N()
 	L := m.L()
 	far := m.Far()
-	du := make([]int, n) // capped d(x, u)
-	dv := make([]int, n) // capped d(x, v)
+	if scratch == nil {
+		scratch = NewScratch(n)
+	}
+	du := scratch.du[:n] // capped d(x, u)
+	dv := scratch.dv[:n] // capped d(x, v)
 	for x := 0; x < n; x++ {
 		switch x {
 		case u:
@@ -84,13 +94,20 @@ func AffectedRemovalSources(m Store, u, v int) []int {
 	return out
 }
 
-// RemovalDelta reports, without permanently mutating anything, every
-// unordered pair whose L-capped distance changes when the edge {u, v} is
-// removed. g must be the graph WITH the edge still present and consistent
-// with m; the function temporarily removes the edge, re-runs bounded BFS
-// from every affected source, and restores the edge before returning.
-// visit is called once per changed pair with x < y (oldD < newD always,
-// since removal can only lengthen distances).
+// RemovalDelta reports, without mutating anything, every unordered
+// pair whose L-capped distance changes when the edge {u, v} is removed.
+// g must be the graph WITH the edge still present and consistent with
+// m; the edge is not actually removed — the recomputation runs bounded
+// BFS from every affected source with the edge masked out
+// (BoundedBFSIntoSkip), so g is only ever read. That read-only
+// discipline is what lets the anonymization heuristics' parallel
+// candidate scans share one graph across workers instead of cloning it
+// per worker. visit is called once per changed pair with x < y
+// (oldD < newD always, since removal can only lengthen distances).
+//
+// A changed pair whose endpoints are both affected sources would be
+// recomputed twice; it is reported exactly once, by the
+// smaller-indexed endpoint's pass.
 //
 // scratch may be nil; pass a Scratch to amortize allocations across the
 // many candidate evaluations of a greedy sweep.
@@ -105,12 +122,18 @@ func RemovalDelta(g *graph.Graph, m Store, u, v int, scratch *Scratch, visit fun
 	}
 	dist := scratch.dist
 	queue := scratch.queue
-	seen := scratch.seen
-	sources := AffectedRemovalSources(m, u, v)
+	affected := scratch.affected
+	sources := scratch.sources[:0]
+	for x := 0; x < n; x++ {
+		if x == u || x == v || m.Get(x, u) <= L-1 || m.Get(x, v) <= L-1 {
+			sources = append(sources, x)
+			affected[x] = true
+		}
+	}
+	scratch.sources = sources
 
-	g.RemoveEdge(u, v)
 	for _, x := range sources {
-		g.BoundedBFSInto(x, L, dist, queue)
+		g.BoundedBFSIntoSkip(x, L, dist, queue, u, v)
 		for y := 0; y < n; y++ {
 			if y == x {
 				dist[y] = -1
@@ -121,6 +144,9 @@ func RemovalDelta(g *graph.Graph, m Store, u, v int, scratch *Scratch, visit fun
 				newD = L + 1
 			}
 			dist[y] = -1
+			if y < x && affected[y] {
+				continue // y's own pass reports the pair
+			}
 			old := m.Get(x, y)
 			if newD == old {
 				continue
@@ -129,21 +155,12 @@ func RemovalDelta(g *graph.Graph, m Store, u, v int, scratch *Scratch, visit fun
 			if lo > hi {
 				lo, hi = hi, lo
 			}
-			// A pair may be covered by two affected sources; report once.
-			key := lo*n + hi
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			scratch.touched = append(scratch.touched, key)
 			visit(lo, hi, old, newD)
 		}
 	}
-	g.AddEdge(u, v)
-	for _, key := range scratch.touched {
-		seen[key] = false
+	for _, x := range sources {
+		affected[x] = false
 	}
-	scratch.touched = scratch.touched[:0]
 }
 
 // ApplyInsertion mutates m to reflect inserting the edge {u, v} into the
@@ -155,7 +172,7 @@ func ApplyInsertion(m Store, u, v int) {
 }
 
 // ApplyRemoval mutates m to reflect removing the edge {u, v}. g must
-// still contain the edge; it is restored before the function returns.
+// still contain the edge; it is only read, never mutated.
 func ApplyRemoval(g *graph.Graph, m Store, u, v int, scratch *Scratch) {
 	type upd struct{ x, y, d int }
 	var ups []upd
@@ -169,12 +186,15 @@ func ApplyRemoval(g *graph.Graph, m Store, u, v int, scratch *Scratch) {
 
 // Scratch holds reusable buffers for RemovalDelta so that the greedy
 // sweeps, which evaluate every candidate edge at every step, do not
-// allocate per candidate.
+// allocate per candidate. All buffers are O(n); RemovalDelta only
+// reads the graph, so each concurrent evaluator needs its own Scratch
+// but can share the graph and store.
 type Scratch struct {
-	dist    []int
-	queue   []int
-	seen    []bool
-	touched []int
+	dist     []int
+	queue    []int
+	affected []bool
+	sources  []int
+	du, dv   []int
 }
 
 // NewScratch returns buffers sized for an n-vertex graph.
@@ -184,8 +204,11 @@ func NewScratch(n int) *Scratch {
 		dist[i] = -1
 	}
 	return &Scratch{
-		dist:  dist,
-		queue: make([]int, 0, n),
-		seen:  make([]bool, n*n),
+		dist:     dist,
+		queue:    make([]int, 0, n),
+		affected: make([]bool, n),
+		sources:  make([]int, 0, n),
+		du:       make([]int, n),
+		dv:       make([]int, n),
 	}
 }

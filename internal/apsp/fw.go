@@ -65,7 +65,7 @@ func LPrunedFWKind(g *graph.Graph, L int, k Kind) Store {
 	n := g.N()
 	m := newStoreAuto(n, L, k)
 	if L >= 1 {
-		g.EachEdge(func(u, v int) { m.Set(u, v, 1) })
+		seedEdges(g.Frozen(), m)
 	}
 	for k := 0; k < n; k++ {
 		for i := 0; i < n-1; i++ {
@@ -93,36 +93,41 @@ func LPrunedFWKind(g *graph.Graph, L int, k Kind) Store {
 	return m
 }
 
+// seedEdges writes distance 1 for every edge of the snapshot — the
+// initialization step shared by the Floyd-Warshall style engines.
+func seedEdges(c *graph.CSR, m Store) {
+	n := c.N()
+	for u := 0; u < n; u++ {
+		for _, w := range c.Neighbors(u) {
+			if int(w) > u {
+				m.Set(u, int(w), 1)
+			}
+		}
+	}
+}
+
 // BoundedAPSP computes the L-capped distance store by running one
-// depth-L bounded BFS per source vertex. On the sparse graphs of the
-// paper's evaluation this is far cheaper than any Floyd-Warshall variant
-// (O(n * volume of L-balls) instead of O(n^3)) and is therefore the
-// default engine for the anonymization heuristics. The result uses the
-// default compact backing; BoundedAPSPKind selects it explicitly.
+// depth-L bounded BFS per source vertex over a CSR snapshot of the
+// graph. On the sparse graphs of the paper's evaluation this is far
+// cheaper than any Floyd-Warshall variant (O(sum of L-ball volumes)
+// instead of O(n^3)) and is therefore the default engine for the
+// anonymization heuristics. The result uses the default compact
+// backing; BoundedAPSPKind selects it explicitly.
 func BoundedAPSP(g *graph.Graph, L int) Store { return BoundedAPSPKind(g, L, KindCompact) }
 
 // BoundedAPSPKind runs the bounded-BFS engine into a store of the given
 // kind.
 func BoundedAPSPKind(g *graph.Graph, L int, k Kind) Store {
-	n := g.N()
+	return BoundedCSRKind(g.Frozen(), L, k)
+}
+
+// BoundedCSRKind runs the sequential bounded-BFS engine over an
+// already-frozen CSR snapshot. Callers that hold a snapshot (the
+// parallel engine, benchmarks) use this form to freeze exactly once.
+func BoundedCSRKind(c *graph.CSR, L int, k Kind) Store {
+	n := c.N()
 	m := newStoreAuto(n, L, k)
-	dist := make([]int, n)
-	queue := make([]int, 0, n)
-	for i := range dist {
-		dist[i] = -1
-	}
-	for src := 0; src < n; src++ {
-		g.BoundedBFSInto(src, L, dist, queue)
-		for j := src + 1; j < n; j++ {
-			if d := dist[j]; d > 0 {
-				m.Set(src, j, d)
-			}
-		}
-		// reset only touched entries by re-walking reachable set
-		for j := 0; j < n; j++ {
-			dist[j] = -1
-		}
-	}
+	boundedCSRRange(c, L, m, 0, n, newCSRScratch(n))
 	return m
 }
 

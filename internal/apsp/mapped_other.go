@@ -1,0 +1,16 @@
+//go:build !unix
+
+package apsp
+
+import "os"
+
+// mapFile on platforms without mmap support reads the whole file into
+// memory. MappedStore semantics are unchanged — the store is still a
+// validated read-only view — only the zero-copy paging win is lost.
+func mapFile(path string) ([]byte, func() error, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return raw, nil, nil
+}

@@ -1,0 +1,36 @@
+//go:build unix
+
+package apsp
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only and returns the bytes plus the munmap
+// release function. Empty files cannot be mapped (and cannot hold a
+// snapshot header anyway), so they are rejected before the syscall.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size < storeHeaderLen {
+		return nil, nil, fmt.Errorf("file is %d bytes, smaller than the %d-byte snapshot header", size, storeHeaderLen)
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("file size %d overflows the address space", size)
+	}
+	raw, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mmap: %w", err)
+	}
+	return raw, func() error { return syscall.Munmap(raw) }, nil
+}

@@ -8,11 +8,12 @@ import (
 )
 
 // BoundedAPSPParallel computes the same matrix as BoundedAPSP using
-// `workers` goroutines, one depth-L-truncated BFS per source. Sources
-// are dealt in contiguous stripes; from source s a worker records only
-// the pairs {s, v} with v > s, so every matrix cell has exactly one
-// writer and the run is race-free without locks. Distances are
-// symmetric, so the half each source records covers the matrix.
+// `workers` goroutines, one depth-L-truncated BFS per source over one
+// shared CSR snapshot. Sources are dealt in contiguous stripes; from
+// source s a worker records only the pairs {s, v} with v > s, so every
+// matrix cell has exactly one writer and the run is race-free without
+// locks. Distances are symmetric, so the half each source records
+// covers the matrix.
 //
 // The result is bit-for-bit identical to BoundedAPSP at every worker
 // count (and to the other engines — see the cross-validation tests).
@@ -20,9 +21,12 @@ import (
 // of choice for one-shot opacity reports on large graphs; the greedy
 // loops keep using incremental deltas, which beat any full rebuild.
 //
-// Striped single-writer cells make the run race-free on either store
-// backing: on the compact store each cell is its own byte, and distinct
-// bytes are distinct memory locations under the Go memory model.
+// Each worker owns a reusable frontier/distance scratch (csrScratch)
+// for its whole stripe, so the steady-state sweep performs no
+// allocations. Striped single-writer cells make the run race-free on
+// either store backing: on the compact store each cell is its own
+// byte, and distinct bytes are distinct memory locations under the Go
+// memory model. The CSR snapshot is shared read-only.
 func BoundedAPSPParallel(g *graph.Graph, L, workers int) Store {
 	return BoundedAPSPParallelKind(g, L, workers, KindCompact)
 }
@@ -30,9 +34,14 @@ func BoundedAPSPParallel(g *graph.Graph, L, workers int) Store {
 // BoundedAPSPParallelKind runs the striped parallel engine into a store
 // of the given kind.
 func BoundedAPSPParallelKind(g *graph.Graph, L, workers int, k Kind) Store {
-	n := g.N()
+	return boundedCSRParallel(g.Frozen(), L, workers, k)
+}
+
+// boundedCSRParallel stripes the CSR sweep over workers goroutines.
+func boundedCSRParallel(c *graph.CSR, L, workers int, k Kind) Store {
+	n := c.N()
 	if workers < 2 || n < 2 {
-		return BoundedAPSPKind(g, L, k)
+		return BoundedCSRKind(c, L, k)
 	}
 	if cpus := runtime.NumCPU(); workers > cpus {
 		workers = cpus
@@ -49,19 +58,7 @@ func BoundedAPSPParallelKind(g *graph.Graph, L, workers int, k Kind) Store {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			dist := make([]int, n)
-			queue := make([]int, 0, n)
-			for s := lo; s < hi; s++ {
-				for i := range dist {
-					dist[i] = -1
-				}
-				g.BoundedBFSInto(s, L, dist, queue)
-				for v := s + 1; v < n; v++ {
-					if d := dist[v]; d > 0 && d <= L {
-						m.Set(s, v, d)
-					}
-				}
-			}
+			boundedCSRRange(c, L, m, lo, hi, newCSRScratch(n))
 		}(lo, hi)
 	}
 	wg.Wait()

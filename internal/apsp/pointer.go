@@ -21,14 +21,23 @@ func PointerFWKind(g *graph.Graph, L int, k Kind) Store {
 	n := g.N()
 	m := newStoreAuto(n, L, k)
 	low := make([][]int, n)
+	c := g.Frozen()
 	if L >= 1 {
-		g.EachEdge(func(u, v int) { m.Set(u, v, 1) })
+		seedEdges(c, m)
 	}
 	// Pre-processing step of Algorithm 3: thread the initial sub-L cells
-	// (edges, when L > 1) into the lists.
+	// (edges, when L > 1) into the lists. The CSR windows are already
+	// sorted, so the lists start in the same deterministic order the
+	// per-vertex Neighbors sort used to provide — without allocating a
+	// sorted copy per vertex.
 	if L > 1 {
 		for v := 0; v < n; v++ {
-			low[v] = append(low[v], g.Neighbors(v)...)
+			nbrs := c.Neighbors(v)
+			lv := make([]int, len(nbrs))
+			for i, w := range nbrs {
+				lv[i] = int(w)
+			}
+			low[v] = lv
 		}
 	}
 	for k := 0; k < n; k++ {

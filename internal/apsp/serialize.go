@@ -167,6 +167,10 @@ func MarshalStore(s Store) ([]byte, error) {
 		return t.MarshalBinary()
 	case *Matrix:
 		return t.MarshalBinary()
+	case *MappedStore:
+		// The mapping already holds the snapshot bytes; copy them out so
+		// the result outlives a Close of the store.
+		return append([]byte(nil), t.raw...), nil
 	}
 	c := NewStore(s.N(), s.L(), EffectiveKind(KindOf(s), s.L()))
 	Copy(c, s)

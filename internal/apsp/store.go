@@ -54,6 +54,12 @@ const (
 	// ceiling and exists as the fallback for L > MaxCompactL and as the
 	// cross-validation twin for the compact store.
 	KindPacked
+	// KindMapped is the read-only MappedStore view over a persisted
+	// snapshot file. It is a hydration/request alias, not a buildable
+	// backing: NewStore panics on it, and EffectiveKind folds it to the
+	// heap kind its payload decodes into, so cache keys and build paths
+	// treat a mapped store and its heap twin as the same artifact.
+	KindMapped
 )
 
 // String names the kind as accepted by ParseKind.
@@ -63,6 +69,8 @@ func (k Kind) String() string {
 		return "compact"
 	case KindPacked:
 		return "packed"
+	case KindMapped:
+		return "mapped"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -76,17 +84,25 @@ func ParseKind(s string) (Kind, error) {
 		return KindCompact, nil
 	case "packed", "int32":
 		return KindPacked, nil
+	case "mapped", "mmap":
+		return KindMapped, nil
 	}
-	return 0, fmt.Errorf("apsp: unknown store %q (want compact or packed)", s)
+	return 0, fmt.Errorf("apsp: unknown store %q (want compact, packed, or mapped)", s)
 }
 
 // EffectiveKind returns the kind actually usable for threshold L: the
 // requested kind, except that compact silently falls back to packed
 // when L exceeds MaxCompactL, so callers resolving user input never
-// trip the constructor bound.
+// trip the constructor bound. KindMapped folds the same way — a mapped
+// snapshot's payload is compact whenever compact is legal for L — so
+// requests for store=mapped resolve to the cache slot the snapshot
+// hydrates.
 func EffectiveKind(k Kind, L int) Kind {
-	if k == KindCompact && L > MaxCompactL {
+	if (k == KindCompact || k == KindMapped) && L > MaxCompactL {
 		return KindPacked
+	}
+	if k == KindMapped {
+		return KindCompact
 	}
 	return k
 }
@@ -101,6 +117,8 @@ func NewStore(n, L int, k Kind) Store {
 		return NewMatrix(n, L)
 	case KindCompact:
 		return NewCompactMatrix(n, L)
+	case KindMapped:
+		panic("apsp: mapped stores are opened from snapshot files (OpenMappedStore), not built")
 	}
 	panic(fmt.Sprintf("apsp: unknown store kind %d", int(k)))
 }
@@ -112,10 +130,15 @@ func newStoreAuto(n, L int, k Kind) Store {
 }
 
 // KindOf reports the backing of a store, defaulting to KindCompact for
-// foreign implementations.
+// foreign implementations. A mapped store reports its payload kind
+// (what Clone decodes into), not KindMapped, so serialization and
+// cache-key logic built on KindOf keeps treating it as its heap twin.
 func KindOf(s Store) Kind {
-	if _, ok := s.(*Matrix); ok {
+	switch t := s.(type) {
+	case *Matrix:
 		return KindPacked
+	case *MappedStore:
+		return t.Kind()
 	}
 	return KindCompact
 }

@@ -29,8 +29,12 @@ type Adversary struct {
 	degrees   []int
 	// byDegree maps an original degree to the candidate vertex set.
 	byDegree map[int][]int
+	// frozen is the CSR snapshot of the published graph, built lazily on
+	// the first BFS query. The published graph never mutates after New,
+	// so the snapshot stays valid for the adversary's lifetime.
+	frozen *graph.CSR
 	// dist caches BFS distance rows from vertices we have queried.
-	dist map[int][]int
+	dist map[int][]int32
 	// store, when non-nil, is a prebuilt L-capped distance store of the
 	// published graph; queries with L <= store.L() read it instead of
 	// running per-source BFS. See UseStore.
@@ -56,7 +60,7 @@ func New(published *graph.Graph, originalDegrees []int) (*Adversary, error) {
 		published: published,
 		degrees:   append([]int(nil), originalDegrees...),
 		byDegree:  byDegree,
-		dist:      make(map[int][]int),
+		dist:      make(map[int][]int32),
 	}, nil
 }
 
@@ -83,12 +87,18 @@ func (a *Adversary) Candidates(degree int) []int {
 }
 
 // distances returns (computing and caching on demand) the BFS distance
-// row of src in the published graph, with -1 for unreachable.
-func (a *Adversary) distances(src int) []int {
+// row of src in the published graph, with -1 for unreachable. Rows are
+// computed on the CSR snapshot — contiguous int32 window scans instead
+// of map-bucket walks — which is what makes the exhaustive
+// MaxConfidence sweep tolerable on large graphs.
+func (a *Adversary) distances(src int) []int32 {
 	if row, ok := a.dist[src]; ok {
 		return row
 	}
-	row := a.published.BFSDistances(src)
+	if a.frozen == nil {
+		a.frozen = a.published.Frozen()
+	}
+	row := a.frozen.BFSDistances(src)
 	a.dist[src] = row
 	return row
 }
@@ -142,7 +152,7 @@ func (a *Adversary) LinkageConfidence(d1, d2, L int) Inference {
 		row := a.distances(u)
 		for _, v := range partners {
 			inf.Total++
-			if d := row[v]; d >= 0 && d <= L {
+			if d := row[v]; d >= 0 && int(d) <= L {
 				inf.Within++
 			}
 		}

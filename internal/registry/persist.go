@@ -20,6 +20,7 @@ package registry
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -209,6 +210,12 @@ func (p *persister) quarantine(name string) {
 	p.quarantined++
 }
 
+// errSnapshotTooLarge marks a snapshot that exceeds the heap slurp
+// limit. Unlike corruption, an oversized file may be perfectly valid —
+// just not safe to read wholesale — so the loader skips it (leaving it
+// on disk for a mapped-hydration boot) instead of quarantining it.
+var errSnapshotTooLarge = fmt.Errorf("registry: snapshot exceeds the %d-byte heap load limit", maxSnapshotSize)
+
 // readSnapshot slurps one snapshot file with a size guard.
 func (p *persister) readSnapshot(name string) ([]byte, error) {
 	full := filepath.Join(p.dir, name)
@@ -217,7 +224,7 @@ func (p *persister) readSnapshot(name string) ([]byte, error) {
 		return nil, err
 	}
 	if fi.Size() > maxSnapshotSize {
-		return nil, fmt.Errorf("registry: snapshot %s is %d bytes, over the %d limit", name, fi.Size(), maxSnapshotSize)
+		return nil, fmt.Errorf("%w: %s is %d bytes", errSnapshotTooLarge, name, fi.Size())
 	}
 	return os.ReadFile(full)
 }
@@ -304,15 +311,33 @@ func (r *Registry) loadFromDisk() {
 			continue
 		}
 		ent := el.Value.(*Graph)
-		data, err := p.readSnapshot(name)
-		if err != nil {
-			p.quarantine(name)
-			continue
-		}
-		st, err := apsp.UnmarshalStore(data)
-		if err != nil {
-			p.quarantine(name)
-			continue
+		var st apsp.Store
+		if r.cfg.MappedStores {
+			// Zero-copy hydration: the snapshot becomes a read-only
+			// mapped view, so boot cost is independent of store size and
+			// no slurp limit applies. Open-time validation covers the
+			// header, dimensions, and payload length; cell values are
+			// checked lazily by the first Clone.
+			ms, err := apsp.OpenMappedStore(filepath.Join(p.dir, name))
+			if err != nil {
+				p.quarantine(name)
+				continue
+			}
+			st = ms
+		} else {
+			data, err := p.readSnapshot(name)
+			if err != nil {
+				if errors.Is(err, errSnapshotTooLarge) {
+					continue // valid but unslurpable: a mapped boot can still use it
+				}
+				p.quarantine(name)
+				continue
+			}
+			st, err = apsp.UnmarshalStore(data)
+			if err != nil {
+				p.quarantine(name)
+				continue
+			}
 		}
 		if st.N() != ent.raw.N() || st.L() != key.l ||
 			apsp.KindOf(st) != key.kind || key.kind != apsp.EffectiveKind(key.kind, key.l) {

@@ -34,6 +34,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	lopacity "repro"
 	"repro/internal/apsp"
@@ -55,6 +56,17 @@ type Config struct {
 	// serves its first graph_ref queries with zero APSP builds. See
 	// persist.go for the format and the failure policy.
 	Dir string
+	// MappedStores, when set (and Dir is), hydrates store snapshots at
+	// boot as read-only memory-mapped views (apsp.MappedStore) instead
+	// of decoding them into the heap: a warm restart over gigabytes of
+	// persisted triangles costs page-table setup, not a read-and-copy
+	// of every byte, and cells are paged in only as requests touch
+	// them. Mapped hydration skips the per-cell validation the heap
+	// decode performs (the header, dimensions, and payload length are
+	// still checked); mutable consumers transparently Clone, which
+	// validates fully. Freshly built stores are still written through
+	// and served from the heap until the next restart.
+	MappedStores bool
 }
 
 func (c *Config) setDefaults() {
@@ -302,7 +314,9 @@ func (g *Graph) Distances(L int, engine apsp.Engine, kind apsp.Kind) (apsp.Store
 
 	built := false
 	slot.once.Do(func() {
+		start := time.Now()
 		slot.store = apsp.Build(g.raw, L, apsp.BuildOptions{Engine: engine, Kind: kind})
+		g.reg.recordBuild(time.Since(start))
 		slot.ready.Store(true)
 		built = true
 	})
@@ -342,6 +356,12 @@ type Stats struct {
 	// StoreMisses counts calls that built; StoreEvictions counts stores
 	// displaced by either LRU layer.
 	StoreHits, StoreMisses, StoreEvictions int64
+	// Builds counts completed APSP builds; BuildMSTotal and BuildMSMax
+	// aggregate their wall-clock cost in milliseconds. Together with
+	// StoreHits they answer the capacity-planning question directly
+	// from /v1/stats: how much build time the cache is absorbing, and
+	// how bad the worst cold build has been.
+	Builds, BuildMSTotal, BuildMSMax int64
 	// Persist reports the snapshot layer (zero value when disabled).
 	Persist PersistStats
 }
@@ -358,6 +378,21 @@ type Registry struct {
 	hits, misses, evictions                atomic.Int64
 	stores                                 atomic.Int64
 	storeHits, storeMisses, storeEvictions atomic.Int64
+	builds, buildMSTotal, buildMSMax       atomic.Int64
+}
+
+// recordBuild folds one completed APSP build into the timing
+// aggregates. The max is maintained with a CAS loop — builds race.
+func (r *Registry) recordBuild(d time.Duration) {
+	ms := d.Milliseconds()
+	r.builds.Add(1)
+	r.buildMSTotal.Add(ms)
+	for {
+		cur := r.buildMSMax.Load()
+		if ms <= cur || r.buildMSMax.CompareAndSwap(cur, ms) {
+			return
+		}
+	}
 }
 
 // New returns a registry, recovering any snapshots when Config.Dir is
@@ -558,6 +593,9 @@ func (r *Registry) Stats() Stats {
 		StoreHits:      r.storeHits.Load(),
 		StoreMisses:    r.storeMisses.Load(),
 		StoreEvictions: r.storeEvictions.Load(),
+		Builds:         r.builds.Load(),
+		BuildMSTotal:   r.buildMSTotal.Load(),
+		BuildMSMax:     r.buildMSMax.Load(),
 		Persist:        r.persist.stats(),
 	}
 }

@@ -111,6 +111,13 @@ type Config struct {
 	// zero APSP builds. Empty disables persistence (the pre-existing
 	// in-memory behavior).
 	DataDir string
+	// MappedStores, when set (with DataDir), hydrates persisted store
+	// snapshots at startup as read-only memory-mapped views instead of
+	// decoding them into the heap: warm-restart cost becomes
+	// independent of store size, and distance cells are paged in on
+	// first touch. See registry.Config.MappedStores for the
+	// validation tradeoff.
+	MappedStores bool
 }
 
 func (c *Config) setDefaults() {
@@ -169,7 +176,7 @@ func (c Config) Validate() error {
 // registryConfig maps the server knobs onto the registry package's own
 // Config.
 func (c Config) registryConfig() registry.Config {
-	return registry.Config{MaxGraphs: c.GraphCapacity, MaxStoresPerGraph: c.StoresPerGraph, Dir: c.DataDir}
+	return registry.Config{MaxGraphs: c.GraphCapacity, MaxStoresPerGraph: c.StoresPerGraph, Dir: c.DataDir, MappedStores: c.MappedStores}
 }
 
 // jobsConfig maps the server knobs onto the jobs package's own Config.

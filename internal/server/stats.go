@@ -22,6 +22,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Hits: rs.Hits, Misses: rs.Misses, Evictions: rs.Evictions,
 			Stores: rs.Stores, StoreHits: rs.StoreHits,
 			StoreMisses: rs.StoreMisses, StoreEvictions: rs.StoreEvictions,
+			Builds: rs.Builds, BuildMSTotal: rs.BuildMSTotal, BuildMSMax: rs.BuildMSMax,
 		},
 		Persistence: api.PersistenceStats{
 			Enabled: rs.Persist.Enabled, Dir: rs.Persist.Dir,

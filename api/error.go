@@ -38,6 +38,17 @@ const (
 	// CodeQueueFull is returned by job submission when the async queue
 	// is at capacity (429). Clients should back off and retry.
 	CodeQueueFull = "queue_full"
+	// CodeUnauthorized is returned when the server requires bearer
+	// authentication and the request carried no token or an unknown
+	// one (401). The WWW-Authenticate header carries the challenge.
+	CodeUnauthorized = "unauthorized"
+	// CodeRateLimited is returned when the client exceeded its
+	// request rate (429). The Retry-After header (and the
+	// retry_after_ms detail) say how long to wait before retrying.
+	CodeRateLimited = "rate_limited"
+	// CodeQuotaExceeded is returned when the client spent its lifetime
+	// request quota (429). Unlike rate_limited, waiting does not help.
+	CodeQuotaExceeded = "quota_exceeded"
 	// CodeUnavailable is returned while the server is shutting down
 	// (503). Clients may retry against another instance.
 	CodeUnavailable = "unavailable"
@@ -64,6 +75,11 @@ type Error struct {
 	// not serialized — the status line already carries it — but the
 	// client fills it in so callers can branch on either form.
 	HTTPStatus int `json:"-"`
+	// RequestID is the X-Request-ID the failing response carried. Like
+	// HTTPStatus it is not serialized (the header already carries it);
+	// the client fills it in so a reported error can be joined against
+	// the server's request log.
+	RequestID string `json:"-"`
 }
 
 // Error returns the human-readable message, prefixed with the code so

@@ -15,9 +15,13 @@ type JobSubmitRequest struct {
 // submit, poll, and cancel endpoints. Result is present once State is
 // "done"; Error once it is "failed". Timestamps are RFC 3339.
 type JobResponse struct {
-	ID         string          `json:"id"`
-	Op         string          `json:"op"`
-	State      string          `json:"state"`
+	ID    string `json:"id"`
+	Op    string `json:"op"`
+	State string `json:"state"`
+	// RequestID is the X-Request-ID of the request that submitted the
+	// job, so an async run stays traceable to the HTTP request (and
+	// access-log line) that started it.
+	RequestID  string          `json:"request_id,omitempty"`
 	CacheHit   bool            `json:"cache_hit"`
 	CreatedAt  string          `json:"created_at"`
 	StartedAt  string          `json:"started_at,omitempty"`
@@ -50,12 +54,15 @@ func JobFinished(state string) bool {
 // computation. Seq increases strictly within one job; Time is
 // RFC 3339.
 type JobEvent struct {
-	Seq      int          `json:"seq"`
-	Time     string       `json:"time"`
-	Type     string       `json:"type"`
-	State    string       `json:"state"`
-	Error    string       `json:"error,omitempty"`
-	Progress *JobProgress `json:"progress,omitempty"`
+	Seq   int    `json:"seq"`
+	Time  string `json:"time"`
+	Type  string `json:"type"`
+	State string `json:"state"`
+	// RequestID is the X-Request-ID of the submitting request, stamped
+	// on every event so a streamed run is traceable end to end.
+	RequestID string       `json:"request_id,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	Progress  *JobProgress `json:"progress,omitempty"`
 }
 
 // JobEvent.Type values.

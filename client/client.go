@@ -17,9 +17,17 @@
 // DatasetGraph), and every operation through it registers the graph on
 // first use and sends only the content-address reference afterwards.
 //
-// Requests that fail with 429 (queue full) or 503 (shutting down) are
-// retried with capped exponential backoff; see Retry. Backoff waits
-// respect context cancellation.
+// Requests that fail with 429 (rate limited or queue full) or 503
+// (shutting down) are retried with capped exponential backoff; when
+// the response carries a Retry-After header — the server's rate
+// limiter always sets one — that wait is used instead of the backoff
+// step. See Retry. Backoff waits respect context cancellation.
+//
+// Against a server started with -auth-token, construct the client with
+// WithAuthToken; every request then carries the bearer token. Errors
+// carry the response's X-Request-ID (api.Error.RequestID) so a failure
+// can be quoted to an operator and joined against the server's request
+// log.
 package client
 
 import (
@@ -30,6 +38,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,6 +49,12 @@ import (
 // responses — the two statuses the service documents as transient.
 // Other failures are never retried: a 4xx will not get better, and
 // re-sending after a transport error could double-execute work.
+//
+// A retryable response with a Retry-After header (seconds or an HTTP
+// date) overrides the exponential step: the server knows when the next
+// token arrives, so its wait is authoritative. The header wait is
+// capped at MaxRetryAfter to keep a misconfigured server from parking
+// the client for minutes.
 type Retry struct {
 	// MaxAttempts is the total number of tries including the first;
 	// values below 1 select 3. Set 1 to disable retries.
@@ -49,6 +64,9 @@ type Retry struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the per-attempt wait; zero selects 2 s.
 	MaxDelay time.Duration
+	// MaxRetryAfter caps a server-sent Retry-After wait; zero selects
+	// 30 s. Waits beyond the cap are clamped, not ignored.
+	MaxRetryAfter time.Duration
 }
 
 func (r *Retry) setDefaults() {
@@ -60,6 +78,9 @@ func (r *Retry) setDefaults() {
 	}
 	if r.MaxDelay <= 0 {
 		r.MaxDelay = 2 * time.Second
+	}
+	if r.MaxRetryAfter <= 0 {
+		r.MaxRetryAfter = 30 * time.Second
 	}
 }
 
@@ -91,6 +112,13 @@ func WithRetry(r Retry) Option {
 	return func(c *Client) { c.retry = r }
 }
 
+// WithAuthToken sets the bearer token sent as Authorization on every
+// request, for servers started with -auth-token. An empty token sends
+// no header.
+func WithAuthToken(token string) Option {
+	return func(c *Client) { c.authToken = token }
+}
+
 // WithWaitInterval sets the poll interval used by Jobs.Wait; zero
 // keeps the default 100 ms.
 func WithWaitInterval(d time.Duration) Option {
@@ -106,6 +134,7 @@ type Client struct {
 	base         string
 	httpc        *http.Client
 	retry        Retry
+	authToken    string
 	waitInterval time.Duration
 
 	// Graphs and Jobs group the registry and async-job endpoints.
@@ -166,6 +195,9 @@ func (c *Client) send(ctx context.Context, method, path string, in any) (*http.R
 		if in != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if c.authToken != "" {
+			req.Header.Set("Authorization", "Bearer "+c.authToken)
+		}
 		resp, err := c.httpc.Do(req)
 		if err != nil {
 			return nil, err
@@ -173,14 +205,46 @@ func (c *Client) send(ctx context.Context, method, path string, in any) (*http.R
 		if resp.StatusCode/100 == 2 {
 			return resp, nil
 		}
+		// The Retry-After header must be read before decodeError drains
+		// and closes the response.
+		wait, hasRetryAfter := retryAfter(resp)
 		apiErr := decodeError(resp)
 		if !retryable(resp.StatusCode) || attempt+1 >= c.retry.MaxAttempts {
 			return nil, apiErr
 		}
-		if err := sleep(ctx, c.retry.backoff(attempt)); err != nil {
+		if !hasRetryAfter {
+			wait = c.retry.backoff(attempt)
+		} else if wait > c.retry.MaxRetryAfter {
+			wait = c.retry.MaxRetryAfter
+		}
+		if err := sleep(ctx, wait); err != nil {
 			return nil, err
 		}
 	}
+}
+
+// retryAfter parses the response's Retry-After header: delay-seconds
+// or an HTTP date, per RFC 9110 §10.2.3. The bool reports whether a
+// usable wait was found; a date in the past yields zero (retry now).
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return 0, false
+	}
+	if secs, err := strconv.ParseInt(h, 10, 64); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }
 
 // sleep waits for d or until ctx is done, whichever comes first.
@@ -198,19 +262,24 @@ func sleep(ctx context.Context, d time.Duration) error {
 // decodeError turns a non-2xx response into an *api.Error, consuming
 // and closing the body. Bodies that are not the documented envelope
 // (a proxy's HTML error page, say) still yield a usable error carrying
-// the status.
+// the status. The response's X-Request-ID, when present, is stamped
+// onto the error so callers can quote it against the server's request
+// log.
 func decodeError(resp *http.Response) error {
 	defer resp.Body.Close()
+	rid := resp.Header.Get("X-Request-ID")
 	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	var env api.ErrorResponse
 	if err := json.Unmarshal(b, &env); err == nil {
 		if e := env.AsError(resp.StatusCode); e != nil {
+			e.RequestID = rid
 			return e
 		}
 	}
 	return &api.Error{
 		Message:    fmt.Sprintf("http %d: %s", resp.StatusCode, strings.TrimSpace(string(b))),
 		HTTPStatus: resp.StatusCode,
+		RequestID:  rid,
 	}
 }
 

@@ -107,6 +107,167 @@ func TestRetryContextCancelledMidBackoff(t *testing.T) {
 	}
 }
 
+// retryAfterServer 429s every request but the last with the given
+// Retry-After header value ("" sends no header), counting attempts and
+// recording the arrival time of each.
+func retryAfterServer(t *testing.T, fail429 int64, header string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		if n <= fail429 {
+			if header != "" {
+				w.Header().Set("Retry-After", header)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.ErrorResponse{
+				Message: "rate limit exceeded",
+				Err:     &api.Error{Code: api.CodeRateLimited, Message: "rate limit exceeded"},
+			})
+			return
+		}
+		json.NewEncoder(w).Encode(api.HealthResponse{Status: "ok"})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &attempts
+}
+
+// TestRetryAfterPreferredOverBackoff: a server-sent Retry-After: 0
+// must override an enormous exponential backoff — the request
+// completes immediately, proving the header (not BaseDelay) set the
+// wait.
+func TestRetryAfterPreferredOverBackoff(t *testing.T) {
+	ts, attempts := retryAfterServer(t, 1, "0")
+	c, err := client.New(ts.URL, client.WithRetry(client.Retry{
+		MaxAttempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("took %v — exponential backoff won over Retry-After: 0", elapsed)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("attempts=%d, want 2", got)
+	}
+}
+
+// TestRetryAfterDelaySecondsHonored: the wait actually lasts the
+// advertised delay-seconds, not the (shorter) backoff.
+func TestRetryAfterDelaySecondsHonored(t *testing.T) {
+	ts, _ := retryAfterServer(t, 1, "1")
+	c, err := client.New(ts.URL, client.WithRetry(client.Retry{
+		MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retry fired after %v, want ~1s per Retry-After", elapsed)
+	}
+}
+
+// TestRetryAfterHTTPDate: the HTTP-date form is parsed; a date in the
+// past means retry now.
+func TestRetryAfterHTTPDate(t *testing.T) {
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	ts, attempts := retryAfterServer(t, 1, past)
+	c, err := client.New(ts.URL, client.WithRetry(client.Retry{
+		MaxAttempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("past HTTP-date waited %v, want immediate retry", elapsed)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("attempts=%d, want 2", got)
+	}
+}
+
+// TestRetryAfterMalformedFallsBackToBackoff: an unparseable header is
+// ignored and the normal exponential backoff applies.
+func TestRetryAfterMalformedFallsBackToBackoff(t *testing.T) {
+	ts, attempts := retryAfterServer(t, 1, "soon-ish")
+	c, err := client.New(ts.URL, client.WithRetry(client.Retry{
+		MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("malformed header stalled the retry for %v", elapsed)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("attempts=%d, want 2", got)
+	}
+}
+
+// TestRetryAfterClampedByMaxRetryAfter: a hostile or misconfigured
+// server advertising an hours-long wait is clamped to MaxRetryAfter.
+func TestRetryAfterClampedByMaxRetryAfter(t *testing.T) {
+	ts, _ := retryAfterServer(t, 1, "7200") // two hours
+	c, err := client.New(ts.URL, client.WithRetry(client.Retry{
+		MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond,
+		MaxRetryAfter: 50 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Retry-After: 7200 was not clamped (waited %v)", elapsed)
+	}
+}
+
+// TestErrorCarriesRequestID: the SDK stamps the response's
+// X-Request-ID onto the decoded error so callers can quote it against
+// the server's request log.
+func TestErrorCarriesRequestID(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Request-ID", "rid-for-the-logs")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(api.ErrorResponse{
+			Message: "bad",
+			Err:     &api.Error{Code: api.CodeInvalidRequest, Message: "bad"},
+		})
+	}))
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Healthz(context.Background())
+	var ae *api.Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v is not *api.Error", err)
+	}
+	if ae.RequestID != "rid-for-the-logs" {
+		t.Fatalf("RequestID = %q, want rid-for-the-logs", ae.RequestID)
+	}
+}
+
 // TestNon2xxNotRetried: a 400 is the caller's bug, not backpressure —
 // one attempt only.
 func TestNon2xxNotRetried(t *testing.T) {

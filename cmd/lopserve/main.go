@@ -9,7 +9,19 @@
 //	         -engine auto -store compact \
 //	         -workers 4 -queue 64 -cache-entries 256 -job-ttl 15m \
 //	         -graphs 64 -stores-per-graph 4 -preload gnutella500=1 \
-//	         -data-dir /var/lib/lopserve
+//	         -data-dir /var/lib/lopserve \
+//	         -auth-token s3cret -rate-limit 50 -rate-burst 100
+//
+// With -auth-token set (repeatable for several clients), every request
+// must carry "Authorization: Bearer <token>" or it answers 401;
+// -rate-limit adds a per-client token bucket (keyed by token, or by
+// remote host without auth) answering 429 with Retry-After beyond the
+// budget, and -rate-quota caps a client's lifetime requests. The
+// liveness probes and GET /metrics are exempt from both, so load
+// balancers and Prometheus scrapers need no credentials. Every request
+// is logged as one structured JSON line (-request-log stderr|stdout|
+// off) carrying the X-Request-ID also echoed to the client and stamped
+// on async job events.
 //
 // With -data-dir set, registered graphs and their built distance
 // stores are snapshotted write-through into the directory and
@@ -52,6 +64,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -63,6 +76,19 @@ import (
 
 	"repro/internal/server"
 )
+
+// stringList collects a repeatable string flag (-auth-token).
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("auth token must be non-empty")
+	}
+	*s = append(*s, v)
+	return nil
+}
 
 // preload is one -preload directive: a built-in dataset key and the
 // generation seed, written on the command line as "key=seed" (a bare
@@ -118,9 +144,27 @@ func main() {
 		maxBatch     = flag.Int("max-batch", 0, "operations accepted per POST /v1/batch request (0 selects 64)")
 		dataDir      = flag.String("data-dir", "", "snapshot directory for registry persistence (empty disables)")
 		mmapStores   = flag.Bool("mmap-stores", false, "hydrate persisted distance stores at boot as read-only memory-mapped views (requires -data-dir)")
+		rateLimit    = flag.Float64("rate-limit", 0, "per-client request rate in req/s; 0 disables rate limiting")
+		rateBurst    = flag.Int("rate-burst", 0, "token-bucket burst capacity (0 selects 2x rate-limit)")
+		rateQuota    = flag.Int64("rate-quota", 0, "lifetime request quota per client; 0 means unlimited")
+		requestLog   = flag.String("request-log", "stderr", "structured JSON request log destination: stderr, stdout, or off")
 	)
+	var authTokens stringList
+	flag.Var(&authTokens, "auth-token", "bearer token required on every request (repeatable; empty disables auth)")
 	flag.Var(&preloads, "preload", "register a built-in dataset at boot as key=seed (repeatable)")
 	flag.Parse()
+
+	var logDest io.Writer
+	switch *requestLog {
+	case "stderr":
+		logDest = os.Stderr
+	case "stdout":
+		logDest = os.Stdout
+	case "off":
+		logDest = nil
+	default:
+		log.Fatalf("lopserve: -request-log must be stderr, stdout, or off, got %q", *requestLog)
+	}
 
 	cfg := server.Config{
 		MaxBodyBytes:   *maxBody,
@@ -137,6 +181,11 @@ func main() {
 		MaxBatchItems:  *maxBatch,
 		DataDir:        *dataDir,
 		MappedStores:   *mmapStores,
+		AuthTokens:     authTokens,
+		RateLimit:      *rateLimit,
+		RateBurst:      *rateBurst,
+		RateQuota:      *rateQuota,
+		RequestLog:     logDest,
 	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatalf("lopserve: %v", err)

@@ -4,6 +4,9 @@
 //	lopserve -addr :8080 &
 //	go run ./examples/client -base http://127.0.0.1:8080
 //
+// Against a server started with -auth-token, pass the matching
+// -token and the SDK sends it as an Authorization: Bearer header.
+//
 // The program registers a calibrated dataset graph once (the Graph
 // handle uploads it on first use and sends only the content-address
 // reference afterwards), runs a heterogeneous batch against that one
@@ -27,13 +30,18 @@ import (
 
 func main() {
 	base := flag.String("base", "http://127.0.0.1:8080", "lopserve base URL")
+	token := flag.String("token", "", "bearer token for servers started with -auth-token")
 	flag.Parse()
 	log.SetFlags(0)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 
-	c, err := client.New(*base)
+	var opts []client.Option
+	if *token != "" {
+		opts = append(opts, client.WithAuthToken(*token))
+	}
+	c, err := client.New(*base, opts...)
 	if err != nil {
 		log.Fatalf("client: %v", err)
 	}

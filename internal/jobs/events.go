@@ -26,6 +26,10 @@ type Event struct {
 	Time  time.Time
 	Type  EventType
 	State State
+	// RequestID is the job's originating request ID (WithRequestID),
+	// stamped on every event so each line of a streamed run can be
+	// joined against the submitting request's log entry.
+	RequestID string
 	// Error carries the failure message on the terminal EventState of
 	// a failed job.
 	Error string
@@ -45,7 +49,7 @@ const maxEventsPerJob = 512
 // Events waiter. Callers hold m.mu and have already set the state the
 // event should report.
 func (m *Manager) eventLocked(j *job, typ EventType, progress json.RawMessage) {
-	ev := Event{Seq: j.eventSeq, Time: m.cfg.Clock(), Type: typ, State: j.state, Progress: progress}
+	ev := Event{Seq: j.eventSeq, Time: m.cfg.Clock(), Type: typ, State: j.state, RequestID: j.requestID, Progress: progress}
 	if typ == EventState && j.err != nil {
 		ev.Error = j.err.Error()
 	}

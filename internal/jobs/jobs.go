@@ -89,6 +89,9 @@ type Job struct {
 	ID    string
 	Op    string
 	State State
+	// RequestID is the originating HTTP request's ID (WithRequestID),
+	// empty for jobs submitted outside a traced request.
+	RequestID string
 	// CacheHit marks a job satisfied from the result cache at submit
 	// time; such jobs are born in StateDone and never occupy a worker.
 	CacheHit bool
@@ -138,15 +141,16 @@ var (
 )
 
 type job struct {
-	id       string
-	op       string
-	state    State
-	cacheHit bool
-	task     Task
-	cancel   context.CancelFunc
-	ctx      context.Context
-	result   json.RawMessage
-	err      error
+	id        string
+	op        string
+	requestID string
+	state     State
+	cacheHit  bool
+	task      Task
+	cancel    context.CancelFunc
+	ctx       context.Context
+	result    json.RawMessage
+	err       error
 
 	created, started, finished time.Time
 
@@ -160,7 +164,8 @@ type job struct {
 
 func (j *job) snapshot() Job {
 	s := Job{
-		ID: j.id, Op: j.op, State: j.state, CacheHit: j.cacheHit,
+		ID: j.id, Op: j.op, RequestID: j.requestID,
+		State: j.state, CacheHit: j.cacheHit,
 		Result:  j.result,
 		Created: j.created, Started: j.started, Finished: j.finished,
 	}
@@ -237,10 +242,20 @@ func newID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// SubmitOption customizes a submission (Submit or SubmitDone).
+type SubmitOption func(*job)
+
+// WithRequestID records the originating HTTP request's ID on the job;
+// it rides on the snapshot and on every event of the job's stream, so
+// an async run stays traceable to the request that started it.
+func WithRequestID(id string) SubmitOption {
+	return func(j *job) { j.requestID = id }
+}
+
 // Submit enqueues task under the given operation name and returns the
 // new job's snapshot. It fails with ErrQueueFull when QueueDepth jobs
 // are already waiting and ErrClosed after Close.
-func (m *Manager) Submit(op string, task Task) (Job, error) {
+func (m *Manager) Submit(op string, task Task, opts ...SubmitOption) (Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -255,6 +270,9 @@ func (m *Manager) Submit(op string, task Task) (Job, error) {
 		id: newID(), op: op, state: StateQueued, task: task,
 		cancel: cancel, created: m.cfg.Clock(),
 		changed: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(j)
 	}
 	// The task's context carries the job's progress hook, so code deep
 	// inside the computation can stream progress (jobs.ReportProgress)
@@ -271,7 +289,7 @@ func (m *Manager) Submit(op string, task Task) (Job, error) {
 // cache-hit path. The job is born in StateDone with CacheHit set, never
 // enters the queue, and is retained for the usual TTL so clients can
 // poll it like any other job.
-func (m *Manager) SubmitDone(op string, result json.RawMessage) (Job, error) {
+func (m *Manager) SubmitDone(op string, result json.RawMessage, opts ...SubmitOption) (Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -283,6 +301,9 @@ func (m *Manager) SubmitDone(op string, result json.RawMessage) (Job, error) {
 		id: newID(), op: op, state: StateDone, cacheHit: true,
 		result: result, created: now, started: now, finished: now,
 		changed: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(j)
 	}
 	m.jobs[j.id] = j
 	m.eventLocked(j, EventState, nil)

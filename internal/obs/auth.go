@@ -1,0 +1,121 @@
+// Bearer-token authentication. Tokens are static shared secrets
+// compared in constant time; the accepted token is stashed in the
+// request context so the rate limiter can key per token and the access
+// log can identify the client without printing the secret.
+package obs
+
+import (
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"repro/api"
+)
+
+// TokenSet is a fixed set of accepted bearer tokens.
+type TokenSet struct {
+	tokens []string
+}
+
+// NewTokenSet returns a set of the given tokens; empty strings are
+// dropped so a stray empty flag cannot open the server.
+func NewTokenSet(tokens []string) *TokenSet {
+	ts := &TokenSet{}
+	for _, t := range tokens {
+		if t != "" {
+			ts.tokens = append(ts.tokens, t)
+		}
+	}
+	return ts
+}
+
+// Empty reports whether the set accepts nothing.
+func (ts *TokenSet) Empty() bool { return len(ts.tokens) == 0 }
+
+// Contains reports whether tok is in the set. Every candidate is
+// compared in constant time so response timing does not leak how much
+// of a token matched.
+func (ts *TokenSet) Contains(tok string) bool {
+	ok := false
+	for _, t := range ts.tokens {
+		if len(t) == len(tok) && subtle.ConstantTimeCompare([]byte(t), []byte(tok)) == 1 {
+			ok = true // keep scanning: uniform time across the set
+		}
+	}
+	return ok
+}
+
+type authTokenKey struct{}
+
+// AuthTokenFrom returns the bearer token the Auth middleware accepted
+// for this request, or "" on unauthenticated paths.
+func AuthTokenFrom(ctx context.Context) string {
+	tok, _ := ctx.Value(authTokenKey{}).(string)
+	return tok
+}
+
+// MaskToken renders a token safely for logs: the first four characters
+// and a length marker, never the secret itself.
+func MaskToken(tok string) string {
+	if tok == "" {
+		return ""
+	}
+	if len(tok) <= 4 {
+		return "****"
+	}
+	return tok[:4] + "****"
+}
+
+// Auth returns the middleware enforcing bearer-token authentication
+// against tokens. Exempt requests (liveness and metrics probes) pass
+// through unauthenticated. Failures answer 401 unauthorized through
+// the api error envelope with a WWW-Authenticate challenge.
+func Auth(tokens *TokenSet, exempt func(*http.Request) bool) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if exempt != nil && exempt(r) {
+				next.ServeHTTP(w, r)
+				return
+			}
+			tok, ok := bearerToken(r)
+			if !ok {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="lopserve"`)
+				writeEnvelope(w, http.StatusUnauthorized, api.CodeUnauthorized,
+					"missing bearer token (send Authorization: Bearer <token>)", nil)
+				return
+			}
+			if !tokens.Contains(tok) {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="lopserve", error="invalid_token"`)
+				writeEnvelope(w, http.StatusUnauthorized, api.CodeUnauthorized,
+					"invalid bearer token", nil)
+				return
+			}
+			next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), authTokenKey{}, tok)))
+		})
+	}
+}
+
+// bearerToken extracts the token from an Authorization: Bearer header.
+func bearerToken(r *http.Request) (string, bool) {
+	h := r.Header.Get("Authorization")
+	scheme, tok, found := strings.Cut(h, " ")
+	if !found || !strings.EqualFold(scheme, "Bearer") {
+		return "", false
+	}
+	tok = strings.TrimSpace(tok)
+	return tok, tok != ""
+}
+
+// writeEnvelope emits the service's structured error envelope — the
+// same shape internal/server's writeError produces — so middleware
+// rejections are indistinguishable on the wire from handler errors.
+func writeEnvelope(w http.ResponseWriter, status int, code, msg string, details map[string]any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(api.ErrorResponse{
+		Message: msg,
+		Err:     &api.Error{Code: code, Message: msg, Details: details},
+	})
+}

@@ -1,0 +1,61 @@
+// The HTTP-facing metric set and its middleware: per-route request
+// counters, per-route latency histograms, and an in-flight gauge.
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics is the request-path metric set. Construct with
+// NewHTTPMetrics and wrap the mux with Middleware; the same Registry
+// can also carry scrape-time gauges (queue depth, cache hit counts)
+// the server sets before writing an exposition.
+type HTTPMetrics struct {
+	reg      *Registry
+	requests *Vec    // counter {route, method, code}
+	duration *Vec    // histogram {route}
+	inflight *Series // gauge, no labels
+}
+
+// NewHTTPMetrics registers the HTTP metric families on reg.
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		reg: reg,
+		requests: reg.Counter("lopserve_http_requests_total",
+			"HTTP requests served, by route pattern, method, and status code.",
+			"route", "method", "code"),
+		duration: reg.Histogram("lopserve_http_request_duration_seconds",
+			"HTTP request latency in seconds, by route pattern.",
+			nil, "route"),
+		inflight: reg.Gauge("lopserve_http_requests_in_flight",
+			"HTTP requests currently being served.").With(),
+	}
+}
+
+// Registry returns the registry the metric set lives in.
+func (m *HTTPMetrics) Registry() *Registry { return m.reg }
+
+// Middleware instruments every request: in-flight gauge around the
+// handler, then one counter increment and one latency observation
+// labeled with the route pattern resolved by route (which should
+// return the mux pattern, not the raw path, to keep label cardinality
+// bounded).
+func (m *HTTPMetrics) Middleware(route func(*http.Request) string) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rt := route(r)
+			rec := &recorder{ResponseWriter: w}
+			m.inflight.Inc()
+			start := time.Now()
+			defer func() {
+				elapsed := time.Since(start).Seconds()
+				m.inflight.Add(-1)
+				m.requests.With(rt, r.Method, strconv.Itoa(rec.statusOf())).Inc()
+				m.duration.With(rt).Observe(elapsed)
+			}()
+			next.ServeHTTP(rec, r)
+		})
+	}
+}

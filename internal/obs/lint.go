@@ -1,0 +1,362 @@
+// CheckExposition: a pure-Go stand-in for `promtool check metrics` so
+// the CI gate needs no external binary. It parses the text exposition
+// format (version 0.0.4) strictly and enforces the invariants a real
+// scraper relies on: well-formed names and label sets, declared types,
+// no duplicate series, and internally consistent histograms.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates a Prometheus text-format payload. It
+// returns nil for a valid exposition and a descriptive error naming
+// the first offending line otherwise.
+//
+// Enforced rules:
+//   - every non-comment line is `name{labels} value` with a valid
+//     metric name, valid and unique label names, properly quoted and
+//     escaped label values, and a parseable float value;
+//   - `# TYPE` declares each family before its first sample, at most
+//     once, with a known type;
+//   - no two samples share the same name and label set;
+//   - each histogram has a `+Inf` bucket, non-decreasing cumulative
+//     bucket counts, and `_count` equal to the `+Inf` bucket;
+//   - the payload is newline-terminated.
+func CheckExposition(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("obs: exposition is empty")
+	}
+	if data[len(data)-1] != '\n' {
+		return fmt.Errorf("obs: exposition does not end with a newline")
+	}
+	types := make(map[string]string)
+	seen := make(map[string]bool)    // name + canonical labelset
+	sampled := make(map[string]bool) // families with samples already seen
+	hists := make(map[string]*histCheck)
+
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line, types, sampled); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := histBase(name, types)
+		typ, declared := types[base]
+		if !declared {
+			return fmt.Errorf("line %d: sample %q before its # TYPE declaration", lineNo, name)
+		}
+		sampled[base] = true
+		key := name + canonicalLabels(labels)
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %s%s", lineNo, name, canonicalLabels(labels))
+		}
+		seen[key] = true
+		if typ == "histogram" {
+			if err := trackHistogram(hists, base, name, labels, value); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		}
+	}
+	for fam, h := range hists {
+		if err := h.finish(fam); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkComment validates a # line: only HELP and TYPE are accepted,
+// TYPE at most once per family and before any of its samples.
+func checkComment(line string, types map[string]string, sampled map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q (want # HELP or # TYPE)", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if !validMetricName(fields[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", fields[2])
+		}
+		return nil
+	case "TYPE":
+		name := fields[2]
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE %s missing a type", name)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("TYPE %s has unknown type %q", name, fields[3])
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		types[name] = fields[3]
+		return nil
+	}
+	return fmt.Errorf("unknown comment directive %q (want HELP or TYPE)", fields[1])
+}
+
+// parseSample splits `name{labels} value` into parts, validating each.
+func parseSample(line string) (name string, labels [][2]string, value float64, err error) {
+	rest := line
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' {
+		i++
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	valStr, _, _ := strings.Cut(rest, " ") // optional timestamp after
+	switch valStr {
+	case "+Inf", "-Inf", "NaN":
+	default:
+		if _, err := strconv.ParseFloat(valStr, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("unparseable value %q", valStr)
+		}
+	}
+	value = parseValue(valStr)
+	return name, labels, value, nil
+}
+
+func parseValue(s string) float64 {
+	switch s {
+	case "+Inf":
+		return math.Inf(1)
+	case "-Inf":
+		return math.Inf(-1)
+	case "NaN":
+		return math.NaN()
+	}
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+// parseLabels consumes a {k="v",...} block, honoring escape sequences
+// inside quoted values, and returns the pairs plus the remainder.
+func parseLabels(s string) ([][2]string, string, error) {
+	var labels [][2]string
+	seen := make(map[string]bool)
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j >= len(s) {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		lname := s[i:j]
+		if !validLabelName(lname) && lname != "le" && lname != "quantile" {
+			return nil, "", fmt.Errorf("invalid label name %q", lname)
+		}
+		if seen[lname] {
+			return nil, "", fmt.Errorf("duplicate label %q", lname)
+		}
+		seen[lname] = true
+		if j+1 >= len(s) || s[j+1] != '"' {
+			return nil, "", fmt.Errorf("label %q value not quoted", lname)
+		}
+		var val strings.Builder
+		k := j + 2
+		for {
+			if k >= len(s) {
+				return nil, "", fmt.Errorf("unterminated value for label %q", lname)
+			}
+			c := s[k]
+			if c == '"' {
+				k++
+				break
+			}
+			if c == '\\' {
+				if k+1 >= len(s) {
+					return nil, "", fmt.Errorf("dangling escape in label %q", lname)
+				}
+				switch s[k+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("invalid escape \\%c in label %q", s[k+1], lname)
+				}
+				k += 2
+				continue
+			}
+			if c == '\n' {
+				return nil, "", fmt.Errorf("raw newline in label %q", lname)
+			}
+			val.WriteByte(c)
+			k++
+		}
+		labels = append(labels, [2]string{lname, val.String()})
+		if k < len(s) && s[k] == ',' {
+			k++
+		}
+		i = k
+	}
+}
+
+// canonicalLabels renders a label set order-independently for
+// duplicate detection.
+func canonicalLabels(labels [][2]string) string {
+	ls := append([][2]string(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i][0] < ls[j][0] })
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, l := range ls {
+		fmt.Fprintf(&b, "%s=%q,", l[0], l[1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// histBase maps a histogram sample name to its family: _bucket, _sum,
+// and _count samples belong to the declared histogram family.
+func histBase(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if types[base] == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// histCheck accumulates one histogram family's samples, keyed by the
+// non-le label set.
+type histCheck struct {
+	series map[string]*histSeries
+}
+
+type histSeries struct {
+	buckets []struct {
+		le    float64
+		count float64
+	}
+	count    float64
+	hasInf   bool
+	hasCount bool
+	hasSum   bool
+}
+
+func trackHistogram(hists map[string]*histCheck, base, name string, labels [][2]string, value float64) error {
+	h := hists[base]
+	if h == nil {
+		h = &histCheck{series: make(map[string]*histSeries)}
+		hists[base] = h
+	}
+	var le string
+	var rest [][2]string
+	for _, l := range labels {
+		if l[0] == "le" {
+			le = l[1]
+			continue
+		}
+		rest = append(rest, l)
+	}
+	key := canonicalLabels(rest)
+	s := h.series[key]
+	if s == nil {
+		s = &histSeries{}
+		h.series[key] = s
+	}
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		if le == "" {
+			return fmt.Errorf("histogram %s bucket without le label", base)
+		}
+		bound := parseValue(le)
+		if le != "+Inf" {
+			if _, err := strconv.ParseFloat(le, 64); err != nil {
+				return fmt.Errorf("histogram %s has unparseable le %q", base, le)
+			}
+		} else {
+			s.hasInf = true
+		}
+		s.buckets = append(s.buckets, struct {
+			le    float64
+			count float64
+		}{bound, value})
+	case strings.HasSuffix(name, "_sum"):
+		s.hasSum = true
+	case strings.HasSuffix(name, "_count"):
+		s.hasCount = true
+		s.count = value
+	default:
+		return fmt.Errorf("histogram %s has a bare sample %s (want _bucket, _sum, or _count)", base, name)
+	}
+	return nil
+}
+
+// finish validates the accumulated invariants of one histogram family.
+func (h *histCheck) finish(fam string) error {
+	for key, s := range h.series {
+		if !s.hasInf {
+			return fmt.Errorf("obs: histogram %s%s missing +Inf bucket", fam, key)
+		}
+		if !s.hasCount || !s.hasSum {
+			return fmt.Errorf("obs: histogram %s%s missing _sum or _count", fam, key)
+		}
+		sort.Slice(s.buckets, func(i, j int) bool { return s.buckets[i].le < s.buckets[j].le })
+		prev := math.Inf(-1)
+		last := 0.0
+		for _, b := range s.buckets {
+			if b.le == prev {
+				return fmt.Errorf("obs: histogram %s%s has duplicate le bucket", fam, key)
+			}
+			prev = b.le
+			if b.count < last {
+				return fmt.Errorf("obs: histogram %s%s bucket counts decrease", fam, key)
+			}
+			last = b.count
+		}
+		inf := s.buckets[len(s.buckets)-1]
+		if !math.IsInf(inf.le, 1) {
+			return fmt.Errorf("obs: histogram %s%s missing +Inf bucket", fam, key)
+		}
+		if inf.count != s.count {
+			return fmt.Errorf("obs: histogram %s%s _count %v != +Inf bucket %v", fam, key, s.count, inf.count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+// Structured JSON request logging: one self-describing object per
+// request, written after the response completes, carrying the request
+// ID so a log line, a metrics spike, and a job's event stream can be
+// joined on one key.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// AccessRecord is one request-log line. Fields are stable: dashboards
+// and log pipelines may key on them.
+type AccessRecord struct {
+	Time       string  `json:"time"` // RFC 3339, UTC
+	Level      string  `json:"level"`
+	Msg        string  `json:"msg"` // always "request"
+	RequestID  string  `json:"request_id,omitempty"`
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Query      string  `json:"query,omitempty"`
+	Status     int     `json:"status"`
+	Bytes      int64   `json:"bytes"`
+	DurationMS float64 `json:"duration_ms"`
+	Remote     string  `json:"remote,omitempty"`
+	// Token is the masked bearer token (MaskToken) of the
+	// authenticated client; absent on unauthenticated requests. Note
+	// Auth runs after Logger in the canonical chain, so this is only
+	// populated when the chain is composed with Auth outside Logger or
+	// by handlers re-logging; the access line identifies clients by
+	// request ID either way.
+	Token string `json:"token,omitempty"`
+}
+
+// Logger returns the middleware writing one JSON line per request to
+// out. Writes are serialized with a mutex so concurrent requests never
+// interleave bytes. Marshal of AccessRecord cannot fail; a write error
+// (a closed pipe at shutdown) is deliberately ignored — logging must
+// never break serving.
+func Logger(out io.Writer) Middleware {
+	var mu sync.Mutex
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := &recorder{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(rec, r)
+			status := rec.statusOf()
+			line := AccessRecord{
+				Time:       start.UTC().Format(time.RFC3339Nano),
+				Level:      levelFor(status),
+				Msg:        "request",
+				RequestID:  RequestIDFrom(r.Context()),
+				Method:     r.Method,
+				Path:       r.URL.Path,
+				Query:      r.URL.RawQuery,
+				Status:     status,
+				Bytes:      rec.bytes,
+				DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+				Remote:     r.RemoteAddr,
+				Token:      MaskToken(AuthTokenFrom(r.Context())),
+			}
+			b, err := json.Marshal(line)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			out.Write(append(b, '\n'))
+			mu.Unlock()
+		})
+	}
+}
+
+// levelFor maps a status to a log level: server faults are errors,
+// client rejections warnings, everything else info.
+func levelFor(status int) string {
+	switch {
+	case status >= 500:
+		return "error"
+	case status >= 400:
+		return "warn"
+	}
+	return "info"
+}

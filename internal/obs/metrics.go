@@ -1,0 +1,379 @@
+// A small Prometheus-text metrics registry: counters, gauges, and
+// histograms with labels, exposed via WritePrometheus in the text
+// exposition format (version 0.0.4). The output is deterministic —
+// families sorted by name, series sorted by label values — so tests
+// can compare scrapes byte-for-byte, and label values are escaped per
+// the format so arbitrary route strings cannot corrupt a scrape.
+//
+// The registry is hand-rolled rather than imported because the
+// container bakes in no Prometheus client library; the subset here
+// (no summaries, no timestamps, no exemplars) is exactly what the
+// /metrics endpoint needs, and CheckExposition (lint.go) validates the
+// invariants a real scraper would enforce.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MetricKind discriminates the supported metric types.
+type MetricKind int
+
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// DefBuckets is the default latency histogram layout, in seconds:
+// sub-millisecond cache hits through multi-second anonymization runs.
+var DefBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Registry holds metric families and renders them in the Prometheus
+// text format. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type family struct {
+	name, help string
+	kind       MetricKind
+	labelNames []string
+	buckets    []float64 // histograms only; sorted, +Inf implicit
+
+	mu     sync.Mutex
+	series map[string]*Series
+}
+
+// Vec is one metric family; With resolves a concrete labeled series.
+type Vec struct{ f *family }
+
+// Series is one labeled time series of a family. Counters support
+// Add/Inc, gauges Add/Inc/Set, histograms Observe; calling a method
+// the kind does not support panics — a programming error, not a
+// runtime condition.
+type Series struct {
+	f           *family
+	labelValues []string
+
+	mu    sync.Mutex
+	value float64  // counter, gauge
+	cum   []uint64 // histogram: per-bucket counts, last is +Inf
+	sum   float64  // histogram
+	count uint64   // histogram
+}
+
+// register creates (or returns the existing) family, panicking on a
+// redefinition with a different shape — two call sites disagreeing
+// about a metric is a bug to surface at startup, not scrape time.
+func (r *Registry) register(name, help string, kind MetricKind, buckets []float64, labelNames []string) *Vec {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, ln := range labelNames {
+		if !validLabelName(ln) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", ln, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labelNames) != len(labelNames) {
+			panic(fmt.Sprintf("obs: metric %q redefined with a different shape", name))
+		}
+		return &Vec{f: f}
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labelNames: append([]string(nil), labelNames...),
+		series:     make(map[string]*Series),
+	}
+	if kind == KindHistogram {
+		if len(buckets) == 0 {
+			buckets = DefBuckets
+		}
+		f.buckets = append([]float64(nil), buckets...)
+		sort.Float64s(f.buckets)
+	}
+	r.families[name] = f
+	return &Vec{f: f}
+}
+
+// Counter registers (or fetches) a counter family.
+func (r *Registry) Counter(name, help string, labelNames ...string) *Vec {
+	return r.register(name, help, KindCounter, nil, labelNames)
+}
+
+// Gauge registers (or fetches) a gauge family.
+func (r *Registry) Gauge(name, help string, labelNames ...string) *Vec {
+	return r.register(name, help, KindGauge, nil, labelNames)
+}
+
+// Histogram registers (or fetches) a histogram family with the given
+// upper bounds (nil selects DefBuckets). The +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64, labelNames ...string) *Vec {
+	return r.register(name, help, KindHistogram, buckets, labelNames)
+}
+
+// With resolves the series for the given label values, creating it on
+// first use. The arity must match the family's label names.
+func (v *Vec) With(labelValues ...string) *Series {
+	f := v.f
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := seriesKey(labelValues)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &Series{f: f, labelValues: append([]string(nil), labelValues...)}
+		if f.kind == KindHistogram {
+			s.cum = make([]uint64, len(f.buckets)+1)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// seriesKey joins label values unambiguously (values may not contain
+// the separator after escaping is irrelevant — 0x00 cannot result from
+// user strings colliding with the join of two others).
+func seriesKey(values []string) string {
+	return strings.Join(values, "\x00")
+}
+
+// Inc adds 1 to a counter or gauge.
+func (s *Series) Inc() { s.Add(1) }
+
+// Add adds d to a counter or gauge; a negative d on a counter panics.
+func (s *Series) Add(d float64) {
+	if s.f.kind == KindHistogram {
+		panic(fmt.Sprintf("obs: Add on histogram %q", s.f.name))
+	}
+	if s.f.kind == KindCounter && d < 0 {
+		panic(fmt.Sprintf("obs: negative Add(%v) on counter %q", d, s.f.name))
+	}
+	s.mu.Lock()
+	s.value += d
+	s.mu.Unlock()
+}
+
+// Set sets a gauge to x.
+func (s *Series) Set(x float64) {
+	if s.f.kind != KindGauge {
+		panic(fmt.Sprintf("obs: Set on non-gauge %q", s.f.name))
+	}
+	s.mu.Lock()
+	s.value = x
+	s.mu.Unlock()
+}
+
+// Observe records one histogram observation.
+func (s *Series) Observe(x float64) {
+	if s.f.kind != KindHistogram {
+		panic(fmt.Sprintf("obs: Observe on non-histogram %q", s.f.name))
+	}
+	i := sort.SearchFloat64s(s.f.buckets, x) // first bucket with bound >= x
+	s.mu.Lock()
+	s.cum[i]++ // raw per-bucket count; cumulated at exposition time
+	s.sum += x
+	s.count++
+	s.mu.Unlock()
+}
+
+// Value returns the current counter/gauge value (test hook).
+func (s *Series) Value() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.value
+}
+
+// Count returns the histogram observation count (test hook).
+func (s *Series) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// deterministically ordered: families by name, series by label values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for n, f := range r.families {
+		names = append(names, n)
+		fams[n] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		writeFamily(&b, fams[n])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeFamily(b *strings.Builder, f *family) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	series := make([]*Series, len(keys))
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	f.mu.Unlock()
+
+	for _, s := range series {
+		s.mu.Lock()
+		switch f.kind {
+		case KindCounter, KindGauge:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labelNames, s.labelValues, "", 0), formatValue(s.value))
+		case KindHistogram:
+			cum := uint64(0)
+			for i, bound := range f.buckets {
+				cum += s.cum[i]
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+					labelString(f.labelNames, s.labelValues, "le", bound), cum)
+			}
+			cum += s.cum[len(f.buckets)]
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+				labelString(f.labelNames, s.labelValues, "le", math.Inf(1)), cum)
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name,
+				labelString(f.labelNames, s.labelValues, "", 0), formatValue(s.sum))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name,
+				labelString(f.labelNames, s.labelValues, "", 0), s.count)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// labelString renders {k="v",...}; leName, when non-empty, appends the
+// histogram le label last. No labels renders as the empty string.
+func labelString(names, values []string, leName string, le float64) string {
+	if len(names) == 0 && leName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	if leName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leName)
+		b.WriteString(`="`)
+		b.WriteString(formatBound(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatBound renders a histogram upper bound: "+Inf" for infinity,
+// shortest-round-trip decimal otherwise.
+func formatBound(x float64) string {
+	if math.IsInf(x, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// formatValue renders a sample value per the exposition format.
+func formatValue(x float64) string {
+	switch {
+	case math.IsInf(x, +1):
+		return "+Inf"
+	case math.IsInf(x, -1):
+		return "-Inf"
+	case math.IsNaN(x):
+		return "NaN"
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabelValue(v string) string { return labelEscaper.Replace(v) }
+func escapeHelp(v string) string       { return helpEscaper.Replace(v) }
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "le" { // le is reserved for histogram buckets
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

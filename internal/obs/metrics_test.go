@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCounterGaugeValues(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_requests_total", "Requests.", "route").With("/v1/stats")
+	g := reg.Gauge("test_in_flight", "In flight.").With()
+
+	c.Inc()
+	c.Add(2)
+	g.Set(7)
+	g.Add(-3)
+
+	if v := c.Value(); v != 3 {
+		t.Fatalf("counter = %v, want 3", v)
+	}
+	if v := g.Value(); v != 4 {
+		t.Fatalf("gauge = %v, want 4", v)
+	}
+}
+
+func TestRegistryKindPanics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "c").With()
+	h := reg.Histogram("test_seconds", "h", nil).With()
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative counter Add", func() { c.Add(-1) })
+	mustPanic("Set on counter", func() { c.Set(1) })
+	mustPanic("Observe on counter", func() { c.Observe(1) })
+	mustPanic("Add on histogram", func() { h.Add(1) })
+	mustPanic("redefinition", func() { reg.Gauge("test_total", "now a gauge") })
+	mustPanic("bad metric name", func() { reg.Counter("0bad", "x") })
+	mustPanic("reserved le label", func() { reg.Counter("test_le_total", "x", "le") })
+	mustPanic("label arity", func() { reg.Counter("test_labeled_total", "x", "a").With("1", "2") })
+}
+
+func TestWritePrometheusStableOrdering(t *testing.T) {
+	build := func(order []string) string {
+		reg := NewRegistry()
+		// Register families and series in the caller's order; the
+		// rendered output must not depend on it.
+		for _, route := range order {
+			reg.Counter("zz_last_total", "Last family by name.", "route").With(route).Inc()
+			reg.Gauge("aa_first", "First family by name.").With().Set(1)
+		}
+		var b bytes.Buffer
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		return b.String()
+	}
+
+	forward := build([]string{"/a", "/b", "/c"})
+	reverse := build([]string{"/c", "/b", "/a"})
+	if forward != reverse {
+		t.Fatalf("exposition depends on registration order:\n%s\nvs\n%s", forward, reverse)
+	}
+
+	// Families sorted by name, series by label values.
+	iaa := strings.Index(forward, "aa_first")
+	izz := strings.Index(forward, "zz_last_total")
+	if iaa < 0 || izz < 0 || iaa > izz {
+		t.Fatalf("families not sorted by name:\n%s", forward)
+	}
+	ia := strings.Index(forward, `route="/a"`)
+	ic := strings.Index(forward, `route="/c"`)
+	if ia < 0 || ic < 0 || ia > ic {
+		t.Fatalf("series not sorted by label value:\n%s", forward)
+	}
+
+	// Repeat scrapes with unchanged state are byte-identical.
+	reg := NewRegistry()
+	reg.Counter("x_total", "x", "r").With("v").Inc()
+	var s1, s2 bytes.Buffer
+	reg.WritePrometheus(&s1)
+	reg.WritePrometheus(&s2)
+	if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+		t.Fatal("two scrapes of unchanged state differ")
+	}
+}
+
+func TestWritePrometheusLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	hostile := "a\\b\"c\nd"
+	reg.Counter("esc_total", "Help with \\ and\nnewline.", "route").With(hostile).Inc()
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	out := b.String()
+
+	if !strings.Contains(out, `route="a\\b\"c\nd"`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP esc_total Help with \\ and\nnewline.`) {
+		t.Fatalf("help text not escaped:\n%s", out)
+	}
+	// The hostile value must not have produced extra lines.
+	if got := strings.Count(out, "\n"); got != 3 { // HELP, TYPE, sample
+		t.Fatalf("escaped family rendered %d lines, want 3:\n%s", got, out)
+	}
+	if err := CheckExposition(b.Bytes()); err != nil {
+		t.Fatalf("escaped exposition fails lint: %v", err)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "Latency.", []float64{0.1, 1}, "route").With("/x")
+	h.Observe(0.05) // le 0.1
+	h.Observe(0.5)  // le 1
+	h.Observe(0.7)  // le 1
+	h.Observe(5)    // +Inf only
+	if h.Count() != 4 {
+		t.Fatalf("Count() = %d, want 4", h.Count())
+	}
+
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		`lat_seconds_bucket{route="/x",le="0.1"} 1`,
+		`lat_seconds_bucket{route="/x",le="1"} 3`,
+		`lat_seconds_bucket{route="/x",le="+Inf"} 4`,
+		`lat_seconds_sum{route="/x"} 6.25`,
+		`lat_seconds_count{route="/x"} 4`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckExposition(b.Bytes()); err != nil {
+		t.Fatalf("histogram exposition fails lint: %v", err)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"},
+		{0.25, "0.25"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+	}
+	for _, tc := range cases {
+		if got := formatValue(tc.in); got != tc.want {
+			t.Errorf("formatValue(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	if got := formatValue(math.NaN()); got != "NaN" {
+		t.Errorf("formatValue(NaN) = %q", got)
+	}
+}
+
+func TestCheckExpositionAcceptsOwnOutput(t *testing.T) {
+	// A registry exercising every feature lints clean.
+	reg := NewRegistry()
+	reg.Counter("c_total", "counter", "a", "b").With("x", "y").Inc()
+	reg.Gauge("g", "gauge").With().Set(-1.5)
+	h := reg.Histogram("h_seconds", "histogram", nil, "r")
+	h.With("one").Observe(0.002)
+	h.With("two").Observe(99)
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	if err := CheckExposition(b.Bytes()); err != nil {
+		t.Fatalf("own output fails lint: %v\n%s", err, b.String())
+	}
+}
+
+func TestCheckExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+		wantErr string
+	}{
+		{"empty", "", "empty"},
+		{"no trailing newline", "# TYPE a counter\na 1", "newline"},
+		{"sample before TYPE", "a_total 1\n", "before its # TYPE"},
+		{"duplicate TYPE", "# TYPE a counter\n# TYPE a counter\na 1\n", "duplicate TYPE"},
+		{"TYPE after samples", "# TYPE a counter\na 1\n# TYPE a gauge\n", "duplicate TYPE"},
+		{"unknown type", "# TYPE a widget\na 1\n", "unknown type"},
+		{"bad comment", "# NOPE a counter\n", "unknown comment"},
+		{"bad metric name", "# TYPE 9a counter\n9a 1\n", "invalid metric name"},
+		{"bad value", "# TYPE a counter\na one\n", "unparseable value"},
+		{
+			"duplicate series",
+			"# TYPE a counter\na{r=\"x\"} 1\na{r=\"x\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"unterminated label",
+			"# TYPE a counter\na{r=\"x 1\n",
+			"unterminated",
+		},
+		{
+			"invalid escape",
+			"# TYPE a counter\na{r=\"\\t\"} 1\n",
+			"invalid escape",
+		},
+		{
+			"duplicate label",
+			"# TYPE a counter\na{r=\"x\",r=\"y\"} 1\n",
+			"duplicate label",
+		},
+		{
+			"histogram without +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"+Inf",
+		},
+		{
+			"histogram decreasing buckets",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+			"decrease",
+		},
+		{
+			"histogram count mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 9\n",
+			"_count",
+		},
+		{
+			"histogram missing sum",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"_sum",
+		},
+		{
+			"histogram bare sample",
+			"# TYPE h histogram\nh 1\n",
+			"bare sample",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckExposition([]byte(tc.payload))
+			if err == nil {
+				t.Fatalf("lint accepted corrupt payload:\n%s", tc.payload)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCheckExpositionAcceptsValidVariants(t *testing.T) {
+	// Hand-written payloads a strict-but-correct checker must accept.
+	valid := []string{
+		"# HELP a help text here\n# TYPE a counter\na 1\n",
+		"# TYPE a gauge\na{x=\"v\\\"q\\\\p\\n\"} -2.5\n",
+		"# TYPE a counter\na 1 1700000000\n", // optional timestamp
+		"# TYPE h histogram\nh_bucket{le=\"0.5\"} 0\nh_bucket{le=\"+Inf\"} 2\nh_sum 3.5\nh_count 2\n",
+		"\n# TYPE a counter\na 1\n", // blank lines allowed
+	}
+	for i, p := range valid {
+		if err := CheckExposition([]byte(p)); err != nil {
+			t.Errorf("valid payload %d rejected: %v\n%s", i, err, p)
+		}
+	}
+}

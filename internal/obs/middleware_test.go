@@ -1,0 +1,384 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/api"
+)
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	tag := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(tag("outer"), tag("middle"), tag("inner"))(
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			order = append(order, "handler")
+		}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	want := []string{"outer", "middle", "inner", "handler"}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Fatalf("chain ran %v, want %v", order, want)
+	}
+}
+
+func TestRequestIDGenerated(t *testing.T) {
+	var seen string
+	h := RequestID()(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFrom(r.Context())
+	}))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/", nil))
+
+	echoed := w.Header().Get(RequestIDHeader)
+	if echoed == "" || echoed != seen {
+		t.Fatalf("header %q != context %q", echoed, seen)
+	}
+	if len(echoed) != 16 || !ValidRequestID(echoed) {
+		t.Fatalf("generated ID %q is not 16 valid hex chars", echoed)
+	}
+}
+
+func TestRequestIDHonoredAndSanitized(t *testing.T) {
+	cases := []struct {
+		name    string
+		inbound string
+		honored bool
+	}{
+		{"well-formed", "proxy-abc.123_DEF", true},
+		{"empty", "", false},
+		{"too long", strings.Repeat("a", 65), false},
+		{"at limit", strings.Repeat("a", 64), true},
+		{"log injection newline", "abc\ndef", false},
+		{"space", "abc def", false},
+		{"non-ascii", "abc\xffdef", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var seen string
+			h := RequestID()(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				seen = RequestIDFrom(r.Context())
+			}))
+			r := httptest.NewRequest(http.MethodGet, "/", nil)
+			if tc.inbound != "" {
+				r.Header.Set(RequestIDHeader, tc.inbound)
+			}
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, r)
+			if tc.honored && seen != tc.inbound {
+				t.Fatalf("well-formed inbound ID %q replaced with %q", tc.inbound, seen)
+			}
+			if !tc.honored {
+				if seen == tc.inbound {
+					t.Fatalf("malformed inbound ID %q honored", tc.inbound)
+				}
+				if !ValidRequestID(seen) {
+					t.Fatalf("replacement ID %q invalid", seen)
+				}
+			}
+			if got := w.Header().Get(RequestIDHeader); got != seen {
+				t.Fatalf("response header %q != context ID %q", got, seen)
+			}
+		})
+	}
+}
+
+func TestLoggerFields(t *testing.T) {
+	var buf bytes.Buffer
+	h := Chain(RequestID(), Logger(&buf))(
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusTeapot)
+			w.Write([]byte("short and stout"))
+		}))
+	r := httptest.NewRequest(http.MethodGet, "/v1/stats?verbose=1", nil)
+	r.Header.Set(RequestIDHeader, "fixed-id-42")
+	h.ServeHTTP(httptest.NewRecorder(), r)
+
+	var rec AccessRecord
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not one JSON object: %v\n%s", err, buf.String())
+	}
+	if rec.Msg != "request" || rec.Level != "warn" {
+		t.Fatalf("msg/level = %q/%q, want request/warn", rec.Msg, rec.Level)
+	}
+	if rec.RequestID != "fixed-id-42" {
+		t.Fatalf("request_id = %q, want fixed-id-42", rec.RequestID)
+	}
+	if rec.Method != http.MethodGet || rec.Path != "/v1/stats" || rec.Query != "verbose=1" {
+		t.Fatalf("method/path/query = %q %q %q", rec.Method, rec.Path, rec.Query)
+	}
+	if rec.Status != http.StatusTeapot {
+		t.Fatalf("status = %d, want 418", rec.Status)
+	}
+	if rec.Bytes != int64(len("short and stout")) {
+		t.Fatalf("bytes = %d", rec.Bytes)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") || strings.Count(buf.String(), "\n") != 1 {
+		t.Fatalf("want exactly one newline-terminated line, got %q", buf.String())
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	cases := []struct {
+		status int
+		want   string
+	}{
+		{200, "info"}, {204, "info"}, {301, "info"},
+		{400, "warn"}, {404, "warn"}, {429, "warn"},
+		{500, "error"}, {503, "error"},
+	}
+	for _, tc := range cases {
+		if got := levelFor(tc.status); got != tc.want {
+			t.Errorf("levelFor(%d) = %q, want %q", tc.status, got, tc.want)
+		}
+	}
+}
+
+func TestTokenSet(t *testing.T) {
+	ts := NewTokenSet([]string{"alpha", "", "beta"})
+	if ts.Empty() {
+		t.Fatal("non-empty set reports Empty")
+	}
+	if !ts.Contains("alpha") || !ts.Contains("beta") {
+		t.Fatal("set does not contain its tokens")
+	}
+	if ts.Contains("") {
+		t.Fatal("empty string accepted — empty flags must not open the server")
+	}
+	if ts.Contains("alph") || ts.Contains("alphaa") || ts.Contains("gamma") {
+		t.Fatal("near-miss token accepted")
+	}
+	if !NewTokenSet(nil).Empty() {
+		t.Fatal("nil token list is not Empty")
+	}
+}
+
+func TestMaskToken(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"ab", "****"},
+		{"abcd", "****"},
+		{"abcdefgh", "abcd****"},
+	}
+	for _, tc := range cases {
+		if got := MaskToken(tc.in); got != tc.want {
+			t.Errorf("MaskToken(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestAuthMiddleware(t *testing.T) {
+	tokens := NewTokenSet([]string{"s3cret"})
+	var gotToken string
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotToken = AuthTokenFrom(r.Context())
+	})
+	h := Auth(tokens, func(r *http.Request) bool { return r.URL.Path == "/healthz" })(next)
+
+	do := func(path, authz string) *httptest.ResponseRecorder {
+		r := httptest.NewRequest(http.MethodGet, path, nil)
+		if authz != "" {
+			r.Header.Set("Authorization", authz)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		return w
+	}
+
+	// Missing credentials → 401 with a challenge and the error envelope.
+	w := do("/v1/stats", "")
+	if w.Code != http.StatusUnauthorized {
+		t.Fatalf("no credentials: %d, want 401", w.Code)
+	}
+	if !strings.HasPrefix(w.Header().Get("WWW-Authenticate"), "Bearer") {
+		t.Fatalf("401 missing WWW-Authenticate challenge")
+	}
+	var envelope api.ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &envelope); err != nil {
+		t.Fatalf("401 body is not the error envelope: %v", err)
+	}
+	if envelope.Err == nil || envelope.Err.Code != api.CodeUnauthorized {
+		t.Fatalf("401 code = %+v, want %s", envelope.Err, api.CodeUnauthorized)
+	}
+
+	// Wrong token → 401 invalid_token.
+	w = do("/v1/stats", "Bearer wrong")
+	if w.Code != http.StatusUnauthorized {
+		t.Fatalf("bad token: %d, want 401", w.Code)
+	}
+	if !strings.Contains(w.Header().Get("WWW-Authenticate"), "invalid_token") {
+		t.Fatalf("bad-token challenge = %q", w.Header().Get("WWW-Authenticate"))
+	}
+
+	// Wrong scheme → 401.
+	if w := do("/v1/stats", "Basic s3cret"); w.Code != http.StatusUnauthorized {
+		t.Fatalf("basic scheme: %d, want 401", w.Code)
+	}
+
+	// Good token → through, with the token in context.
+	if w := do("/v1/stats", "Bearer s3cret"); w.Code != http.StatusOK {
+		t.Fatalf("good token: %d, want 200", w.Code)
+	}
+	if gotToken != "s3cret" {
+		t.Fatalf("handler saw token %q", gotToken)
+	}
+
+	// Scheme is case-insensitive per RFC 9110.
+	if w := do("/v1/stats", "bearer s3cret"); w.Code != http.StatusOK {
+		t.Fatalf("lowercase scheme: %d, want 200", w.Code)
+	}
+
+	// Exempt path passes with no credentials at all.
+	gotToken = "sentinel"
+	if w := do("/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("exempt path: %d, want 200", w.Code)
+	}
+	if gotToken != "" {
+		t.Fatalf("exempt path carried token %q", gotToken)
+	}
+}
+
+// flushRecorder observes Flush propagation through the middleware's
+// response writer wrapper.
+type flushRecorder struct {
+	httptest.ResponseRecorder
+	flushed bool
+}
+
+func (f *flushRecorder) Flush() { f.flushed = true }
+
+func TestRecorderPreservesFlusher(t *testing.T) {
+	// The full canonical chain must not hide http.Flusher: the NDJSON
+	// job-events stream depends on flushing each line.
+	var buf bytes.Buffer
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg)
+	chain := Chain(
+		RequestID(),
+		Logger(&buf),
+		m.Middleware(func(*http.Request) string { return "/stream" }),
+	)
+	h := chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("Flusher lost through the middleware chain")
+		}
+		w.Write([]byte("line 1\n"))
+		fl.Flush()
+	}))
+
+	rec := &flushRecorder{ResponseRecorder: *httptest.NewRecorder()}
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stream", nil))
+	if !rec.flushed {
+		t.Fatal("Flush did not propagate to the underlying writer")
+	}
+}
+
+// hijackRecorder proves non-Flusher writers do not panic the wrapper.
+type plainWriter struct {
+	hdr    http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (p *plainWriter) Header() http.Header { return p.hdr }
+func (p *plainWriter) WriteHeader(s int)   { p.status = s }
+func (p *plainWriter) Write(b []byte) (int, error) {
+	if p.status == 0 {
+		p.status = http.StatusOK
+	}
+	return p.body.Write(b)
+}
+
+func TestRecorderWithoutFlusher(t *testing.T) {
+	rec := &recorder{ResponseWriter: &plainWriter{hdr: make(http.Header)}}
+	rec.Flush() // no-op, must not panic
+	rec.Write([]byte("x"))
+	if rec.statusOf() != http.StatusOK {
+		t.Fatalf("implicit status = %d", rec.statusOf())
+	}
+	if rec.bytes != 1 {
+		t.Fatalf("bytes = %d", rec.bytes)
+	}
+}
+
+func TestRecorderUnwrap(t *testing.T) {
+	underlying := httptest.NewRecorder()
+	rec := &recorder{ResponseWriter: underlying}
+	if rec.Unwrap() != http.ResponseWriter(underlying) {
+		t.Fatal("Unwrap does not return the underlying writer")
+	}
+}
+
+func TestHTTPMetricsMiddleware(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg)
+	h := m.Middleware(func(r *http.Request) string { return r.URL.Path })(
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/boom" {
+				w.WriteHeader(http.StatusInternalServerError)
+				return
+			}
+			w.Write([]byte("ok"))
+		}))
+
+	for i := 0; i < 3; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/ok", nil))
+	}
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/boom", nil))
+
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`lopserve_http_requests_total{route="/ok",method="GET",code="200"} 3`,
+		`lopserve_http_requests_total{route="/boom",method="POST",code="500"} 1`,
+		`lopserve_http_requests_in_flight 0`,
+		`lopserve_http_request_duration_seconds_count{route="/ok"} 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckExposition(b.Bytes()); err != nil {
+		t.Fatalf("middleware exposition fails lint: %v", err)
+	}
+}
+
+// Guard against the wrapper breaking net/http's ResponseController
+// path (the events handler sets per-write deadlines through it).
+func TestRecorderResponseController(t *testing.T) {
+	h := Chain(RequestID(), NewHTTPMetrics(NewRegistry()).Middleware(func(*http.Request) string { return "/" }))(
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rc := http.NewResponseController(w)
+			if err := rc.Flush(); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Write([]byte("flushed"))
+		}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := bufio.NewReader(resp.Body).ReadString('\n')
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ResponseController path broke: %d %q", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,41 @@
+// Package obs is the observability and traffic-protection layer of
+// lopserve: a chained-middleware harness plus the building blocks the
+// chain composes — a Prometheus-text metrics registry, bearer-token
+// authentication, a per-client token-bucket rate limiter, structured
+// JSON request logging, and per-request IDs.
+//
+// The package is deliberately independent of internal/server: it
+// imports only the wire contract (package api) so its rejections speak
+// the same structured error envelope as every handler, and it exposes
+// plain func(http.Handler) http.Handler middlewares so any mux can be
+// wrapped. The canonical chain, outermost first:
+//
+//	RequestID -> Logger -> Metrics -> Auth -> RateLimit -> mux
+//
+// RequestID runs first so every later stage (and the handler itself,
+// via RequestIDFrom) sees the ID; Logger and Metrics run outside the
+// protection stages so rejected requests are logged and counted too;
+// Auth runs before RateLimit so limiter keys are authenticated tokens,
+// not spoofable header values.
+//
+// The name "obs" (observability) avoids colliding with the existing
+// internal/metrics package, which computes graph statistics, not
+// telemetry.
+package obs
+
+import "net/http"
+
+// Middleware wraps an http.Handler with one cross-cutting concern.
+type Middleware func(http.Handler) http.Handler
+
+// Chain composes middlewares into one: Chain(a, b, c)(h) serves
+// requests through a first, then b, then c, then h — the order the
+// slice reads. Chain() with no middlewares is the identity.
+func Chain(ms ...Middleware) Middleware {
+	return func(h http.Handler) http.Handler {
+		for i := len(ms) - 1; i >= 0; i-- {
+			h = ms[i](h)
+		}
+		return h
+	}
+}

@@ -1,0 +1,201 @@
+// Per-client token-bucket rate limiting with optional lifetime quotas.
+// Keys are authenticated bearer tokens when auth is on, client hosts
+// otherwise; each key gets an independent bucket, so one flooding
+// client cannot starve the others.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/api"
+)
+
+// LimiterConfig sizes a Limiter.
+type LimiterConfig struct {
+	// Rate is the steady-state request rate per key, in requests per
+	// second. It must be positive.
+	Rate float64
+	// Burst is the bucket capacity — how many requests a key may issue
+	// back-to-back after an idle period; zero selects
+	// max(1, ceil(2*Rate)).
+	Burst int
+	// Quota, when positive, caps the total requests a key may issue
+	// over the process lifetime; beyond it every request is rejected
+	// with quota_exceeded. Zero means unlimited.
+	Quota int64
+	// MaxKeys bounds the bucket map (relevant in the per-host keying
+	// mode, where the key space is attacker-controlled); zero selects
+	// 4096. Over the cap, the least-recently-seen bucket is evicted.
+	MaxKeys int
+	// Clock overrides the time source; nil selects time.Now. Test hook.
+	Clock func() time.Time
+}
+
+func (c *LimiterConfig) setDefaults() {
+	if c.Burst <= 0 {
+		c.Burst = int(math.Ceil(2 * c.Rate))
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.MaxKeys <= 0 {
+		c.MaxKeys = 4096
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+// Validate rejects a config that would build an unusable limiter.
+func (c LimiterConfig) Validate() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("obs: rate limit must be > 0 req/s, got %v", c.Rate)
+	}
+	if c.Burst < 0 {
+		return fmt.Errorf("obs: rate burst must be >= 0, got %d", c.Burst)
+	}
+	if c.Quota < 0 {
+		return fmt.Errorf("obs: rate quota must be >= 0, got %d", c.Quota)
+	}
+	return nil
+}
+
+// Decision is the outcome of one Allow call.
+type Decision struct {
+	// OK reports whether the request may proceed.
+	OK bool
+	// RetryAfter, when !OK for rate (not quota), is how long the key
+	// must wait for the next token.
+	RetryAfter time.Duration
+	// QuotaExhausted marks a key that spent its lifetime quota; waiting
+	// will not help.
+	QuotaExhausted bool
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+	used   int64
+}
+
+// Limiter is a keyed token-bucket rate limiter. All methods are safe
+// for concurrent use.
+type Limiter struct {
+	cfg LimiterConfig
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// NewLimiter returns a limiter for cfg. It panics on an invalid
+// config; call Validate first to surface the error gracefully.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg.setDefaults()
+	return &Limiter{cfg: cfg, buckets: make(map[string]*bucket)}
+}
+
+// Burst returns the effective bucket capacity.
+func (l *Limiter) Burst() int { return l.cfg.Burst }
+
+// Allow spends one token for key, refilling the key's bucket by the
+// elapsed wall-clock first. A fresh key starts with a full bucket.
+func (l *Limiter) Allow(key string) Decision {
+	now := l.cfg.Clock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		b = &bucket{tokens: float64(l.cfg.Burst), last: now}
+		l.evictOverCapLocked()
+		l.buckets[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(float64(l.cfg.Burst), b.tokens+dt*l.cfg.Rate)
+	}
+	b.last = now
+	if l.cfg.Quota > 0 && b.used >= l.cfg.Quota {
+		return Decision{QuotaExhausted: true}
+	}
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / l.cfg.Rate * float64(time.Second))
+		return Decision{RetryAfter: wait}
+	}
+	b.tokens--
+	b.used++
+	return Decision{OK: true}
+}
+
+// evictOverCapLocked drops the least-recently-seen bucket once the map
+// is at capacity. Linear scan: the cap is small and insertion of a new
+// key is already the slow path.
+func (l *Limiter) evictOverCapLocked() {
+	if len(l.buckets) < l.cfg.MaxKeys {
+		return
+	}
+	var oldestKey string
+	var oldest time.Time
+	for k, b := range l.buckets {
+		if oldestKey == "" || b.last.Before(oldest) {
+			oldestKey, oldest = k, b.last
+		}
+	}
+	delete(l.buckets, oldestKey)
+}
+
+// RateLimit returns the middleware enforcing l per client key:
+// the authenticated bearer token when Auth ran earlier in the chain,
+// else the client host. Exempt requests (liveness and metrics probes)
+// pass through untouched. Rejections carry the api error envelope —
+// 429 rate_limited with a Retry-After header, or 429 quota_exceeded
+// (no Retry-After: the quota does not refill).
+func RateLimit(l *Limiter, exempt func(*http.Request) bool) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if exempt != nil && exempt(r) {
+				next.ServeHTTP(w, r)
+				return
+			}
+			d := l.Allow(clientKey(r))
+			if d.OK {
+				next.ServeHTTP(w, r)
+				return
+			}
+			if d.QuotaExhausted {
+				writeEnvelope(w, http.StatusTooManyRequests, api.CodeQuotaExceeded,
+					"request quota exhausted for this token",
+					map[string]any{"quota": l.cfg.Quota})
+				return
+			}
+			secs := int64(math.Ceil(d.RetryAfter.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+			writeEnvelope(w, http.StatusTooManyRequests, api.CodeRateLimited,
+				"rate limit exceeded; slow down and retry",
+				map[string]any{"retry_after_ms": d.RetryAfter.Milliseconds()})
+		})
+	}
+}
+
+// clientKey picks the limiter key: the authenticated token when
+// present (per-token limits), else the client host so unauthenticated
+// deployments still get per-source isolation.
+func clientKey(r *http.Request) string {
+	if tok := AuthTokenFrom(r.Context()); tok != "" {
+		return "token:" + tok
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "host:" + host
+}

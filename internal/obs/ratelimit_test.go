@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/api"
+)
+
+// fakeClock is a deterministic Clock for LimiterConfig.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestLimiterConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  LimiterConfig
+		ok   bool
+	}{
+		{"valid", LimiterConfig{Rate: 10}, true},
+		{"valid with burst and quota", LimiterConfig{Rate: 0.5, Burst: 3, Quota: 100}, true},
+		{"zero rate", LimiterConfig{}, false},
+		{"negative rate", LimiterConfig{Rate: -1}, false},
+		{"negative burst", LimiterConfig{Rate: 1, Burst: -1}, false},
+		{"negative quota", LimiterConfig{Rate: 1, Quota: -1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestLimiterDefaultBurst(t *testing.T) {
+	cases := []struct {
+		rate  float64
+		burst int
+		want  int
+	}{
+		{rate: 10, burst: 0, want: 20}, // 2x rate
+		{rate: 0.3, burst: 0, want: 1}, // floor of 1
+		{rate: 2.5, burst: 0, want: 5}, // ceil(2*2.5)
+		{rate: 10, burst: 3, want: 3},  // explicit wins
+		{rate: 0.1, burst: 100, want: 100},
+	}
+	for _, tc := range cases {
+		l := NewLimiter(LimiterConfig{Rate: tc.rate, Burst: tc.burst})
+		if got := l.Burst(); got != tc.want {
+			t.Errorf("rate=%v burst=%d: effective burst %d, want %d", tc.rate, tc.burst, got, tc.want)
+		}
+	}
+}
+
+func TestLimiterBurstThenReject(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 1, Burst: 3, Clock: clock.Now})
+
+	for i := 0; i < 3; i++ {
+		if d := l.Allow("k"); !d.OK {
+			t.Fatalf("request %d within burst rejected: %+v", i, d)
+		}
+	}
+	d := l.Allow("k")
+	if d.OK {
+		t.Fatal("request beyond burst allowed")
+	}
+	if d.QuotaExhausted {
+		t.Fatal("rate rejection reported as quota exhaustion")
+	}
+	// Bucket is empty; at 1 req/s the next token is a full second out.
+	if d.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s", d.RetryAfter)
+	}
+}
+
+func TestLimiterRefill(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 2, Burst: 2, Clock: clock.Now})
+
+	// Drain the bucket.
+	l.Allow("k")
+	l.Allow("k")
+	if d := l.Allow("k"); d.OK {
+		t.Fatal("drained bucket allowed a request")
+	}
+
+	// Half a second at 2 req/s refills exactly one token.
+	clock.Advance(500 * time.Millisecond)
+	if d := l.Allow("k"); !d.OK {
+		t.Fatalf("refilled token not granted: %+v", d)
+	}
+	if d := l.Allow("k"); d.OK {
+		t.Fatal("second request after single-token refill allowed")
+	}
+
+	// A long idle period refills to burst, never beyond it.
+	clock.Advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if d := l.Allow("k"); !d.OK {
+			t.Fatalf("request %d after long idle rejected: %+v", i, d)
+		}
+	}
+	if d := l.Allow("k"); d.OK {
+		t.Fatal("refill exceeded burst capacity")
+	}
+}
+
+func TestLimiterPerKeyIsolation(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 1, Burst: 1, Clock: clock.Now})
+
+	if d := l.Allow("a"); !d.OK {
+		t.Fatalf("key a first request rejected: %+v", d)
+	}
+	if d := l.Allow("a"); d.OK {
+		t.Fatal("key a second request allowed past burst")
+	}
+	// Key b has its own full bucket regardless of a's exhaustion.
+	if d := l.Allow("b"); !d.OK {
+		t.Fatalf("key b starved by key a: %+v", d)
+	}
+}
+
+func TestLimiterQuota(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 100, Burst: 100, Quota: 3, Clock: clock.Now})
+
+	for i := 0; i < 3; i++ {
+		if d := l.Allow("k"); !d.OK {
+			t.Fatalf("request %d within quota rejected: %+v", i, d)
+		}
+	}
+	d := l.Allow("k")
+	if d.OK || !d.QuotaExhausted {
+		t.Fatalf("beyond quota: got %+v, want QuotaExhausted", d)
+	}
+	// Waiting does not help: the quota is lifetime, not a window.
+	clock.Advance(time.Hour)
+	if d := l.Allow("k"); d.OK || !d.QuotaExhausted {
+		t.Fatalf("quota refilled after idle: %+v", d)
+	}
+	// Other keys keep their own quota.
+	if d := l.Allow("other"); !d.OK {
+		t.Fatalf("fresh key rejected after another key's quota: %+v", d)
+	}
+}
+
+func TestLimiterKeyEviction(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 1, Burst: 1, MaxKeys: 2, Clock: clock.Now})
+
+	l.Allow("a") // a's bucket now empty
+	clock.Advance(time.Millisecond)
+	l.Allow("b")
+	clock.Advance(time.Millisecond)
+	l.Allow("c") // over cap: evicts a, the least recently seen
+
+	// a returns with a fresh (full) bucket — proof it was evicted.
+	if d := l.Allow("a"); !d.OK {
+		t.Fatalf("evicted key did not restart with a full bucket: %+v", d)
+	}
+}
+
+func TestLimiterConcurrent(t *testing.T) {
+	// Exercised under -race in CI: concurrent Allow on shared and
+	// distinct keys must be safe, and grants must never exceed
+	// burst + quota accounting.
+	l := NewLimiter(LimiterConfig{Rate: 1, Burst: 50})
+	const goroutines = 8
+	const perG = 25
+
+	var wg sync.WaitGroup
+	granted := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if l.Allow("shared").OK {
+					granted[g]++
+				}
+				l.Allow(fmt.Sprintf("own-%d", g))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, n := range granted {
+		total += n
+	}
+	// 200 attempts against burst 50 at 1 req/s: at most burst plus a
+	// token or two of wall-clock refill may be granted.
+	if total > 52 {
+		t.Fatalf("granted %d requests on a burst-50 bucket", total)
+	}
+	if total < 1 {
+		t.Fatal("no requests granted at all")
+	}
+}
+
+func TestRateLimitMiddleware(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 1, Burst: 1, Clock: clock.Now})
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	h := RateLimit(l, func(r *http.Request) bool { return r.URL.Path == "/healthz" })(next)
+
+	do := func(path string) *httptest.ResponseRecorder {
+		r := httptest.NewRequest(http.MethodGet, path, nil)
+		r.RemoteAddr = "10.0.0.1:4444"
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		return w
+	}
+
+	if w := do("/v1/stats"); w.Code != http.StatusNoContent {
+		t.Fatalf("first request: %d, want 204", w.Code)
+	}
+	w := do("/v1/stats")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request: %d, want 429", w.Code)
+	}
+	if ra := w.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+	var envelope api.ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &envelope); err != nil {
+		t.Fatalf("429 body is not the error envelope: %v", err)
+	}
+	if envelope.Err == nil || envelope.Err.Code != api.CodeRateLimited {
+		t.Fatalf("429 envelope code = %+v, want %s", envelope.Err, api.CodeRateLimited)
+	}
+	if _, ok := envelope.Err.Details["retry_after_ms"]; !ok {
+		t.Fatalf("429 envelope missing retry_after_ms detail: %+v", envelope.Err.Details)
+	}
+
+	// Exempt paths never consume tokens and never 429.
+	for i := 0; i < 5; i++ {
+		if w := do("/healthz"); w.Code != http.StatusNoContent {
+			t.Fatalf("exempt request %d: %d, want 204", i, w.Code)
+		}
+	}
+}
+
+func TestRateLimitMiddlewareQuota(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 100, Burst: 100, Quota: 1, Clock: clock.Now})
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	h := RateLimit(l, nil)(next)
+
+	r := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	r.RemoteAddr = "10.0.0.1:4444"
+	h.ServeHTTP(httptest.NewRecorder(), r)
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("beyond quota: %d, want 429", w.Code)
+	}
+	if ra := w.Header().Get("Retry-After"); ra != "" {
+		t.Fatalf("quota rejection carries Retry-After %q; the quota never refills", ra)
+	}
+	var envelope api.ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &envelope); err != nil {
+		t.Fatalf("quota 429 body is not the error envelope: %v", err)
+	}
+	if envelope.Err == nil || envelope.Err.Code != api.CodeQuotaExceeded {
+		t.Fatalf("quota envelope code = %+v, want %s", envelope.Err, api.CodeQuotaExceeded)
+	}
+}
+
+func TestRateLimitKeysPerToken(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 1, Burst: 1, Clock: clock.Now})
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	h := RateLimit(l, nil)(next)
+
+	do := func(token string) int {
+		r := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+		r.RemoteAddr = "10.0.0.1:4444" // same host for everyone
+		if token != "" {
+			r = r.WithContext(context.WithValue(r.Context(), authTokenKey{}, token))
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		return w.Code
+	}
+
+	// Two authenticated clients behind one NAT host each get their own
+	// bucket; the anonymous host bucket is separate again.
+	if c := do("alice"); c != http.StatusOK {
+		t.Fatalf("alice first request: %d", c)
+	}
+	if c := do("bob"); c != http.StatusOK {
+		t.Fatalf("bob starved by alice's bucket: %d", c)
+	}
+	if c := do(""); c != http.StatusOK {
+		t.Fatalf("host key starved by token keys: %d", c)
+	}
+	if c := do("alice"); c != http.StatusTooManyRequests {
+		t.Fatalf("alice second request: %d, want 429", c)
+	}
+}

@@ -1,0 +1,55 @@
+// recorder wraps a ResponseWriter to observe the status code and body
+// size without changing what the handler writes. It is shared by the
+// Logger and Metrics middlewares.
+package obs
+
+import "net/http"
+
+type recorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+// WriteHeader records the first status set; later calls are passed
+// through for net/http's own duplicate-WriteHeader diagnostics.
+func (r *recorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *recorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush keeps streaming handlers (the NDJSON job-events endpoint)
+// working through the chain: the wrapped writer satisfies
+// http.Flusher whenever the underlying one does.
+func (r *recorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.NewResponseController reach the underlying writer
+// for the controls recorder does not re-implement (deadlines in
+// particular — the events stream clears its write deadline).
+func (r *recorder) Unwrap() http.ResponseWriter {
+	return r.ResponseWriter
+}
+
+// statusOf returns the recorded status, defaulting to 200 for handlers
+// that finished without writing anything.
+func (r *recorder) statusOf() int {
+	if r.status == 0 {
+		return http.StatusOK
+	}
+	return r.status
+}

@@ -1,0 +1,86 @@
+// Per-request IDs: generated (or honored from the caller), returned in
+// X-Request-ID, carried through the request context, and — via the
+// jobs layer — stamped onto every event of an async job, so one ID
+// traces a request from the access log through a streamed job run.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+)
+
+// RequestIDHeader is the header the ID travels in, both directions:
+// an inbound value (from a proxy or a retrying client) is honored when
+// it is well-formed, and the effective ID is always echoed on the
+// response.
+const RequestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds honored inbound IDs so a hostile client
+// cannot stuff kilobytes into every log line and job event.
+const maxRequestIDLen = 64
+
+type requestIDKey struct{}
+
+// RequestID returns the middleware that ensures every request has an
+// ID: a well-formed inbound X-Request-ID is kept (so retries and
+// proxies can correlate), anything else is replaced with a fresh
+// 16-hex-char random ID. The ID is set on the response header before
+// the handler runs — it survives even an early error write — and is
+// available downstream via RequestIDFrom.
+func RequestID() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get(RequestIDHeader)
+			if !ValidRequestID(id) {
+				id = NewRequestID()
+			}
+			w.Header().Set(RequestIDHeader, id)
+			next.ServeHTTP(w, r.WithContext(ContextWithRequestID(r.Context(), id)))
+		})
+	}
+}
+
+// NewRequestID returns a fresh 16-hex-character random request ID —
+// the same shape the jobs layer uses for job IDs, so the two read
+// consistently in logs.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("obs: reading random request id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether an inbound ID is safe to honor:
+// non-empty, bounded, and drawn from [A-Za-z0-9._-] only, so it can be
+// embedded in log lines, headers, and JSON without escaping surprises.
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ContextWithRequestID returns ctx carrying the request ID.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "" outside a
+// RequestID-wrapped request.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -86,6 +86,8 @@ func fallbackCode(status int) string {
 		return api.CodeInvalidRequest
 	case http.StatusNotFound:
 		return api.CodeNotFound
+	case http.StatusUnauthorized:
+		return api.CodeUnauthorized
 	case http.StatusMethodNotAllowed:
 		return api.CodeMethodNotAllowed
 	case http.StatusConflict:

@@ -23,11 +23,12 @@ import (
 // stream.
 func jobEvent(ev jobs.Event) api.JobEvent {
 	out := api.JobEvent{
-		Seq:   ev.Seq,
-		Time:  ev.Time.UTC().Format(time.RFC3339Nano),
-		Type:  string(ev.Type),
-		State: string(ev.State),
-		Error: ev.Error,
+		Seq:       ev.Seq,
+		Time:      ev.Time.UTC().Format(time.RFC3339Nano),
+		Type:      string(ev.Type),
+		State:     string(ev.State),
+		RequestID: ev.RequestID,
+		Error:     ev.Error,
 	}
 	if len(ev.Progress) > 0 {
 		var p api.JobProgress

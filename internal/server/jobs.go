@@ -23,6 +23,7 @@ import (
 	"repro/api"
 	"repro/internal/apsp"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
 // prepared is one validated operation, ready to execute inline or on
@@ -225,7 +226,8 @@ func jobResponse(j jobs.Job) api.JobResponse {
 		return t.UTC().Format(time.RFC3339Nano)
 	}
 	return api.JobResponse{
-		ID: j.ID, Op: j.Op, State: string(j.State), CacheHit: j.CacheHit,
+		ID: j.ID, Op: j.Op, RequestID: j.RequestID,
+		State: string(j.State), CacheHit: j.CacheHit,
 		CreatedAt: stamp(j.Created), StartedAt: stamp(j.Started),
 		FinishedAt: stamp(j.Finished), Error: j.Error, Result: j.Result,
 	}
@@ -245,10 +247,15 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errStatus(err, http.StatusBadRequest), err)
 		return
 	}
+	// The submitting request's ID rides on the job: it comes back on
+	// the submit response, every poll, and every line of the event
+	// stream, so an async run is traceable to the request (and
+	// access-log line) that started it.
+	rid := obs.RequestIDFrom(r.Context())
 	useCache := p.cacheable && !p.cacheOff
 	if useCache {
 		if b, ok := s.cache.Get(p.key); ok {
-			j, err := s.jobs.SubmitDone(p.op, b)
+			j, err := s.jobs.SubmitDone(p.op, b, jobs.WithRequestID(rid))
 			if err != nil {
 				writeError(w, http.StatusServiceUnavailable, err)
 				return
@@ -275,7 +282,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return b, nil
 	}
-	j, err := s.jobs.Submit(p.op, task)
+	j, err := s.jobs.Submit(p.op, task, jobs.WithRequestID(rid))
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests,

@@ -1,0 +1,383 @@
+// End-to-end middleware suite: a real HTTP server (the full chain —
+// request IDs, logging, metrics, auth, rate limiting — around the real
+// route table) driven through the official client SDK, the way a
+// production caller would see it.
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/obs"
+)
+
+func newTestClient(t *testing.T, baseURL string, opts ...client.Option) *client.Client {
+	t.Helper()
+	c, err := client.New(baseURL, opts...)
+	if err != nil {
+		t.Fatalf("client.New: %v", err)
+	}
+	return c
+}
+
+func apiError(t *testing.T, err error) *api.Error {
+	t.Helper()
+	var e *api.Error
+	if !errors.As(err, &e) {
+		t.Fatalf("error %v (%T) is not an *api.Error", err, err)
+	}
+	return e
+}
+
+func TestConfigValidateRateLimits(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"disabled", Config{}, true},
+		{"enabled", Config{RateLimit: 10, RateBurst: 20, RateQuota: 1000}, true},
+		{"negative rate", Config{RateLimit: -1}, false},
+		{"negative burst", Config{RateLimit: 1, RateBurst: -1}, false},
+		{"negative quota", Config{RateLimit: 1, RateQuota: -1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestE2EAuthRequired(t *testing.T) {
+	ts := newTestServer(t, Config{AuthTokens: []string{"good-token"}})
+	ctx := context.Background()
+
+	// No credentials: the SDK surfaces the 401 envelope with the
+	// machine-readable code and the server-assigned request ID.
+	anon := newTestClient(t, ts.URL)
+	_, err := anon.Stats(ctx)
+	e := apiError(t, err)
+	if e.HTTPStatus != http.StatusUnauthorized || e.Code != api.CodeUnauthorized {
+		t.Fatalf("anonymous request: status=%d code=%q, want 401 %s", e.HTTPStatus, e.Code, api.CodeUnauthorized)
+	}
+	if e.RequestID == "" {
+		t.Fatal("401 error lost the X-Request-ID")
+	}
+
+	// Wrong token: also 401, not a hint-leaking different answer.
+	bad := newTestClient(t, ts.URL, client.WithAuthToken("bad-token"))
+	if _, err := bad.Stats(ctx); apiError(t, err).Code != api.CodeUnauthorized {
+		t.Fatalf("bad token: %v, want %s", err, api.CodeUnauthorized)
+	}
+
+	// The right token opens every route.
+	good := newTestClient(t, ts.URL, client.WithAuthToken("good-token"))
+	if _, err := good.Stats(ctx); err != nil {
+		t.Fatalf("authorized stats: %v", err)
+	}
+	if _, err := good.Properties(ctx, api.PropertiesRequest{Graph: api.Graph{
+		N: 7, Edges: figure1().Edges,
+	}}); err != nil {
+		t.Fatalf("authorized properties: %v", err)
+	}
+}
+
+func TestE2ERateLimitedThenRetry(t *testing.T) {
+	// Burst 1 at 1 req/s: the second request 429s with Retry-After: 1.
+	// The SDK must wait that second (not its own 1 ms backoff, which
+	// would fail again) and succeed on the retry.
+	ts := newTestServer(t, Config{RateLimit: 1, RateBurst: 1})
+	ctx := context.Background()
+	c := newTestClient(t, ts.URL, client.WithRetry(client.Retry{
+		MaxAttempts: 2,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    time.Millisecond,
+	}))
+
+	if _, err := c.Stats(ctx); err != nil {
+		t.Fatalf("first request within burst: %v", err)
+	}
+	start := time.Now()
+	if _, err := c.Stats(ctx); err != nil {
+		t.Fatalf("rate-limited request not retried to success: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retry landed after %v — Retry-After was not honored", elapsed)
+	}
+
+	// With retries disabled the 429 surfaces as-is.
+	noRetry := newTestClient(t, ts.URL, client.WithRetry(client.Retry{MaxAttempts: 1}))
+	noRetry.Stats(ctx) // may or may not consume the refilled token
+	_, err := noRetry.Stats(ctx)
+	e := apiError(t, err)
+	if e.HTTPStatus != http.StatusTooManyRequests || e.Code != api.CodeRateLimited {
+		t.Fatalf("unretried 429: status=%d code=%q", e.HTTPStatus, e.Code)
+	}
+}
+
+// scrapeMetrics fetches /metrics, lints it, and returns the body.
+func scrapeMetrics(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatalf("scraping /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading /metrics: %v", err)
+	}
+	if err := obs.CheckExposition(body); err != nil {
+		t.Fatalf("/metrics fails the format lint: %v", err)
+	}
+	return string(body)
+}
+
+func TestE2EMetricsScrape(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	ctx := context.Background()
+	c := newTestClient(t, ts.URL)
+
+	// A known request mix: 3 healthz, 2 stats.
+	for i := 0; i < 3; i++ {
+		if err := c.Healthz(ctx); err != nil {
+			t.Fatalf("healthz %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Stats(ctx); err != nil {
+			t.Fatalf("stats %d: %v", i, err)
+		}
+	}
+
+	out := scrapeMetrics(t, ts.URL)
+	// Counters and histogram counts match the requests issued, labeled
+	// by route pattern.
+	for _, want := range []string{
+		`lopserve_http_requests_total{route="/v1/healthz",method="GET",code="200"} 3`,
+		`lopserve_http_requests_total{route="/v1/stats",method="GET",code="200"} 2`,
+		`lopserve_http_request_duration_seconds_count{route="/v1/healthz"} 3`,
+		`lopserve_http_request_duration_seconds_count{route="/v1/stats"} 2`,
+		// The scrape observes itself mid-flight: the gauge reads 1.
+		`lopserve_http_requests_in_flight 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	// The Stats-sourced gauges are present.
+	for _, fam := range []string{
+		"lopserve_result_cache_entries",
+		"lopserve_registry_graphs",
+		"lopserve_jobs_queue_depth",
+		"lopserve_jobs_workers",
+	} {
+		if !strings.Contains(out, "\n"+fam+" ") {
+			t.Errorf("scrape missing gauge %s", fam)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", out)
+	}
+
+	// A second scrape counts the first: /metrics observes itself too.
+	out2 := scrapeMetrics(t, ts.URL)
+	if !strings.Contains(out2, `lopserve_http_requests_total{route="/metrics",method="GET",code="200"} 1`+"\n") {
+		t.Errorf("second scrape does not count the first:\n%s", out2)
+	}
+}
+
+// headerInjector stamps a fixed header on every outgoing request —
+// how a proxy or a correlating caller supplies X-Request-ID.
+type headerInjector struct {
+	key, value string
+	base       http.RoundTripper
+}
+
+func (h headerInjector) RoundTrip(r *http.Request) (*http.Response, error) {
+	r = r.Clone(r.Context())
+	r.Header.Set(h.key, h.value)
+	return h.base.RoundTrip(r)
+}
+
+func TestE2EJobEventsCarryRequestID(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	const rid = "e2e-fixed-request-id"
+	hc := &http.Client{Transport: headerInjector{
+		key: "X-Request-ID", value: rid, base: http.DefaultTransport,
+	}}
+	c := newTestClient(t, ts.URL, client.WithHTTPClient(hc))
+
+	job, err := c.Jobs.Submit(ctx, "properties", api.PropertiesRequest{
+		Graph: api.Graph{N: 7, Edges: figure1().Edges},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if job.RequestID != rid {
+		t.Fatalf("submit response request_id = %q, want %q", job.RequestID, rid)
+	}
+
+	// Every streamed event of the job carries the originating ID, even
+	// though the events request itself has its own.
+	var events []api.JobEvent
+	err = c.Jobs.Events(ctx, job.ID, func(ev api.JobEvent) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events streamed")
+	}
+	for _, ev := range events {
+		if ev.RequestID != rid {
+			t.Fatalf("event %s/%s carries request_id %q, want %q", ev.Type, ev.State, ev.RequestID, rid)
+		}
+	}
+
+	// Polling the job returns the same provenance.
+	final, err := c.Jobs.Get(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if final.RequestID != rid {
+		t.Fatalf("polled job request_id = %q, want %q", final.RequestID, rid)
+	}
+}
+
+func TestE2EGeneratedRequestIDThreadsThroughJobs(t *testing.T) {
+	// Without an inbound header the server generates the ID; the submit
+	// response and the job's events must still agree on it.
+	ts := newTestServer(t, Config{})
+	ctx := context.Background()
+	c := newTestClient(t, ts.URL)
+
+	job, err := c.Jobs.Submit(ctx, "properties", api.PropertiesRequest{
+		Graph: api.Graph{N: 7, Edges: figure1().Edges},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if len(job.RequestID) != 16 {
+		t.Fatalf("generated request_id %q is not the 16-hex shape", job.RequestID)
+	}
+	err = c.Jobs.Events(ctx, job.ID, func(ev api.JobEvent) error {
+		if ev.RequestID != job.RequestID {
+			return fmt.Errorf("event request_id %q != submit %q", ev.RequestID, job.RequestID)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+}
+
+func TestE2EUnprotectedBypassAuthAndRateLimit(t *testing.T) {
+	// Regression: liveness probes and metric scrapes must answer 200
+	// with no credentials, under auth, and past an exhausted rate
+	// limit — a load balancer or Prometheus never gets locked out.
+	ts := newTestServer(t, Config{
+		AuthTokens: []string{"t0k3n"},
+		RateLimit:  0.001, // one token per ~17 minutes: exhausted at once
+		RateBurst:  1,
+	})
+	ctx := context.Background()
+
+	// Confirm enforcement is actually on for protected routes.
+	anon := newTestClient(t, ts.URL)
+	if _, err := anon.Stats(ctx); apiError(t, err).HTTPStatus != http.StatusUnauthorized {
+		t.Fatalf("protected route without token: %v, want 401", err)
+	}
+	// Burn the sole token of the authenticated client, then prove it is
+	// rate limited.
+	auth := newTestClient(t, ts.URL, client.WithAuthToken("t0k3n"),
+		client.WithRetry(client.Retry{MaxAttempts: 1}))
+	if _, err := auth.Stats(ctx); err != nil {
+		t.Fatalf("first authorized request: %v", err)
+	}
+	if _, err := auth.Stats(ctx); apiError(t, err).HTTPStatus != http.StatusTooManyRequests {
+		t.Fatalf("second authorized request: %v, want 429", err)
+	}
+
+	// The exempt paths keep answering, bare, forever.
+	for i := 0; i < 10; i++ {
+		for _, path := range []string{"/healthz", "/v1/healthz", "/metrics"} {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s round %d: status %d — exempt path got locked out", path, i, resp.StatusCode)
+			}
+		}
+	}
+}
+
+func TestE2ERequestLogCorrelatesWithResponses(t *testing.T) {
+	// The structured request log carries the same request ID the client
+	// received, so one key joins the log line, the response, and (for
+	// jobs) the event stream.
+	var buf syncBuffer
+	ts := newTestServer(t, Config{RequestLog: &buf})
+	ctx := context.Background()
+
+	const rid = "log-join-key-1"
+	hc := &http.Client{Transport: headerInjector{
+		key: "X-Request-ID", value: rid, base: http.DefaultTransport,
+	}}
+	c := newTestClient(t, ts.URL, client.WithHTTPClient(hc))
+	if _, err := c.Stats(ctx); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+
+	if !strings.Contains(buf.String(), `"request_id":"`+rid+`"`) {
+		t.Fatalf("request log does not carry the request ID:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"path":"/v1/stats"`) {
+		t.Fatalf("request log does not carry the path:\n%s", buf.String())
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the server's logger
+// writes from request goroutines while the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -27,6 +27,16 @@
 //	DELETE /v1/jobs/{id} cancel a queued or running job
 //	GET  /v1/jobs/{id}/events NDJSON stream of job lifecycle + progress
 //	GET  /v1/stats       cache, registry, and job-queue counters
+//	GET  /metrics        Prometheus text exposition of the same
+//
+// Every route is wrapped by the internal/obs middleware chain —
+// request IDs (X-Request-ID, generated or honored, echoed on every
+// response and threaded into async job events), structured JSON
+// request logging (Config.RequestLog), per-route Prometheus metrics,
+// bearer-token authentication (Config.AuthTokens), and per-client
+// token-bucket rate limiting (Config.RateLimit) — with /healthz,
+// /v1/healthz, and /metrics exempt from auth and rate limiting so
+// probes and scrapes never get 401/429.
 //
 // Every request body is a JSON document containing a graph as
 // {"n": vertexCount, "edges": [[u,v], ...]}, or — once the graph is
@@ -62,6 +72,7 @@ import (
 	"repro/api"
 	"repro/internal/apsp"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -118,6 +129,30 @@ type Config struct {
 	// first touch. See registry.Config.MappedStores for the
 	// validation tradeoff.
 	MappedStores bool
+	// AuthTokens, when non-empty, requires every request to present
+	// one of these bearer tokens (Authorization: Bearer <token>).
+	// Liveness probes (/healthz, /v1/healthz) and the /metrics scrape
+	// endpoint are exempt, so load balancers and Prometheus need no
+	// credentials. Empty disables authentication.
+	AuthTokens []string
+	// RateLimit, when positive, enforces a per-client token-bucket
+	// rate limit of this many requests per second. Clients are keyed
+	// by bearer token when AuthTokens is set, by remote host
+	// otherwise; the exempt endpoints above are never limited. Zero
+	// disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket capacity (requests a client may
+	// issue back-to-back after idling); zero selects 2*RateLimit,
+	// minimum 1. Meaningful only with RateLimit.
+	RateBurst int
+	// RateQuota, when positive, caps the total requests one client may
+	// issue over the process lifetime (429 quota_exceeded beyond it).
+	// Zero means unlimited. Meaningful only with RateLimit.
+	RateQuota int64
+	// RequestLog, when non-nil, receives one structured JSON line per
+	// request (obs.AccessRecord): method, path, status, duration, and
+	// the request ID. Nil disables request logging.
+	RequestLog io.Writer
 }
 
 func (c *Config) setDefaults() {
@@ -170,7 +205,21 @@ func (c Config) Validate() error {
 	if err := c.registryConfig().Validate(); err != nil {
 		return fmt.Errorf("server config: %w", err)
 	}
+	if c.RateLimit < 0 {
+		return fmt.Errorf("server config: rate limit must be >= 0 req/s, got %v", c.RateLimit)
+	}
+	if c.RateLimit > 0 {
+		if err := c.limiterConfig().Validate(); err != nil {
+			return fmt.Errorf("server config: %w", err)
+		}
+	}
 	return nil
+}
+
+// limiterConfig maps the server knobs onto the obs package's limiter
+// Config.
+func (c Config) limiterConfig() obs.LimiterConfig {
+	return obs.LimiterConfig{Rate: c.RateLimit, Burst: c.RateBurst, Quota: c.RateQuota}
 }
 
 // registryConfig maps the server knobs onto the registry package's own
@@ -209,6 +258,8 @@ func New(cfg Config) *Server {
 		cache: jobs.NewCache(cfg.CacheEntries),
 		reg:   registry.New(cfg.registryConfig()),
 	}
+	s.metrics = obs.NewHTTPMetrics(obs.NewRegistry())
+	s.stats = newStatsGauges(s.metrics.Registry())
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
@@ -227,25 +278,32 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/v1/jobs/{id}", s.handleJobByID)
 	mux.HandleFunc("/v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux = mux
+	s.handler = s.buildChain(mux)
 	return s
 }
 
 // Server is the REST API plus its async execution state: the job
 // worker pool and the content-addressed result cache shared by the
-// synchronous and asynchronous paths.
+// synchronous and asynchronous paths — wrapped in the obs middleware
+// chain (request IDs, logging, metrics, auth, rate limiting).
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	jobs  *jobs.Manager
-	cache *jobs.Cache
-	reg   *registry.Registry
+	cfg     Config
+	mux     *http.ServeMux
+	handler http.Handler
+	jobs    *jobs.Manager
+	cache   *jobs.Cache
+	reg     *registry.Registry
+	metrics *obs.HTTPMetrics
+	stats   *statsGauges
 }
 
-// ServeHTTP dispatches to the route table; *Server is mountable under
-// any mux, exactly as the previous bare-handler API was.
+// ServeHTTP serves through the middleware chain, then the route table;
+// *Server is mountable under any mux, exactly as the previous
+// bare-handler API was.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // Close drains the async subsystem: queued jobs are cancelled, running

@@ -38,6 +38,29 @@ type RegistryStats struct {
 	Builds       int64 `json:"builds"`
 	BuildMSTotal int64 `json:"build_ms_total"`
 	BuildMSMax   int64 `json:"build_ms_max"`
+	// StoreBytes and StoreFileBytes report where the cached distance
+	// triangles live, keyed by backing name ("compact", "packed",
+	// "mapped", "paged", "overlay"): heap-resident bytes and
+	// file-backed bytes respectively. A heap deployment shows bytes
+	// only under store_bytes, a mapped one only under store_file_bytes,
+	// and a paged one shows per-store file bytes plus a heap residency
+	// bounded by -store-budget-bytes.
+	StoreBytes     map[string]int64 `json:"store_bytes,omitempty"`
+	StoreFileBytes map[string]int64 `json:"store_file_bytes,omitempty"`
+	// PageCache reports the shared paged-store page cache
+	// (-paged-stores); all fields are zero when paging is disabled.
+	PageCache PageCacheStats `json:"page_cache"`
+}
+
+// PageCacheStats reports the paged-store LRU cache: its configured
+// ceiling, current occupancy, and fault traffic.
+type PageCacheStats struct {
+	BudgetBytes   int64 `json:"budget_bytes"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	Pages         int   `json:"pages"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
 }
 
 // PersistenceStats reports the registry snapshot layer (-data-dir):

@@ -21,10 +21,16 @@
 //	bfs_inner           one bounded BFS + touched-only reset (0 allocs)
 //	anonymize_greedy    capped greedy removal run (ci scale only)
 //	warm_restart_mapped registry reboot with -mmap-stores hydration
+//	stream_build_file   streaming APSP build straight into a snapshot file
+//	mutate_clone        seed-store mutation via full deep clone (the old path)
+//	mutate_overlay      the same mutations via copy-on-write overlay
+//	paged_under_budget  full EachPair sweep of a paged store under a
+//	                    page budget far smaller than the triangle
 //
 // The tool exits non-zero when an invariant breaks (bfs_inner
-// allocating, warm restart missing the mapped store) or when a
-// baseline comparison exceeds -max-ratio.
+// allocating, warm restart missing the mapped store, an overlay
+// diverging from the clone it replaces, a paged sweep exceeding its
+// budget) or when a baseline comparison exceeds -max-ratio.
 package main
 
 import (
@@ -187,6 +193,25 @@ func runScale(scale string) ([]Result, error) {
 		return nil, err
 	}
 	rows = append(rows, row("warm_restart_mapped", warm))
+
+	stream, err := benchStreamBuild(g)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row("stream_build_file", stream))
+
+	cloneRes, overlayRes, err := benchOverlayVsClone(g)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row("mutate_clone", cloneRes))
+	rows = append(rows, row("mutate_overlay", overlayRes))
+
+	paged, err := benchPagedUnderBudget(g, scale)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row("paged_under_budget", paged))
 	return rows, nil
 }
 
@@ -268,6 +293,118 @@ func benchWarmRestart(g *graph.Graph) (testing.BenchmarkResult, error) {
 	})
 	if misses != 0 {
 		return res, fmt.Errorf("warm_restart_mapped rebuilt: store_misses=%d, want 0", misses)
+	}
+	return res, nil
+}
+
+// benchStreamBuild measures the streaming APSP build writing straight
+// into a snapshot file — the out-of-core build path, whose working set
+// is O(n) no matter how large the triangle on disk grows.
+func benchStreamBuild(g *graph.Graph) (testing.BenchmarkResult, error) {
+	dir, err := os.MkdirTemp("", "lopbench-stream-*")
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bench.store")
+	return bench(func() {
+		if err := apsp.BuildToFile(path, g, benchL, apsp.BuildOptions{}); err != nil {
+			panic(err)
+		}
+	}), nil
+}
+
+// benchOverlayVsClone pits the two seed-run mutation strategies against
+// each other on one store and one fixed dirty-cell set: a full deep
+// clone (cost proportional to the n(n-1)/2 triangle) versus a
+// copy-on-write overlay (cost proportional to the cells written).
+// Before timing anything it asserts the two strategies agree cell for
+// cell, and afterwards that the overlay kept its asymptotic edge in
+// allocated bytes.
+func benchOverlayVsClone(g *graph.Graph) (clone, overlay testing.BenchmarkResult, err error) {
+	st := apsp.Build(g, benchL, apsp.BuildOptions{})
+	n := st.N()
+	type cell struct{ i, j, d int }
+	rng := rand.New(rand.NewSource(99))
+	cells := make([]cell, 64)
+	for k := range cells {
+		i := rng.Intn(n - 1)
+		j := i + 1 + rng.Intn(n-1-i)
+		cells[k] = cell{i, j, 1 + rng.Intn(st.Far())}
+	}
+
+	m := st.Clone().(apsp.MutableStore)
+	o := apsp.NewOverlay(st)
+	for _, c := range cells {
+		m.Set(c.i, c.j, c.d)
+		o.Set(c.i, c.j, c.d)
+	}
+	if !apsp.Equal(m, o) {
+		return clone, overlay, fmt.Errorf("mutate_overlay diverged from mutate_clone on the same writes")
+	}
+
+	clone = bench(func() {
+		mc := st.Clone().(apsp.MutableStore)
+		for _, c := range cells {
+			mc.Set(c.i, c.j, c.d)
+		}
+	})
+	overlay = bench(func() {
+		ov := apsp.NewOverlay(st)
+		for _, c := range cells {
+			ov.Set(c.i, c.j, c.d)
+		}
+	})
+	if clone.AllocedBytesPerOp() > 0 && overlay.AllocedBytesPerOp()*4 > clone.AllocedBytesPerOp() {
+		return clone, overlay, fmt.Errorf("mutate_overlay allocates %d B/op vs the clone's %d — the overlay lost its asymptotic edge",
+			overlay.AllocedBytesPerOp(), clone.AllocedBytesPerOp())
+	}
+	return clone, overlay, nil
+}
+
+// pagedBenchBudget caps the paged_under_budget page cache at 1 MiB —
+// 16 pages, far below the triangle at either scale (~12 MiB at ci,
+// ~4.7 GiB at full), so the sweep must fault and evict throughout.
+const pagedBenchBudget = 1 << 20
+
+// benchPagedUnderBudget sweeps the full triangle through a paged store
+// whose page cache is much smaller than the snapshot file, then asserts
+// residency never exceeded the budget, that eviction actually happened,
+// and (at ci scale, where an in-heap oracle is cheap) that the paged
+// view is byte-identical to a direct build.
+func benchPagedUnderBudget(g *graph.Graph, scale string) (testing.BenchmarkResult, error) {
+	var zero testing.BenchmarkResult
+	dir, err := os.MkdirTemp("", "lopbench-paged-*")
+	if err != nil {
+		return zero, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bench.store")
+	if err := apsp.BuildToFile(path, g, benchL, apsp.BuildOptions{}); err != nil {
+		return zero, err
+	}
+	cache := apsp.NewPageCache(pagedBenchBudget)
+	ps, err := apsp.OpenPagedStore(path, cache)
+	if err != nil {
+		return zero, err
+	}
+	defer ps.Close()
+	if scale == "ci" {
+		if !apsp.Equal(apsp.Build(g, benchL, apsp.BuildOptions{}), ps) {
+			return zero, fmt.Errorf("paged_under_budget: paged view diverges from the in-heap build")
+		}
+	}
+	var sink int64
+	res := bench(func() {
+		ps.EachPair(func(_, _, d int) { sink += int64(d) })
+	})
+	_ = sink
+	st := cache.Stats()
+	if st.ResidentBytes > st.BudgetBytes {
+		return zero, fmt.Errorf("paged_under_budget: resident %d bytes exceeds the %d budget", st.ResidentBytes, st.BudgetBytes)
+	}
+	if st.Evictions == 0 {
+		return zero, fmt.Errorf("paged_under_budget: no evictions — the triangle fit the budget and the suite exercised nothing")
 	}
 	return res, nil
 }

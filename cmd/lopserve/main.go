@@ -32,6 +32,19 @@
 // decoded into the heap, so warm-restart time is independent of how
 // many gigabytes of distance triangles are on disk.
 //
+// Adding -paged-stores instead (mutually exclusive with -mmap-stores)
+// serves every distance store as a paged view over its snapshot file,
+// windowed through one process-wide LRU page cache capped by
+// -store-budget-bytes: total resident triangle bytes stay under the
+// budget no matter how many graphs are registered, and fresh builds
+// stream straight into their snapshot file without ever materializing
+// the triangle in the heap — the out-of-core mode for distance data
+// larger than RAM. The cache's occupancy and fault traffic appear
+// under "registry.page_cache" in GET /v1/stats and as
+// lopserve_store_page_cache_* gauges on /metrics, next to the
+// per-backing lopserve_store_bytes / lopserve_store_file_bytes
+// footprint gauges.
+//
 // The wire contract lives in the exported api package; the official Go
 // client (package client) and examples/client consume it. Endpoints
 // (see docs/API.md for the full reference):
@@ -134,7 +147,7 @@ func main() {
 		maxVerts     = flag.Int("max-vertices", 20000, "maximum graph size accepted")
 		maxBudget    = flag.Duration("max-budget", 30*time.Second, "per-request anonymization wall-clock cap")
 		engine       = flag.String("engine", "auto", "default APSP engine: auto, bfs, fw, pointer, or bitbfs")
-		store        = flag.String("store", "compact", "default distance-store backing: compact (uint8), packed (int32), or mapped (read-only snapshot view; builds fall back to compact)")
+		store        = flag.String("store", "compact", "default distance-store backing: compact (uint8), packed (int32), mapped, or paged (read-only snapshot views; builds fall back to compact)")
 		workers      = flag.Int("workers", 0, "async job worker goroutines (0 selects 4)")
 		queue        = flag.Int("queue", 0, "async job queue depth before 429s (0 selects 64)")
 		cacheEntries = flag.Int("cache-entries", 0, "content-addressed result cache capacity (0 selects 256)")
@@ -144,6 +157,8 @@ func main() {
 		maxBatch     = flag.Int("max-batch", 0, "operations accepted per POST /v1/batch request (0 selects 64)")
 		dataDir      = flag.String("data-dir", "", "snapshot directory for registry persistence (empty disables)")
 		mmapStores   = flag.Bool("mmap-stores", false, "hydrate persisted distance stores at boot as read-only memory-mapped views (requires -data-dir)")
+		pagedStores  = flag.Bool("paged-stores", false, "serve distance stores as paged views over their snapshot files, capped by -store-budget-bytes (requires -data-dir; excludes -mmap-stores)")
+		storeBudget  = flag.Int64("store-budget-bytes", 0, "resident byte ceiling for the paged-store page cache (0 selects 256 MiB; used with -paged-stores)")
 		rateLimit    = flag.Float64("rate-limit", 0, "per-client request rate in req/s; 0 disables rate limiting")
 		rateBurst    = flag.Int("rate-burst", 0, "token-bucket burst capacity (0 selects 2x rate-limit)")
 		rateQuota    = flag.Int64("rate-quota", 0, "lifetime request quota per client; 0 means unlimited")
@@ -167,25 +182,27 @@ func main() {
 	}
 
 	cfg := server.Config{
-		MaxBodyBytes:   *maxBody,
-		MaxVertices:    *maxVerts,
-		MaxBudget:      *maxBudget,
-		Engine:         *engine,
-		Store:          *store,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheEntries,
-		JobTTL:         *jobTTL,
-		GraphCapacity:  *graphs,
-		StoresPerGraph: *storesPer,
-		MaxBatchItems:  *maxBatch,
-		DataDir:        *dataDir,
-		MappedStores:   *mmapStores,
-		AuthTokens:     authTokens,
-		RateLimit:      *rateLimit,
-		RateBurst:      *rateBurst,
-		RateQuota:      *rateQuota,
-		RequestLog:     logDest,
+		MaxBodyBytes:     *maxBody,
+		MaxVertices:      *maxVerts,
+		MaxBudget:        *maxBudget,
+		Engine:           *engine,
+		Store:            *store,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cacheEntries,
+		JobTTL:           *jobTTL,
+		GraphCapacity:    *graphs,
+		StoresPerGraph:   *storesPer,
+		MaxBatchItems:    *maxBatch,
+		DataDir:          *dataDir,
+		MappedStores:     *mmapStores,
+		PagedStores:      *pagedStores,
+		StoreBudgetBytes: *storeBudget,
+		AuthTokens:       authTokens,
+		RateLimit:        *rateLimit,
+		RateBurst:        *rateBurst,
+		RateQuota:        *rateQuota,
+		RequestLog:       logDest,
 	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatalf("lopserve: %v", err)

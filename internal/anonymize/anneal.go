@@ -58,7 +58,8 @@ type AnnealOptions struct {
 	Engine apsp.Engine
 	Store  apsp.Kind
 	// Distances optionally seeds the run from a prebuilt store, as in
-	// Options.Distances: it is cloned, never mutated.
+	// Options.Distances: the run mutates a sparse copy-on-write overlay
+	// over it, never the store itself.
 	Distances apsp.Store
 }
 

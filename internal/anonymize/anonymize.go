@@ -96,14 +96,17 @@ type Options struct {
 	// identical capped distances.
 	Store apsp.Kind
 	// Distances, when non-nil, is a prebuilt L-capped distance store of
-	// the INPUT graph (same vertex count, same L). The run clones it
-	// instead of rebuilding APSP from scratch — the serving layer's
-	// registry hands one cached store to every request — and never
-	// mutates the original, so the same store may seed concurrent runs.
-	// Engine and Store are ignored for the initial build when set (the
-	// clone keeps the prebuilt store's backing); every prebuilt store
-	// holds the identical capped distances a fresh build would, so the
-	// anonymization outcome is unchanged.
+	// the INPUT graph (same vertex count, same L). The run wraps it in a
+	// sparse copy-on-write overlay (apsp.Overlay) instead of rebuilding
+	// APSP from scratch — the serving layer's registry hands one cached
+	// store to every request — and never mutates the original, so the
+	// same store may seed concurrent runs, including read-only mapped
+	// and paged views of triangles larger than RAM. No full-triangle
+	// copy is ever taken: a run that commits no moves allocates O(1) for
+	// the seed, and one that does pays O(mutated cells). Engine and
+	// Store are ignored for the initial build when set; every prebuilt
+	// store holds the identical capped distances a fresh build would, so
+	// the anonymization outcome is unchanged.
 	Distances apsp.Store
 	// Budget bounds the wall-clock time of the run; 0 means unlimited.
 	// When the budget is exhausted the run stops between greedy
@@ -232,7 +235,7 @@ type state struct {
 	ctx     context.Context
 	opts    Options
 	g       *graph.Graph
-	m       apsp.Store
+	m       apsp.MutableStore
 	tr      *opacity.Tracker
 	rng     *rand.Rand
 	scratch *apsp.Scratch
@@ -271,19 +274,23 @@ func newState(ctx context.Context, g *graph.Graph, opts Options) (*state, error)
 	if types == nil {
 		types = opacity.NewDegreeTypes(g.Degrees())
 	}
-	var m apsp.Store
+	var m apsp.MutableStore
 	if opts.Distances != nil {
-		// Seed from the caller's prebuilt store: clone it so the run's
-		// incremental mutations never leak into the (shared, read-only)
-		// original. The clone is a flat memcpy — orders of magnitude
-		// cheaper than the APSP build it replaces.
+		// Seed from the caller's prebuilt store through a copy-on-write
+		// overlay: the run's incremental mutations land in the overlay's
+		// sparse dirty set and never leak into the (shared, read-only)
+		// original. Unlike the deep Clone this replaces, creating the
+		// overlay is O(1) — a run that never mutates (budget already
+		// exhausted, theta already satisfied, immediate cancellation)
+		// allocates nothing proportional to the triangle, and one that
+		// does pays only for the cells it actually changes.
 		if opts.Distances.N() != g.N() {
 			return nil, fmt.Errorf("anonymize: prebuilt store covers %d vertices, graph has %d", opts.Distances.N(), g.N())
 		}
 		if opts.Distances.L() != opts.L {
 			return nil, fmt.Errorf("anonymize: prebuilt store is capped at L=%d, run wants L=%d", opts.Distances.L(), opts.L)
 		}
-		m = opts.Distances.Clone()
+		m = apsp.NewOverlay(opts.Distances)
 	} else {
 		m = apsp.Build(work, opts.L, apsp.BuildOptions{
 			Engine:  opts.Engine,

@@ -1,0 +1,110 @@
+// Memory-ceiling smoke test: a seeded anonymization run over a
+// distance triangle larger than the process is allowed to hold in the
+// heap. The triangle is stream-built into a snapshot file (never
+// materialized), served back as a paged view under a small page
+// budget, and a heap-peak sampler proves the run's resident footprint
+// stayed a fraction of the triangle size. CI runs this with GOMEMLIMIT
+// set below the triangle, so any code path that silently deep-copies
+// the store shows up as GC thrash or an OOM kill, not just a failed
+// assertion.
+//
+// The sweep is minutes of work at paper scale on one core, so the test
+// skips unless LOP_MEMCEILING=1.
+package anonymize
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apsp"
+	"repro/internal/gen"
+)
+
+// sampleHeapPeak polls HeapAlloc until stop is closed and reports the
+// highest value seen. A 10ms cadence is coarse, but the failure mode
+// it guards against — a full-triangle copy living for an entire scan —
+// persists for seconds, not microseconds.
+func sampleHeapPeak(stop <-chan struct{}, wg *sync.WaitGroup) *uint64 {
+	peak := new(uint64)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > *peak {
+				*peak = ms.HeapAlloc
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}()
+	return peak
+}
+
+func TestMemoryCeilingPagedRun(t *testing.T) {
+	if os.Getenv("LOP_MEMCEILING") != "1" {
+		t.Skip("set LOP_MEMCEILING=1 to run the memory-ceiling smoke test")
+	}
+	const (
+		n, m   = 100_000, 1_000_000
+		l      = 2
+		budget = int64(64 << 20)
+	)
+	triangle := int64(n) * int64(n-1) / 2 // compact cells = bytes
+	g, err := gen.RMAT(n, m, gen.WebRMAT(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "ceiling.store")
+	if err := apsp.BuildToFile(path, g, l, apsp.BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	cache := apsp.NewPageCache(budget)
+	ps, err := apsp.OpenPagedStore(path, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	peak := sampleHeapPeak(stop, &wg)
+
+	// Theta=1 stops after the initial opacity measurement: one full
+	// L-capped sweep of the out-of-core triangle, enough to page every
+	// cell through the cache without the multi-hour greedy scan.
+	res, err := Run(g, Options{L: l, Theta: 1, Seed: 1, MaxSteps: 1, Distances: ps})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph == nil {
+		t.Fatal("run returned no graph")
+	}
+
+	if got := cache.Stats().ResidentBytes; got > budget {
+		t.Errorf("page cache resident %d bytes exceeds the %d budget", got, budget)
+	}
+	// The ceiling: the run must never have held the triangle in the
+	// heap. Live bytes (graph, CSR, page cache, scratch) are well under
+	// 100 MiB here, but the sampler sees GC slack too — under a
+	// GOMEMLIMIT near the triangle size the collector legitimately lets
+	// HeapAlloc drift toward the limit — so the bound is 3/4 of the
+	// triangle: slack-proof, yet any full-triangle copy blows past it.
+	if ceiling := uint64(triangle * 3 / 4); *peak > ceiling {
+		t.Errorf("heap peaked at %d bytes, want < %d (triangle is %d)", *peak, ceiling, triangle)
+	}
+	t.Logf("triangle=%d file bytes, heap peak=%d, page cache resident=%d/%d",
+		ps.FileBytes(), *peak, cache.Stats().ResidentBytes, budget)
+}

@@ -10,7 +10,7 @@ import "repro/internal/graph"
 // same store as every other engine (the cross-validation tests
 // include it) and exists only so the "CSR vs map adjacency" speedup
 // stays reproducible instead of being a one-off prose number.
-func BoundedAPSPMapBaseline(g *graph.Graph, L int, k Kind) Store {
+func BoundedAPSPMapBaseline(g *graph.Graph, L int, k Kind) MutableStore {
 	n := g.N()
 	m := newStoreAuto(n, L, k)
 	dist := make([]int, n)

@@ -18,11 +18,11 @@ import (
 // BitBFS is an engine-level ablation subject (see BenchmarkAblationEngine):
 // it returns exactly the same matrix as BoundedAPSP, LPrunedFW, and
 // PointerFW, which the cross-validation tests assert.
-func BitBFS(g *graph.Graph, L int) Store { return BitBFSKind(g, L, KindCompact) }
+func BitBFS(g *graph.Graph, L int) MutableStore { return BitBFSKind(g, L, KindCompact) }
 
 // BitBFSKind runs the bit-parallel engine into a store of the given
 // kind.
-func BitBFSKind(g *graph.Graph, L int, k Kind) Store {
+func BitBFSKind(g *graph.Graph, L int, k Kind) MutableStore {
 	n := g.N()
 	m := newStoreAuto(n, L, k)
 	if n == 0 || L == 0 {

@@ -88,7 +88,7 @@ const autoParallelMinN = 4096
 // engine and backing. Every engine produces an identical store (the
 // cross-validation tests assert this), so the choice only affects build
 // time and memory.
-func Build(g *graph.Graph, L int, o BuildOptions) Store {
+func Build(g *graph.Graph, L int, o BuildOptions) MutableStore {
 	switch o.Engine {
 	case EngineBFS:
 		return BoundedAPSPKind(g, L, o.Kind)

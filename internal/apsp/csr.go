@@ -41,7 +41,7 @@ func newCSRScratch(n int) *csrScratch {
 // workers covers the full triangle with exactly one writer per cell.
 // The two built-in backings are written through their packed triangles
 // directly; foreign Store implementations fall back to Set.
-func boundedCSRRange(c *graph.CSR, L int, m Store, lo, hi int, sc *csrScratch) {
+func boundedCSRRange(c *graph.CSR, L int, m MutableStore, lo, hi int, sc *csrScratch) {
 	switch t := m.(type) {
 	case *CompactMatrix:
 		boundedCSRCells(c, L, t.data, lo, hi, sc)

@@ -165,7 +165,7 @@ func RemovalDelta(g *graph.Graph, m Store, u, v int, scratch *Scratch, visit fun
 
 // ApplyInsertion mutates m to reflect inserting the edge {u, v} into the
 // graph it describes (the graph itself is not touched).
-func ApplyInsertion(m Store, u, v int) {
+func ApplyInsertion(m MutableStore, u, v int) {
 	InsertionDelta(m, u, v, func(x, y, _, newD int) {
 		m.Set(x, y, newD)
 	})
@@ -173,7 +173,7 @@ func ApplyInsertion(m Store, u, v int) {
 
 // ApplyRemoval mutates m to reflect removing the edge {u, v}. g must
 // still contain the edge; it is only read, never mutated.
-func ApplyRemoval(g *graph.Graph, m Store, u, v int, scratch *Scratch) {
+func ApplyRemoval(g *graph.Graph, m MutableStore, u, v int, scratch *Scratch) {
 	type upd struct{ x, y, d int }
 	var ups []upd
 	RemovalDelta(g, m, u, v, scratch, func(x, y, _, newD int) {

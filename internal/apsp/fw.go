@@ -58,10 +58,10 @@ func ClassicFW(g *graph.Graph) [][]int {
 // not exceed L; everything longer is provably irrelevant to the question
 // "is d(i, j) <= L?". The result is an L-capped Store with the default
 // compact backing; LPrunedFWKind selects the backing explicitly.
-func LPrunedFW(g *graph.Graph, L int) Store { return LPrunedFWKind(g, L, KindCompact) }
+func LPrunedFW(g *graph.Graph, L int) MutableStore { return LPrunedFWKind(g, L, KindCompact) }
 
 // LPrunedFWKind runs Algorithm 2 into a store of the given kind.
-func LPrunedFWKind(g *graph.Graph, L int, k Kind) Store {
+func LPrunedFWKind(g *graph.Graph, L int, k Kind) MutableStore {
 	n := g.N()
 	m := newStoreAuto(n, L, k)
 	if L >= 1 {
@@ -95,7 +95,7 @@ func LPrunedFWKind(g *graph.Graph, L int, k Kind) Store {
 
 // seedEdges writes distance 1 for every edge of the snapshot — the
 // initialization step shared by the Floyd-Warshall style engines.
-func seedEdges(c *graph.CSR, m Store) {
+func seedEdges(c *graph.CSR, m MutableStore) {
 	n := c.N()
 	for u := 0; u < n; u++ {
 		for _, w := range c.Neighbors(u) {
@@ -113,18 +113,18 @@ func seedEdges(c *graph.CSR, m Store) {
 // instead of O(n^3)) and is therefore the default engine for the
 // anonymization heuristics. The result uses the default compact
 // backing; BoundedAPSPKind selects it explicitly.
-func BoundedAPSP(g *graph.Graph, L int) Store { return BoundedAPSPKind(g, L, KindCompact) }
+func BoundedAPSP(g *graph.Graph, L int) MutableStore { return BoundedAPSPKind(g, L, KindCompact) }
 
 // BoundedAPSPKind runs the bounded-BFS engine into a store of the given
 // kind.
-func BoundedAPSPKind(g *graph.Graph, L int, k Kind) Store {
+func BoundedAPSPKind(g *graph.Graph, L int, k Kind) MutableStore {
 	return BoundedCSRKind(g.Frozen(), L, k)
 }
 
 // BoundedCSRKind runs the sequential bounded-BFS engine over an
 // already-frozen CSR snapshot. Callers that hold a snapshot (the
 // parallel engine, benchmarks) use this form to freeze exactly once.
-func BoundedCSRKind(c *graph.CSR, L int, k Kind) Store {
+func BoundedCSRKind(c *graph.CSR, L int, k Kind) MutableStore {
 	n := c.N()
 	m := newStoreAuto(n, L, k)
 	boundedCSRRange(c, L, m, 0, n, newCSRScratch(n))
@@ -133,7 +133,7 @@ func BoundedCSRKind(c *graph.CSR, L int, k Kind) Store {
 
 // FromClassic converts a full reference distance matrix into an L-capped
 // Store (compact backing); used by tests to compare engines.
-func FromClassic(full [][]int, L int) Store {
+func FromClassic(full [][]int, L int) MutableStore {
 	n := len(full)
 	m := newStoreAuto(n, L, KindCompact)
 	for i := 0; i < n; i++ {

@@ -23,8 +23,10 @@ import (
 // open-time error; callers that need full validation should decode
 // with UnmarshalStore instead.
 //
-// Set panics: a mapped store is a shared, persistent artifact. Mutable
-// consumers (anonymization runs) take Clone(), which decodes into an
+// A mapped store implements only the read-side Store contract — it has
+// no Set, so the type system itself keeps a shared, persistent
+// artifact from being written. Mutable consumers wrap it in an Overlay
+// (sparse, O(dirty) memory) or take Clone(), which decodes into an
 // ordinary heap store of the payload's kind.
 type MappedStore struct {
 	n, l int
@@ -133,12 +135,6 @@ func (m *MappedStore) Get(i, j int) int {
 	return int(int32(binary.LittleEndian.Uint32(m.data[4*idx:])))
 }
 
-// Set panics: mapped stores are read-only views of persistent
-// snapshots. Clone first.
-func (m *MappedStore) Set(i, j, d int) {
-	panic("apsp: Set on read-only mapped store (Clone it first)")
-}
-
 // EachPair calls fn for every unordered pair i < j in row-major order.
 func (m *MappedStore) EachPair(fn func(i, j, d int)) {
 	idx := 0
@@ -153,7 +149,7 @@ func (m *MappedStore) EachPair(fn func(i, j, d int)) {
 	}
 	for i := 0; i < m.n; i++ {
 		for j := i + 1; j < m.n; j++ {
-			fn(i, j, int(int32(binary.LittleEndian.Uint32(m.data[4*idx:]))))
+			fn(i, j, int(int32(binary.LittleEndian.Uint32(m.data[idx:]))))
 			idx += 4
 		}
 	}

@@ -74,7 +74,7 @@ func TestStoreCloneEqualCopy(t *testing.T) {
 		m := NewStore(4, 2, k)
 		m.Set(0, 1, 1)
 		m.Set(1, 2, 2)
-		c := Clone(m)
+		c := Clone(m).(MutableStore)
 		if KindOf(c) != k {
 			t.Fatalf("Clone changed backing: %v -> %v", k, KindOf(c))
 		}

@@ -27,18 +27,18 @@ import (
 // either store backing: on the compact store each cell is its own
 // byte, and distinct bytes are distinct memory locations under the Go
 // memory model. The CSR snapshot is shared read-only.
-func BoundedAPSPParallel(g *graph.Graph, L, workers int) Store {
+func BoundedAPSPParallel(g *graph.Graph, L, workers int) MutableStore {
 	return BoundedAPSPParallelKind(g, L, workers, KindCompact)
 }
 
 // BoundedAPSPParallelKind runs the striped parallel engine into a store
 // of the given kind.
-func BoundedAPSPParallelKind(g *graph.Graph, L, workers int, k Kind) Store {
+func BoundedAPSPParallelKind(g *graph.Graph, L, workers int, k Kind) MutableStore {
 	return boundedCSRParallel(g.Frozen(), L, workers, k)
 }
 
 // boundedCSRParallel stripes the CSR sweep over workers goroutines.
-func boundedCSRParallel(c *graph.CSR, L, workers int, k Kind) Store {
+func boundedCSRParallel(c *graph.CSR, L, workers int, k Kind) MutableStore {
 	n := c.N()
 	if workers < 2 || n < 2 {
 		return BoundedCSRKind(c, L, k)

@@ -146,7 +146,7 @@ func TestCloneIndependence(t *testing.T) {
 			wg.Add(1)
 			go func(seed int64) {
 				defer wg.Done()
-				clone := orig.Clone()
+				clone := orig.Clone().(MutableStore)
 				rng := rand.New(rand.NewSource(seed))
 				for i := 0; i < 1000; i++ {
 					u, v := rng.Intn(orig.N()), rng.Intn(orig.N())

@@ -6,16 +6,20 @@ import (
 	"slices"
 )
 
-// Store is the abstraction every layer above this package programs
+// Store is the read view every layer above this package programs
 // against: an L-capped geodesic distance store over a fixed vertex set.
 // Entry (i, j), i != j, is the exact distance d(i, j) when d(i, j) <= L
 // and the sentinel Far() = L+1 otherwise. The diagonal is implicit
 // (distance 0) and never stored.
 //
-// Two implementations exist: CompactMatrix (uint8 cells, the default —
+// Four backings implement it: CompactMatrix (uint8 cells, the default —
 // a capped distance never exceeds L+1, so one byte suffices whenever
-// L <= MaxCompactL) and Matrix (int32 cells, the original packed
-// layout, needed only for thresholds beyond MaxCompactL).
+// L <= MaxCompactL), Matrix (int32 cells, the original packed layout,
+// needed only for thresholds beyond MaxCompactL), MappedStore (a
+// read-only memory-mapped view of a persisted snapshot), and PagedStore
+// (a read-only window over a snapshot file through a bounded page
+// cache, for triangles larger than RAM). Mutation is a separate
+// contract: see MutableStore and Overlay.
 type Store interface {
 	// N returns the number of vertices.
 	N() int
@@ -27,17 +31,27 @@ type Store interface {
 	// Get returns the capped distance for the unordered pair {i, j},
 	// i != j.
 	Get(i, j int) int
-	// Set stores the capped distance d for the unordered pair {i, j}.
-	// Values above Far() are clamped to Far(); d < 1 panics.
-	Set(i, j, d int)
 	// EachPair calls fn for every unordered pair i < j in row-major
 	// order with the stored capped distance.
 	EachPair(fn func(i, j, d int))
-	// Clone returns an independent deep copy with the same backing:
-	// mutating the clone never affects the original, which is what lets
-	// the serving layer hand one cached read-only store to many
-	// anonymization runs, each mutating its own copy.
+	// Clone returns an independent deep, heap-resident copy: mutating
+	// the clone never affects the original. File-backed stores (mapped,
+	// paged) materialize the full triangle; prefer NewOverlay when the
+	// goal is a mutable view rather than an independent heap copy.
 	Clone() Store
+}
+
+// MutableStore is the write view: everything a Store offers plus cell
+// writes. The heap backings (CompactMatrix, Matrix) and the sparse
+// Overlay implement it; the file-backed read views (MappedStore,
+// PagedStore) deliberately do not — wrapping one in an Overlay is the
+// only mutation path, which is what keeps writable runs from ever
+// needing the full triangle in heap.
+type MutableStore interface {
+	Store
+	// Set stores the capped distance d for the unordered pair {i, j}.
+	// Values above Far() are clamped to Far(); d < 1 panics.
+	Set(i, j, d int)
 }
 
 // Kind selects a Store implementation. The zero value is the compact
@@ -60,6 +74,13 @@ const (
 	// heap kind its payload decodes into, so cache keys and build paths
 	// treat a mapped store and its heap twin as the same artifact.
 	KindMapped
+	// KindPaged is the read-only PagedStore view: a snapshot file
+	// windowed through a bounded LRU page cache. Like KindMapped it is a
+	// hydration/request alias — NewStore panics on it and EffectiveKind
+	// folds it to the payload's heap kind — but unlike mmap its resident
+	// memory is explicitly capped, so it serves triangles larger than
+	// RAM.
+	KindPaged
 )
 
 // String names the kind as accepted by ParseKind.
@@ -71,6 +92,8 @@ func (k Kind) String() string {
 		return "packed"
 	case KindMapped:
 		return "mapped"
+	case KindPaged:
+		return "paged"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -86,22 +109,24 @@ func ParseKind(s string) (Kind, error) {
 		return KindPacked, nil
 	case "mapped", "mmap":
 		return KindMapped, nil
+	case "paged":
+		return KindPaged, nil
 	}
-	return 0, fmt.Errorf("apsp: unknown store %q (want compact, packed, or mapped)", s)
+	return 0, fmt.Errorf("apsp: unknown store %q (want compact, packed, mapped, or paged)", s)
 }
 
 // EffectiveKind returns the kind actually usable for threshold L: the
 // requested kind, except that compact silently falls back to packed
 // when L exceeds MaxCompactL, so callers resolving user input never
-// trip the constructor bound. KindMapped folds the same way — a mapped
-// snapshot's payload is compact whenever compact is legal for L — so
-// requests for store=mapped resolve to the cache slot the snapshot
-// hydrates.
+// trip the constructor bound. KindMapped and KindPaged fold the same
+// way — a snapshot's payload is compact whenever compact is legal for
+// L — so requests for store=mapped or store=paged resolve to the cache
+// slot the snapshot hydrates.
 func EffectiveKind(k Kind, L int) Kind {
-	if (k == KindCompact || k == KindMapped) && L > MaxCompactL {
+	if (k == KindCompact || k == KindMapped || k == KindPaged) && L > MaxCompactL {
 		return KindPacked
 	}
-	if k == KindMapped {
+	if k == KindMapped || k == KindPaged {
 		return KindCompact
 	}
 	return k
@@ -111,7 +136,7 @@ func EffectiveKind(k Kind, L int) Kind {
 // the given backing. It panics on invalid dimensions and on
 // KindCompact with L > MaxCompactL; use EffectiveKind to resolve
 // untrusted thresholds first.
-func NewStore(n, L int, k Kind) Store {
+func NewStore(n, L int, k Kind) MutableStore {
 	switch k {
 	case KindPacked:
 		return NewMatrix(n, L)
@@ -119,28 +144,79 @@ func NewStore(n, L int, k Kind) Store {
 		return NewCompactMatrix(n, L)
 	case KindMapped:
 		panic("apsp: mapped stores are opened from snapshot files (OpenMappedStore), not built")
+	case KindPaged:
+		panic("apsp: paged stores are opened from snapshot files (OpenPagedStore), not built")
 	}
 	panic(fmt.Sprintf("apsp: unknown store kind %d", int(k)))
 }
 
 // newStoreAuto builds the engine-default store: the requested kind,
 // degraded to packed when the compact cells cannot hold L+1.
-func newStoreAuto(n, L int, k Kind) Store {
+func newStoreAuto(n, L int, k Kind) MutableStore {
 	return NewStore(n, L, EffectiveKind(k, L))
 }
 
 // KindOf reports the backing of a store, defaulting to KindCompact for
-// foreign implementations. A mapped store reports its payload kind
-// (what Clone decodes into), not KindMapped, so serialization and
-// cache-key logic built on KindOf keeps treating it as its heap twin.
+// foreign implementations. A mapped or paged store reports its payload
+// kind (what Clone decodes into), not KindMapped/KindPaged, and an
+// overlay reports its base's kind, so serialization and cache-key
+// logic built on KindOf keeps treating every view as its heap twin.
 func KindOf(s Store) Kind {
 	switch t := s.(type) {
 	case *Matrix:
 		return KindPacked
 	case *MappedStore:
 		return t.Kind()
+	case *PagedStore:
+		return t.Kind()
+	case *Overlay:
+		return KindOf(t.Base())
 	}
 	return KindCompact
+}
+
+// BackingName names the concrete representation of a store for
+// operator-facing accounting ("compact", "packed", "mapped", "paged",
+// "overlay") — unlike KindOf it does NOT fold views to their heap
+// twins, because resident-bytes gauges exist precisely to distinguish
+// a mapped or paged view from a heap copy of the same snapshot.
+func BackingName(s Store) string {
+	switch s.(type) {
+	case *Matrix:
+		return "packed"
+	case *CompactMatrix:
+		return "compact"
+	case *MappedStore:
+		return "mapped"
+	case *PagedStore:
+		return "paged"
+	case *Overlay:
+		return "overlay"
+	}
+	return "foreign"
+}
+
+// Footprint reports how many bytes a store pins in heap and how many
+// live in its backing file. Heap backings are all heap and no file; a
+// mapped store is all file (the mapping is page-cache memory the OS
+// can reclaim, not Go heap); a paged store pins exactly its resident
+// pages; an overlay adds its dirty set on top of its base. Foreign
+// implementations report zero, not an estimate.
+func Footprint(s Store) (heapBytes, fileBytes int64) {
+	switch t := s.(type) {
+	case *CompactMatrix:
+		return int64(len(t.data)), 0
+	case *Matrix:
+		return 4 * int64(len(t.data)), 0
+	case *MappedStore:
+		return 0, int64(len(t.raw))
+	case *PagedStore:
+		return t.ResidentBytes(), t.FileBytes()
+	case *Overlay:
+		h, f := Footprint(t.Base())
+		return h + t.dirtyBytes(), f
+	}
+	return 0, 0
 }
 
 // Within reports whether the pair {i, j} is at geodesic distance <= L.
@@ -151,7 +227,7 @@ func Clone(s Store) Store { return s.Clone() }
 
 // Copy overwrites dst with the contents of src, which must have the
 // same dimensions; the backings may differ.
-func Copy(dst, src Store) {
+func Copy(dst MutableStore, src Store) {
 	if dst.N() != src.N() || dst.L() != src.L() {
 		panic("apsp: Copy dimension mismatch")
 	}

@@ -1,0 +1,135 @@
+package apsp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStreamBuildMatchesMarshal: the streaming builder's output is
+// byte-for-byte the snapshot MarshalStore produces from a heap build —
+// for both payload kinds, at every worker count, so the registry can
+// switch lifecycles without any reader noticing.
+func TestStreamBuildMatchesMarshal(t *testing.T) {
+	graphs := []struct {
+		name string
+		n    int
+		p    float64
+		seed int64
+	}{
+		{"sparse", 40, 0.08, 1},
+		{"dense", 25, 0.4, 2},
+		{"tiny", 3, 0.5, 3},
+		{"singleton", 1, 0, 4},
+		{"empty", 0, 0, 5},
+	}
+	for _, gc := range graphs {
+		g := randomGraph(gc.n, gc.p, gc.seed)
+		for _, kind := range []Kind{KindCompact, KindPacked} {
+			want, err := MarshalStore(Build(g, 3, BuildOptions{Kind: kind}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{0, 1, 3} {
+				var buf bytes.Buffer
+				if err := StreamBuild(&buf, g, 3, BuildOptions{Kind: kind, Workers: workers}); err != nil {
+					t.Fatalf("%s/%v/w=%d: %v", gc.name, kind, workers, err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Fatalf("%s/%v/w=%d: streamed snapshot differs from marshalled build", gc.name, kind, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamBuildFoldsKinds: mapped and paged requests stream the
+// payload of their heap twin, and compact degrades to packed past
+// MaxCompactL — the same folds Build applies.
+func TestStreamBuildFoldsKinds(t *testing.T) {
+	g := randomGraph(20, 0.2, 9)
+	want, err := MarshalStore(Build(g, 2, BuildOptions{Kind: KindCompact}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Kind{KindMapped, KindPaged} {
+		var buf bytes.Buffer
+		if err := StreamBuild(&buf, g, 2, BuildOptions{Kind: kind}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("%v: streamed snapshot differs from compact twin", kind)
+		}
+	}
+	var buf bytes.Buffer
+	if err := StreamBuild(&buf, g, MaxCompactL+1, BuildOptions{Kind: KindCompact}); err != nil {
+		t.Fatal(err)
+	}
+	k, _, _, err := decodeStoreHeader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != KindPacked {
+		t.Fatalf("L>MaxCompactL streamed kind %v, want packed", k)
+	}
+}
+
+// TestBuildToFileRoundTrip: a file built by the streaming path decodes,
+// maps, and pages back into stores equal to a heap build.
+func TestBuildToFileRoundTrip(t *testing.T) {
+	g := randomGraph(35, 0.15, 6)
+	want := Build(g, 3, BuildOptions{})
+	path := filepath.Join(t.TempDir(), "s.store")
+	if err := BuildToFile(path, g, 3, BuildOptions{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := UnmarshalStore(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(decoded, want) {
+		t.Fatal("decoded streamed file differs from heap build")
+	}
+
+	mapped, err := OpenMappedStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if !Equal(mapped, want) {
+		t.Fatal("mapped streamed file differs from heap build")
+	}
+
+	paged, err := OpenPagedStore(path, NewPageCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+	if !Equal(paged, want) {
+		t.Fatal("paged streamed file differs from heap build")
+	}
+}
+
+// TestStreamBlocks: the block partition covers [0, n) exactly once, in
+// order, with every block non-empty.
+func TestStreamBlocks(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 1000, 5000} {
+		blocks := streamBlocks(n)
+		next := 0
+		for _, b := range blocks {
+			if b[0] != next || b[1] <= b[0] {
+				t.Fatalf("n=%d: bad block %v after %d", n, b, next)
+			}
+			next = b[1]
+		}
+		if next != n {
+			t.Fatalf("n=%d: blocks end at %d", n, next)
+		}
+	}
+}

@@ -231,8 +231,9 @@ func (p *persister) readSnapshot(name string) ([]byte, error) {
 
 // loadFromDisk recovers graphs and stores from the snapshot directory
 // into the (still-private, unlocked) registry. Leftover temp files
-// from an interrupted write are deleted; corrupt, mismatched, or
-// orphaned snapshots are quarantined; capacity bounds are respected
+// from an interrupted write or streaming build are quarantined (set
+// aside as *.corrupt, never loaded); corrupt, mismatched, or orphaned
+// snapshots are quarantined too; capacity bounds are respected
 // (excess snapshots are left on disk untouched).
 func (r *Registry) loadFromDisk() {
 	p := r.persist
@@ -245,10 +246,16 @@ func (r *Registry) loadFromDisk() {
 		name := ent.Name()
 		switch {
 		case ent.IsDir():
+		case strings.HasSuffix(name, corruptSuffix):
+			// Already set aside by a previous boot; leave it for the
+			// operator.
 		case strings.HasPrefix(name, tmpPrefix):
-			// A crash mid-write: the rename never happened, so the data
-			// was never considered durable.
-			os.Remove(filepath.Join(p.dir, name))
+			// A crash mid-write or mid-streaming-build: the rename never
+			// happened, so the data was never considered durable. With
+			// build-through-to-file the partial can be arbitrarily large
+			// and worth inspecting, so quarantine it rather than
+			// silently deleting.
+			p.quarantine(name)
 		case strings.HasSuffix(name, graphSuffix):
 			graphFiles = append(graphFiles, name)
 		case strings.HasSuffix(name, storeSuffix):
@@ -312,7 +319,19 @@ func (r *Registry) loadFromDisk() {
 		}
 		ent := el.Value.(*Graph)
 		var st apsp.Store
-		if r.cfg.MappedStores {
+		switch {
+		case r.cfg.PagedStores:
+			// Budgeted hydration: the snapshot is served through the
+			// registry's shared page cache, so boot cost is one header
+			// read per store and resident bytes stay under the budget
+			// no matter how many snapshots come back.
+			ps, err := apsp.OpenPagedStore(filepath.Join(p.dir, name), r.pages)
+			if err != nil {
+				p.quarantine(name)
+				continue
+			}
+			st = ps
+		case r.cfg.MappedStores:
 			// Zero-copy hydration: the snapshot becomes a read-only
 			// mapped view, so boot cost is independent of store size and
 			// no slurp limit applies. Open-time validation covers the
@@ -324,7 +343,7 @@ func (r *Registry) loadFromDisk() {
 				continue
 			}
 			st = ms
-		} else {
+		default:
 			data, err := p.readSnapshot(name)
 			if err != nil {
 				if errors.Is(err, errSnapshotTooLarge) {

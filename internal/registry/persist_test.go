@@ -241,20 +241,36 @@ func TestCachedDistancesNeverBuilds(t *testing.T) {
 	}
 }
 
-// TestPersistCleansTempFiles: a temp file left by a crash mid-write is
-// removed at boot and never loaded.
-func TestPersistCleansTempFiles(t *testing.T) {
+// TestPersistQuarantinesTempFiles: a temp file left by a crash
+// mid-write (or mid-streaming-build) is set aside as *.corrupt at
+// boot — never loaded, never silently deleted — and a later boot does
+// not quarantine the already-quarantined copy again.
+func TestPersistQuarantinesTempFiles(t *testing.T) {
 	dir := t.TempDir()
 	leftover := filepath.Join(dir, tmpPrefix+"whatever.graph")
 	if err := os.WriteFile(leftover, []byte("partial"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	r := New(Config{Dir: dir})
-	if r.Len() != 0 || r.Stats().Persist.Quarantined != 0 {
-		t.Fatal("temp leftover was loaded or quarantined")
+	if r.Len() != 0 {
+		t.Fatal("temp leftover was loaded")
+	}
+	if q := r.Stats().Persist.Quarantined; q != 1 {
+		t.Fatalf("boot quarantined %d files, want 1", q)
 	}
 	if _, err := os.Stat(leftover); !os.IsNotExist(err) {
-		t.Fatalf("temp leftover not removed (err=%v)", err)
+		t.Fatalf("temp leftover still present (err=%v)", err)
+	}
+	if _, err := os.Stat(leftover + corruptSuffix); err != nil {
+		t.Fatalf("quarantined copy missing: %v", err)
+	}
+	// A second boot must leave the quarantined file exactly where it is.
+	r2 := New(Config{Dir: dir})
+	if q := r2.Stats().Persist.Quarantined; q != 0 {
+		t.Fatalf("re-boot quarantined %d files, want 0", q)
+	}
+	if _, err := os.Stat(leftover + corruptSuffix); err != nil {
+		t.Fatalf("quarantined copy disturbed by re-boot: %v", err)
 	}
 }
 

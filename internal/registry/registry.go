@@ -64,10 +64,29 @@ type Config struct {
 	// them. Mapped hydration skips the per-cell validation the heap
 	// decode performs (the header, dimensions, and payload length are
 	// still checked); mutable consumers transparently Clone, which
-	// validates fully. Freshly built stores are still written through
-	// and served from the heap until the next restart.
+	// validates fully. Freshly built stores are streamed straight into
+	// their snapshot file and served as mapped views from the first
+	// request — the triangle is never materialized in the heap.
 	MappedStores bool
+	// PagedStores, when set (and Dir is), serves store snapshots as
+	// paged views (apsp.PagedStore): cells are windowed through a
+	// shared LRU page cache capped at StoreBudgetBytes, so total
+	// resident triangle bytes stay bounded no matter how many graphs
+	// and thresholds are cached — the out-of-core mode for triangles
+	// larger than RAM. Fresh builds stream straight to disk and are
+	// served paged from the first request. Mutually exclusive with
+	// MappedStores (they are two residency policies over the same
+	// snapshot files).
+	PagedStores bool
+	// StoreBudgetBytes caps the resident bytes of the shared page
+	// cache when PagedStores is set. Zero selects 256 MiB; budgets
+	// below one page (64 KiB) are raised to one page.
+	StoreBudgetBytes int64
 }
+
+// defaultStoreBudgetBytes is the page-cache ceiling when PagedStores is
+// enabled without an explicit -store-budget-bytes.
+const defaultStoreBudgetBytes = 256 << 20
 
 func (c *Config) setDefaults() {
 	if c.MaxGraphs == 0 {
@@ -75,6 +94,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.MaxStoresPerGraph == 0 {
 		c.MaxStoresPerGraph = 4
+	}
+	if c.StoreBudgetBytes == 0 {
+		c.StoreBudgetBytes = defaultStoreBudgetBytes
 	}
 }
 
@@ -89,6 +111,15 @@ func (c Config) Validate() error {
 	}
 	if c.MaxStoresPerGraph < 0 {
 		return fmt.Errorf("registry: stores per graph must be >= 0, got %d", c.MaxStoresPerGraph)
+	}
+	if c.StoreBudgetBytes < 0 {
+		return fmt.Errorf("registry: store budget must be >= 0 bytes, got %d", c.StoreBudgetBytes)
+	}
+	if c.PagedStores && c.Dir == "" {
+		return fmt.Errorf("registry: paged stores require a data dir (the snapshot file is the backing)")
+	}
+	if c.PagedStores && c.MappedStores {
+		return fmt.Errorf("registry: mapped and paged stores are mutually exclusive residency policies")
 	}
 	if c.Dir != "" {
 		if err := os.MkdirAll(c.Dir, 0o755); err != nil {
@@ -294,13 +325,20 @@ func (g *Graph) Distances(L int, engine apsp.Engine, kind apsp.Kind) (apsp.Store
 		if g.storeOrder.Len() >= g.maxStores {
 			oldest := g.storeOrder.Back()
 			g.storeOrder.Remove(oldest)
-			evicted := oldest.Value.(*storeEntry).key
-			delete(g.stores, evicted)
+			evicted := oldest.Value.(*storeEntry)
+			delete(g.stores, evicted.key)
 			g.reg.storeEvictions.Add(1)
 			if !g.detached {
 				g.reg.stores.Add(-1)
-				if p := g.reg.persist; p != nil {
-					p.deleteFile(storeFile(g.id, evicted))
+				if ps := pagedStoreOf(evicted.slot); ps != nil {
+					// A paged store's snapshot file IS its backing:
+					// deleting it would break the evicted view for
+					// requests still holding it and forfeit the warm
+					// boot. Eviction reclaims the cache pages; the
+					// bytes stay on disk.
+					ps.DropPages()
+				} else if p := g.reg.persist; p != nil {
+					p.deleteFile(storeFile(g.id, evicted.key))
 				}
 			}
 		}
@@ -313,9 +351,22 @@ func (g *Graph) Distances(L int, engine apsp.Engine, kind apsp.Kind) (apsp.Store
 	g.mu.Unlock()
 
 	built := false
+	fileBacked := false
 	slot.once.Do(func() {
 		start := time.Now()
-		slot.store = apsp.Build(g.raw, L, apsp.BuildOptions{Engine: engine, Kind: kind})
+		// Build-through-to-file: with a file-backed residency policy the
+		// snapshot is not a copy of the store, it IS the store. The
+		// triangle streams straight into a temp file during the sweep
+		// (never materialized in heap), is renamed into place, and the
+		// served view opens over the final file. Any failure falls back
+		// to the classic heap build + write-through.
+		if g.reg.persist != nil && (g.reg.cfg.MappedStores || g.reg.cfg.PagedStores) {
+			slot.store = g.reg.buildThroughFile(g.raw, g.id, k, L, engine)
+			fileBacked = slot.store != nil
+		}
+		if slot.store == nil {
+			slot.store = apsp.Build(g.raw, L, apsp.BuildOptions{Engine: engine, Kind: kind})
+		}
 		g.reg.recordBuild(time.Since(start))
 		slot.ready.Store(true)
 		built = true
@@ -324,14 +375,20 @@ func (g *Graph) Distances(L int, engine apsp.Engine, kind apsp.Kind) (apsp.Store
 		g.reg.storeMisses.Add(1)
 		// Write-through: snapshot the freshly built store so a restart
 		// starts warm — unless the graph was deleted mid-build, whose
-		// file cleanup already ran. If this slot was concurrently
-		// evicted above, the file may briefly outlive the cache entry;
-		// the next boot just reloads it as a valid cached store.
+		// file cleanup already ran. A file-backed build already wrote its
+		// snapshot, so it only needs the mid-build-delete undo (the open
+		// view keeps serving this request off the unlinked file). If
+		// this slot was concurrently evicted above, the file may briefly
+		// outlive the cache entry; the next boot just reloads it as a
+		// valid cached store.
 		if p := g.reg.persist; p != nil {
 			g.mu.Lock()
 			detached := g.detached
 			g.mu.Unlock()
-			if !detached {
+			switch {
+			case detached && fileBacked:
+				p.deleteFile(storeFile(g.id, k))
+			case !detached && !fileBacked:
 				p.saveStore(g.id, k, slot.store)
 			}
 		}
@@ -339,6 +396,57 @@ func (g *Graph) Distances(L int, engine apsp.Engine, kind apsp.Kind) (apsp.Store
 		g.reg.storeHits.Add(1)
 	}
 	return slot.store, !built
+}
+
+// pagedStoreOf returns the slot's store as a paged view, or nil when
+// the slot is unbuilt or backed some other way.
+func pagedStoreOf(slot *storeSlot) *apsp.PagedStore {
+	if !slot.ready.Load() {
+		return nil
+	}
+	ps, _ := slot.store.(*apsp.PagedStore)
+	return ps
+}
+
+// buildThroughFile streams a fresh APSP build straight into its
+// snapshot file — temp name first, then an atomic rename, so a crash
+// mid-sweep leaves only a quarantinable .tmp- partial — and hydrates
+// the result as the configured file-backed view (mapped or paged). It
+// returns nil when any step fails; the caller falls back to a heap
+// build and the registry keeps serving.
+func (r *Registry) buildThroughFile(raw *graph.Graph, id string, k storeKey, L int, engine apsp.Engine) apsp.Store {
+	p := r.persist
+	name := storeFile(id, k)
+	tmp := filepath.Join(p.dir, tmpPrefix+name)
+	if err := apsp.BuildToFile(tmp, raw, L, apsp.BuildOptions{Engine: engine, Kind: k.kind}); err != nil {
+		os.Remove(tmp)
+		p.writeErrors.Add(1)
+		return nil
+	}
+	final := filepath.Join(p.dir, name)
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		p.writeErrors.Add(1)
+		return nil
+	}
+	p.storeWrites.Add(1)
+	st, err := r.openStoreFile(final)
+	if err != nil {
+		// The snapshot itself is durable (BuildToFile synced before the
+		// rename); only this process's view failed. Serve from the heap
+		// for now — the file still warms the next boot.
+		return nil
+	}
+	return st
+}
+
+// openStoreFile opens a snapshot file as the configured file-backed
+// view: paged when a page budget governs residency, mapped otherwise.
+func (r *Registry) openStoreFile(path string) (apsp.Store, error) {
+	if r.cfg.PagedStores {
+		return apsp.OpenPagedStore(path, r.pages)
+	}
+	return apsp.OpenMappedStore(path)
 }
 
 // Stats is a point-in-time snapshot of registry effectiveness.
@@ -362,6 +470,17 @@ type Stats struct {
 	// from /v1/stats: how much build time the cache is absorbing, and
 	// how bad the worst cold build has been.
 	Builds, BuildMSTotal, BuildMSMax int64
+	// StoreBytes and StoreFileBytes aggregate the cached stores'
+	// footprints by backing name ("compact", "packed", "mapped",
+	// "paged", "overlay"): heap-resident bytes and file-backed bytes
+	// respectively. Together they answer "where do my triangles live" —
+	// a heap deployment shows bytes only in StoreBytes, a mapped one
+	// only in StoreFileBytes, and a paged one shows file bytes per
+	// store plus a heap residency bounded by the page budget.
+	StoreBytes, StoreFileBytes map[string]int64
+	// PageCache reports the shared paged-store cache (zero value when
+	// paged hydration is disabled).
+	PageCache apsp.PageCacheStats
 	// Persist reports the snapshot layer (zero value when disabled).
 	Persist PersistStats
 }
@@ -372,8 +491,9 @@ type Registry struct {
 	cfg     Config
 	mu      sync.Mutex
 	entries map[string]*list.Element
-	order   *list.List // front = most recently used
-	persist *persister // nil when persistence is disabled
+	order   *list.List      // front = most recently used
+	persist *persister      // nil when persistence is disabled
+	pages   *apsp.PageCache // shared page budget; nil unless PagedStores
 
 	hits, misses, evictions                atomic.Int64
 	stores                                 atomic.Int64
@@ -407,6 +527,9 @@ func New(cfg Config) *Registry {
 		cfg:     cfg,
 		entries: make(map[string]*list.Element),
 		order:   list.New(),
+	}
+	if cfg.PagedStores {
+		r.pages = apsp.NewPageCache(cfg.StoreBudgetBytes)
 	}
 	if cfg.Dir != "" {
 		r.persist = &persister{dir: cfg.Dir}
@@ -546,10 +669,19 @@ func (r *Registry) dropLocked(el *list.Element, evicted bool) {
 	ent.mu.Lock()
 	n := int64(ent.storeOrder.Len())
 	ent.detached = true
-	if r.persist != nil {
-		for el := ent.storeOrder.Front(); el != nil; el = el.Next() {
-			r.persist.deleteFile(storeFile(ent.id, el.Value.(*storeEntry).key))
+	for el := ent.storeOrder.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*storeEntry)
+		if ps := pagedStoreOf(e.slot); ps != nil {
+			// Reclaim the shared page budget now; the view itself stays
+			// usable for requests still holding it (the open fd keeps
+			// the unlinked file readable) and closes via finalizer.
+			ps.DropPages()
 		}
+		if r.persist != nil {
+			r.persist.deleteFile(storeFile(ent.id, e.key))
+		}
+	}
+	if r.persist != nil {
 		r.persist.deleteFile(graphFile(ent.id))
 	}
 	ent.mu.Unlock()
@@ -582,8 +714,32 @@ func (r *Registry) Len() int {
 func (r *Registry) Stats() Stats {
 	r.mu.Lock()
 	graphs := r.order.Len()
+	storeBytes := make(map[string]int64)
+	storeFileBytes := make(map[string]int64)
+	for el := r.order.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*Graph)
+		ent.mu.Lock()
+		for se := ent.storeOrder.Front(); se != nil; se = se.Next() {
+			slot := se.Value.(*storeEntry).slot
+			if !slot.ready.Load() {
+				continue // build in flight: nothing resident yet
+			}
+			heap, file := apsp.Footprint(slot.store)
+			name := apsp.BackingName(slot.store)
+			storeBytes[name] += heap
+			storeFileBytes[name] += file
+		}
+		ent.mu.Unlock()
+	}
 	r.mu.Unlock()
+	var pc apsp.PageCacheStats
+	if r.pages != nil {
+		pc = r.pages.Stats()
+	}
 	return Stats{
+		StoreBytes:     storeBytes,
+		StoreFileBytes: storeFileBytes,
+		PageCache:      pc,
 		Graphs:         graphs,
 		Capacity:       r.cfg.MaxGraphs,
 		Hits:           r.hits.Load(),

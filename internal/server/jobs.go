@@ -53,10 +53,12 @@ type prepared struct {
 // canonical String() names, so keys are stable across spelling aliases
 // ("bit" and "bitbfs" hash identically) while distinct engines and
 // stores never collide; the registry's store cache keys on the parsed
-// values directly. store=mapped is a hydration alias, not a buildable
-// backing: it normalizes to compact here, so such requests read the
-// slot a mapped boot seeds (and build a compact store on a cold one)
-// instead of ever asking apsp.Build for an un-buildable kind.
+// values directly. store=mapped and store=paged are residency aliases,
+// not buildable backings: they normalize to compact here, so such
+// requests read the slot a mapped or paged boot seeds (and build a
+// compact store on a cold one — which a file-backed registry then
+// serves as the configured view) instead of ever asking apsp.Build for
+// an un-buildable kind.
 func (s *Server) resolveEngineStore(engine, store string) (apsp.Engine, apsp.Kind, error) {
 	e, err := apsp.ParseEngine(pick(engine, s.cfg.Engine))
 	if err != nil {
@@ -66,7 +68,7 @@ func (s *Server) resolveEngineStore(engine, store string) (apsp.Engine, apsp.Kin
 	if err != nil {
 		return 0, 0, err
 	}
-	if k == apsp.KindMapped {
+	if k == apsp.KindMapped || k == apsp.KindPaged {
 		k = apsp.KindCompact
 	}
 	return e, k, nil

@@ -68,6 +68,13 @@ type statsGauges struct {
 	regBuildMSTotal, regBuildMSMax                    *obs.Series
 	jobsQueueDepth, jobsRunning, jobsDone, jobsFailed *obs.Series
 	jobsWorkers                                       *obs.Series
+
+	// Per-backing store footprints, labeled by backing name; the label
+	// set is bounded by the apsp backing enum, not by request input.
+	storeBytes, storeFileBytes *obs.Vec
+	// Paged-store page cache occupancy and traffic.
+	pageBudget, pageResident, pagePages *obs.Series
+	pageHits, pageMisses, pageEvictions *obs.Series
 }
 
 func newStatsGauges(reg *obs.Registry) *statsGauges {
@@ -75,6 +82,14 @@ func newStatsGauges(reg *obs.Registry) *statsGauges {
 		return reg.Gauge(name, help).With()
 	}
 	return &statsGauges{
+		storeBytes:      reg.Gauge("lopserve_store_bytes", "Heap-resident bytes of cached distance stores, by backing.", "kind"),
+		storeFileBytes:  reg.Gauge("lopserve_store_file_bytes", "File-backed bytes of cached distance stores, by backing.", "kind"),
+		pageBudget:      g("lopserve_store_page_cache_budget_bytes", "Configured paged-store cache ceiling (-store-budget-bytes)."),
+		pageResident:    g("lopserve_store_page_cache_resident_bytes", "Bytes currently resident in the paged-store cache."),
+		pagePages:       g("lopserve_store_page_cache_pages", "Pages currently resident in the paged-store cache."),
+		pageHits:        g("lopserve_store_page_cache_hits", "Page lookups served from the cache since boot."),
+		pageMisses:      g("lopserve_store_page_cache_misses", "Page lookups that read the snapshot file since boot."),
+		pageEvictions:   g("lopserve_store_page_cache_evictions", "Pages dropped to respect the budget since boot."),
 		cacheHits:       g("lopserve_result_cache_hits", "Content-addressed result cache hits since boot."),
 		cacheMisses:     g("lopserve_result_cache_misses", "Content-addressed result cache misses since boot."),
 		cacheEntries:    g("lopserve_result_cache_entries", "Result cache entries currently retained."),
@@ -116,6 +131,18 @@ func (s *Server) refreshStatsGauges() {
 	g.jobsDone.Set(float64(js.Done))
 	g.jobsFailed.Set(float64(js.Failed))
 	g.jobsWorkers.Set(float64(js.Workers))
+	// Backings absent from this snapshot keep their previous series
+	// value; zero them by always writing the full label set.
+	for _, kind := range []string{"compact", "packed", "mapped", "paged", "overlay"} {
+		g.storeBytes.With(kind).Set(float64(rs.StoreBytes[kind]))
+		g.storeFileBytes.With(kind).Set(float64(rs.StoreFileBytes[kind]))
+	}
+	g.pageBudget.Set(float64(rs.PageCache.BudgetBytes))
+	g.pageResident.Set(float64(rs.PageCache.ResidentBytes))
+	g.pagePages.Set(float64(rs.PageCache.Pages))
+	g.pageHits.Set(float64(rs.PageCache.Hits))
+	g.pageMisses.Set(float64(rs.PageCache.Misses))
+	g.pageEvictions.Set(float64(rs.PageCache.Evictions))
 }
 
 // handleMetrics is GET /metrics: the Prometheus text exposition

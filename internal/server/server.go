@@ -129,6 +129,18 @@ type Config struct {
 	// first touch. See registry.Config.MappedStores for the
 	// validation tradeoff.
 	MappedStores bool
+	// PagedStores, when set (with DataDir), serves distance stores as
+	// paged views over their snapshot files, windowed through one
+	// process-wide LRU page cache capped at StoreBudgetBytes: total
+	// resident triangle bytes stay under the budget no matter how many
+	// graphs and thresholds are cached, and fresh builds stream
+	// straight to disk instead of materializing in the heap — the
+	// out-of-core mode for triangles larger than RAM. Mutually
+	// exclusive with MappedStores.
+	PagedStores bool
+	// StoreBudgetBytes caps the paged-store page cache; zero selects
+	// 256 MiB. Meaningful only with PagedStores.
+	StoreBudgetBytes int64
 	// AuthTokens, when non-empty, requires every request to present
 	// one of these bearer tokens (Authorization: Bearer <token>).
 	// Liveness probes (/healthz, /v1/healthz) and the /metrics scrape
@@ -225,7 +237,11 @@ func (c Config) limiterConfig() obs.LimiterConfig {
 // registryConfig maps the server knobs onto the registry package's own
 // Config.
 func (c Config) registryConfig() registry.Config {
-	return registry.Config{MaxGraphs: c.GraphCapacity, MaxStoresPerGraph: c.StoresPerGraph, Dir: c.DataDir, MappedStores: c.MappedStores}
+	return registry.Config{
+		MaxGraphs: c.GraphCapacity, MaxStoresPerGraph: c.StoresPerGraph,
+		Dir: c.DataDir, MappedStores: c.MappedStores,
+		PagedStores: c.PagedStores, StoreBudgetBytes: c.StoreBudgetBytes,
+	}
 }
 
 // jobsConfig maps the server knobs onto the jobs package's own Config.

@@ -23,6 +23,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Stores: rs.Stores, StoreHits: rs.StoreHits,
 			StoreMisses: rs.StoreMisses, StoreEvictions: rs.StoreEvictions,
 			Builds: rs.Builds, BuildMSTotal: rs.BuildMSTotal, BuildMSMax: rs.BuildMSMax,
+			StoreBytes: rs.StoreBytes, StoreFileBytes: rs.StoreFileBytes,
+			PageCache: api.PageCacheStats{
+				BudgetBytes: rs.PageCache.BudgetBytes, ResidentBytes: rs.PageCache.ResidentBytes,
+				Pages: rs.PageCache.Pages, Hits: rs.PageCache.Hits,
+				Misses: rs.PageCache.Misses, Evictions: rs.PageCache.Evictions,
+			},
 		},
 		Persistence: api.PersistenceStats{
 			Enabled: rs.Persist.Enabled, Dir: rs.Persist.Dir,

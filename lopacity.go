@@ -247,12 +247,15 @@ type Options struct {
 	Progress func(Progress)
 	// Distances, when non-nil, seeds the run from a prebuilt L-capped
 	// distance store of the input graph (same vertex count, same L).
-	// The run clones the store instead of rebuilding APSP — the
-	// serving layer's registry obtains handles via WrapDistances — and
-	// never mutates the original, so one store may seed many
-	// concurrent runs. The anonymization outcome is identical either
-	// way; only the per-run setup cost changes. Supported by
-	// EdgeRemoval, EdgeRemovalInsertion, and SimulatedAnnealing.
+	// The run routes its mutations through a sparse copy-on-write
+	// overlay over the store instead of rebuilding APSP — the serving
+	// layer's registry obtains handles via WrapDistances — and never
+	// mutates the original, so one store may seed many concurrent
+	// runs, including read-only memory-mapped or paged views of
+	// triangles larger than RAM; no full copy of the store is ever
+	// taken. The anonymization outcome is identical either way; only
+	// the per-run setup cost changes. Supported by EdgeRemoval,
+	// EdgeRemovalInsertion, and SimulatedAnnealing.
 	Distances *DistanceStore
 }
 

@@ -12,11 +12,25 @@ type GraphRegisterRequest struct {
 
 // GraphInfo is the wire form of a registered graph's metadata. Stores
 // is the number of distance stores currently cached under the graph.
+// Lineage is present only for graphs derived via PATCH.
 type GraphInfo struct {
-	ID     string `json:"id"`
-	N      int    `json:"n"`
-	M      int    `json:"m"`
-	Stores int    `json:"stores"`
+	ID      string   `json:"id"`
+	N       int      `json:"n"`
+	M       int      `json:"m"`
+	Stores  int      `json:"stores"`
+	Lineage *Lineage `json:"lineage,omitempty"`
+}
+
+// Lineage records how a graph was derived: the content address of the
+// parent it was patched from, plus the canonical diff (adds and
+// removes as [min, max] endpoint pairs, sorted). Applying the diff to
+// the parent's canonical edge set reproduces this graph's id, so
+// lineage is verifiable provenance, not just a note. The record
+// survives deletion of the parent.
+type Lineage struct {
+	Parent  string   `json:"parent"`
+	Added   [][2]int `json:"added,omitempty"`
+	Removed [][2]int `json:"removed,omitempty"`
 }
 
 // GraphRegisterResponse reports the registered graph's content
@@ -32,8 +46,29 @@ type GraphListResponse struct {
 	Capacity int         `json:"capacity"`
 }
 
-// GraphDeleteResponse is the DELETE /v1/graphs/{id} body.
+// GraphDeleteResponse is the DELETE /v1/graphs/{id} body. Deleting a
+// graph with PATCH-derived children does not cascade: children keep
+// serving from their full edge sets, with lineage kept as provenance.
 type GraphDeleteResponse struct {
 	Deleted bool   `json:"deleted"`
 	ID      string `json:"id"`
+}
+
+// GraphPatchRequest is the PATCH /v1/graphs/{id} body: edges to add
+// and edges to remove, applied atomically to the addressed graph. The
+// result is a NEW registered graph (the parent is immutable); the
+// response carries its content address. Adding an edge the parent
+// already has, or removing one it lacks, is a validation error naming
+// the edge.
+type GraphPatchRequest struct {
+	Add    [][2]int `json:"add,omitempty"`
+	Remove [][2]int `json:"remove,omitempty"`
+}
+
+// GraphPatchResponse reports the child graph registered by a PATCH,
+// including its lineage. Created is false when an identical graph
+// (by content address) was already registered.
+type GraphPatchResponse struct {
+	GraphInfo
+	Created bool `json:"created"`
 }

@@ -4,8 +4,9 @@ import "encoding/json"
 
 // JobSubmitRequest submits one POST operation for asynchronous
 // execution: Op names the operation ("properties", "opacity",
-// "anonymize", "kiso", "audit", "dataset", or "replay") and Request
-// carries the exact JSON body the synchronous endpoint would take.
+// "anonymize", "kiso", "audit", "continuous_audit", "dataset", or
+// "replay") and Request carries the exact JSON body the synchronous
+// endpoint would take.
 type JobSubmitRequest struct {
 	Op      string          `json:"op"`
 	Request json.RawMessage `json:"request"`
@@ -72,11 +73,12 @@ const (
 )
 
 // JobProgress is the payload of a "progress" JobEvent, reported by
-// long-running anonymization jobs: steps committed so far, the
-// current maximum opacity, and the wall-clock budget consumed.
+// long-running anonymization and continuous-audit jobs: steps
+// committed so far, the current maximum opacity, and the wall-clock
+// budget consumed.
 type JobProgress struct {
 	// Steps counts committed greedy iterations (or accepted annealing
-	// moves).
+	// moves); for continuous audits, mutation steps replayed.
 	Steps int `json:"steps"`
 	// MaxOpacity is the graph-level maximum opacity after the last
 	// committed step; the run targets MaxOpacity <= theta.

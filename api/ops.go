@@ -136,6 +136,55 @@ type AuditType struct {
 	Confidence float64 `json:"confidence"`
 }
 
+// MutationStep is one edit batch of a continuous audit: edges added
+// and removed together, atomically, before the opacity re-check.
+type MutationStep struct {
+	Add    [][2]int `json:"add,omitempty"`
+	Remove [][2]int `json:"remove,omitempty"`
+}
+
+// ContinuousAuditRequest replays a stream of graph mutations and
+// reports the L-opacity after every step — the churn-monitoring
+// counterpart of a one-shot opacity check. The graph may be given
+// inline or as a registry reference (a registered graph with a warm
+// distance store starts the stream with zero APSP builds; each step is
+// then served by incremental store repair where the diff is small
+// enough, falling back to a rebuild otherwise). When Theta is set,
+// each step also reports whether the mutated graph still satisfies
+// the privacy threshold.
+type ContinuousAuditRequest struct {
+	Graph    Graph          `json:"graph"`
+	GraphRef string         `json:"graph_ref,omitempty"`
+	L        int            `json:"l"`
+	Theta    float64        `json:"theta,omitempty"`
+	Steps    []MutationStep `json:"steps"`
+	Engine   string         `json:"engine,omitempty"`
+	Store    string         `json:"store,omitempty"`
+}
+
+// ContinuousAuditStep is the opacity report after one mutation step.
+type ContinuousAuditStep struct {
+	Step       int     `json:"step"`
+	M          int     `json:"m"`
+	MaxOpacity float64 `json:"max_opacity"`
+	// Satisfied is meaningful only when the request set theta.
+	Satisfied bool `json:"satisfied"`
+	// Repaired reports whether this step's distances came from
+	// incremental store repair (true) or a full rebuild (false).
+	Repaired bool `json:"repaired"`
+}
+
+// ContinuousAuditResponse reports the whole stream: the per-step
+// opacity trajectory and the step that first violated theta (-1 when
+// none, or when theta was not set).
+type ContinuousAuditResponse struct {
+	L              int                   `json:"l"`
+	Steps          []ContinuousAuditStep `json:"steps"`
+	FirstViolation int                   `json:"first_violation"`
+	Repairs        int                   `json:"repairs"`
+	Rebuilds       int                   `json:"rebuilds"`
+}
+
 // DatasetRequest asks for one of the built-in calibrated dataset
 // emulators (the paper's Table 3 samples), generated deterministically
 // from the seed.

@@ -38,6 +38,15 @@ type RegistryStats struct {
 	Builds       int64 `json:"builds"`
 	BuildMSTotal int64 `json:"build_ms_total"`
 	BuildMSMax   int64 `json:"build_ms_max"`
+	// Mutations counts graphs registered via PATCH. Repairs counts
+	// store hydrations served by repairing the parent's store through
+	// the lineage diff (zero APSP builds); RepairFallbacks counts
+	// lineage-bearing hydrations that built from scratch anyway;
+	// RepairMSTotal aggregates repair wall-clock in milliseconds.
+	Mutations       int64 `json:"mutations"`
+	Repairs         int64 `json:"repairs"`
+	RepairFallbacks int64 `json:"repair_fallbacks"`
+	RepairMSTotal   int64 `json:"repair_ms_total"`
 	// StoreBytes and StoreFileBytes report where the cached distance
 	// triangles live, keyed by backing name ("compact", "packed",
 	// "mapped", "paged", "overlay"): heap-resident bytes and
@@ -67,15 +76,17 @@ type PageCacheStats struct {
 // what the last boot recovered and the write/delete traffic since.
 // All counters are zero when persistence is disabled.
 type PersistenceStats struct {
-	Enabled      bool   `json:"enabled"`
-	Dir          string `json:"dir,omitempty"`
-	GraphsLoaded int    `json:"graphs_loaded"`
-	StoresLoaded int    `json:"stores_loaded"`
-	Quarantined  int    `json:"quarantined"`
-	GraphWrites  int64  `json:"graph_writes"`
-	StoreWrites  int64  `json:"store_writes"`
-	WriteErrors  int64  `json:"write_errors"`
-	Deletes      int64  `json:"deletes"`
+	Enabled        bool   `json:"enabled"`
+	Dir            string `json:"dir,omitempty"`
+	GraphsLoaded   int    `json:"graphs_loaded"`
+	StoresLoaded   int    `json:"stores_loaded"`
+	LineagesLoaded int    `json:"lineages_loaded"`
+	Quarantined    int    `json:"quarantined"`
+	GraphWrites    int64  `json:"graph_writes"`
+	StoreWrites    int64  `json:"store_writes"`
+	LineageWrites  int64  `json:"lineage_writes"`
+	WriteErrors    int64  `json:"write_errors"`
+	Deletes        int64  `json:"deletes"`
 }
 
 // JobStats reports worker-pool configuration and retained jobs by

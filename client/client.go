@@ -384,6 +384,18 @@ func (c *Client) Replay(ctx context.Context, req api.ReplayRequest) (*api.Replay
 	return &out, nil
 }
 
+// ContinuousAudit replays a stream of graph mutations and reports the
+// L-opacity after every step (POST /v1/continuous_audit). For long
+// streams prefer Jobs.Submit with op "continuous_audit" and watch the
+// per-step progress with Jobs.Events.
+func (c *Client) ContinuousAudit(ctx context.Context, req api.ContinuousAuditRequest) (*api.ContinuousAuditResponse, error) {
+	var out api.ContinuousAuditResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/continuous_audit", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Batch executes heterogeneous operations in one request
 // (POST /v1/batch). Item failures are reported per item in the
 // response, not as a call error.
@@ -434,6 +446,19 @@ func (s *GraphsService) List(ctx context.Context) (*api.GraphListResponse, error
 func (s *GraphsService) Get(ctx context.Context, id string) (*api.GraphInfo, error) {
 	var out api.GraphInfo
 	if err := s.c.do(ctx, http.MethodGet, "/v1/graphs/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Patch derives a new registered graph from an existing one by an
+// edge diff (PATCH /v1/graphs/{id}). The parent is never modified;
+// the response names the child's content address and echoes its
+// lineage. Patching the same diff twice is not an error; the
+// response's Created field distinguishes the two.
+func (s *GraphsService) Patch(ctx context.Context, id string, req api.GraphPatchRequest) (*api.GraphPatchResponse, error) {
+	var out api.GraphPatchResponse
+	if err := s.c.do(ctx, http.MethodPatch, "/v1/graphs/"+url.PathEscape(id), req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -325,3 +325,91 @@ func TestEventsCallbackAbort(t *testing.T) {
 		t.Fatalf("Events returned %v, want the callback's error", err)
 	}
 }
+
+// TestGraphHandlePatch: Patch mints a child handle that queries by its
+// own reference, echoes lineage, and — like any handle — re-derives
+// itself (re-patching the parent, which re-registers in turn) after
+// the server forgets both graphs.
+func TestGraphHandlePatch(t *testing.T) {
+	c := newClient(t, server.Config{})
+	ctx := context.Background()
+	fig := figure1()
+	parent := c.NewGraph(fig.N, fig.Edges)
+
+	child, err := parent.Patch(ctx, [][2]int{{0, 6}}, [][2]int{{3, 4}})
+	if err != nil {
+		t.Fatalf("Patch: %v", err)
+	}
+	childRef, err := child.Ref(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parentRef, _ := parent.Ref(ctx)
+	if childRef == parentRef {
+		t.Fatal("child ref equals parent ref")
+	}
+	info, err := c.Graphs.Get(ctx, childRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Lineage == nil || info.Lineage.Parent != parentRef {
+		t.Fatalf("child lineage: %+v", info.Lineage)
+	}
+
+	// The child's opacity differs from a fresh compute only in transport.
+	rep, err := child.Opacity(ctx, api.OpacityRequest{L: 2})
+	if err != nil {
+		t.Fatalf("child Opacity: %v", err)
+	}
+	if rep.L != 2 {
+		t.Fatalf("child opacity: %+v", rep)
+	}
+
+	// An invalid diff is an *api.Error with the edge code.
+	if _, err := parent.Patch(ctx, [][2]int{{0, 1}}, nil); !api.IsCode(err, api.CodeInvalidEdge) {
+		t.Fatalf("conflicting patch error: %v", err)
+	}
+
+	// Forget BOTH graphs server-side: the child re-derives through the
+	// parent chain transparently.
+	if err := c.Graphs.Delete(ctx, childRef); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Graphs.Delete(ctx, parentRef); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := child.Opacity(ctx, api.OpacityRequest{L: 2})
+	if err != nil {
+		t.Fatalf("child Opacity after double deletion: %v", err)
+	}
+	if rep2.MaxOpacity != rep.MaxOpacity {
+		t.Fatalf("re-derived child answered %v, want %v", rep2.MaxOpacity, rep.MaxOpacity)
+	}
+}
+
+// TestContinuousAuditClient: the typed method and the by-ref handle
+// method agree with each other.
+func TestContinuousAuditClient(t *testing.T) {
+	c := newClient(t, server.Config{})
+	ctx := context.Background()
+	fig := figure1()
+	steps := []api.MutationStep{
+		{Add: [][2]int{{0, 6}}},
+		{Remove: [][2]int{{0, 6}}},
+	}
+	inline, err := c.ContinuousAudit(ctx, api.ContinuousAuditRequest{Graph: fig, L: 2, Steps: steps})
+	if err != nil {
+		t.Fatalf("ContinuousAudit: %v", err)
+	}
+	if len(inline.Steps) != 2 || inline.Repairs+inline.Rebuilds != 2 {
+		t.Fatalf("inline response: %+v", inline)
+	}
+	g := c.NewGraph(fig.N, fig.Edges)
+	viaRef, err := g.ContinuousAudit(ctx, api.ContinuousAuditRequest{L: 2, Steps: steps})
+	if err != nil {
+		t.Fatalf("handle ContinuousAudit: %v", err)
+	}
+	if len(viaRef.Steps) != 2 || viaRef.Steps[0].MaxOpacity != inline.Steps[0].MaxOpacity {
+		t.Fatalf("ref response %+v differs from inline %+v", viaRef, inline)
+	}
+}

@@ -19,10 +19,13 @@ import (
 type Graph struct {
 	c *Client
 
-	// exactly one source: an inline edge list or a dataset key.
+	// exactly one source: an inline edge list, a dataset key, or a
+	// (parent handle, diff) pair minted by Patch.
 	inline  *api.Graph
 	dataset string
 	seed    int64
+	parent  *Graph
+	diff    api.GraphPatchRequest
 
 	mu  sync.Mutex
 	ref string
@@ -49,6 +52,22 @@ func (g *Graph) Ref(ctx context.Context) (string, error) {
 	if g.ref != "" {
 		return g.ref, nil
 	}
+	if g.parent != nil {
+		// Patch-derived handle: re-derive the child through the parent,
+		// which transparently re-registers ITS source first if the
+		// server forgot it — the whole ancestry is recoverable from the
+		// chain of handles.
+		var resp *api.GraphPatchResponse
+		err := g.parent.withRef(ctx, func(ref string) (err error) {
+			resp, err = g.c.Graphs.Patch(ctx, ref, g.diff)
+			return err
+		})
+		if err != nil {
+			return "", err
+		}
+		g.ref = resp.ID
+		return g.ref, nil
+	}
 	req := api.GraphRegisterRequest{Dataset: g.dataset, Seed: g.seed}
 	if g.inline != nil {
 		req = api.GraphRegisterRequest{Graph: g.inline}
@@ -59,6 +78,21 @@ func (g *Graph) Ref(ctx context.Context) (string, error) {
 	}
 	g.ref = resp.ID
 	return g.ref, nil
+}
+
+// Patch derives a new handle whose graph is this one with the diff
+// applied, registering the child server-side immediately (so diff
+// validation errors surface here, not on the first query). The parent
+// handle is unchanged and stays usable. The child handle remembers
+// (parent, diff) as its source: if the server later forgets the child
+// — eviction, restart — any operation re-derives it by re-patching
+// the parent, which in turn re-registers from ITS source if needed.
+func (g *Graph) Patch(ctx context.Context, add, remove [][2]int) (*Graph, error) {
+	child := &Graph{c: g.c, parent: g, diff: api.GraphPatchRequest{Add: add, Remove: remove}}
+	if _, err := child.Ref(ctx); err != nil {
+		return nil, err
+	}
+	return child, nil
 }
 
 // invalidate drops a cached reference the server no longer recognizes,
@@ -139,6 +173,21 @@ func (g *Graph) KIso(ctx context.Context, req api.KIsoRequest) (*api.KIsoRespons
 		req.Graph = api.Graph{}
 		req.GraphRef = ref
 		out, err = g.c.KIso(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// ContinuousAudit replays a mutation stream against the graph by
+// reference; with the handle's distance store warm the replay starts
+// with zero APSP builds. The request's Graph and GraphRef fields are
+// overwritten by the handle's reference.
+func (g *Graph) ContinuousAudit(ctx context.Context, req api.ContinuousAuditRequest) (*api.ContinuousAuditResponse, error) {
+	var out *api.ContinuousAuditResponse
+	err := g.withRef(ctx, func(ref string) (err error) {
+		req.Graph = api.Graph{}
+		req.GraphRef = ref
+		out, err = g.c.ContinuousAudit(ctx, req)
 		return err
 	})
 	return out, err

@@ -24,6 +24,9 @@
 //	stream_build_file   streaming APSP build straight into a snapshot file
 //	mutate_clone        seed-store mutation via full deep clone (the old path)
 //	mutate_overlay      the same mutations via copy-on-write overlay
+//	mutate_rebuild      distances after a small edge diff via full APSP rebuild
+//	mutate_repair       the same diff via incremental store repair (must stay
+//	                    byte-identical to the rebuild and >=10x faster at ci)
 //	paged_under_budget  full EachPair sweep of a paged store under a
 //	                    page budget far smaller than the triangle
 //
@@ -207,6 +210,13 @@ func runScale(scale string) ([]Result, error) {
 	rows = append(rows, row("mutate_clone", cloneRes))
 	rows = append(rows, row("mutate_overlay", overlayRes))
 
+	rebuildRes, repairRes, err := benchMutateRepair(g, scale)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row("mutate_rebuild", rebuildRes))
+	rows = append(rows, row("mutate_repair", repairRes))
+
 	paged, err := benchPagedUnderBudget(g, scale)
 	if err != nil {
 		return nil, err
@@ -360,6 +370,81 @@ func benchOverlayVsClone(g *graph.Graph) (clone, overlay testing.BenchmarkResult
 			overlay.AllocedBytesPerOp(), clone.AllocedBytesPerOp())
 	}
 	return clone, overlay, nil
+}
+
+// benchMutateRepair pits the two ways of answering distance queries
+// after a small edge diff against each other: a full APSP rebuild of
+// the child graph versus an incremental repair of the parent's store
+// through the diff (the path PATCH /v1/graphs hydration takes). Before
+// timing anything it asserts the repaired store serializes
+// byte-identically to the from-scratch build, and afterwards (at ci
+// scale, where timer noise is small relative to the gap) that repair
+// kept at least a 10x latency edge over rebuild.
+func benchMutateRepair(g *graph.Graph, scale string) (rebuild, repair testing.BenchmarkResult, err error) {
+	st := apsp.Build(g, benchL, apsp.BuildOptions{})
+
+	// A churn-sized diff: three fresh edges plus one removal. The
+	// removed edge is the one with the lowest-degree endpoints —
+	// detaching a peripheral vertex, the shape of typical churn. A
+	// removal's repair cost is the size of the edge's crossing set (the
+	// vertices whose shortest paths ran through it), so deleting from
+	// the RMAT core would re-row a large fraction of the graph and
+	// measure the repair worst case rather than the steady state.
+	n := g.N()
+	var adds [][2]int
+	for u := 0; len(adds) < 3 && u < n; u++ {
+		v := n - 1 - u
+		if u != v && !g.HasEdge(u, v) {
+			adds = append(adds, [2]int{u, v})
+		}
+	}
+	deg := g.Degrees()
+	rm := g.Edges()[0]
+	best := deg[rm.U] + deg[rm.V]
+	for _, e := range g.Edges() {
+		if s := deg[e.U] + deg[e.V]; s < best {
+			rm, best = e, s
+		}
+	}
+	d, err := graph.NewDiff(n, adds, [][2]int{{rm.U, rm.V}})
+	if err != nil {
+		return rebuild, repair, fmt.Errorf("mutate_repair: %w", err)
+	}
+	child := g.Clone()
+	if err := d.Apply(child); err != nil {
+		return rebuild, repair, fmt.Errorf("mutate_repair: %w", err)
+	}
+
+	repaired, ok := apsp.RepairStore(st, child, d, apsp.RepairOptions{})
+	if !ok {
+		return rebuild, repair, fmt.Errorf("mutate_repair: repair bailed on a %d-edit diff at n=%d", d.Size(), n)
+	}
+	rebuilt := apsp.Build(child, benchL, apsp.BuildOptions{})
+	wantBytes, err := apsp.MarshalStore(rebuilt)
+	if err != nil {
+		return rebuild, repair, err
+	}
+	gotBytes, err := apsp.MarshalStore(repaired)
+	if err != nil {
+		return rebuild, repair, err
+	}
+	if string(wantBytes) != string(gotBytes) {
+		return rebuild, repair, fmt.Errorf("mutate_repair: repaired store is not byte-identical to the rebuild")
+	}
+
+	rebuild = bench(func() {
+		apsp.Build(child, benchL, apsp.BuildOptions{})
+	})
+	repair = bench(func() {
+		if _, ok := apsp.RepairStore(st, child, d, apsp.RepairOptions{}); !ok {
+			panic("repair bailed mid-benchmark")
+		}
+	})
+	if scale == "ci" && repair.NsPerOp()*10 > rebuild.NsPerOp() {
+		return rebuild, repair, fmt.Errorf("mutate_repair: %d ns/op is not 10x under mutate_rebuild's %d — repair lost its edge",
+			repair.NsPerOp(), rebuild.NsPerOp())
+	}
+	return rebuild, repair, nil
 }
 
 // pagedBenchBudget caps the paged_under_budget page cache at 1 MiB —

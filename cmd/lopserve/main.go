@@ -45,6 +45,14 @@
 // per-backing lopserve_store_bytes / lopserve_store_file_bytes
 // footprint gauges.
 //
+// PATCH /v1/graphs/{id} derives new registered graphs by edge diffs:
+// the child is content-addressed like any registration, carries a
+// lineage record (parent id + diff), and hydrates its distance stores
+// by incrementally repairing the parent's warm store instead of
+// rebuilding APSP from scratch (counters: registry.mutations,
+// registry.repairs, registry.repair_fallbacks on /v1/stats).
+// -disable-store-repair forces the rebuild path for debugging.
+//
 // The wire contract lives in the exported api package; the official Go
 // client (package client) and examples/client consume it. Endpoints
 // (see docs/API.md for the full reference):
@@ -52,12 +60,13 @@
 //	GET  /v1/healthz      liveness probe (also at legacy /healthz)
 //	POST /v1/graphs       register a graph (content-addressed; see -preload)
 //	GET  /v1/graphs       list registered graphs
-//	GET/DELETE /v1/graphs/{id}
+//	GET/PATCH/DELETE /v1/graphs/{id}  (PATCH derives a lineage-tracked child)
 //	POST /v1/properties
 //	POST /v1/opacity
 //	POST /v1/anonymize
 //	POST /v1/kiso
 //	POST /v1/audit
+//	POST /v1/continuous_audit  per-step opacity over a mutation stream
 //	POST /v1/replay
 //	POST /v1/batch        heterogeneous operations, one shared graph ref
 //	POST /v1/jobs         submit any POST operation async
@@ -159,6 +168,7 @@ func main() {
 		mmapStores   = flag.Bool("mmap-stores", false, "hydrate persisted distance stores at boot as read-only memory-mapped views (requires -data-dir)")
 		pagedStores  = flag.Bool("paged-stores", false, "serve distance stores as paged views over their snapshot files, capped by -store-budget-bytes (requires -data-dir; excludes -mmap-stores)")
 		storeBudget  = flag.Int64("store-budget-bytes", 0, "resident byte ceiling for the paged-store page cache (0 selects 256 MiB; used with -paged-stores)")
+		noRepair     = flag.Bool("disable-store-repair", false, "hydrate PATCH-derived graphs' distance stores by full rebuild instead of incremental repair (debugging escape hatch)")
 		rateLimit    = flag.Float64("rate-limit", 0, "per-client request rate in req/s; 0 disables rate limiting")
 		rateBurst    = flag.Int("rate-burst", 0, "token-bucket burst capacity (0 selects 2x rate-limit)")
 		rateQuota    = flag.Int64("rate-quota", 0, "lifetime request quota per client; 0 means unlimited")
@@ -182,27 +192,28 @@ func main() {
 	}
 
 	cfg := server.Config{
-		MaxBodyBytes:     *maxBody,
-		MaxVertices:      *maxVerts,
-		MaxBudget:        *maxBudget,
-		Engine:           *engine,
-		Store:            *store,
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		CacheEntries:     *cacheEntries,
-		JobTTL:           *jobTTL,
-		GraphCapacity:    *graphs,
-		StoresPerGraph:   *storesPer,
-		MaxBatchItems:    *maxBatch,
-		DataDir:          *dataDir,
-		MappedStores:     *mmapStores,
-		PagedStores:      *pagedStores,
-		StoreBudgetBytes: *storeBudget,
-		AuthTokens:       authTokens,
-		RateLimit:        *rateLimit,
-		RateBurst:        *rateBurst,
-		RateQuota:        *rateQuota,
-		RequestLog:       logDest,
+		MaxBodyBytes:       *maxBody,
+		MaxVertices:        *maxVerts,
+		MaxBudget:          *maxBudget,
+		Engine:             *engine,
+		Store:              *store,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		CacheEntries:       *cacheEntries,
+		JobTTL:             *jobTTL,
+		GraphCapacity:      *graphs,
+		StoresPerGraph:     *storesPer,
+		MaxBatchItems:      *maxBatch,
+		DataDir:            *dataDir,
+		MappedStores:       *mmapStores,
+		PagedStores:        *pagedStores,
+		StoreBudgetBytes:   *storeBudget,
+		DisableStoreRepair: *noRepair,
+		AuthTokens:         authTokens,
+		RateLimit:          *rateLimit,
+		RateBurst:          *rateBurst,
+		RateQuota:          *rateQuota,
+		RequestLog:         logDest,
 	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatalf("lopserve: %v", err)

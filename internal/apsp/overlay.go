@@ -65,6 +65,20 @@ func (o *Overlay) Far() int { return o.far }
 // overlay's memory footprint is proportional to this, not to n².
 func (o *Overlay) Dirty() int { return len(o.dirty) }
 
+// Depth returns the number of overlay layers stacked on the first
+// non-overlay base: 1 for an overlay directly over a heap or
+// file-backed store, 2 for an overlay over that, and so on. Repair
+// chains (each graph mutation layering one more overlay) use it to
+// decide when to Compact instead of growing the read path another
+// indirection.
+func (o *Overlay) Depth() int {
+	d := 1
+	for b, ok := o.base.(*Overlay); ok; b, ok = b.base.(*Overlay) {
+		d++
+	}
+	return d
+}
+
 // dirtyBytes estimates the heap pinned by the dirty set for the
 // Footprint gauges: map overhead per entry plus the row bitmap.
 func (o *Overlay) dirtyBytes() int64 {

@@ -1,0 +1,145 @@
+// Diff: the canonical edge-edit form that makes graphs mutable,
+// lineage-tracked artifacts. A Diff is validated and order-normalized
+// exactly like the registry's Canonicalize — every edge as (min, max),
+// each list sorted lexicographically, no duplicates, adds and removes
+// disjoint — so the pair (parent, diff) determines the child graph's
+// canonical edge set, and therefore its content address, by a pure
+// O(m + k) merge: the digest of a child is derivable from (parent
+// digest, diff) without re-hashing anything else. That derivability is
+// what lets the registry record lineage as (parent id, diff) and
+// verify it at boot.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Diff is a canonical, order-normalized edge edit on an n-vertex
+// simple graph: Adds are edges absent from the parent that the child
+// gains, Removes are edges present in the parent that the child loses.
+// Both lists hold canonical (U < V) edges in ascending order and are
+// disjoint. Construct with NewDiff; a hand-built Diff skips validation
+// and may make Apply fail.
+type Diff struct {
+	// N is the vertex count the diff was validated against; Apply
+	// rejects graphs of any other size.
+	N int
+	// Adds and Removes are the canonical sorted edge lists.
+	Adds, Removes []Edge
+}
+
+// canonicalizeEdges validates one side of a diff like the registry's
+// Canonicalize: range, self-loop, and duplicate rejection, every error
+// naming the offending edge and its index in the input. kind labels
+// the list ("add" or "remove") in error messages.
+func canonicalizeEdges(n int, kind string, edges [][2]int) ([]Edge, error) {
+	type idxEdge struct {
+		e   Edge
+		idx int
+	}
+	out := make([]idxEdge, len(edges))
+	for i, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || u >= n || v >= n {
+			return nil, fmt.Errorf("diff: %s edge [%d, %d] at index %d out of range for n=%d", kind, u, v, i, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("diff: %s self-loop [%d, %d] at index %d not allowed in a simple graph", kind, u, v, i)
+		}
+		out[i] = idxEdge{e: Edge{U: u, V: v}.Normalize(), idx: i}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].e != out[j].e {
+			return out[i].e.Less(out[j].e)
+		}
+		return out[i].idx < out[j].idx
+	})
+	es := make([]Edge, len(out))
+	for i, ie := range out {
+		if i > 0 && ie.e == out[i-1].e {
+			return nil, fmt.Errorf("diff: duplicate %s edge [%d, %d] at index %d", kind, ie.e.U, ie.e.V, ie.idx)
+		}
+		es[i] = ie.e
+	}
+	return es, nil
+}
+
+// NewDiff validates and canonicalizes an edge edit against an n-vertex
+// graph. Out-of-range endpoints, self-loops, duplicates within either
+// list (including reversed spellings such as [0,1] and [1,0]), and
+// edges appearing in both lists are errors: the diff must be in
+// bijection with the edit it denotes, or the (parent, diff) -> child
+// digest rule breaks. Whether the adds are actually absent and the
+// removes actually present is a property of the graph the diff is
+// applied to; Apply checks it.
+func NewDiff(n int, adds, removes [][2]int) (Diff, error) {
+	if n <= 0 {
+		return Diff{}, fmt.Errorf("diff: n must be positive, got %d", n)
+	}
+	as, err := canonicalizeEdges(n, "add", adds)
+	if err != nil {
+		return Diff{}, err
+	}
+	rs, err := canonicalizeEdges(n, "remove", removes)
+	if err != nil {
+		return Diff{}, err
+	}
+	// Both lists are sorted: overlap detection is one linear merge pass.
+	for i, j := 0, 0; i < len(as) && j < len(rs); {
+		switch {
+		case as[i] == rs[j]:
+			return Diff{}, fmt.Errorf("diff: edge [%d, %d] appears in both adds and removes", as[i].U, as[i].V)
+		case as[i].Less(rs[j]):
+			i++
+		default:
+			j++
+		}
+	}
+	return Diff{N: n, Adds: as, Removes: rs}, nil
+}
+
+// Empty reports whether the diff edits nothing.
+func (d Diff) Empty() bool { return len(d.Adds) == 0 && len(d.Removes) == 0 }
+
+// Size returns the number of edited edges.
+func (d Diff) Size() int { return len(d.Adds) + len(d.Removes) }
+
+// Invert returns the inverse edit: applying d then d.Invert() to a
+// graph restores it exactly (same edge set, same digest).
+func (d Diff) Invert() Diff {
+	return Diff{N: d.N, Adds: d.Removes, Removes: d.Adds}
+}
+
+// Apply mutates g by the diff. It is atomic: every precondition —
+// matching vertex count, every add absent, every remove present — is
+// checked before the first mutation, so a failed Apply leaves g
+// untouched. Conflicts are errors, never panics, because diffs arrive
+// from the network (PATCH bodies, continuous-audit steps).
+func (d Diff) Apply(g *Graph) error {
+	if g.N() != d.N {
+		return fmt.Errorf("diff: graph has %d vertices, diff expects %d", g.N(), d.N)
+	}
+	for _, e := range d.Adds {
+		if g.HasEdge(e.U, e.V) {
+			return fmt.Errorf("diff: cannot add edge [%d, %d]: already present", e.U, e.V)
+		}
+	}
+	for _, e := range d.Removes {
+		if !g.HasEdge(e.U, e.V) {
+			return fmt.Errorf("diff: cannot remove edge [%d, %d]: not present", e.U, e.V)
+		}
+	}
+	for _, e := range d.Adds {
+		g.AddEdge(e.U, e.V)
+	}
+	for _, e := range d.Removes {
+		g.RemoveEdge(e.U, e.V)
+	}
+	return nil
+}
+
+// String renders a short summary, e.g. "diff{n=100 +3 -1}".
+func (d Diff) String() string {
+	return fmt.Sprintf("diff{n=%d +%d -%d}", d.N, len(d.Adds), len(d.Removes))
+}

@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestNewDiffCanonicalizes: endpoint order, edge order, and the
+// sortedness of the output lists are all normalized, so two spellings
+// of the same edit produce identical Diff values.
+func TestNewDiffCanonicalizes(t *testing.T) {
+	a, err := NewDiff(10, [][2]int{{5, 2}, {1, 0}}, [][2]int{{9, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDiff(10, [][2]int{{0, 1}, {2, 5}}, [][2]int{{3, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Adds) != 2 || a.Adds[0] != (Edge{0, 1}) || a.Adds[1] != (Edge{2, 5}) {
+		t.Fatalf("adds not canonical: %v", a.Adds)
+	}
+	if len(a.Removes) != 1 || a.Removes[0] != (Edge{3, 9}) {
+		t.Fatalf("removes not canonical: %v", a.Removes)
+	}
+	if a.String() != b.String() || a.Adds[0] != b.Adds[0] || a.Adds[1] != b.Adds[1] {
+		t.Fatalf("spellings disagree: %v vs %v", a, b)
+	}
+}
+
+// TestNewDiffRejections: every malformed diff is rejected with an
+// error that names the offending edge and its input index.
+func TestNewDiffRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		adds    [][2]int
+		removes [][2]int
+		want    string
+	}{
+		{"zero n", 0, nil, nil, "n must be positive"},
+		{"add out of range", 5, [][2]int{{0, 1}, {2, 7}}, nil, "add edge [2, 7] at index 1 out of range for n=5"},
+		{"remove out of range", 5, nil, [][2]int{{-1, 2}}, "remove edge [-1, 2] at index 0 out of range for n=5"},
+		{"add self-loop", 5, [][2]int{{3, 3}}, nil, "add self-loop [3, 3] at index 0"},
+		{"duplicate add", 5, [][2]int{{0, 1}, {1, 0}}, nil, "duplicate add edge [0, 1] at index 1"},
+		{"duplicate remove", 5, nil, [][2]int{{2, 3}, {4, 3}, {3, 2}}, "duplicate remove edge [2, 3] at index 2"},
+		{"overlap", 5, [][2]int{{0, 1}}, [][2]int{{1, 0}}, "appears in both adds and removes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewDiff(tc.n, tc.adds, tc.removes)
+			if err == nil {
+				t.Fatalf("NewDiff accepted %v / %v", tc.adds, tc.removes)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDiffApplyAtomic: a diff whose preconditions fail leaves the
+// graph untouched — no partial application.
+func TestDiffApplyAtomic(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+
+	// The add {3,4} is fine, but {0,1} is already present: nothing may
+	// be applied.
+	d, err := NewDiff(5, [][2]int{{3, 4}, {0, 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(g); err == nil || !strings.Contains(err.Error(), "already present") {
+		t.Fatalf("Apply of conflicting add: err=%v", err)
+	}
+	if g.M() != 2 || g.HasEdge(3, 4) {
+		t.Fatalf("failed Apply mutated the graph: m=%d", g.M())
+	}
+
+	// The remove {0,2} is absent: nothing may be applied.
+	d, err = NewDiff(5, [][2]int{{3, 4}}, [][2]int{{0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(g); err == nil || !strings.Contains(err.Error(), "not present") {
+		t.Fatalf("Apply of absent remove: err=%v", err)
+	}
+	if g.M() != 2 || g.HasEdge(3, 4) {
+		t.Fatalf("failed Apply mutated the graph: m=%d", g.M())
+	}
+
+	// Wrong vertex count.
+	d, err = NewDiff(4, [][2]int{{2, 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(g); err == nil || !strings.Contains(err.Error(), "expects 4") {
+		t.Fatalf("Apply across sizes: err=%v", err)
+	}
+}
+
+// TestDiffApplyInvertRoundTrip: Apply(d) then Apply(d.Invert())
+// restores the exact edge set, across random graphs and random edits.
+func TestDiffApplyInvertRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(30, 0.15, seed)
+		orig := g.Clone()
+		d := randomDiff(t, rng, g, 5, 3)
+		if err := d.Apply(g); err != nil {
+			t.Fatalf("seed %d: apply: %v", seed, err)
+		}
+		if d.Size() > 0 && g.Equal(orig) {
+			t.Fatalf("seed %d: non-empty diff %v changed nothing", seed, d)
+		}
+		if err := d.Invert().Apply(g); err != nil {
+			t.Fatalf("seed %d: apply inverse: %v", seed, err)
+		}
+		if !g.Equal(orig) {
+			t.Fatalf("seed %d: round trip did not restore the graph", seed)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// randomDiff builds a valid diff for g: up to maxAdd absent edges and
+// up to maxDel present edges.
+func randomDiff(t *testing.T, rng *rand.Rand, g *Graph, maxAdd, maxDel int) Diff {
+	t.Helper()
+	n := g.N()
+	var adds, removes [][2]int
+	seen := NewEdgeSet()
+	for len(adds) < maxAdd {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) || !seen.Add(E(u, v)) {
+			continue
+		}
+		adds = append(adds, [2]int{u, v})
+	}
+	edges := g.Edges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for i := 0; i < maxDel && i < len(edges); i++ {
+		removes = append(removes, [2]int{edges[i].U, edges[i].V})
+	}
+	d, err := NewDiff(n, adds, removes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// FuzzDiffRoundTrip drives NewDiff/Apply/Invert with arbitrary bytes:
+// whatever the fuzzer constructs, a diff either fails validation with
+// an error (never a panic) or applies and inverts back to the exact
+// parent graph.
+func FuzzDiffRoundTrip(f *testing.F) {
+	f.Add(int64(1), []byte{1, 2, 3, 4, 5, 6})
+	f.Add(int64(7), []byte{0, 0, 9, 9, 200, 1, 3, 3})
+	f.Add(int64(42), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, raw []byte) {
+		n := 2 + int(seed%29+29)%29 // 2..30
+		g := randomGraph(n, 0.2, seed)
+		orig := g.Clone()
+
+		// Decode raw bytes into candidate edge lists: pairs of bytes,
+		// alternating between the add and remove lists, unvalidated —
+		// out-of-range endpoints, self-loops, duplicates, and overlaps
+		// all flow into NewDiff, which must reject them gracefully.
+		var adds, removes [][2]int
+		for i := 0; i+1 < len(raw); i += 2 {
+			e := [2]int{int(raw[i]) - 2, int(raw[i+1]) - 2}
+			if (i/2)%2 == 0 {
+				adds = append(adds, e)
+			} else {
+				removes = append(removes, e)
+			}
+		}
+		d, err := NewDiff(n, adds, removes)
+		if err != nil {
+			return // rejected cleanly; nothing more to check
+		}
+		// A structurally valid diff may still conflict with this
+		// particular graph (add present / remove absent): Apply must
+		// reject it atomically.
+		if err := d.Apply(g); err != nil {
+			if !g.Equal(orig) {
+				t.Fatal("failed Apply mutated the graph")
+			}
+			return
+		}
+		if err := d.Invert().Apply(g); err != nil {
+			t.Fatalf("inverse of an applied diff must apply: %v", err)
+		}
+		if !g.Equal(orig) {
+			t.Fatal("apply/invert round trip did not restore the parent")
+		}
+	})
+}

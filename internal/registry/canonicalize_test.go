@@ -1,0 +1,51 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCanonicalizeErrorShape: every rejection names the offending edge
+// and its index in the input list, so a 400 from upload or PATCH is
+// actionable — the client knows which element of its edge array to
+// fix, not just which rule it broke.
+func TestCanonicalizeErrorShape(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+		want  string
+	}{
+		{"endpoint above range", 5, [][2]int{{0, 1}, {3, 7}}, "edge [3, 7] at index 1 out of range for n=5"},
+		{"negative endpoint", 5, [][2]int{{-2, 4}}, "edge [-2, 4] at index 0 out of range for n=5"},
+		{"self-loop", 5, [][2]int{{0, 1}, {1, 2}, {3, 3}}, "self-loop [3, 3] at index 2 not allowed in a simple graph"},
+		{"exact duplicate", 5, [][2]int{{0, 1}, {2, 3}, {0, 1}}, "duplicate edge [0, 1] at index 2 not allowed in a simple graph"},
+		{"reversed duplicate", 5, [][2]int{{1, 0}, {0, 1}}, "duplicate edge [0, 1] at index 1 not allowed in a simple graph"},
+		{"duplicate after sort displacement", 6, [][2]int{{4, 5}, {2, 3}, {3, 2}, {0, 1}}, "duplicate edge [2, 3] at index 2 not allowed in a simple graph"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Canonicalize(tc.n, tc.edges)
+			if err == nil {
+				t.Fatalf("Canonicalize accepted %v", tc.edges)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCanonicalizeIndexUnaffectedBySort: the reported index is the
+// input position even though detection happens on the sorted list.
+func TestCanonicalizeIndexUnaffectedBySort(t *testing.T) {
+	// Input order: the duplicate pair sorts to the front, but its later
+	// occurrence sits at input index 3.
+	_, err := Canonicalize(10, [][2]int{{8, 9}, {0, 1}, {6, 7}, {1, 0}})
+	if err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if !strings.Contains(err.Error(), "at index 3") {
+		t.Fatalf("error %q should blame input index 3", err)
+	}
+}

@@ -51,14 +51,17 @@ type PersistStats struct {
 	// is its path.
 	Enabled bool
 	Dir     string
-	// GraphsLoaded and StoresLoaded count snapshots recovered at boot;
-	// Quarantined counts files set aside (renamed *.corrupt) because
-	// they were corrupt, orphaned, or otherwise untrustworthy.
-	GraphsLoaded, StoresLoaded, Quarantined int
-	// GraphWrites and StoreWrites count successful snapshot writes;
-	// WriteErrors counts failed ones (the registry keeps serving);
-	// Deletes counts snapshot files removed on evict/DELETE.
-	GraphWrites, StoreWrites, WriteErrors, Deletes int64
+	// GraphsLoaded, StoresLoaded, and LineagesLoaded count snapshots
+	// recovered at boot; Quarantined counts files set aside (renamed
+	// *.corrupt) because they were corrupt, orphaned, or otherwise
+	// untrustworthy — including lineage records whose diff does not
+	// reproduce the child's digest from the parent.
+	GraphsLoaded, StoresLoaded, LineagesLoaded, Quarantined int
+	// GraphWrites, StoreWrites, and LineageWrites count successful
+	// snapshot writes; WriteErrors counts failed ones (the registry
+	// keeps serving); Deletes counts snapshot files removed on
+	// evict/DELETE.
+	GraphWrites, StoreWrites, LineageWrites, WriteErrors, Deletes int64
 }
 
 // persister owns the snapshot directory. All methods are safe for
@@ -68,7 +71,8 @@ type persister struct {
 	dir string
 
 	graphsLoaded, storesLoaded, quarantined int
-	graphWrites, storeWrites                atomic.Int64
+	lineagesLoaded                          int
+	graphWrites, storeWrites, lineageWrites atomic.Int64
 	writeErrors, deletes                    atomic.Int64
 }
 
@@ -241,7 +245,7 @@ func (r *Registry) loadFromDisk() {
 	if err != nil {
 		return
 	}
-	var graphFiles, storeFiles []string
+	var graphFiles, storeFiles, lineageFiles []string
 	for _, ent := range entries {
 		name := ent.Name()
 		switch {
@@ -260,6 +264,8 @@ func (r *Registry) loadFromDisk() {
 			graphFiles = append(graphFiles, name)
 		case strings.HasSuffix(name, storeSuffix):
 			storeFiles = append(storeFiles, name)
+		case strings.HasSuffix(name, lineageSuffix):
+			lineageFiles = append(lineageFiles, name)
 		}
 	}
 
@@ -302,6 +308,12 @@ func (r *Registry) loadFromDisk() {
 		r.insertLoadedGraph(id, n, canonical)
 		p.graphsLoaded++
 	}
+
+	// Lineage records attach after graphs and before stores: a record
+	// is only trustworthy relative to the graphs actually recovered,
+	// and store seeding does not depend on it (repair happens lazily at
+	// hydration time, against whatever parent store is then warm).
+	r.loadLineages(lineageFiles, skipped)
 
 	for _, name := range storeFiles {
 		id, key, ok := parseStoreFile(name)
@@ -376,14 +388,16 @@ func (p *persister) stats() PersistStats {
 		return PersistStats{}
 	}
 	return PersistStats{
-		Enabled:      true,
-		Dir:          p.dir,
-		GraphsLoaded: p.graphsLoaded,
-		StoresLoaded: p.storesLoaded,
-		Quarantined:  p.quarantined,
-		GraphWrites:  p.graphWrites.Load(),
-		StoreWrites:  p.storeWrites.Load(),
-		WriteErrors:  p.writeErrors.Load(),
-		Deletes:      p.deletes.Load(),
+		Enabled:        true,
+		Dir:            p.dir,
+		GraphsLoaded:   p.graphsLoaded,
+		StoresLoaded:   p.storesLoaded,
+		LineagesLoaded: p.lineagesLoaded,
+		Quarantined:    p.quarantined,
+		GraphWrites:    p.graphWrites.Load(),
+		StoreWrites:    p.storeWrites.Load(),
+		LineageWrites:  p.lineageWrites.Load(),
+		WriteErrors:    p.writeErrors.Load(),
+		Deletes:        p.deletes.Load(),
 	}
 }

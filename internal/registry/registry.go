@@ -82,6 +82,12 @@ type Config struct {
 	// cache when PagedStores is set. Zero selects 256 MiB; budgets
 	// below one page (64 KiB) are raised to one page.
 	StoreBudgetBytes int64
+	// DisableRepair turns off lineage-based store repair: graphs
+	// registered via Mutate hydrate their distance stores with a full
+	// build even when the parent's store is warm. The zero value keeps
+	// repair on — it is an escape hatch for debugging, not a tuning
+	// knob (repair produces cell-identical stores).
+	DisableRepair bool
 }
 
 // defaultStoreBudgetBytes is the page-cache ceiling when PagedStores is
@@ -141,36 +147,72 @@ func (c Config) Validate() error {
 // [1,0]) are errors: the canonical edge set must be in bijection with
 // the graph it denotes, or content addressing breaks — two requests
 // for the same effective graph would hash to different ids.
+// Every rejection names the offending edge and its index in the input
+// list, so a 400 from upload or PATCH tells the client which element
+// of its edge array to fix rather than only which rule it broke.
 func Canonicalize(n int, edges [][2]int) ([][2]int, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("graph: n must be positive")
 	}
+	// Track each edge's original input index through the sort: duplicate
+	// detection happens on the sorted list, but the error must point at
+	// a position in the list the client actually sent.
+	idx := make([]int, len(edges))
 	out := make([][2]int, len(edges))
 	for i, e := range edges {
 		u, v := e[0], e[1]
 		if u < 0 || v < 0 || u >= n || v >= n {
-			return nil, fmt.Errorf("graph: edge [%d, %d] out of range for n=%d", u, v, n)
+			return nil, fmt.Errorf("graph: edge [%d, %d] at index %d out of range for n=%d", u, v, i, n)
 		}
 		if u == v {
-			return nil, fmt.Errorf("graph: self-loop [%d, %d] not allowed in a simple graph", u, v)
+			return nil, fmt.Errorf("graph: self-loop [%d, %d] at index %d not allowed in a simple graph", u, v, i)
 		}
 		if u > v {
 			u, v = v, u
 		}
 		out[i] = [2]int{u, v}
+		idx[i] = i
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
-		}
-		return out[i][1] < out[j][1]
-	})
+	sort.Sort(&canonSort{edges: out, idx: idx})
 	for i := 1; i < len(out); i++ {
 		if out[i] == out[i-1] {
-			return nil, fmt.Errorf("graph: duplicate edge [%d, %d] not allowed in a simple graph", out[i][0], out[i][1])
+			// Blame the later of the two input positions: the first
+			// occurrence is legitimate, the repeat is the defect.
+			at := idx[i]
+			if idx[i-1] > at {
+				at = idx[i-1]
+			}
+			return nil, fmt.Errorf("graph: duplicate edge [%d, %d] at index %d not allowed in a simple graph", out[i][0], out[i][1], at)
 		}
 	}
 	return out, nil
+}
+
+// canonSort sorts a canonical edge list lexicographically while
+// carrying each edge's original input index along, with the index as a
+// final tiebreak so equal edges land in input order (the duplicate
+// error then blames a deterministic position).
+type canonSort struct {
+	edges [][2]int
+	idx   []int
+}
+
+func (s *canonSort) Len() int { return len(s.edges) }
+
+func (s *canonSort) Less(i, j int) bool {
+	a, b := s.edges[i], s.edges[j]
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return s.idx[i] < s.idx[j]
+}
+
+func (s *canonSort) Swap(i, j int) {
+	s.edges[i], s.edges[j] = s.edges[j], s.edges[i]
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
 }
 
 // Digest returns the hex SHA-256 content address of a canonical edge
@@ -226,6 +268,7 @@ type Graph struct {
 	pub     *lopacity.Graph
 	degrees []int
 	reg     *Registry
+	lineage *Lineage // non-nil iff registered via Mutate (or recovered)
 
 	mu         sync.Mutex
 	stores     map[storeKey]*list.Element
@@ -353,6 +396,19 @@ func (g *Graph) Distances(L int, engine apsp.Engine, kind apsp.Kind) (apsp.Store
 	built := false
 	fileBacked := false
 	slot.once.Do(func() {
+		// Lineage-first hydration: a graph registered via Mutate tries
+		// to repair its parent's warm store through the recorded diff —
+		// O(balls touched around the edited edges) instead of the full
+		// O(n·m) rebuild, and no build is counted because none happened.
+		// Repair serves from an overlay over the parent's store; the
+		// write-through below snapshots it, so the next boot hydrates
+		// this store directly with no parent needed.
+		if st := g.reg.tryRepair(g, k); st != nil {
+			slot.store = st
+			slot.ready.Store(true)
+			built = true
+			return
+		}
 		start := time.Now()
 		// Build-through-to-file: with a file-backed residency policy the
 		// snapshot is not a copy of the store, it IS the store. The
@@ -470,6 +526,15 @@ type Stats struct {
 	// from /v1/stats: how much build time the cache is absorbing, and
 	// how bad the worst cold build has been.
 	Builds, BuildMSTotal, BuildMSMax int64
+	// Mutations counts child graphs registered via Mutate. Repairs
+	// counts store hydrations served by repairing a parent's store
+	// (no APSP build); RepairFallbacks counts lineage-bearing
+	// hydrations that had to build anyway (parent or its store gone,
+	// or the diff too large for repair to win); RepairMSTotal
+	// aggregates repair wall-clock in milliseconds. Repairs vs
+	// RepairFallbacks is the dynamic-graph effectiveness ratio, the
+	// same way StoreHits vs Builds is the cache's.
+	Mutations, Repairs, RepairFallbacks, RepairMSTotal int64
 	// StoreBytes and StoreFileBytes aggregate the cached stores'
 	// footprints by backing name ("compact", "packed", "mapped",
 	// "paged", "overlay"): heap-resident bytes and file-backed bytes
@@ -499,6 +564,9 @@ type Registry struct {
 	stores                                 atomic.Int64
 	storeHits, storeMisses, storeEvictions atomic.Int64
 	builds, buildMSTotal, buildMSMax       atomic.Int64
+	mutations                              atomic.Int64
+	repairs, repairFallbacks               atomic.Int64
+	repairMSTotal                          atomic.Int64
 }
 
 // recordBuild folds one completed APSP build into the timing
@@ -649,6 +717,13 @@ func (r *Registry) Get(id string) (*Graph, bool) {
 // Delete removes the graph with the given id, reporting whether it was
 // present. Requests still holding the graph keep working; its stores
 // just stop counting toward the registry.
+//
+// Deleting a graph that has Mutate-derived children is allowed and
+// does not cascade: each child carries its full canonical edge set, so
+// it keeps serving (and stays mutable) with its lineage record intact
+// as provenance. Only the repair fast path degrades — a child whose
+// stores are not yet hydrated falls back to a full build, counted in
+// Stats.RepairFallbacks.
 func (r *Registry) Delete(id string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -683,6 +758,9 @@ func (r *Registry) dropLocked(el *list.Element, evicted bool) {
 	}
 	if r.persist != nil {
 		r.persist.deleteFile(graphFile(ent.id))
+		if ent.lineage != nil {
+			r.persist.deleteFile(lineageFile(ent.id))
+		}
 	}
 	ent.mu.Unlock()
 	r.stores.Add(-n)
@@ -737,21 +815,25 @@ func (r *Registry) Stats() Stats {
 		pc = r.pages.Stats()
 	}
 	return Stats{
-		StoreBytes:     storeBytes,
-		StoreFileBytes: storeFileBytes,
-		PageCache:      pc,
-		Graphs:         graphs,
-		Capacity:       r.cfg.MaxGraphs,
-		Hits:           r.hits.Load(),
-		Misses:         r.misses.Load(),
-		Evictions:      r.evictions.Load(),
-		Stores:         int(r.stores.Load()),
-		StoreHits:      r.storeHits.Load(),
-		StoreMisses:    r.storeMisses.Load(),
-		StoreEvictions: r.storeEvictions.Load(),
-		Builds:         r.builds.Load(),
-		BuildMSTotal:   r.buildMSTotal.Load(),
-		BuildMSMax:     r.buildMSMax.Load(),
-		Persist:        r.persist.stats(),
+		StoreBytes:      storeBytes,
+		StoreFileBytes:  storeFileBytes,
+		PageCache:       pc,
+		Graphs:          graphs,
+		Capacity:        r.cfg.MaxGraphs,
+		Hits:            r.hits.Load(),
+		Misses:          r.misses.Load(),
+		Evictions:       r.evictions.Load(),
+		Stores:          int(r.stores.Load()),
+		StoreHits:       r.storeHits.Load(),
+		StoreMisses:     r.storeMisses.Load(),
+		StoreEvictions:  r.storeEvictions.Load(),
+		Builds:          r.builds.Load(),
+		BuildMSTotal:    r.buildMSTotal.Load(),
+		BuildMSMax:      r.buildMSMax.Load(),
+		Mutations:       r.mutations.Load(),
+		Repairs:         r.repairs.Load(),
+		RepairFallbacks: r.repairFallbacks.Load(),
+		RepairMSTotal:   r.repairMSTotal.Load(),
+		Persist:         r.persist.stats(),
 	}
 }

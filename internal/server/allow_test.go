@@ -30,7 +30,7 @@ func TestMethodNotAllowedSetsAllow(t *testing.T) {
 		{"/v1/replay", http.MethodGet, "POST"},
 		{"/v1/batch", http.MethodGet, "POST"},
 		{"/v1/graphs", http.MethodDelete, "GET, POST"},
-		{"/v1/graphs/deadbeef", http.MethodPost, "GET, DELETE"},
+		{"/v1/graphs/deadbeef", http.MethodPost, "GET, PATCH, DELETE"},
 		{"/v1/jobs", http.MethodGet, "POST"},
 		{"/v1/jobs/deadbeef", http.MethodPost, "GET, DELETE"},
 		{"/v1/jobs/deadbeef/events", http.MethodPost, "GET"},

@@ -1,0 +1,154 @@
+// POST /v1/continuous_audit: replay a stream of graph mutations and
+// report the L-opacity after every step — the churn-monitoring
+// counterpart of a one-shot opacity check, and the request-level
+// consumer of incremental store repair: each step tries to repair the
+// previous step's distance store through the step's diff (an overlay
+// touching only the balls around the edited edges) and falls back to a
+// full APSP build only when the repair heuristics decline.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/api"
+	"repro/internal/apsp"
+	"repro/internal/graph"
+	"repro/internal/jobs"
+	"repro/internal/opacity"
+)
+
+func (s *Server) handleContinuousAudit(w http.ResponseWriter, r *http.Request) {
+	var req api.ContinuousAuditRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	p, err := s.prepareContinuousAudit(&req)
+	if err != nil {
+		writeError(w, errStatus(err, http.StatusBadRequest), err)
+		return
+	}
+	s.serveSync(w, r, p)
+}
+
+// prepareContinuousAudit validates a continuous-audit request. The
+// operation is not cached: the natural use is a job replaying a live
+// mutation feed, and the per-step NDJSON progress stream — not the
+// final document — is the point. On the graph_ref path the stream's
+// base store comes from the registered graph's cache, so a warm
+// registry starts the replay with zero APSP builds.
+func (s *Server) prepareContinuousAudit(req *api.ContinuousAuditRequest) (prepared, error) {
+	if req.L < 1 {
+		return prepared{}, fmt.Errorf("l must be >= 1, got %d", req.L)
+	}
+	if req.Theta < 0 || req.Theta > 1 {
+		return prepared{}, fmt.Errorf("theta %v outside [0, 1]", req.Theta)
+	}
+	if len(req.Steps) == 0 {
+		return prepared{}, fmt.Errorf("continuous_audit: provide at least one mutation step")
+	}
+	if len(req.Steps) > s.cfg.MaxBatchItems {
+		return prepared{}, fmt.Errorf("continuous_audit: %d steps exceeds server limit %d",
+			len(req.Steps), s.cfg.MaxBatchItems)
+	}
+	g, ent, err := s.resolveGraph(req.Graph, req.GraphRef)
+	if err != nil {
+		return prepared{}, err
+	}
+	engine, kind, err := s.resolveEngineStore(req.Engine, req.Store)
+	if err != nil {
+		return prepared{}, err
+	}
+	// Validate every step's diff shape up front (range, self-loops,
+	// duplicates, add/remove overlap) so a malformed step is a 400
+	// before any distance work, not a mid-stream failure. Whether each
+	// add is absent and each remove present depends on the preceding
+	// steps, so Apply re-checks that during the replay.
+	diffs := make([]graph.Diff, len(req.Steps))
+	for i, step := range req.Steps {
+		d, err := graph.NewDiff(g.N(), step.Add, step.Remove)
+		if err != nil {
+			return prepared{}, fmt.Errorf("step %d: %w", i, err)
+		}
+		diffs[i] = d
+	}
+	run := func(ctx context.Context) (any, bool, error) {
+		start := time.Now()
+		report := jobs.Reporter(ctx)
+		var lastReport time.Time
+
+		// The replay mutates a private working copy; a referenced
+		// registry graph is never touched.
+		wg := graph.New(g.N())
+		for _, e := range g.Edges() {
+			wg.AddEdge(e[0], e[1])
+		}
+		var st apsp.Store
+		if ent != nil {
+			// Registry path: the base store is built at most once per
+			// (graph, L, engine, kind) and shared read-only; with a warm
+			// parent the whole replay can finish with zero builds.
+			st, _ = ent.Distances(req.L, engine, kind)
+		} else {
+			st = apsp.Build(wg, req.L, apsp.BuildOptions{Engine: engine, Kind: kind})
+		}
+
+		resp := api.ContinuousAuditResponse{
+			L:              req.L,
+			Steps:          make([]api.ContinuousAuditStep, 0, len(diffs)),
+			FirstViolation: -1,
+		}
+		for i, d := range diffs {
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+			if err := d.Apply(wg); err != nil {
+				return nil, false, fmt.Errorf("step %d: %w", i, err)
+			}
+			repaired := false
+			if !s.cfg.DisableStoreRepair {
+				if next, ok := apsp.RepairStore(st, wg, d, apsp.RepairOptions{}); ok {
+					st, repaired = next, true
+				}
+			}
+			if !repaired {
+				st = apsp.Build(wg, req.L, apsp.BuildOptions{Engine: engine, Kind: kind})
+				resp.Rebuilds++
+			} else {
+				resp.Repairs++
+			}
+			rep := opacity.NewReportFromStore(wg.Degrees(), st)
+			satisfied := req.Theta > 0 && rep.MaxLO <= req.Theta
+			if req.Theta > 0 && !satisfied && resp.FirstViolation < 0 {
+				resp.FirstViolation = i
+			}
+			resp.Steps = append(resp.Steps, api.ContinuousAuditStep{
+				Step:       i,
+				M:          wg.M(),
+				MaxOpacity: rep.MaxLO,
+				Satisfied:  satisfied,
+				Repaired:   repaired,
+			})
+			if report != nil {
+				// Async path: stream each replayed step onto the job's
+				// event stream, throttled like anonymize progress; the
+				// first step always goes through.
+				if now := time.Now(); lastReport.IsZero() || now.Sub(lastReport) >= progressMinGap {
+					lastReport = now
+					if b, err := json.Marshal(api.JobProgress{
+						Steps:      i + 1,
+						MaxOpacity: rep.MaxLO,
+						ElapsedMS:  time.Since(start).Milliseconds(),
+					}); err == nil {
+						report(b)
+					}
+				}
+			}
+		}
+		return resp, false, nil
+	}
+	return prepared{op: "continuous_audit", run: run}, nil
+}

@@ -3,7 +3,8 @@
 //
 //	POST   /v1/graphs       register a graph (inline edges or a dataset key)
 //	GET    /v1/graphs       list registered graphs, most recently used first
-//	GET    /v1/graphs/{id}  metadata of one registered graph
+//	GET    /v1/graphs/{id}  metadata of one registered graph (with lineage)
+//	PATCH  /v1/graphs/{id}  derive a new graph by an edge diff
 //	DELETE /v1/graphs/{id}  unregister a graph
 //
 // A graph's id is the SHA-256 of its canonical edge set, so registering
@@ -11,6 +12,14 @@
 // order — returns the existing id, and an operation's cache key derived
 // from a ref is identical to the key the equivalent inline request
 // hashes to.
+//
+// PATCH is the dynamic-graph entry point: registered graphs are
+// immutable, so a patch registers a NEW graph — the parent with the
+// diff applied — whose id is again its content address (patching and
+// re-uploading the full edge list produce the same id). The child
+// carries a lineage record (parent id + diff) that lets its distance
+// stores hydrate by incrementally repairing the parent's warm store
+// instead of paying a fresh APSP build.
 package server
 
 import (
@@ -27,7 +36,11 @@ import (
 // graphInfo is the one conversion from a registry entry to its wire
 // metadata.
 func graphInfo(g *registry.Graph) api.GraphInfo {
-	return api.GraphInfo{ID: g.ID(), N: g.N(), M: g.M(), Stores: g.StoreCount()}
+	info := api.GraphInfo{ID: g.ID(), N: g.N(), M: g.M(), Stores: g.StoreCount()}
+	if lin := g.Lineage(); lin != nil {
+		info.Lineage = &api.Lineage{Parent: lin.Parent, Added: lin.Adds, Removed: lin.Removes}
+	}
+	return info
 }
 
 // handleGraphs serves GET (list) and POST (register) on /v1/graphs.
@@ -108,6 +121,13 @@ func (s *Server) handleGraphByID(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, graphInfo(g))
+	case http.MethodPatch:
+		g, ok := s.reg.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, notFound())
+			return
+		}
+		s.handleGraphPatch(w, r, g)
 	case http.MethodDelete:
 		if !s.reg.Delete(id) {
 			writeError(w, http.StatusNotFound, notFound())
@@ -115,8 +135,42 @@ func (s *Server) handleGraphByID(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, api.GraphDeleteResponse{Deleted: true, ID: id})
 	default:
-		methodNotAllowed(w, http.MethodGet, http.MethodDelete)
+		methodNotAllowed(w, http.MethodGet, http.MethodPatch, http.MethodDelete)
 	}
+}
+
+// handleGraphPatch registers the child graph derived by applying the
+// request's diff to parent. 201 with the child's content address and
+// lineage on success (200 when the child was already registered); the
+// parent itself is never modified.
+func (s *Server) handleGraphPatch(w http.ResponseWriter, r *http.Request, parent *registry.Graph) {
+	var req api.GraphPatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Add) == 0 && len(req.Remove) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty patch: provide add and/or remove edges"))
+		return
+	}
+	// The child has the parent's vertex count, so the registration
+	// bound (MaxVertices) cannot be newly violated; the edge diff is
+	// validated by Mutate against the parent.
+	child, created, err := s.reg.Mutate(parent, req.Add, req.Remove)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, invalidEdge(err))
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/graphs/"+child.ID())
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(api.GraphPatchResponse{
+		GraphInfo: graphInfo(child),
+		Created:   created,
+	})
 }
 
 // register applies the server's registration bound and stores the

@@ -175,6 +175,13 @@ func (s *Server) prepareItem(op string, raw json.RawMessage, sharedRef string) (
 			return prepared{}, err
 		}
 		return s.prepareAudit(&req)
+	case "continuous_audit":
+		var req api.ContinuousAuditRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return prepared{}, err
+		}
+		injectRef(&req.GraphRef, req.Graph, sharedRef)
+		return s.prepareContinuousAudit(&req)
 	case "dataset":
 		var req api.DatasetRequest
 		if err := decodeStrict(raw, &req); err != nil {
@@ -188,7 +195,7 @@ func (s *Server) prepareItem(op string, raw json.RawMessage, sharedRef string) (
 		}
 		return s.prepareReplay(&req)
 	}
-	return prepared{}, fmt.Errorf("unknown op %q (want properties, opacity, anonymize, kiso, audit, dataset, or replay)", op)
+	return prepared{}, fmt.Errorf("unknown op %q (want properties, opacity, anonymize, kiso, audit, continuous_audit, dataset, or replay)", op)
 }
 
 // injectRef applies the batch-level shared graph reference to a

@@ -66,6 +66,8 @@ type statsGauges struct {
 	regGraphs, regHits, regMisses                     *obs.Series
 	regStoreHits, regStoreMisses, regBuilds           *obs.Series
 	regBuildMSTotal, regBuildMSMax                    *obs.Series
+	regMutations, regRepairs                          *obs.Series
+	regRepairFallbacks, regRepairMSTotal              *obs.Series
 	jobsQueueDepth, jobsRunning, jobsDone, jobsFailed *obs.Series
 	jobsWorkers                                       *obs.Series
 
@@ -101,11 +103,16 @@ func newStatsGauges(reg *obs.Registry) *statsGauges {
 		regBuilds:       g("lopserve_registry_builds", "Completed APSP distance-store builds since boot."),
 		regBuildMSTotal: g("lopserve_registry_build_ms_total", "Total wall-clock milliseconds spent building distance stores."),
 		regBuildMSMax:   g("lopserve_registry_build_ms_max", "Slowest single distance-store build in milliseconds."),
-		jobsQueueDepth:  g("lopserve_jobs_queue_depth", "Async jobs currently waiting to run."),
-		jobsRunning:     g("lopserve_jobs_running", "Async jobs currently executing."),
-		jobsDone:        g("lopserve_jobs_done", "Retained async jobs in state done."),
-		jobsFailed:      g("lopserve_jobs_failed", "Retained async jobs in state failed."),
-		jobsWorkers:     g("lopserve_jobs_workers", "Async worker goroutines configured."),
+		regMutations:    g("lopserve_registry_mutations", "Graphs registered via PATCH (lineage-bearing children) since boot."),
+		regRepairs:      g("lopserve_registry_repairs", "Distance-store hydrations served by incremental repair since boot."),
+		regRepairFallbacks: g("lopserve_registry_repair_fallbacks",
+			"Lineage-bearing store hydrations that fell back to a full build since boot."),
+		regRepairMSTotal: g("lopserve_registry_repair_ms_total", "Total wall-clock milliseconds spent repairing distance stores."),
+		jobsQueueDepth:   g("lopserve_jobs_queue_depth", "Async jobs currently waiting to run."),
+		jobsRunning:      g("lopserve_jobs_running", "Async jobs currently executing."),
+		jobsDone:         g("lopserve_jobs_done", "Retained async jobs in state done."),
+		jobsFailed:       g("lopserve_jobs_failed", "Retained async jobs in state failed."),
+		jobsWorkers:      g("lopserve_jobs_workers", "Async worker goroutines configured."),
 	}
 }
 
@@ -126,6 +133,10 @@ func (s *Server) refreshStatsGauges() {
 	g.regBuilds.Set(float64(rs.Builds))
 	g.regBuildMSTotal.Set(float64(rs.BuildMSTotal))
 	g.regBuildMSMax.Set(float64(rs.BuildMSMax))
+	g.regMutations.Set(float64(rs.Mutations))
+	g.regRepairs.Set(float64(rs.Repairs))
+	g.regRepairFallbacks.Set(float64(rs.RepairFallbacks))
+	g.regRepairMSTotal.Set(float64(rs.RepairMSTotal))
 	g.jobsQueueDepth.Set(float64(js.QueueDepth))
 	g.jobsRunning.Set(float64(js.Running))
 	g.jobsDone.Set(float64(js.Done))

@@ -141,6 +141,12 @@ type Config struct {
 	// StoreBudgetBytes caps the paged-store page cache; zero selects
 	// 256 MiB. Meaningful only with PagedStores.
 	StoreBudgetBytes int64
+	// DisableStoreRepair turns off lineage-based incremental store
+	// repair: graphs derived via PATCH hydrate their distance stores
+	// with a full APSP build even when the parent's store is warm. The
+	// zero value keeps repair on; repaired stores are cell-identical
+	// to rebuilt ones, so this is a debugging escape hatch.
+	DisableStoreRepair bool
 	// AuthTokens, when non-empty, requires every request to present
 	// one of these bearer tokens (Authorization: Bearer <token>).
 	// Liveness probes (/healthz, /v1/healthz) and the /metrics scrape
@@ -241,6 +247,7 @@ func (c Config) registryConfig() registry.Config {
 		MaxGraphs: c.GraphCapacity, MaxStoresPerGraph: c.StoresPerGraph,
 		Dir: c.DataDir, MappedStores: c.MappedStores,
 		PagedStores: c.PagedStores, StoreBudgetBytes: c.StoreBudgetBytes,
+		DisableRepair: c.DisableStoreRepair,
 	}
 }
 
@@ -286,6 +293,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/v1/anonymize", post(s.handleAnonymize))
 	mux.HandleFunc("/v1/kiso", post(s.handleKIso))
 	mux.HandleFunc("/v1/audit", post(s.handleAudit))
+	mux.HandleFunc("/v1/continuous_audit", post(s.handleContinuousAudit))
 	mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	mux.HandleFunc("/v1/dataset", post(s.handleDataset))
 	mux.HandleFunc("/v1/replay", post(s.handleReplay))

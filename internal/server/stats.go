@@ -23,6 +23,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Stores: rs.Stores, StoreHits: rs.StoreHits,
 			StoreMisses: rs.StoreMisses, StoreEvictions: rs.StoreEvictions,
 			Builds: rs.Builds, BuildMSTotal: rs.BuildMSTotal, BuildMSMax: rs.BuildMSMax,
+			Mutations: rs.Mutations, Repairs: rs.Repairs,
+			RepairFallbacks: rs.RepairFallbacks, RepairMSTotal: rs.RepairMSTotal,
 			StoreBytes: rs.StoreBytes, StoreFileBytes: rs.StoreFileBytes,
 			PageCache: api.PageCacheStats{
 				BudgetBytes: rs.PageCache.BudgetBytes, ResidentBytes: rs.PageCache.ResidentBytes,
@@ -33,9 +35,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Persistence: api.PersistenceStats{
 			Enabled: rs.Persist.Enabled, Dir: rs.Persist.Dir,
 			GraphsLoaded: rs.Persist.GraphsLoaded, StoresLoaded: rs.Persist.StoresLoaded,
-			Quarantined: rs.Persist.Quarantined,
-			GraphWrites: rs.Persist.GraphWrites, StoreWrites: rs.Persist.StoreWrites,
-			WriteErrors: rs.Persist.WriteErrors, Deletes: rs.Persist.Deletes,
+			LineagesLoaded: rs.Persist.LineagesLoaded,
+			Quarantined:    rs.Persist.Quarantined,
+			GraphWrites:    rs.Persist.GraphWrites, StoreWrites: rs.Persist.StoreWrites,
+			LineageWrites: rs.Persist.LineageWrites,
+			WriteErrors:   rs.Persist.WriteErrors, Deletes: rs.Persist.Deletes,
 		},
 		Jobs: api.JobStats{
 			Workers: js.Workers, QueueDepth: js.QueueDepth, QueueCapacity: js.QueueCapacity,

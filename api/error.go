@@ -50,8 +50,13 @@ const (
 	// request quota (429). Unlike rate_limited, waiting does not help.
 	CodeQuotaExceeded = "quota_exceeded"
 	// CodeUnavailable is returned while the server is shutting down
-	// (503). Clients may retry against another instance.
+	// (503), and by the router (502) when every backend that could own
+	// the request is down. Clients may retry against another instance.
 	CodeUnavailable = "unavailable"
+	// CodeSnapshotMismatch is returned by PUT /v1/graphs/{id}/snapshot
+	// when the envelope's canonical edge set does not hash to {id}: the
+	// body is not the graph the URL names, so nothing is installed.
+	CodeSnapshotMismatch = "snapshot_mismatch"
 	// CodeNotFound is the generic fallback for a 404 that none of the
 	// specific *_not_found codes describes.
 	CodeNotFound = "not_found"

@@ -1,0 +1,78 @@
+package api
+
+// This file is the wire contract of the sharded serving tier: the
+// graph-snapshot transfer endpoints every lopserve backend exposes and
+// the router-level sections loprouter adds to GET /v1/stats.
+//
+//	GET /v1/graphs/{id}/snapshot  -> binary snapshot envelope (octet-stream)
+//	PUT /v1/graphs/{id}/snapshot  <- the same envelope -> SnapshotInstallResponse
+//
+// The snapshot body is the versioned binary envelope produced by the
+// registry (magic "LOPH"): the graph's canonical edge set plus every
+// distance store currently cached under it, so a cold replica that
+// installs one answers its first opacity query with zero APSP builds.
+// The envelope is digest-verified on install — a body whose canonical
+// edge set does not hash to {id} is rejected with code
+// snapshot_mismatch, and individual store sections that fail
+// validation are skipped (counted in StoresSkipped), never installed.
+
+// SnapshotInstallResponse is the PUT /v1/graphs/{id}/snapshot body:
+// the installed graph's metadata plus how many of the envelope's
+// distance stores were adopted. Created is false when the graph was
+// already registered (its missing stores are still adopted).
+type SnapshotInstallResponse struct {
+	GraphInfo
+	Created bool `json:"created"`
+	// StoresInstalled counts distance stores adopted from the envelope;
+	// StoresSkipped counts sections that were already cached, failed
+	// validation, or exceeded the per-graph store cache capacity.
+	StoresInstalled int `json:"stores_installed"`
+	StoresSkipped   int `json:"stores_skipped"`
+}
+
+// RouterStats is the "router" section loprouter adds to GET /v1/stats:
+// ring membership, per-peer health and traffic, and each backend's own
+// stats under PerPeer. The Cache/Registry/Jobs sections of the
+// enclosing StatsResponse are aggregated across peers (counters
+// summed, capacities summed, maxima taken), so a dashboard built
+// against a single lopserve reads the tier the same way.
+type RouterStats struct {
+	Ring RingInfo `json:"ring"`
+	// Peers reports health and router-side traffic per backend, in ring
+	// member order.
+	Peers []PeerStats `json:"peers"`
+	// PerPeer maps each healthy peer's address to its own
+	// GET /v1/stats response; peers that could not be reached during
+	// aggregation are absent here but still listed in Peers.
+	PerPeer map[string]StatsResponse `json:"per_peer,omitempty"`
+	// Hydrations counts graphs the router copied between peers via the
+	// snapshot endpoints (a cold owner re-hydrated from a donor);
+	// HydrationFailures counts attempts that found no donor or whose
+	// install failed.
+	Hydrations        int64 `json:"hydrations"`
+	HydrationFailures int64 `json:"hydration_failures"`
+}
+
+// RingInfo describes the consistent-hash ring: the configured members,
+// the virtual-node multiplier, and the members currently healthy.
+type RingInfo struct {
+	Members []string `json:"members"`
+	VNodes  int      `json:"vnodes"`
+	Healthy []string `json:"healthy"`
+}
+
+// PeerStats is one backend's health and router-side traffic counters.
+type PeerStats struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	// Requests counts proxied requests answered by this peer (any
+	// status); Errors counts forward attempts that failed at transport
+	// level; Failovers counts requests re-routed away from this peer to
+	// a ring successor after such a failure.
+	Requests  int64 `json:"requests"`
+	Errors    int64 `json:"errors"`
+	Failovers int64 `json:"failovers"`
+	// LastError is the most recent transport failure, kept until the
+	// peer next answers a probe or request.
+	LastError string `json:"last_error,omitempty"`
+}

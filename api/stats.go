@@ -8,6 +8,10 @@ type StatsResponse struct {
 	Registry    RegistryStats    `json:"registry"`
 	Persistence PersistenceStats `json:"persistence"`
 	Jobs        JobStats         `json:"jobs"`
+	// Router is present only on responses from loprouter: ring
+	// membership, per-peer health, and each backend's own stats. The
+	// sections above are then aggregates across the tier.
+	Router *RouterStats `json:"router,omitempty"`
 }
 
 // CacheStats reports the content-addressed result cache counters.
@@ -47,6 +51,12 @@ type RegistryStats struct {
 	Repairs         int64 `json:"repairs"`
 	RepairFallbacks int64 `json:"repair_fallbacks"`
 	RepairMSTotal   int64 `json:"repair_ms_total"`
+	// Hydrations counts graphs installed from a peer snapshot via
+	// PUT /v1/graphs/{id}/snapshot; HydratedStores counts the distance
+	// stores adopted alongside them — each one an APSP build this
+	// replica never paid.
+	Hydrations     int64 `json:"hydrations"`
+	HydratedStores int64 `json:"hydrated_stores"`
 	// StoreBytes and StoreFileBytes report where the cached distance
 	// triangles live, keyed by backing name ("compact", "packed",
 	// "mapped", "paged", "overlay"): heap-resident bytes and

@@ -21,7 +21,10 @@
 // (shutting down) are retried with capped exponential backoff; when
 // the response carries a Retry-After header — the server's rate
 // limiter always sets one — that wait is used instead of the backoff
-// step. See Retry. Backoff waits respect context cancellation.
+// step. Transient transport failures (connection refused or reset —
+// a backend restarting behind a router, a router failing over) are
+// retried under the same attempt budget. See Retry. Backoff waits
+// respect context cancellation.
 //
 // Against a server started with -auth-token, construct the client with
 // WithAuthToken; every request then carries the bearer token. Errors
@@ -34,21 +37,26 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/api"
 )
 
 // Retry configures the automatic retry policy for 429 and 503
-// responses — the two statuses the service documents as transient.
-// Other failures are never retried: a 4xx will not get better, and
-// re-sending after a transport error could double-execute work.
+// responses — the two statuses the service documents as transient —
+// and for connection-refused / connection-reset transport errors,
+// where no response was received and a restarting or failed-over
+// backend is the likely cause. Other failures are never retried: a
+// 4xx will not get better, and re-sending after a mid-response
+// transport error could double-execute work.
 //
 // A retryable response with a Retry-After header (seconds or an HTTP
 // date) overrides the exponential step: the server knows when the next
@@ -177,29 +185,56 @@ func retryable(status int) bool {
 // cancelled mid-backoff aborts immediately with the context's error.
 func (c *Client) send(ctx context.Context, method, path string, in any) (*http.Response, error) {
 	var body []byte
+	contentType := ""
 	if in != nil {
 		var err error
 		if body, err = json.Marshal(in); err != nil {
 			return nil, fmt.Errorf("client: encoding request: %w", err)
 		}
+		contentType = "application/json"
 	}
+	return c.sendBytes(ctx, method, path, body, contentType)
+}
+
+// transientNetError reports a transport failure worth retrying:
+// connection refused (nothing was listening — a restart in progress)
+// or connection reset before any response. Context cancellation is
+// never transient.
+func transientNetError(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET)
+}
+
+// sendBytes is send with a pre-encoded body (nil means no body). It
+// owns the whole retry loop: retryable statuses back off per policy,
+// and transient transport errors re-dial under the same attempt
+// budget.
+func (c *Client) sendBytes(ctx context.Context, method, path string, body []byte, contentType string) (*http.Response, error) {
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
-		if in != nil {
+		if body != nil {
 			rd = bytes.NewReader(body)
 		}
 		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 		if err != nil {
 			return nil, err
 		}
-		if in != nil {
-			req.Header.Set("Content-Type", "application/json")
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
 		}
 		if c.authToken != "" {
 			req.Header.Set("Authorization", "Bearer "+c.authToken)
 		}
 		resp, err := c.httpc.Do(req)
 		if err != nil {
+			if transientNetError(err) && attempt+1 < c.retry.MaxAttempts {
+				if serr := sleep(ctx, c.retry.backoff(attempt)); serr != nil {
+					return nil, serr
+				}
+				continue
+			}
 			return nil, err
 		}
 		if resp.StatusCode/100 == 2 {
@@ -467,4 +502,39 @@ func (s *GraphsService) Patch(ctx context.Context, id string, req api.GraphPatch
 // Delete unregisters a graph (DELETE /v1/graphs/{id}).
 func (s *GraphsService) Delete(ctx context.Context, id string) error {
 	return s.c.do(ctx, http.MethodDelete, "/v1/graphs/"+url.PathEscape(id), nil, nil)
+}
+
+// Snapshot fetches a graph's binary snapshot envelope — the canonical
+// edge set plus every cached distance store — for installation on a
+// peer (GET /v1/graphs/{id}/snapshot). The bytes are opaque to the
+// client; pass them to InstallSnapshot on another server.
+func (s *GraphsService) Snapshot(ctx context.Context, id string) ([]byte, error) {
+	resp, err := s.c.sendBytes(ctx, http.MethodGet, "/v1/graphs/"+url.PathEscape(id)+"/snapshot", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// InstallSnapshot installs a snapshot envelope fetched from a peer as
+// graph id (PUT /v1/graphs/{id}/snapshot). The server verifies the
+// envelope hashes to id before installing anything; a mismatch comes
+// back as *api.Error with code api.CodeSnapshotMismatch.
+func (s *GraphsService) InstallSnapshot(ctx context.Context, id string, data []byte) (*api.SnapshotInstallResponse, error) {
+	resp, err := s.c.sendBytes(ctx, http.MethodPut, "/v1/graphs/"+url.PathEscape(id)+"/snapshot",
+		data, "application/octet-stream")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out api.SnapshotInstallResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return &out, nil
 }

@@ -1,0 +1,134 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/client"
+)
+
+// refuseNTransport fails the first n round trips with a wrapped
+// ECONNREFUSED — the shape net/http surfaces while a backend restarts —
+// then delegates to the real transport. Deterministic: no listener is
+// actually torn down.
+type refuseNTransport struct {
+	n        int64
+	attempts atomic.Int64
+	err      error
+}
+
+func (tr *refuseNTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if tr.attempts.Add(1) <= tr.n {
+		return nil, &url2Error{op: "Post", url: r.URL.String(), err: tr.err}
+	}
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+// url2Error mirrors *url.Error's wrapping without importing net/url
+// under a clashing name.
+type url2Error struct {
+	op, url string
+	err     error
+}
+
+func (e *url2Error) Error() string { return e.op + " " + e.url + ": " + e.err.Error() }
+func (e *url2Error) Unwrap() error { return e.err }
+
+func okServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.HealthResponse{Status: "ok"})
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRetryTransientConnRefused: connection-refused is retried within
+// the Retry budget and the call succeeds once the backend is back.
+func TestRetryTransientConnRefused(t *testing.T) {
+	ts := okServer(t)
+	tr := &refuseNTransport{n: 2, err: syscall.ECONNREFUSED}
+	c, err := client.New(ts.URL,
+		client.WithHTTPClient(&http.Client{Transport: tr}),
+		client.WithRetry(client.Retry{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz after two refused connections: %v", err)
+	}
+	if got := tr.attempts.Load(); got != 3 {
+		t.Fatalf("attempts=%d, want 3 (two refusals + success)", got)
+	}
+}
+
+// TestRetryTransientConnReset: connection-reset gets the same
+// treatment.
+func TestRetryTransientConnReset(t *testing.T) {
+	ts := okServer(t)
+	tr := &refuseNTransport{n: 1, err: syscall.ECONNRESET}
+	c, err := client.New(ts.URL,
+		client.WithHTTPClient(&http.Client{Transport: tr}),
+		client.WithRetry(client.Retry{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz after one reset: %v", err)
+	}
+	if got := tr.attempts.Load(); got != 2 {
+		t.Fatalf("attempts=%d, want 2", got)
+	}
+}
+
+// TestRetryTransientBounded: the budget still caps transport retries —
+// a backend that never comes back fails after MaxAttempts with the
+// underlying error intact.
+func TestRetryTransientBounded(t *testing.T) {
+	ts := okServer(t)
+	tr := &refuseNTransport{n: 1 << 30, err: syscall.ECONNREFUSED}
+	c, err := client.New(ts.URL,
+		client.WithHTTPClient(&http.Client{Transport: tr}),
+		client.WithRetry(client.Retry{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Healthz(context.Background())
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("err = %v, want wrapped ECONNREFUSED", err)
+	}
+	if got := tr.attempts.Load(); got != 3 {
+		t.Fatalf("attempts=%d, want exactly MaxAttempts=3", got)
+	}
+}
+
+// TestNoRetryOnNonTransientTransportError: other transport failures
+// (here, a canceled context) are not retried.
+func TestNoRetryOnNonTransientTransportError(t *testing.T) {
+	ts := okServer(t)
+	tr := &refuseNTransport{n: 1 << 30, err: context.Canceled}
+	c, err := client.New(ts.URL,
+		client.WithHTTPClient(&http.Client{Transport: tr}),
+		client.WithRetry(client.Retry{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := tr.attempts.Load(); got != 1 {
+		t.Fatalf("attempts=%d, want 1 (no retry on non-transient error)", got)
+	}
+}

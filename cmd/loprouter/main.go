@@ -1,0 +1,133 @@
+// Command loprouter is the sharded serving tier's front door: a thin
+// HTTP proxy that consistent-hashes graph content addresses onto a
+// ring of lopserve backends. Clients speak the same v1 wire contract
+// to the router they would speak to a single lopserve; the router
+// decides which backend owns each graph, fans batches out per owner,
+// follows async jobs to the peer that accepted them, and heals cold
+// backends by copying graph snapshots from peers that still hold them
+// (GET/PUT /v1/graphs/{id}/snapshot).
+//
+// Usage:
+//
+//	loprouter -addr :8090 \
+//	          -peer 127.0.0.1:8081 -peer 127.0.0.1:8082 \
+//	          -vnodes 64 -health-interval 2s -fail-after 2 \
+//	          -request-log stderr
+//
+// -peer is repeatable, one per backend; a bare host:port gets the
+// http:// scheme. Placement depends only on the peer set, not its
+// order, and is deterministic across router restarts and replicas.
+//
+// Per-peer health: each backend's /healthz is probed every
+// -health-interval; -fail-after consecutive failures eject a peer
+// from preferred routing (first success re-admits it). Requests to an
+// ejected or unreachable owner fail over along the ring's candidate
+// order; when every candidate is down the router answers 502 with
+// code "unavailable". GET /v1/stats aggregates the tier and adds a
+// "router" section (ring membership, per-peer health and traffic,
+// hydration counters); GET /metrics exposes the same as
+// loprouter_peer_* / loprouter_ring_* / loprouter_hydrations_total.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+)
+
+// stringList collects a repeatable string flag (-peer).
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	var peers stringList
+	flag.Var(&peers, "peer", "lopserve backend base URL (repeatable; host:port implies http://)")
+	vnodes := flag.Int("vnodes", 64, "virtual nodes per peer on the hash ring")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "peer health probe period (also each probe's timeout)")
+	failAfter := flag.Int("fail-after", 2, "consecutive failures before a peer is ejected from preferred routing")
+	maxBody := flag.Int64("max-body", 32<<20, "maximum buffered request body in bytes")
+	requestLog := flag.String("request-log", "stderr", "request log destination: stderr, stdout, or off")
+	flag.Parse()
+
+	var logOut io.Writer
+	switch *requestLog {
+	case "stderr":
+		logOut = os.Stderr
+	case "stdout":
+		logOut = os.Stdout
+	case "off":
+		logOut = nil
+	default:
+		log.Fatalf("loprouter: -request-log must be stderr, stdout, or off, got %q", *requestLog)
+	}
+
+	rt, err := router.New(router.Config{
+		Peers:          peers,
+		VNodes:         *vnodes,
+		HealthInterval: *healthInterval,
+		FailAfter:      *failAfter,
+		MaxBodyBytes:   *maxBody,
+		RequestLog:     logOut,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 5 * time.Second,
+		// No WriteTimeout: the router relays job event streams that stay
+		// open as long as the job runs; the backends own their own
+		// response deadlines.
+		IdleTimeout: 60 * time.Second,
+	}
+	serve(srv, rt)
+}
+
+// serve runs until failure or SIGINT/SIGTERM, then drains in-flight
+// requests and stops the health prober.
+func serve(srv *http.Server, rt *router.Router) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("loprouter listening on %s (%d peers)", srv.Addr, len(rt.Ring().Members()))
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("loprouter: %v", err)
+		}
+	case <-ctx.Done():
+		log.Print("loprouter: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("loprouter: shutdown: %v", err)
+		}
+		rt.Close()
+	}
+}

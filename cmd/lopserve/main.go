@@ -61,6 +61,8 @@
 //	POST /v1/graphs       register a graph (content-addressed; see -preload)
 //	GET  /v1/graphs       list registered graphs
 //	GET/PATCH/DELETE /v1/graphs/{id}  (PATCH derives a lineage-tracked child)
+//	GET/PUT /v1/graphs/{id}/snapshot  export/install a graph + its warm
+//	                      distance stores (peer hydration; see loprouter)
 //	POST /v1/properties
 //	POST /v1/opacity
 //	POST /v1/anonymize

@@ -535,6 +535,10 @@ type Stats struct {
 	// RepairFallbacks is the dynamic-graph effectiveness ratio, the
 	// same way StoreHits vs Builds is the cache's.
 	Mutations, Repairs, RepairFallbacks, RepairMSTotal int64
+	// Hydrations counts graphs installed from a peer snapshot via
+	// InstallSnapshot; HydratedStores counts the distance stores
+	// adopted alongside them — builds this replica never paid.
+	Hydrations, HydratedStores int64
 	// StoreBytes and StoreFileBytes aggregate the cached stores'
 	// footprints by backing name ("compact", "packed", "mapped",
 	// "paged", "overlay"): heap-resident bytes and file-backed bytes
@@ -567,6 +571,7 @@ type Registry struct {
 	mutations                              atomic.Int64
 	repairs, repairFallbacks               atomic.Int64
 	repairMSTotal                          atomic.Int64
+	hydrations, hydratedStores             atomic.Int64
 }
 
 // recordBuild folds one completed APSP build into the timing
@@ -834,6 +839,8 @@ func (r *Registry) Stats() Stats {
 		Repairs:         r.repairs.Load(),
 		RepairFallbacks: r.repairFallbacks.Load(),
 		RepairMSTotal:   r.repairMSTotal.Load(),
+		Hydrations:      r.hydrations.Load(),
+		HydratedStores:  r.hydratedStores.Load(),
 		Persist:         r.persist.stats(),
 	}
 }

@@ -1,0 +1,294 @@
+// Peer snapshot transfer: the binary envelope one registry instance
+// streams to another so a cold replica hydrates a graph — canonical
+// edge set plus every cached distance store — instead of re-parsing
+// and rebuilding APSP.
+//
+// The envelope (magic "LOPH", version 1) wraps the exact encodings the
+// persistence layer already trusts: the LOPG graph snapshot and one
+// LOPS store snapshot per cached store, each length-prefixed with its
+// cache key (L, engine, kind). Install verifies the graph the same way
+// boot recovery does — re-canonicalize, re-digest, compare against the
+// id the caller asked for — and validates every store section against
+// the installed graph's dimensions; a mismatched envelope installs
+// nothing, and a mismatched store section is skipped, never adopted.
+// Installed graphs and stores are write-through persisted like any
+// other registration, so hydration survives a restart.
+package registry
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/apsp"
+)
+
+const (
+	snapshotMagic   = "LOPH"
+	snapshotVersion = 1
+	// snapshotHeaderLen is magic + version.
+	snapshotHeaderLen = 4 + 1
+	// MaxSnapshotBytes bounds one snapshot envelope on both ends of the
+	// transfer; it matches the persistence layer's heap slurp limit.
+	MaxSnapshotBytes = maxSnapshotSize
+)
+
+// ErrSnapshotMismatch marks an envelope whose canonical edge set does
+// not hash to the id the caller asked to install: the body is not the
+// graph the request names, so nothing was installed.
+var ErrSnapshotMismatch = errors.New("registry: snapshot digest mismatch")
+
+// snapshotSection is one store section of an envelope: the cache key
+// and the raw LOPS bytes, not yet validated.
+type snapshotSection struct {
+	key  storeKey
+	data []byte
+}
+
+// Snapshot serializes the graph for peer transfer: the canonical edge
+// set plus every distance store currently cached and built. The result
+// is self-contained — InstallSnapshot on any registry reproduces the
+// graph (same content address) and its stores with zero APSP builds.
+func (g *Graph) Snapshot() ([]byte, error) {
+	// Collect the ready slots under the lock, marshal outside it: store
+	// serialization is O(n^2) work that must not block the cache.
+	g.mu.Lock()
+	type readyStore struct {
+		key   storeKey
+		store apsp.Store
+	}
+	ready := make([]readyStore, 0, g.storeOrder.Len())
+	for el := g.storeOrder.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*storeEntry)
+		if e.slot.ready.Load() {
+			ready = append(ready, readyStore{key: e.key, store: e.slot.store})
+		}
+	}
+	g.mu.Unlock()
+
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, snapshotMagic...)
+	buf = append(buf, snapshotVersion)
+	gb := encodeGraphSnapshot(g.raw.N(), g.edges)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(gb)))
+	buf = append(buf, gb...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(ready)))
+	for _, rs := range ready {
+		sb, err := apsp.MarshalStore(rs.store)
+		if err != nil {
+			return nil, fmt.Errorf("registry: snapshot store l=%d: %w", rs.key.l, err)
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(rs.key.l))
+		buf = appendSnapshotString(buf, rs.key.engine.String())
+		buf = appendSnapshotString(buf, rs.key.kind.String())
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(sb)))
+		buf = append(buf, sb...)
+	}
+	return buf, nil
+}
+
+func appendSnapshotString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// snapshotReader walks an envelope with strict bounds checking: every
+// read is validated against the remaining length, so a truncated or
+// hostile envelope errors instead of panicking.
+type snapshotReader struct {
+	data []byte
+	off  int
+}
+
+func (r *snapshotReader) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.data) {
+		return nil, fmt.Errorf("registry: snapshot truncated at byte %d (want %d more)", r.off, n)
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *snapshotReader) uint64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (r *snapshotReader) string16() (string, error) {
+	lb, err := r.take(2)
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(int(binary.LittleEndian.Uint16(lb)))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// decodeSnapshotEnvelope splits an envelope into the graph snapshot
+// bytes and the raw store sections. Section cache keys are parsed (an
+// unparseable key is a whole-envelope error — the framing itself is
+// broken); the LOPS payloads are not yet validated.
+func decodeSnapshotEnvelope(data []byte) (graphData []byte, sections []snapshotSection, err error) {
+	r := &snapshotReader{data: data}
+	hdr, err := r.take(snapshotHeaderLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	if string(hdr[:4]) != snapshotMagic {
+		return nil, nil, fmt.Errorf("registry: snapshot envelope has bad magic %q", hdr[:4])
+	}
+	if hdr[4] != snapshotVersion {
+		return nil, nil, fmt.Errorf("registry: unsupported snapshot envelope version %d (want %d)", hdr[4], snapshotVersion)
+	}
+	glen, err := r.uint64()
+	if err != nil {
+		return nil, nil, err
+	}
+	if glen > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("registry: snapshot graph section claims %d bytes, envelope is %d", glen, len(data))
+	}
+	graphData, err = r.take(int(glen))
+	if err != nil {
+		return nil, nil, err
+	}
+	count, err := r.uint64()
+	if err != nil {
+		return nil, nil, err
+	}
+	if count > uint64(len(data)) { // each section is at least one byte of framing
+		return nil, nil, fmt.Errorf("registry: snapshot claims %d store sections in %d bytes", count, len(data))
+	}
+	sections = make([]snapshotSection, 0, count)
+	for i := uint64(0); i < count; i++ {
+		l, err := r.uint64()
+		if err != nil {
+			return nil, nil, err
+		}
+		engineName, err := r.string16()
+		if err != nil {
+			return nil, nil, err
+		}
+		kindName, err := r.string16()
+		if err != nil {
+			return nil, nil, err
+		}
+		slen, err := r.uint64()
+		if err != nil {
+			return nil, nil, err
+		}
+		if slen > uint64(len(data)) {
+			return nil, nil, fmt.Errorf("registry: snapshot store section %d claims %d bytes, envelope is %d", i, slen, len(data))
+		}
+		sb, err := r.take(int(slen))
+		if err != nil {
+			return nil, nil, err
+		}
+		engine, err := apsp.ParseEngine(engineName)
+		if err != nil {
+			return nil, nil, fmt.Errorf("registry: snapshot store section %d: %w", i, err)
+		}
+		kind, err := apsp.ParseKind(kindName)
+		if err != nil {
+			return nil, nil, fmt.Errorf("registry: snapshot store section %d: %w", i, err)
+		}
+		const maxL = 1 << 31
+		if l > maxL {
+			return nil, nil, fmt.Errorf("registry: snapshot store section %d has l=%d out of range", i, l)
+		}
+		sections = append(sections, snapshotSection{
+			key:  storeKey{l: int(l), engine: engine, kind: kind},
+			data: sb,
+		})
+	}
+	if r.off != len(data) {
+		return nil, nil, fmt.Errorf("registry: snapshot has %d trailing bytes after the last section", len(data)-r.off)
+	}
+	return graphData, sections, nil
+}
+
+// InstallSnapshot hydrates a graph from a peer's snapshot envelope:
+// decode, verify the canonical edge set hashes to wantID
+// (ErrSnapshotMismatch otherwise — nothing is installed), register the
+// graph, and adopt every store section that validates against it.
+// Adopted stores count as already built, so the replica's first
+// request for one is a store hit with zero APSP builds. Sections that
+// are already cached, fail validation, or exceed the per-graph store
+// capacity are skipped, never trusted. Both the graph and the adopted
+// stores are write-through persisted when persistence is on. maxN,
+// when positive, rejects graphs larger than the serving bound — the
+// installer enforces the same ceiling its own registration path does.
+func (r *Registry) InstallSnapshot(wantID string, data []byte, maxN int) (g *Graph, created bool, installed, skipped int, err error) {
+	graphData, sections, err := decodeSnapshotEnvelope(data)
+	if err != nil {
+		return nil, false, 0, 0, err
+	}
+	n, edges, err := decodeGraphSnapshot(graphData)
+	if err != nil {
+		return nil, false, 0, 0, err
+	}
+	if maxN > 0 && n > maxN {
+		return nil, false, 0, 0, fmt.Errorf("registry: snapshot graph n=%d exceeds serving limit %d", n, maxN)
+	}
+	canonical, err := Canonicalize(n, edges)
+	if err != nil {
+		return nil, false, 0, 0, err
+	}
+	if id := Digest(n, canonical); id != wantID {
+		return nil, false, 0, 0, fmt.Errorf("%w: body hashes to %s, want %s", ErrSnapshotMismatch, id, wantID)
+	}
+	ent, created, err := r.Put(n, canonical)
+	if err != nil {
+		return nil, false, 0, 0, err
+	}
+	for _, sec := range sections {
+		st, err := apsp.UnmarshalStore(sec.data)
+		if err != nil {
+			skipped++
+			continue
+		}
+		// The same trust rules boot recovery applies: dimensions must
+		// match the graph, and the key must describe the store it frames.
+		if st.N() != n || st.L() != sec.key.l ||
+			apsp.KindOf(st) != sec.key.kind || sec.key.kind != apsp.EffectiveKind(sec.key.kind, sec.key.l) {
+			skipped++
+			continue
+		}
+		if !ent.adoptStore(sec.key, st) {
+			skipped++
+			continue
+		}
+		installed++
+		if p := r.persist; p != nil {
+			p.saveStore(ent.id, sec.key, st)
+		}
+	}
+	r.hydrations.Add(1)
+	r.hydratedStores.Add(int64(installed))
+	return ent, created, installed, skipped, nil
+}
+
+// adoptStore installs an already-built store into the graph's cache at
+// runtime with its build marked spent — the concurrency-safe
+// counterpart of the boot-only seedStore. It reports false when the
+// key is already present (an existing store, built or in flight, is
+// never replaced), the per-graph cache is full, or the graph has been
+// deleted.
+func (g *Graph) adoptStore(k storeKey, st apsp.Store) bool {
+	g.mu.Lock()
+	if _, ok := g.stores[k]; ok || g.storeOrder.Len() >= g.maxStores || g.detached {
+		g.mu.Unlock()
+		return false
+	}
+	slot := &storeSlot{store: st}
+	slot.once.Do(func() {}) // consume the build
+	slot.ready.Store(true)
+	g.stores[k] = g.storeOrder.PushFront(&storeEntry{key: k, slot: slot})
+	g.mu.Unlock()
+	g.reg.stores.Add(1)
+	return true
+}

@@ -1,0 +1,185 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/apsp"
+)
+
+// testGraphWithStore registers a small graph and builds one distance
+// store under it, returning the entry.
+func testGraphWithStore(t *testing.T, r *Registry) *Graph {
+	t.Helper()
+	g, _, err := r.Put(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := g.Distances(2, apsp.EngineAuto, apsp.KindCompact); hit {
+		t.Fatal("first Distances call reported a store hit")
+	}
+	return g
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := New(Config{})
+	g := testGraphWithStore(t, src)
+	data, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New(Config{})
+	got, created, installed, skipped, err := dst.InstallSnapshot(g.ID(), data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("install on an empty registry reported created=false")
+	}
+	if got.ID() != g.ID() {
+		t.Fatalf("installed id %s, want %s", got.ID(), g.ID())
+	}
+	if installed != 1 || skipped != 0 {
+		t.Fatalf("installed=%d skipped=%d, want 1/0", installed, skipped)
+	}
+
+	// The adopted store must serve as a hit: zero APSP builds paid on
+	// the replica.
+	if _, hit := got.Distances(2, apsp.EngineAuto, apsp.KindCompact); !hit {
+		t.Fatal("adopted store did not serve as a store hit")
+	}
+	st := dst.Stats()
+	if st.Builds != 0 {
+		t.Fatalf("replica paid %d APSP builds, want 0", st.Builds)
+	}
+	if st.Hydrations != 1 || st.HydratedStores != 1 {
+		t.Fatalf("hydrations=%d hydrated_stores=%d, want 1/1", st.Hydrations, st.HydratedStores)
+	}
+}
+
+func TestSnapshotInstallIdempotent(t *testing.T) {
+	src := New(Config{})
+	g := testGraphWithStore(t, src)
+	data, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New(Config{})
+	if _, _, _, _, err := dst.InstallSnapshot(g.ID(), data, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, created, installed, skipped, err := dst.InstallSnapshot(g.ID(), data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created {
+		t.Fatal("second install reported created=true")
+	}
+	// The store slot already exists; the section is skipped, never
+	// replaced.
+	if installed != 0 || skipped != 1 {
+		t.Fatalf("second install installed=%d skipped=%d, want 0/1", installed, skipped)
+	}
+}
+
+func TestSnapshotDigestMismatch(t *testing.T) {
+	src := New(Config{})
+	g := testGraphWithStore(t, src)
+	data, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New(Config{})
+	_, _, _, _, err = dst.InstallSnapshot("not-the-digest", data, 0)
+	if !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("err = %v, want ErrSnapshotMismatch", err)
+	}
+	if dst.Len() != 0 {
+		t.Fatal("mismatched envelope installed a graph anyway")
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	src := New(Config{})
+	g := testGraphWithStore(t, src)
+	data, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXX"), data[4:]...),
+		"truncated": data[:len(data)/2],
+		"trailing":  append(append([]byte{}, data...), 0xFF),
+	}
+	for name, body := range cases {
+		dst := New(Config{})
+		if _, _, _, _, err := dst.InstallSnapshot(g.ID(), body, 0); err == nil {
+			t.Errorf("%s: corrupt envelope installed without error", name)
+		}
+		if dst.Len() != 0 {
+			t.Errorf("%s: corrupt envelope left a graph behind", name)
+		}
+	}
+}
+
+func TestSnapshotCorruptStoreSectionSkipped(t *testing.T) {
+	src := New(Config{})
+	g := testGraphWithStore(t, src)
+	data, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the last store section's payload: the envelope
+	// framing stays intact, the LOPS body does not.
+	data[len(data)-1] ^= 0xFF
+	dst := New(Config{})
+	_, _, installed, skipped, err := dst.InstallSnapshot(g.ID(), data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if installed != 0 || skipped != 1 {
+		t.Fatalf("installed=%d skipped=%d, want 0/1", installed, skipped)
+	}
+	// The graph itself still installed and can rebuild the store.
+	if dst.Len() != 1 {
+		t.Fatal("graph was not installed alongside the bad section")
+	}
+}
+
+func TestSnapshotRespectsVertexBound(t *testing.T) {
+	src := New(Config{})
+	g := testGraphWithStore(t, src)
+	data, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New(Config{})
+	if _, _, _, _, err := dst.InstallSnapshot(g.ID(), data, 3); err == nil {
+		t.Fatal("snapshot larger than maxN installed without error")
+	}
+}
+
+func TestSnapshotPersistsWriteThrough(t *testing.T) {
+	src := New(Config{})
+	g := testGraphWithStore(t, src)
+	data, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	dst := New(Config{Dir: dir})
+	if _, _, _, _, err := dst.InstallSnapshot(g.ID(), data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A restart recovers both the graph and the adopted store.
+	re := New(Config{Dir: dir})
+	got, ok := re.Get(g.ID())
+	if !ok {
+		t.Fatal("hydrated graph did not survive restart")
+	}
+	if _, hit := got.Distances(2, apsp.EngineAuto, apsp.KindCompact); !hit {
+		t.Fatal("hydrated store did not survive restart")
+	}
+}

@@ -1,0 +1,145 @@
+// Peer health: each backend gets a peerState tracking request
+// outcomes and a health verdict. Marking is both passive — every
+// forwarded request that dies on transport errors counts against the
+// peer — and active: a prober goroutine GETs each peer's /healthz on
+// an interval. A peer is ejected after FailAfter consecutive failures
+// and re-admitted on the first success, so a restarted backend rejoins
+// within one probe interval without operator action.
+//
+// Ejection only reorders, never strands: an ejected peer is skipped
+// during candidate selection, but when every candidate is ejected the
+// router still tries them all before answering 502 — a wrong health
+// verdict must cost latency, not availability.
+package router
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// peerState is the router's view of one backend.
+type peerState struct {
+	addr string
+
+	requests  atomic.Int64 // responses received, any status
+	errors    atomic.Int64 // transport errors (no HTTP response)
+	failovers atomic.Int64 // requests that moved on to another peer
+
+	mu       sync.Mutex
+	healthy  bool
+	fails    int // consecutive failures since the last success
+	lastErr  string
+	lastSeen time.Time
+}
+
+func newPeerState(addr string) *peerState {
+	// Peers start healthy: the tier must serve immediately after boot,
+	// before the first probe round completes.
+	return &peerState{addr: addr, healthy: true}
+}
+
+// markSuccess records a working exchange with the peer and re-admits
+// it if it was ejected.
+func (p *peerState) markSuccess() {
+	p.mu.Lock()
+	p.fails = 0
+	p.healthy = true
+	p.lastErr = ""
+	p.lastSeen = time.Now()
+	p.mu.Unlock()
+}
+
+// markFailure records a transport-level failure and ejects the peer
+// once failAfter consecutive failures accumulate. It reports whether
+// the peer is still considered healthy.
+func (p *peerState) markFailure(err error, failAfter int) bool {
+	p.mu.Lock()
+	p.fails++
+	if err != nil {
+		p.lastErr = err.Error()
+	}
+	if p.fails >= failAfter {
+		p.healthy = false
+	}
+	h := p.healthy
+	p.mu.Unlock()
+	return h
+}
+
+func (p *peerState) isHealthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.healthy
+}
+
+func (p *peerState) snapshot() (healthy bool, lastErr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.healthy, p.lastErr
+}
+
+// probeLoop actively checks every peer's /healthz until the router is
+// closed. A 2xx answer is a success; anything else — transport error
+// or status — is a failure.
+func (rt *Router) probeLoop() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.done:
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, p := range rt.peers {
+		wg.Add(1)
+		go func(p *peerState) {
+			defer wg.Done()
+			rt.probe(p)
+		}(p)
+	}
+	wg.Wait()
+	rt.refreshHealthGauges()
+}
+
+func (rt *Router) probe(p *peerState) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.HealthInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.addr+"/healthz", nil)
+	if err != nil {
+		p.markFailure(err, rt.cfg.FailAfter)
+		return
+	}
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		p.markFailure(err, rt.cfg.FailAfter)
+		return
+	}
+	drainClose(resp)
+	if resp.StatusCode/100 != 2 {
+		p.markFailure(errHTTPStatus(resp.StatusCode), rt.cfg.FailAfter)
+		return
+	}
+	p.markSuccess()
+}
+
+// healthyPeers returns the addresses currently considered healthy, in
+// sorted ring-membership order.
+func (rt *Router) healthyPeers() []string {
+	out := make([]string, 0, len(rt.order))
+	for _, addr := range rt.order {
+		if rt.peers[addr].isHealthy() {
+			out = append(out, addr)
+		}
+	}
+	return out
+}

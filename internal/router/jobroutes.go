@@ -1,0 +1,63 @@
+// Job placement memory. Job ids are minted by the backend that
+// accepted the submission, so unlike graphs they have no content
+// address to hash: the router remembers which peer holds each job in
+// a bounded LRU map. A forgotten (evicted or post-restart) job id
+// falls back to probing every healthy peer — slower, still correct.
+package router
+
+import (
+	"container/list"
+	"sync"
+)
+
+type jobRoutes struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recent; values are *jobRoute
+	byID  map[string]*list.Element
+}
+
+type jobRoute struct {
+	id   string
+	peer string
+}
+
+func newJobRoutes(max int) *jobRoutes {
+	return &jobRoutes{max: max, order: list.New(), byID: make(map[string]*list.Element)}
+}
+
+func (j *jobRoutes) put(id, peer string) {
+	if id == "" || peer == "" {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if el, ok := j.byID[id]; ok {
+		el.Value.(*jobRoute).peer = peer
+		j.order.MoveToFront(el)
+		return
+	}
+	j.byID[id] = j.order.PushFront(&jobRoute{id: id, peer: peer})
+	for j.order.Len() > j.max {
+		el := j.order.Back()
+		delete(j.byID, el.Value.(*jobRoute).id)
+		j.order.Remove(el)
+	}
+}
+
+func (j *jobRoutes) get(id string) (string, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	el, ok := j.byID[id]
+	if !ok {
+		return "", false
+	}
+	j.order.MoveToFront(el)
+	return el.Value.(*jobRoute).peer, true
+}
+
+func (j *jobRoutes) len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.order.Len()
+}

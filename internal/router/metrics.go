@@ -1,0 +1,80 @@
+// Router metrics: per-peer request/error/failover counters, health
+// gauges, ring shape, and hydration outcomes — the numbers an operator
+// needs to see which backend is hot, which is flapping, and how often
+// the tier is moving graphs around.
+package router
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+type routerGauges struct {
+	// Scrape-time per-peer gauges, refreshed from peerState.
+	peerHealthy  *obs.Vec // loprouter_peer_healthy{peer}
+	peerRequests *obs.Vec // loprouter_peer_requests_total{peer,code}
+	peerErrors   *obs.Vec // loprouter_peer_errors_total{peer}
+	peerFailover *obs.Vec // loprouter_peer_failovers_total{peer}
+
+	ringMembers *obs.Series
+	ringVNodes  *obs.Series
+
+	hydrations *obs.Vec // loprouter_hydrations_total{result}
+
+	// Stats-layer mirrors of the hydration counters.
+	hydrationsOK, hydrationsFailed atomic.Int64
+}
+
+func newRouterGauges(reg *obs.Registry) *routerGauges {
+	return &routerGauges{
+		peerHealthy: reg.Gauge("loprouter_peer_healthy",
+			"1 when the peer is admitted to routing, 0 while ejected.", "peer"),
+		peerRequests: reg.Counter("loprouter_peer_requests_total",
+			"Responses received from the peer, by HTTP status code.", "peer", "code"),
+		peerErrors: reg.Counter("loprouter_peer_errors_total",
+			"Transport-level failures talking to the peer (no HTTP response).", "peer"),
+		peerFailover: reg.Counter("loprouter_peer_failovers_total",
+			"Requests that abandoned this peer for the next ring candidate.", "peer"),
+		ringMembers: reg.Gauge("loprouter_ring_members",
+			"Peers configured on the hash ring.").With(),
+		ringVNodes: reg.Gauge("loprouter_ring_vnodes",
+			"Virtual nodes per peer on the hash ring.").With(),
+		hydrations: reg.Counter("loprouter_hydrations_total",
+			"Peer snapshot hydrations attempted by the router, by result (ok, no_donor, error).", "result"),
+	}
+}
+
+func (rt *Router) initRingGauges() {
+	rt.gauges.ringMembers.Set(float64(len(rt.order)))
+	rt.gauges.ringVNodes.Set(float64(rt.ring.VNodes()))
+	for _, addr := range rt.order {
+		rt.gauges.peerHealthy.With(addr).Set(1)
+	}
+}
+
+func (rt *Router) refreshHealthGauges() {
+	for _, addr := range rt.order {
+		v := 0.0
+		if rt.peers[addr].isHealthy() {
+			v = 1
+		}
+		rt.gauges.peerHealthy.With(addr).Set(v)
+	}
+}
+
+// countResponse records one HTTP exchange with a peer.
+func (rt *Router) countResponse(peer string, status int) {
+	rt.gauges.peerRequests.With(peer, strconv.Itoa(status)).Inc()
+}
+
+// countHydration records one hydration attempt outcome.
+func (rt *Router) countHydration(result string) {
+	rt.gauges.hydrations.With(result).Inc()
+	if result == "ok" {
+		rt.gauges.hydrationsOK.Add(1)
+	} else {
+		rt.gauges.hydrationsFailed.Add(1)
+	}
+}

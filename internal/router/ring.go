@@ -1,0 +1,134 @@
+// Consistent-hash ring: the placement function of the sharded serving
+// tier. Graph digests hash onto the same 64-bit circle as the peers'
+// virtual nodes; a graph is owned by the first peer point clockwise
+// from its hash. Virtual nodes smooth the load split, and consistent
+// hashing bounds churn: adding or removing one of n peers remaps only
+// ~1/n of the keyspace, so a scale event invalidates a slice of the
+// tier's warm APSP stores instead of all of them.
+//
+// Everything is deterministic — FNV-1a over "peer#vnode" for points
+// and over the key for lookups — so every router instance, across
+// restarts and processes, agrees on placement with no coordination.
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is an immutable consistent-hash ring over a fixed peer set.
+// Membership changes build a new Ring; lookups are lock-free.
+type Ring struct {
+	members []string // sorted, unique
+	vnodes  int
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// NewRing builds a ring with vnodes virtual nodes per peer. Peers are
+// deduplicated; order does not matter (placement depends only on the
+// set). It returns an error when no peers remain or vnodes is not
+// positive, because an empty ring has no owner for anything.
+func NewRing(peers []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		return nil, fmt.Errorf("router: vnodes must be positive, got %d", vnodes)
+	}
+	seen := make(map[string]struct{}, len(peers))
+	members := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p == "" {
+			continue
+		}
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		members = append(members, p)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("router: ring needs at least one peer")
+	}
+	sort.Strings(members)
+	points := make([]ringPoint, 0, len(members)*vnodes)
+	for _, m := range members {
+		for i := 0; i < vnodes; i++ {
+			points = append(points, ringPoint{
+				hash: hashKey(fmt.Sprintf("%s#%d", m, i)),
+				peer: m,
+			})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		return points[i].peer < points[j].peer
+	})
+	return &Ring{members: members, vnodes: vnodes, points: points}, nil
+}
+
+// hashKey is FNV-1a 64 with a splitmix64 finalizer. FNV because it is
+// stable across processes and Go versions — unlike maphash, which is
+// the whole point: every router must agree. The finalizer because raw
+// FNV leaves the high bits (which sort.Search keys on) poorly mixed
+// for short inputs, skewing vnode placement.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Owner returns the peer that owns key: the first ring point at or
+// clockwise after the key's hash.
+func (r *Ring) Owner(key string) string {
+	return r.points[r.search(key)].peer
+}
+
+// Candidates returns every distinct peer in ring order starting at the
+// key's owner. Index 0 is the owner; the rest is the deterministic
+// failover order the router walks when the owner is down.
+func (r *Ring) Candidates(key string) []string {
+	out := make([]string, 0, len(r.members))
+	seen := make(map[string]struct{}, len(r.members))
+	for i, start := 0, r.search(key); len(out) < len(r.members) && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)].peer
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}
+
+// search returns the index of the first point at or after key's hash,
+// wrapping to 0 past the last point.
+func (r *Ring) search(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Members returns the sorted peer set.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// VNodes returns the virtual-node count per peer.
+func (r *Ring) VNodes() int { return r.vnodes }

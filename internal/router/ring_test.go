@@ -1,0 +1,118 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Hex-ish strings shaped like graph digests.
+		keys[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return keys
+}
+
+func TestRingValidates(t *testing.T) {
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Fatal("empty peer set built a ring")
+	}
+	if _, err := NewRing([]string{"a"}, 0); err == nil {
+		t.Fatal("zero vnodes built a ring")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	peers := []string{
+		"http://10.0.0.1:8080", "http://10.0.0.2:8080",
+		"http://10.0.0.3:8080", "http://10.0.0.4:8080",
+	}
+	r, err := NewRing(peers, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := testKeys(8000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	want := len(keys) / len(peers)
+	for _, p := range peers {
+		got := counts[p]
+		// With 128 vnodes the split should be within 35% of even — wide
+		// enough to be robust, tight enough to catch a broken hash.
+		if got < want*65/100 || got > want*135/100 {
+			t.Errorf("peer %s owns %d of %d keys (even share %d)", p, got, len(keys), want)
+		}
+	}
+}
+
+func TestRingRemapFractionOnMembershipChange(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	before, err := NewRing(peers, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := NewRing(append(append([]string{}, peers...), "http://e:1"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, err := NewRing(peers[:3], 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(8000)
+	var movedJoin, movedLeave int
+	for _, k := range keys {
+		if before.Owner(k) != grown.Owner(k) {
+			movedJoin++
+		}
+		if before.Owner(k) != shrunk.Owner(k) {
+			movedLeave++
+		}
+	}
+	// Joining a 5th peer should remap ~1/5 of keys; leaving one of 4
+	// should remap ~1/4. Allow a factor-2 band around the ideal — a
+	// modulo hash would remap ~80% and fail loudly.
+	assertFraction(t, "join", movedJoin, len(keys), 1.0/5)
+	assertFraction(t, "leave", movedLeave, len(keys), 1.0/4)
+}
+
+func assertFraction(t *testing.T, what string, moved, total int, ideal float64) {
+	t.Helper()
+	frac := float64(moved) / float64(total)
+	if frac < ideal/2 || frac > ideal*2 {
+		t.Errorf("%s remapped %.1f%% of keys, want about %.1f%%", what, frac*100, ideal*100)
+	}
+}
+
+func TestRingDeterministicAcrossRebuilds(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1, err := NewRing(peers, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same set, different order and a duplicate: placement must agree.
+	r2, err := NewRing([]string{"http://c:1", "http://a:1", "http://b:1", "http://a:1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(500) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("key %s: owner %s vs %s across rebuilds", k, r1.Owner(k), r2.Owner(k))
+		}
+		c1, c2 := r1.Candidates(k), r2.Candidates(k)
+		if len(c1) != len(peers) || len(c2) != len(peers) {
+			t.Fatalf("candidates incomplete: %v / %v", c1, c2)
+		}
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				t.Fatalf("key %s: candidate order differs: %v vs %v", k, c1, c2)
+			}
+		}
+		if c1[0] != r1.Owner(k) {
+			t.Fatalf("candidates[0] %s is not the owner %s", c1[0], r1.Owner(k))
+		}
+	}
+}

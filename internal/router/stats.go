@@ -1,0 +1,154 @@
+// Router-aware GET /v1/stats: one call shows the whole tier. The
+// top-level sections keep the exact single-backend shape — summed
+// across peers, so dashboards built against lopserve keep working —
+// and the router section adds what only the proxy knows: ring
+// membership, per-peer health and traffic, and the per-peer stats
+// bodies verbatim.
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"repro/api"
+)
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	type peerStats struct {
+		stats api.StatsResponse
+		ok    bool
+	}
+	results := make([]peerStats, len(rt.order))
+	var wg sync.WaitGroup
+	for i, peer := range rt.order {
+		if !rt.peers[peer].isHealthy() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			p, err := rt.exchange(r.Context(), peer, http.MethodGet, "/v1/stats", r.Header, nil)
+			if err != nil || p.resp.StatusCode != http.StatusOK {
+				return
+			}
+			if json.Unmarshal(p.body, &results[i].stats) == nil {
+				results[i].ok = true
+			}
+		}(i, peer)
+	}
+	wg.Wait()
+
+	out := api.StatsResponse{
+		Router: &api.RouterStats{
+			Ring: api.RingInfo{
+				Members: rt.ring.Members(),
+				VNodes:  rt.ring.VNodes(),
+				Healthy: rt.healthyPeers(),
+			},
+			PerPeer:           map[string]api.StatsResponse{},
+			Hydrations:        rt.gauges.hydrationsOK.Load(),
+			HydrationFailures: rt.gauges.hydrationsFailed.Load(),
+		},
+	}
+	anyPeer := false
+	for i, peer := range rt.order {
+		st := rt.peers[peer]
+		healthy, lastErr := st.snapshot()
+		out.Router.Peers = append(out.Router.Peers, api.PeerStats{
+			Addr:      peer,
+			Healthy:   healthy,
+			Requests:  st.requests.Load(),
+			Errors:    st.errors.Load(),
+			Failovers: st.failovers.Load(),
+			LastError: lastErr,
+		})
+		if !results[i].ok {
+			continue
+		}
+		anyPeer = true
+		out.Router.PerPeer[peer] = results[i].stats
+		addStats(&out, results[i].stats)
+	}
+	if !anyPeer {
+		writeUnavailable(w, "", nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// addStats accumulates one backend's sections into the aggregate.
+// Counters and occupancy sum; the build-latency maximum takes the max;
+// persistence is enabled if any peer persists.
+func addStats(out *api.StatsResponse, s api.StatsResponse) {
+	out.Cache.Hits += s.Cache.Hits
+	out.Cache.Misses += s.Cache.Misses
+	out.Cache.Entries += s.Cache.Entries
+	out.Cache.Capacity += s.Cache.Capacity
+
+	a, b := &out.Registry, &s.Registry
+	a.Graphs += b.Graphs
+	a.Capacity += b.Capacity
+	a.Hits += b.Hits
+	a.Misses += b.Misses
+	a.Evictions += b.Evictions
+	a.Stores += b.Stores
+	a.StoreHits += b.StoreHits
+	a.StoreMisses += b.StoreMisses
+	a.StoreEvictions += b.StoreEvictions
+	a.Builds += b.Builds
+	a.BuildMSTotal += b.BuildMSTotal
+	if b.BuildMSMax > a.BuildMSMax {
+		a.BuildMSMax = b.BuildMSMax
+	}
+	a.Mutations += b.Mutations
+	a.Repairs += b.Repairs
+	a.RepairFallbacks += b.RepairFallbacks
+	a.RepairMSTotal += b.RepairMSTotal
+	a.Hydrations += b.Hydrations
+	a.HydratedStores += b.HydratedStores
+	for k, v := range b.StoreBytes {
+		if a.StoreBytes == nil {
+			a.StoreBytes = map[string]int64{}
+		}
+		a.StoreBytes[k] += v
+	}
+	for k, v := range b.StoreFileBytes {
+		if a.StoreFileBytes == nil {
+			a.StoreFileBytes = map[string]int64{}
+		}
+		a.StoreFileBytes[k] += v
+	}
+	a.PageCache.BudgetBytes += b.PageCache.BudgetBytes
+	a.PageCache.ResidentBytes += b.PageCache.ResidentBytes
+	a.PageCache.Pages += b.PageCache.Pages
+	a.PageCache.Hits += b.PageCache.Hits
+	a.PageCache.Misses += b.PageCache.Misses
+	a.PageCache.Evictions += b.PageCache.Evictions
+
+	p, q := &out.Persistence, &s.Persistence
+	p.Enabled = p.Enabled || q.Enabled
+	p.GraphsLoaded += q.GraphsLoaded
+	p.StoresLoaded += q.StoresLoaded
+	p.LineagesLoaded += q.LineagesLoaded
+	p.Quarantined += q.Quarantined
+	p.GraphWrites += q.GraphWrites
+	p.StoreWrites += q.StoreWrites
+	p.LineageWrites += q.LineageWrites
+	p.WriteErrors += q.WriteErrors
+	p.Deletes += q.Deletes
+
+	j, k := &out.Jobs, &s.Jobs
+	j.Workers += k.Workers
+	j.QueueDepth += k.QueueDepth
+	j.QueueCapacity += k.QueueCapacity
+	j.Running += k.Running
+	j.Done += k.Done
+	j.Failed += k.Failed
+	j.Cancelled += k.Cancelled
+	j.Detached += k.Detached
+}

@@ -1,0 +1,47 @@
+// Streaming relay for long-lived upstream responses (job event
+// feeds): chunks are written and flushed as they arrive, and the
+// router's write deadline is lifted the same way lopserve lifts its
+// own on the originating handler.
+package router
+
+import (
+	"io"
+	"net/http"
+	"time"
+)
+
+// readAllCapped buffers a response body under the router's response
+// cap and closes it.
+func readAllCapped(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	return io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+}
+
+// streamRelay copies an upstream response to the client incrementally
+// with a flush per chunk.
+func streamRelay(w http.ResponseWriter, resp *http.Response) {
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	rc := http.NewResponseController(w)
+	rc.SetWriteDeadline(time.Time{})
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			rc.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

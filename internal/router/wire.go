@@ -1,0 +1,75 @@
+// Wire helpers: the router emits the same api.ErrorResponse envelope
+// lopserve does, so a client cannot tell which tier rejected it —
+// except by the codes only the router produces (502 unavailable when
+// every candidate peer is down).
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/api"
+)
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErrorCode emits the standard error envelope.
+func writeErrorCode(w http.ResponseWriter, status int, code, msg string, details map[string]any) {
+	writeJSON(w, status, api.ErrorResponse{
+		Message: msg,
+		Err:     &api.Error{Code: code, Message: msg, Details: details},
+	})
+}
+
+// writeUnavailable is the router's terminal failure: every peer that
+// could own the request is unreachable. 502 (not 503) because the
+// proxy itself is fine — its upstreams are not — and the code is
+// unavailable so clients branch the same way they do on a draining
+// backend.
+func writeUnavailable(w http.ResponseWriter, key string, lastErr error) {
+	details := map[string]any{}
+	if key != "" {
+		details["graph_ref"] = key
+	}
+	if lastErr != nil {
+		details["last_error"] = lastErr.Error()
+	}
+	writeErrorCode(w, http.StatusBadGateway, api.CodeUnavailable,
+		"no backend available for this request", details)
+}
+
+func methodNotAllowed(w http.ResponseWriter, allowed ...string) {
+	w.Header().Set("Allow", strings.Join(allowed, ", "))
+	writeErrorCode(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+		fmt.Sprintf("use %s", strings.Join(allowed, " or ")), nil)
+}
+
+// hopByHop are the headers a proxy must not blindly relay (RFC 9110
+// §7.6.1).
+var hopByHop = map[string]bool{
+	"Connection":          true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+}
+
+// copyHeaders relays end-to-end response headers. Content-Length is
+// dropped when the body was re-buffered (the write path recomputes it).
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		if hopByHop[k] || k == "Content-Length" {
+			continue
+		}
+		dst[k] = append([]string(nil), vs...)
+	}
+}

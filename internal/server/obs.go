@@ -68,6 +68,7 @@ type statsGauges struct {
 	regBuildMSTotal, regBuildMSMax                    *obs.Series
 	regMutations, regRepairs                          *obs.Series
 	regRepairFallbacks, regRepairMSTotal              *obs.Series
+	regHydrations, regHydratedStores                  *obs.Series
 	jobsQueueDepth, jobsRunning, jobsDone, jobsFailed *obs.Series
 	jobsWorkers                                       *obs.Series
 
@@ -108,11 +109,14 @@ func newStatsGauges(reg *obs.Registry) *statsGauges {
 		regRepairFallbacks: g("lopserve_registry_repair_fallbacks",
 			"Lineage-bearing store hydrations that fell back to a full build since boot."),
 		regRepairMSTotal: g("lopserve_registry_repair_ms_total", "Total wall-clock milliseconds spent repairing distance stores."),
-		jobsQueueDepth:   g("lopserve_jobs_queue_depth", "Async jobs currently waiting to run."),
-		jobsRunning:      g("lopserve_jobs_running", "Async jobs currently executing."),
-		jobsDone:         g("lopserve_jobs_done", "Retained async jobs in state done."),
-		jobsFailed:       g("lopserve_jobs_failed", "Retained async jobs in state failed."),
-		jobsWorkers:      g("lopserve_jobs_workers", "Async worker goroutines configured."),
+		regHydrations:    g("lopserve_registry_hydrations", "Graphs installed from peer snapshots since boot."),
+		regHydratedStores: g("lopserve_registry_hydrated_stores",
+			"Distance stores adopted from peer snapshots (APSP builds never paid) since boot."),
+		jobsQueueDepth: g("lopserve_jobs_queue_depth", "Async jobs currently waiting to run."),
+		jobsRunning:    g("lopserve_jobs_running", "Async jobs currently executing."),
+		jobsDone:       g("lopserve_jobs_done", "Retained async jobs in state done."),
+		jobsFailed:     g("lopserve_jobs_failed", "Retained async jobs in state failed."),
+		jobsWorkers:    g("lopserve_jobs_workers", "Async worker goroutines configured."),
 	}
 }
 
@@ -137,6 +141,8 @@ func (s *Server) refreshStatsGauges() {
 	g.regRepairs.Set(float64(rs.Repairs))
 	g.regRepairFallbacks.Set(float64(rs.RepairFallbacks))
 	g.regRepairMSTotal.Set(float64(rs.RepairMSTotal))
+	g.regHydrations.Set(float64(rs.Hydrations))
+	g.regHydratedStores.Set(float64(rs.HydratedStores))
 	g.jobsQueueDepth.Set(float64(js.QueueDepth))
 	g.jobsRunning.Set(float64(js.Running))
 	g.jobsDone.Set(float64(js.Done))

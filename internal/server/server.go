@@ -288,6 +288,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/graphs", s.handleGraphs)
 	mux.HandleFunc("/v1/graphs/{id}", s.handleGraphByID)
+	mux.HandleFunc("/v1/graphs/{id}/snapshot", s.handleGraphSnapshot)
 	mux.HandleFunc("/v1/properties", post(s.handleProperties))
 	mux.HandleFunc("/v1/opacity", post(s.handleOpacity))
 	mux.HandleFunc("/v1/anonymize", post(s.handleAnonymize))

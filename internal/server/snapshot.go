@@ -1,0 +1,100 @@
+// Peer snapshot transfer endpoints — the hydration path of the
+// sharded serving tier:
+//
+//	GET /v1/graphs/{id}/snapshot  stream the graph's snapshot envelope
+//	PUT /v1/graphs/{id}/snapshot  install an envelope fetched from a peer
+//
+// The body is the registry's binary envelope (magic "LOPH"): the
+// canonical edge set plus every distance store currently cached under
+// the graph. A replica that installs one answers its first opacity
+// query for the graph as a store hit with zero APSP builds — the
+// router uses this pair to move graphs between backends when the ring
+// owner is cold (newly added, restarted empty, or re-admitted after an
+// outage) while another peer still holds the warm state.
+//
+// Install trusts nothing: the envelope's edge set is re-canonicalized
+// and re-digested and must hash to {id} (400 snapshot_mismatch
+// otherwise — nothing installed), and each store section must validate
+// against the installed graph's dimensions or it is skipped, counted
+// in the response's stores_skipped.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/api"
+	"repro/internal/registry"
+)
+
+// handleGraphSnapshot serves GET (export) and PUT (install) on
+// /v1/graphs/{id}/snapshot.
+func (s *Server) handleGraphSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch r.Method {
+	case http.MethodGet:
+		g, ok := s.reg.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, graphNotFound(id))
+			return
+		}
+		data, err := g.Snapshot()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError,
+				codedError(http.StatusInternalServerError, api.CodeInternal, err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		w.Write(data)
+	case http.MethodPut:
+		s.handleSnapshotInstall(w, r, id)
+	default:
+		methodNotAllowed(w, http.MethodGet, http.MethodPut)
+	}
+}
+
+// handleSnapshotInstall reads a snapshot envelope and installs it as
+// graph {id}. The body cap is the registry's snapshot limit, not the
+// JSON body cap: a store-bearing envelope is legitimately much larger
+// than any request document.
+func (s *Server) handleSnapshotInstall(w http.ResponseWriter, r *http.Request, id string) {
+	body := http.MaxBytesReader(w, r.Body, registry.MaxSnapshotBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading snapshot body: %w", err))
+		return
+	}
+	g, created, installed, skipped, err := s.reg.InstallSnapshot(id, data, s.cfg.MaxVertices)
+	if err != nil {
+		if errors.Is(err, registry.ErrSnapshotMismatch) {
+			writeError(w, http.StatusBadRequest,
+				detailedError(http.StatusBadRequest, api.CodeSnapshotMismatch,
+					map[string]any{"id": id}, err))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/graphs/"+g.ID())
+	w.WriteHeader(status)
+	writeJSON(w, api.SnapshotInstallResponse{
+		GraphInfo:       graphInfo(g),
+		Created:         created,
+		StoresInstalled: installed,
+		StoresSkipped:   skipped,
+	})
+}

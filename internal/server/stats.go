@@ -25,6 +25,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Builds: rs.Builds, BuildMSTotal: rs.BuildMSTotal, BuildMSMax: rs.BuildMSMax,
 			Mutations: rs.Mutations, Repairs: rs.Repairs,
 			RepairFallbacks: rs.RepairFallbacks, RepairMSTotal: rs.RepairMSTotal,
+			Hydrations: rs.Hydrations, HydratedStores: rs.HydratedStores,
 			StoreBytes: rs.StoreBytes, StoreFileBytes: rs.StoreFileBytes,
 			PageCache: api.PageCacheStats{
 				BudgetBytes: rs.PageCache.BudgetBytes, ResidentBytes: rs.PageCache.ResidentBytes,
